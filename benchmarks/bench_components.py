@@ -1,0 +1,118 @@
+"""Component microbenchmarks (design-choice ablations from DESIGN.md).
+
+Covers the moving parts the end-to-end numbers are made of:
+
+* scenario generation — scenario-wise vs tuple-wise seeding (the §5.5
+  trade-off: bulk generation favors scenario-wise on larger tables);
+* summary construction — the three strategies of §5.5;
+* out-of-sample validation (streaming, package-restricted);
+* DILP solve — Naïve's SAA vs the reduced CSA at equal M (the paper's
+  core size argument: Θ(N·M·K) vs Θ(N·Z·K)).
+"""
+
+import numpy as np
+import pytest
+
+from repro.config import (
+    STREAM_OPTIMIZATION,
+    SUMMARY_IN_MEMORY,
+    SUMMARY_SCENARIO_WISE,
+    SUMMARY_TUPLE_WISE,
+)
+from repro.core.context import EvaluationContext
+from repro.core.csa import formulate_csa
+from repro.core.saa import formulate_saa
+from repro.core.summaries import SummaryBuilder
+from repro.core.validator import Validator
+from repro.mcdb.scenarios import MODE_SCENARIO_WISE, MODE_TUPLE_WISE, ScenarioGenerator
+from repro.silp.compile import compile_query
+from repro.workloads import get_query
+
+from conftest import bench_config, cached_catalog
+
+M = 64
+
+
+def _context(strategy=SUMMARY_IN_MEMORY):
+    spec = get_query("galaxy", "Q1")
+    catalog = cached_catalog("galaxy", "Q1")
+    config = bench_config(summary_strategy=strategy)
+    problem = compile_query(spec.spaql, catalog)
+    return EvaluationContext(problem, config)
+
+
+@pytest.mark.parametrize("mode", (MODE_SCENARIO_WISE, MODE_TUPLE_WISE))
+def test_scenario_generation_modes(benchmark, mode):
+    ctx = _context()
+    generator = ScenarioGenerator(ctx.model, 17, STREAM_OPTIMIZATION, mode=mode)
+    benchmark.pedantic(
+        lambda: generator.matrix("Petromag_r", M), rounds=3, iterations=1
+    )
+    benchmark.extra_info["mode"] = mode
+    benchmark.extra_info["n_rows"] = ctx.relation.n_rows
+
+
+@pytest.mark.parametrize(
+    "strategy", (SUMMARY_IN_MEMORY, SUMMARY_TUPLE_WISE, SUMMARY_SCENARIO_WISE)
+)
+def test_summary_construction_strategies(benchmark, strategy):
+    ctx = _context(strategy)
+    builder = SummaryBuilder(ctx, M, 1)
+    item = ctx.chance_items()[0]
+    x = np.zeros(ctx.problem.n_vars, dtype=np.int64)
+    x[:5] = 1
+    benchmark.pedantic(
+        lambda: builder.build(item, alpha=0.05, prev_x=x), rounds=3, iterations=1
+    )
+    benchmark.extra_info["strategy"] = strategy
+
+
+def test_validation_streaming(benchmark):
+    ctx = _context()
+    validator = Validator(ctx)
+    x = np.zeros(ctx.problem.n_vars, dtype=np.int64)
+    x[:7] = 1
+    benchmark.pedantic(lambda: validator.validate(x), rounds=3, iterations=1)
+    benchmark.extra_info["n_validation_scenarios"] = validator.n_scenarios
+
+
+def test_saa_formulate_and_solve(benchmark):
+    ctx = _context()
+
+    def run():
+        formulation = formulate_saa(ctx, M)
+        return formulation.builder.solve(time_limit=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["coefficients"] = "Theta(N*M*K)"
+
+
+def test_csa_formulate_and_solve(benchmark):
+    ctx = _context()
+    builder = SummaryBuilder(ctx, M, 1)
+    item = ctx.chance_items()[0]
+
+    def run():
+        summaries = {item["index"]: builder.build(item, 0.05, None)}
+        formulation = formulate_csa(ctx, summaries, M)
+        return formulation.builder.solve(time_limit=30.0)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["status"] = result.status
+    benchmark.extra_info["coefficients"] = "Theta(N*Z*K)"
+
+
+def test_expectation_precompute(benchmark):
+    """Monte Carlo expectation estimation (Pareto has no finite mean)."""
+    spec = get_query("galaxy", "Q5")
+    catalog = cached_catalog("galaxy", "Q5")
+    config = bench_config()
+    problem = compile_query(spec.spaql, catalog)
+
+    def run():
+        ctx = EvaluationContext(problem, config)
+        return ctx.mean_coefficients(problem.objective.expr)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["n_expectation_scenarios"] = config.n_expectation_scenarios

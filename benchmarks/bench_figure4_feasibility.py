@@ -1,0 +1,58 @@
+"""Figure 4 bench: time to a validation-feasible solution, per method.
+
+One benchmark per (query, method) over a representative query from each
+workload plus the hard Pareto query Galaxy Q5 and the infeasible TPC-H
+Q8.  Paper shape to expect in the timings: SummarySearch reaches
+feasibility quickly everywhere; Naïve is slower by a large factor on the
+hard queries (or fails to reach feasibility at all within its scenario
+budget — reported via ``extra_info['feasible']``).
+"""
+
+import pytest
+
+from repro.core.engine import SPQEngine
+from repro.workloads import get_query
+
+from conftest import bench_config, cached_catalog
+
+CASES = [
+    ("galaxy", "Q1"),
+    ("galaxy", "Q5"),
+    ("portfolio", "Q1"),
+    ("tpch", "Q1"),
+    ("tpch", "Q8"),
+]
+
+METHODS = ("summarysearch", "naive")
+
+
+@pytest.mark.parametrize("workload,query", CASES)
+@pytest.mark.parametrize("method", METHODS)
+def test_time_to_feasibility(benchmark, workload, query, method):
+    spec = get_query(workload, query)
+    catalog = cached_catalog(workload, query)
+    config = bench_config(
+        initial_summaries=spec.default_summaries,
+        # Keep the infeasible query's declaration budget small.
+        max_scenarios=60 if query == "Q8" and workload == "tpch" else 120,
+    )
+    engine = SPQEngine(catalog=catalog, config=config)
+
+    def run():
+        return engine.execute(spec.spaql, method=method)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["query"] = spec.qualified_name
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["feasible"] = bool(result.feasible)
+    benchmark.extra_info["objective"] = (
+        None if result.objective is None else float(result.objective)
+    )
+    benchmark.extra_info["final_M"] = (
+        result.stats.final_n_scenarios if result.stats else None
+    )
+    if spec.feasible and method == "summarysearch":
+        # Paper: SummarySearch always reaches feasibility.
+        assert result.feasible
+    if not spec.feasible:
+        assert not result.feasible

@@ -1,0 +1,40 @@
+"""Figure 5 bench: scaling with the number of optimization scenarios M.
+
+Fixed-M evaluations (no growth) of Galaxy Q1 for both methods.  Paper
+shape: Naïve's time grows steeply with M (its DILP has Θ(N·M·K)
+coefficients) while SummarySearch's stays nearly flat (CSA is Θ(N·Z·K),
+independent of M; only summary construction sees M).
+"""
+
+import pytest
+
+from repro.core.engine import SPQEngine
+from repro.workloads import get_query
+
+from conftest import bench_config, cached_catalog
+
+M_SWEEP = (10, 40, 160)
+
+
+@pytest.mark.parametrize("n_scenarios", M_SWEEP)
+@pytest.mark.parametrize("method", ("summarysearch", "naive"))
+def test_scaling_in_m(benchmark, method, n_scenarios):
+    spec = get_query("galaxy", "Q1")
+    catalog = cached_catalog("galaxy", "Q1")
+    config = bench_config(
+        n_initial_scenarios=n_scenarios,
+        max_scenarios=n_scenarios,
+        initial_summaries=1,
+    )
+    engine = SPQEngine(catalog=catalog, config=config)
+
+    def run():
+        return engine.execute(spec.spaql, method=method)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["M"] = n_scenarios
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["feasible"] = bool(result.feasible)
+    benchmark.extra_info["objective"] = (
+        None if result.objective is None else float(result.objective)
+    )

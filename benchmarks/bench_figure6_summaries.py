@@ -1,0 +1,53 @@
+"""Figure 6 bench: effect of the number of summaries Z (Portfolio Q1).
+
+Fixed M; Z sweeps from 1 to M.  Paper shape: runtime roughly flat in Z;
+quality (objective) improves with moderate Z; at Z = M the CSA coincides
+with the SAA and feasibility degrades toward Naïve's.
+"""
+
+import pytest
+
+from repro.core.engine import SPQEngine
+from repro.workloads import get_query
+
+from conftest import bench_config, cached_catalog
+
+FIXED_M = 40
+Z_SWEEP = (1, 4, 10, 40)
+
+
+@pytest.mark.parametrize("n_summaries", Z_SWEEP)
+def test_scaling_in_z(benchmark, n_summaries):
+    spec = get_query("portfolio", "Q1")
+    catalog = cached_catalog("portfolio", "Q1")
+    config = bench_config(
+        n_initial_scenarios=FIXED_M,
+        max_scenarios=FIXED_M,
+        initial_summaries=n_summaries,
+    )
+    engine = SPQEngine(catalog=catalog, config=config)
+
+    def run():
+        return engine.execute(spec.spaql, method="summarysearch")
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["Z"] = n_summaries
+    benchmark.extra_info["Z_percent_of_M"] = round(100 * n_summaries / FIXED_M)
+    benchmark.extra_info["feasible"] = bool(result.feasible)
+    benchmark.extra_info["objective"] = (
+        None if result.objective is None else float(result.objective)
+    )
+
+
+def test_naive_reference_at_fixed_m(benchmark):
+    spec = get_query("portfolio", "Q1")
+    catalog = cached_catalog("portfolio", "Q1")
+    config = bench_config(n_initial_scenarios=FIXED_M, max_scenarios=FIXED_M)
+    engine = SPQEngine(catalog=catalog, config=config)
+    result = benchmark.pedantic(
+        lambda: engine.execute(spec.spaql, method="naive"), rounds=1, iterations=1
+    )
+    benchmark.extra_info["feasible"] = bool(result.feasible)
+    benchmark.extra_info["objective"] = (
+        None if result.objective is None else float(result.objective)
+    )

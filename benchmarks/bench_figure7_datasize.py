@@ -1,0 +1,37 @@
+"""Figure 7 bench: scaling with dataset size N (Galaxy Q1 and Q3).
+
+Fixed M = 56 and Z = 1, as in the paper; N sweeps over a 4x range.
+Paper shape: both methods slow down with N, SummarySearch far less; Q3
+(supported objective) is Naïve's easy case, Q1 (counteracted) is not.
+"""
+
+import pytest
+
+from repro.core.engine import SPQEngine
+from repro.workloads import get_query
+
+from conftest import bench_config, cached_catalog
+
+N_SWEEP = (400, 800, 1600)
+FIXED_M = 56
+
+
+@pytest.mark.parametrize("n_rows", N_SWEEP)
+@pytest.mark.parametrize("method", ("summarysearch", "naive"))
+@pytest.mark.parametrize("query", ("Q1", "Q3"))
+def test_scaling_in_n(benchmark, query, method, n_rows):
+    spec = get_query("galaxy", query)
+    catalog = cached_catalog("galaxy", query, scale=n_rows)
+    config = bench_config(
+        n_initial_scenarios=FIXED_M, max_scenarios=FIXED_M, initial_summaries=1
+    )
+    engine = SPQEngine(catalog=catalog, config=config)
+
+    def run():
+        return engine.execute(spec.spaql, method=method)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    benchmark.extra_info["N"] = n_rows
+    benchmark.extra_info["query"] = spec.qualified_name
+    benchmark.extra_info["method"] = method
+    benchmark.extra_info["feasible"] = bool(result.feasible)

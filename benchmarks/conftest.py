@@ -1,0 +1,57 @@
+"""Shared benchmark fixtures.
+
+Benchmarks run the paper's experiments at laptop scale: dataset sizes and
+Monte Carlo counts are reduced (see EXPERIMENTS.md for the mapping), but
+the measured quantities are the paper's — time to feasibility, scaling in
+M / Z / N — and each benchmark attaches feasibility/quality outcomes as
+``extra_info`` so shapes can be compared against the paper.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import SPQConfig
+from repro.db.catalog import Catalog
+from repro.workloads import get_query
+
+#: Scaled-down dataset sizes per workload (paper: 55k/7k/117.6k).
+BENCH_SCALES = {"galaxy": 800, "portfolio": 120, "tpch": 800}
+
+
+def bench_config(**overrides) -> SPQConfig:
+    defaults = dict(
+        n_validation_scenarios=2_000,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=120,
+        n_expectation_scenarios=500,
+        epsilon=0.5,
+        solver_time_limit=15.0,
+        time_limit=90.0,
+        seed=17,
+    )
+    defaults.update(overrides)
+    return SPQConfig(**defaults)
+
+
+_dataset_cache: dict = {}
+
+
+def cached_catalog(workload: str, query: str, scale: int | None = None) -> Catalog:
+    """Materialize (and cache) the dataset behind one workload query."""
+    spec = get_query(workload, query)
+    key = (workload, query, scale)
+    if key not in _dataset_cache:
+        relation, model = spec.build_dataset(
+            scale if scale is not None else BENCH_SCALES[workload], seed=17
+        )
+        catalog = Catalog()
+        catalog.register(relation, model)
+        _dataset_cache[key] = catalog
+    return _dataset_cache[key]
+
+
+@pytest.fixture
+def config():
+    return bench_config()

@@ -1,0 +1,84 @@
+"""Summarize results/figure*.txt into the headline comparisons.
+
+Run after ``run_experiments.sh``:  python results/summarize.py
+"""
+
+import re
+import sys
+from pathlib import Path
+
+RESULTS = Path(__file__).parent
+
+
+def _rows(path):
+    text = (RESULTS / path).read_text()
+    lines = [l for l in text.splitlines() if "|" in l and "---" not in l]
+    if not lines:
+        return []
+    header = [c.strip() for c in lines[0].split("|")]
+    out = []
+    for line in lines[1:]:
+        cells = [c.strip() for c in line.split("|")]
+        if len(cells) == len(header):
+            out.append(dict(zip(header, cells)))
+    return out
+
+
+def summarize_figure4():
+    rows = _rows("figure4.txt")
+    if not rows:
+        print("figure4: no table found")
+        return
+    print("== Figure 4 ==")
+    full, partial = {"summarysearch": 0, "naive": 0}, {"summarysearch": 0, "naive": 0}
+    infeasible_query = "tpch/Q8"
+    for row in rows:
+        if row["query"] == infeasible_query:
+            continue
+        rate = float(row["feasibility rate"])
+        if rate >= 1.0:
+            full[row["method"]] += 1
+        elif rate > 0:
+            partial[row["method"]] += 1
+    print(f"queries at 100% feasibility: summarysearch {full['summarysearch']}/23,"
+          f" naive {full['naive']}/23 (partial: {partial['naive']})")
+    by_query = {}
+    for row in rows:
+        by_query.setdefault(row["query"], {})[row["method"]] = row
+    print("speedups where both reach 100%:")
+    for query, methods in by_query.items():
+        if len(methods) < 2 or query == infeasible_query:
+            continue
+        ss, nv = methods.get("summarysearch"), methods.get("naive")
+        if ss and nv and float(ss["feasibility rate"]) == 1.0 and float(
+            nv["feasibility rate"]
+        ) == 1.0:
+            ratio = float(nv["avg time (s)"]) / max(float(ss["avg time (s)"]), 1e-9)
+            print(f"  {query}: {float(ss['avg time (s)']):.2f}s vs"
+                  f" {float(nv['avg time (s)']):.2f}s ({ratio:.0f}x)")
+    print("naive rate per query:")
+    for query, methods in by_query.items():
+        nv = methods.get("naive")
+        if nv:
+            print(f"  {query}: naive rate {nv['feasibility rate']}"
+                  f" time {nv['avg time (s)']}s | ss rate"
+                  f" {methods['summarysearch']['feasibility rate']}"
+                  f" time {methods['summarysearch']['avg time (s)']}s")
+
+
+def summarize_generic(path, label):
+    rows = _rows(path)
+    print(f"== {label} == ({len(rows)} rows)")
+    for row in rows:
+        print("  " + " | ".join(f"{k}={v}" for k, v in row.items()))
+
+
+if __name__ == "__main__":
+    summarize_figure4()
+    for path, label in (
+        ("figure5.txt", "Figure 5"),
+        ("figure6.txt", "Figure 6"),
+        ("figure7.txt", "Figure 7"),
+    ):
+        if (RESULTS / path).exists():
+            summarize_generic(path, label)

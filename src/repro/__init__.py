@@ -1,0 +1,63 @@
+"""repro — stochastic package queries in probabilistic databases.
+
+A production-quality reproduction of Brucato, Yadav, Abouzied, Haas,
+Meliou: "Stochastic Package Queries in Probabilistic Databases" (SIGMOD
+2020).  See README.md for a tour and DESIGN.md for the system inventory.
+
+Quick start::
+
+    from repro import Catalog, Relation, SPQEngine, SPQConfig
+    from repro.mcdb import StochasticModel, GaussianNoiseVG
+
+    relation = Relation("items", {"price": [5.0, 8.0, 3.0]})
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 1.0)})
+    engine = SPQEngine()
+    engine.register(relation, model)
+    result = engine.execute(
+        '''SELECT PACKAGE(*) FROM items SUCH THAT
+           COUNT(*) <= 2 AND
+           SUM(Value) >= 4 WITH PROBABILITY >= 0.9
+           MINIMIZE EXPECTED SUM(Value)'''
+    )
+    print(result.summary())
+"""
+
+from .config import SPQConfig, DEFAULT_CONFIG, paper_scale_config
+from .db.catalog import Catalog
+from .db.relation import Relation
+from .core.engine import SPQEngine
+from .core.package import Package, PackageResult
+from .errors import (
+    SPQError,
+    ParseError,
+    CompileError,
+    SchemaError,
+    VGFunctionError,
+    SolverError,
+    InfeasibleError,
+    UnboundedError,
+    EvaluationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SPQConfig",
+    "DEFAULT_CONFIG",
+    "paper_scale_config",
+    "Catalog",
+    "Relation",
+    "SPQEngine",
+    "Package",
+    "PackageResult",
+    "SPQError",
+    "ParseError",
+    "CompileError",
+    "SchemaError",
+    "VGFunctionError",
+    "SolverError",
+    "InfeasibleError",
+    "UnboundedError",
+    "EvaluationError",
+    "__version__",
+]

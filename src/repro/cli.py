@@ -1,0 +1,185 @@
+"""Command-line interface: run sPaQL against CSV data.
+
+Lets a user evaluate stochastic package queries without writing Python::
+
+    python -m repro --table trades.csv \\
+        --stochastic "Gain=gbm(price,drift,volatility,sell_in_days,stock)" \\
+        --query "SELECT PACKAGE(*) FROM trades SUCH THAT ..." \\
+        --method summarysearch --seed 7 --output package.csv
+
+Stochastic attributes are declared with a small spec language
+``Name=kind(arg, ...)``, where each argument is a column name or a
+numeric literal:
+
+* ``gaussian(base, sigma)``
+* ``pareto(base, scale, shape)``
+* ``uniform(base, low, high)``
+* ``exponential(base, rate)``
+* ``student_t(base, dof[, scale])``
+* ``gbm(price, drift, volatility, horizon, group)``
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .config import SPQConfig
+from .core.engine import SPQEngine
+from .db.catalog import Catalog
+from .db.csvio import read_csv, write_csv
+from .errors import SPQError
+from .mcdb.distributions import (
+    ExponentialNoiseVG,
+    GaussianNoiseVG,
+    ParetoNoiseVG,
+    StudentTNoiseVG,
+    UniformNoiseVG,
+)
+from .mcdb.gbm import GeometricBrownianMotionVG
+from .mcdb.stochastic import StochasticModel
+
+
+def _numeric_or_column(token: str, relation):
+    token = token.strip()
+    if relation.has_column(token):
+        return token if token else None
+    try:
+        return float(token)
+    except ValueError:
+        raise SPQError(
+            f"VG argument {token!r} is neither a column of"
+            f" {relation.name!r} nor a number"
+        ) from None
+
+
+def _column_values(arg, relation):
+    """Resolve a parsed argument to per-row values (or a scalar)."""
+    if isinstance(arg, str):
+        return relation.column(arg)
+    return arg
+
+
+def parse_vg_spec(spec: str, relation):
+    """Parse one ``Name=kind(arg, ...)`` stochastic-attribute spec."""
+    if "=" not in spec:
+        raise SPQError(f"bad stochastic spec {spec!r}: expected Name=kind(...)")
+    name, _, call = spec.partition("=")
+    name = name.strip()
+    call = call.strip()
+    if not call.endswith(")") or "(" not in call:
+        raise SPQError(f"bad stochastic spec {spec!r}: expected kind(arg, ...)")
+    kind, _, arg_text = call[:-1].partition("(")
+    kind = kind.strip().lower()
+    args = [a for a in (t.strip() for t in arg_text.split(",")) if a]
+    if kind == "gbm":
+        if len(args) != 5:
+            raise SPQError("gbm takes (price, drift, volatility, horizon, group)")
+        return name, GeometricBrownianMotionVG(*args)
+    parsed = [_numeric_or_column(a, relation) for a in args]
+    resolved = [_column_values(a, relation) for a in parsed[1:]]
+    base = parsed[0]
+    if not isinstance(base, str):
+        raise SPQError(f"{kind} needs a base column as its first argument")
+    factories = {
+        "gaussian": (GaussianNoiseVG, 1, 1),
+        "pareto": (ParetoNoiseVG, 2, 2),
+        "uniform": (UniformNoiseVG, 2, 2),
+        "exponential": (ExponentialNoiseVG, 1, 1),
+        "student_t": (StudentTNoiseVG, 1, 2),
+    }
+    if kind not in factories:
+        raise SPQError(
+            f"unknown VG kind {kind!r}; expected one of"
+            f" {sorted(factories) + ['gbm']}"
+        )
+    factory, min_args, max_args = factories[kind]
+    if not min_args <= len(resolved) <= max_args:
+        raise SPQError(
+            f"{kind} takes {min_args}..{max_args} arguments after the base column"
+        )
+    return name, factory(base, *resolved)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Evaluate stochastic package queries over CSV data."
+    )
+    parser.add_argument("--table", action="append", required=True,
+                        metavar="PATH[:NAME]",
+                        help="CSV file to register (optionally as NAME)")
+    parser.add_argument("--stochastic", action="append", default=[],
+                        metavar="SPEC",
+                        help="stochastic attribute, e.g. Gain=gaussian(price,2.0);"
+                             " applies to the most recent --table")
+    query_group = parser.add_mutually_exclusive_group(required=True)
+    query_group.add_argument("--query", help="sPaQL text")
+    query_group.add_argument("--query-file", help="file containing sPaQL text")
+    parser.add_argument("--method", default="summarysearch",
+                        choices=["summarysearch", "naive", "deterministic"])
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--epsilon", type=float, default=0.25)
+    parser.add_argument("--validation-scenarios", type=int, default=10_000)
+    parser.add_argument("--initial-scenarios", type=int, default=100)
+    parser.add_argument("--max-scenarios", type=int, default=1_000)
+    parser.add_argument("--time-limit", type=float, default=600.0)
+    parser.add_argument("--output", help="write the package relation as CSV")
+    return parser
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit code (0 ok, 1 infeasible, 2 error)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        catalog = Catalog()
+        # --stochastic specs bind to the last --table before them; with a
+        # single table (the common case) order does not matter.
+        relations = []
+        for entry in args.table:
+            path, _, name = entry.partition(":")
+            relation = read_csv(path, name=name or None)
+            relations.append(relation)
+        if not relations:
+            raise SPQError("at least one --table is required")
+        target = relations[-1]
+        vgs = dict(
+            parse_vg_spec(spec, target) for spec in args.stochastic
+        )
+        model = StochasticModel(target, vgs) if vgs else None
+        for relation in relations[:-1]:
+            catalog.register(relation)
+        catalog.register(target, model)
+
+        query = args.query
+        if query is None:
+            with open(args.query_file) as handle:
+                query = handle.read()
+
+        config = SPQConfig(
+            seed=args.seed,
+            epsilon=args.epsilon,
+            n_validation_scenarios=args.validation_scenarios,
+            n_initial_scenarios=args.initial_scenarios,
+            max_scenarios=max(args.max_scenarios, args.initial_scenarios),
+            time_limit=args.time_limit,
+        )
+        engine = SPQEngine(catalog=catalog, config=config)
+        result = engine.execute(query, method=args.method)
+    except SPQError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+    print(result.summary())
+    if result.package is not None and not result.package.is_empty:
+        package_relation = result.package.to_relation()
+        print(package_relation.to_text(limit=20))
+        if args.output:
+            write_csv(package_relation, args.output)
+            print(f"package written to {args.output}")
+    return 0 if result.succeeded else 1
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,163 @@
+"""Runtime configuration for stochastic package query evaluation.
+
+The paper's algorithms expose a number of knobs (Algorithm 1 and 2
+headers): the number of out-of-sample validation scenarios ``M_hat``, the
+initial number of optimization scenarios ``M0`` and its increment ``m``,
+the summary-count increment ``z``, and the user approximation bound
+``epsilon``.  :class:`SPQConfig` bundles these together with
+implementation knobs (solver backend, summary-generation strategy, seeds,
+limits) so that an entire evaluation is reproducible from one object.
+
+The paper's defaults (``M_hat = 1e6``/``1e7``, four-hour time limits) are
+impractical for a test suite; the library defaults are scaled down but
+every experiment script accepts paper-scale values.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+from .errors import EvaluationError
+
+#: Seeding streams; keep values stable, they feed RNG key derivation.
+STREAM_OPTIMIZATION = 0
+STREAM_VALIDATION = 1
+STREAM_EXPECTATION = 2
+STREAM_DATASET = 3
+STREAM_PROBE = 4
+STREAM_PARTITION = 5
+
+#: Summary generation strategies (Section 5.5).
+SUMMARY_IN_MEMORY = "in-memory"
+SUMMARY_TUPLE_WISE = "tuple-wise"
+SUMMARY_SCENARIO_WISE = "scenario-wise"
+
+_SUMMARY_STRATEGIES = (SUMMARY_IN_MEMORY, SUMMARY_TUPLE_WISE, SUMMARY_SCENARIO_WISE)
+
+#: Solver backends implemented in ``repro.solver``.
+SOLVER_HIGHS = "highs"
+SOLVER_BRANCH_BOUND = "branch-bound"
+
+_SOLVER_BACKENDS = (SOLVER_HIGHS, SOLVER_BRANCH_BOUND)
+
+
+@dataclass
+class SPQConfig:
+    """All knobs controlling one stochastic package query evaluation.
+
+    Attributes mirror the symbols used in the paper where applicable:
+
+    * ``n_validation_scenarios`` — ``M̂``, out-of-sample validation size.
+    * ``n_initial_scenarios`` — ``M``, initial optimization scenarios.
+    * ``scenario_increment`` — ``m``, added to ``M`` on validation failure.
+    * ``summary_increment`` — ``z``, added to ``Z`` when a feasible but
+      insufficiently accurate solution is found (Algorithm 2, line 9).
+    * ``epsilon`` — user approximation error bound (``ε ≥ ε_min``).
+    * ``max_scenarios`` — cap on ``M`` before declaring failure (the paper
+      grows ``M`` up to 1000 before declaring TPC-H Q8 infeasible).
+    """
+
+    # --- Monte Carlo sizes -------------------------------------------------
+    n_validation_scenarios: int = 10_000
+    n_initial_scenarios: int = 100
+    scenario_increment: int = 100
+    max_scenarios: int = 1_000
+
+    # --- SummarySearch -----------------------------------------------------
+    initial_summaries: int = 1
+    summary_increment: int = 1
+    epsilon: float = 0.10
+    summary_strategy: str = SUMMARY_IN_MEMORY
+    #: Maximum CSA-Solve iterations before falling back to the best
+    #: solution in the history (guards against slow α oscillation).
+    max_csa_iterations: int = 25
+    #: Maximum number of quality-refinement rounds (Z-growth steps taken
+    #: after a feasible solution exists, Algorithm 2 line 9) before the
+    #: best feasible solution is accepted.  ``None`` reproduces the
+    #: paper's unbounded behaviour (grow Z all the way to M).
+    max_quality_rounds: int | None = 8
+    #: Use the convergence-acceleration trick of Section 5.5 (tuple-wise
+    #: max for tuples in the incumbent solution when α decreases).
+    convergence_acceleration: bool = True
+
+    # --- expectation estimation (Section 3.2) ------------------------------
+    #: Number of Monte Carlo scenarios averaged to estimate E[t_i.A] when
+    #: the VG function has no closed-form mean.
+    n_expectation_scenarios: int = 2_000
+    #: Prefer analytic means when the VG function provides them.
+    analytic_expectations: bool = True
+
+    # --- bounds probing (Appendix B, assumption A1) -------------------------
+    #: Scenarios sampled to estimate empirical value bounds (s̲, s̄) when
+    #: the VG support is unbounded.
+    n_probe_scenarios: int = 64
+
+    # --- solving -----------------------------------------------------------
+    solver: str = SOLVER_HIGHS
+    solver_time_limit: float = 60.0
+    mip_gap: float = 1e-6
+    #: Fallback multiplicity bound when no finite bound is derivable from
+    #: the query (see silp.varbounds); ``None`` raises instead.
+    default_multiplicity_bound: int | None = None
+
+    # --- reproducibility ---------------------------------------------------
+    seed: int = 42
+
+    # --- evaluation budget ---------------------------------------------------
+    time_limit: float = 3600.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        """Raise :class:`EvaluationError` if any knob is out of range."""
+        if self.n_validation_scenarios < 1:
+            raise EvaluationError("n_validation_scenarios must be >= 1")
+        if self.n_initial_scenarios < 1:
+            raise EvaluationError("n_initial_scenarios must be >= 1")
+        if self.scenario_increment < 1:
+            raise EvaluationError("scenario_increment must be >= 1")
+        if self.max_scenarios < self.n_initial_scenarios:
+            raise EvaluationError("max_scenarios must be >= n_initial_scenarios")
+        if self.initial_summaries < 1:
+            raise EvaluationError("initial_summaries must be >= 1")
+        if self.summary_increment < 1:
+            raise EvaluationError("summary_increment must be >= 1")
+        if self.epsilon < 0:
+            raise EvaluationError("epsilon must be nonnegative")
+        if self.summary_strategy not in _SUMMARY_STRATEGIES:
+            raise EvaluationError(
+                f"unknown summary_strategy {self.summary_strategy!r};"
+                f" expected one of {_SUMMARY_STRATEGIES}"
+            )
+        if self.solver not in _SOLVER_BACKENDS:
+            raise EvaluationError(
+                f"unknown solver {self.solver!r}; expected one of {_SOLVER_BACKENDS}"
+            )
+        if self.time_limit <= 0:
+            raise EvaluationError("time_limit must be positive")
+
+    def replace(self, **changes) -> "SPQConfig":
+        """Return a copy of this config with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)
+
+
+#: A conservative default configuration used across tests and examples.
+DEFAULT_CONFIG = SPQConfig()
+
+
+def paper_scale_config() -> SPQConfig:
+    """Configuration matching the paper's experimental setup (Section 6).
+
+    Only use this for long-running experiments: validation uses one
+    million scenarios and the time limit is four hours.
+    """
+    return SPQConfig(
+        n_validation_scenarios=1_000_000,
+        n_initial_scenarios=100,
+        scenario_increment=100,
+        max_scenarios=1_000,
+        time_limit=4 * 3600.0,
+        solver_time_limit=4 * 3600.0,
+    )

@@ -1,0 +1,32 @@
+"""Core algorithms: Naïve SAA and SummarySearch (the paper's contribution).
+
+Public entry points:
+
+* :class:`~repro.core.engine.SPQEngine` — parse, compile, and evaluate
+  sPaQL queries end to end;
+* :func:`~repro.core.naive.naive_evaluate` — Algorithm 1;
+* :func:`~repro.core.summarysearch.summary_search_evaluate` — Algorithm 2
+  (with CSA-Solve, Algorithm 3, in ``repro.core.csa``);
+* :func:`~repro.core.deterministic.deterministic_evaluate` — the PaQL
+  baseline for fully deterministic package queries.
+"""
+
+from .package import Package, PackageResult
+from .engine import SPQEngine
+from .naive import naive_evaluate
+from .summarysearch import summary_search_evaluate
+from .deterministic import deterministic_evaluate
+from .validator import ValidationReport, Validator
+from .context import EvaluationContext
+
+__all__ = [
+    "Package",
+    "PackageResult",
+    "SPQEngine",
+    "naive_evaluate",
+    "summary_search_evaluate",
+    "deterministic_evaluate",
+    "ValidationReport",
+    "Validator",
+    "EvaluationContext",
+]

@@ -1,0 +1,229 @@
+"""Shared evaluation state for one (problem, config) pair.
+
+Both algorithms need the same scaffolding: expectation estimates (μ̂,
+Section 3.2), derived variable bounds, scenario generators for the
+optimization and validation streams, and the base MILP (decision
+variables + mean constraints + mean objective).  Building it once in
+:class:`EvaluationContext` keeps Naïve, SummarySearch, and the
+deterministic baseline consistent — they differ only in how they
+approximate the probabilistic parts.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import (
+    SPQConfig,
+    STREAM_OPTIMIZATION,
+    STREAM_PROBE,
+    STREAM_VALIDATION,
+    SUMMARY_TUPLE_WISE,
+)
+from ..db.expressions import Expr, evaluate
+from ..errors import EvaluationError
+from ..mcdb.expectation import ExpectationEstimator
+from ..mcdb.scenarios import (
+    MODE_SCENARIO_WISE,
+    MODE_TUPLE_WISE,
+    ScenarioCache,
+    ScenarioGenerator,
+)
+from ..silp.model import (
+    ExpectationObjectiveIR,
+    OP_EQ,
+    OP_GE,
+    OP_LE,
+    ProbabilityObjectiveIR,
+    SENSE_MAX,
+    SENSE_MIN,
+    StochasticPackageProblem,
+)
+from ..silp.varbounds import derive_variable_bounds, package_size_bounds
+from ..solver.model import MILPBuilder
+
+
+class EvaluationContext:
+    """Derived state for evaluating one compiled problem under one config."""
+
+    def __init__(self, problem: StochasticPackageProblem, config: SPQConfig):
+        self.problem = problem
+        self.config = config
+        self.relation = problem.relation
+        self.model = problem.model
+        self._mean_cache: dict[int, np.ndarray] = {}
+
+        if self.model is not None:
+            self.estimator = ExpectationEstimator(self.model, config)
+            opt_mode = (
+                MODE_TUPLE_WISE
+                if config.summary_strategy == SUMMARY_TUPLE_WISE
+                else MODE_SCENARIO_WISE
+            )
+            self.opt_generator = ScenarioGenerator(
+                self.model, config.seed, STREAM_OPTIMIZATION, mode=opt_mode
+            )
+            self.opt_cache = (
+                ScenarioCache(self.opt_generator)
+                if opt_mode == MODE_SCENARIO_WISE
+                else None
+            )
+            self.val_generator = ScenarioGenerator(
+                self.model, config.seed, STREAM_VALIDATION, mode=MODE_TUPLE_WISE
+            )
+            self.probe_generator = ScenarioGenerator(
+                self.model, config.seed, STREAM_PROBE, mode=MODE_SCENARIO_WISE
+            )
+        else:
+            self.estimator = None
+            self.opt_generator = None
+            self.opt_cache = None
+            self.val_generator = None
+            self.probe_generator = None
+
+        self.variable_ub = derive_variable_bounds(
+            problem, self.mean_coefficients, config.default_multiplicity_bound
+        )
+        self.size_bounds = package_size_bounds(
+            problem, self.mean_coefficients, self.variable_ub
+        )
+
+    # --- coefficients -----------------------------------------------------------
+
+    def mean_coefficients(self, expr: Expr) -> np.ndarray:
+        """Per-active-row mean coefficients (exact when deterministic)."""
+        key = id(expr)
+        cached = self._mean_cache.get(key)
+        if cached is not None:
+            return cached
+        if self.estimator is not None and self.problem.is_stochastic_expr(expr):
+            full = self.estimator.expression_mean(expr)
+        else:
+            values = evaluate(expr, self.relation.columns_mapping())
+            full = np.broadcast_to(
+                np.asarray(values, dtype=float), (self.relation.n_rows,)
+            ).astype(float)
+        restricted = full[self.problem.active_rows]
+        self._mean_cache[key] = restricted
+        return restricted
+
+    def optimization_matrix(self, expr: Expr, n_scenarios: int) -> np.ndarray:
+        """Coefficient matrix over the optimization stream, active rows.
+
+        Shape ``(n_vars, n_scenarios)``.  With the in-memory strategy the
+        full-relation matrix is cached and grows monotonically with ``M``
+        (scenario sets accumulate, Algorithm 1 line 9).
+        """
+        if self.opt_generator is None:
+            raise EvaluationError("problem has no stochastic model")
+        if self.opt_cache is not None:
+            full = self.opt_cache.coefficient_matrix(expr, n_scenarios)
+            return full[self.problem.active_rows, :]
+        matrix = self.opt_generator.coefficient_matrix(
+            expr, n_scenarios, rows=self.problem.active_rows
+        )
+        return matrix
+
+    def optimization_scenario_vector(self, expr: Expr, scenario: int) -> np.ndarray:
+        """One optimization-scenario coefficient vector (active rows)."""
+        if self.opt_generator is None:
+            raise EvaluationError("problem has no stochastic model")
+        full = self.opt_generator.coefficient_scenario(expr, scenario)
+        return full[self.problem.active_rows]
+
+    # --- base MILP ------------------------------------------------------------------
+
+    def build_base_milp(self) -> tuple[MILPBuilder, np.ndarray]:
+        """Decision variables, mean constraints, and the mean objective.
+
+        Probabilistic parts (scenario/summary indicators, probability
+        objectives) are added on top by the SAA/CSA formulations.
+        """
+        builder = MILPBuilder()
+        x_idx = builder.add_variables(
+            "x", self.problem.n_vars, lb=0.0, ub=self.variable_ub, integer=True
+        )
+        for constraint in self.problem.mean_constraints:
+            coeffs = self.mean_coefficients(constraint.expr)
+            if constraint.op == OP_LE:
+                builder.add_constraint(x_idx, coeffs, ub=constraint.rhs)
+            elif constraint.op == OP_GE:
+                builder.add_constraint(x_idx, coeffs, lb=constraint.rhs)
+            elif constraint.op == OP_EQ:
+                builder.add_constraint(
+                    x_idx, coeffs, lb=constraint.rhs, ub=constraint.rhs
+                )
+        objective = self.problem.objective
+        if isinstance(objective, ExpectationObjectiveIR):
+            builder.set_objective(
+                x_idx, self.mean_coefficients(objective.expr), objective.sense
+            )
+        # Probability objectives and missing objectives start as "minimize 0";
+        # SAA/CSA overwrite the former with indicator-based objectives.
+        return builder, x_idx
+
+    # --- objective helpers ----------------------------------------------------------
+
+    @property
+    def objective_sense(self) -> str | None:
+        objective = self.problem.objective
+        if objective is None:
+            return None
+        return objective.sense
+
+    def mean_objective_value(self, x: np.ndarray) -> float | None:
+        """Objective value under μ̂ for expectation objectives, else None."""
+        objective = self.problem.objective
+        if not isinstance(objective, ExpectationObjectiveIR):
+            return None
+        return float(self.mean_coefficients(objective.expr) @ x)
+
+    # --- chance-constraint bookkeeping --------------------------------------------------
+
+    def chance_items(self) -> list[dict]:
+        """Uniform view of all probabilistic items needing summaries.
+
+        Each chance constraint contributes one item; a probability
+        objective contributes a final pseudo-item (``is_objective=True``)
+        whose ``p`` is ``None``.  CSA-Solve searches one α per item.
+        """
+        items = []
+        for k, constraint in enumerate(self.problem.chance_constraints):
+            items.append(
+                {
+                    "index": k,
+                    "expr": constraint.expr,
+                    "inner_op": constraint.inner_op,
+                    "rhs": constraint.rhs,
+                    "p": constraint.probability,
+                    "is_objective": False,
+                }
+            )
+        objective = self.problem.objective
+        if isinstance(objective, ProbabilityObjectiveIR):
+            items.append(
+                {
+                    "index": len(items),
+                    "expr": objective.expr,
+                    "inner_op": objective.inner_op,
+                    "rhs": objective.rhs,
+                    "p": None,
+                    "is_objective": True,
+                    "sense": objective.sense,
+                }
+            )
+        return items
+
+    @property
+    def minimize(self) -> bool:
+        return self.objective_sense in (None, SENSE_MIN)
+
+    def better(self, a: float | None, b: float | None) -> bool:
+        """Is objective ``a`` better than ``b`` for this problem's sense?"""
+        if a is None:
+            return False
+        if b is None:
+            return True
+        if self.objective_sense == SENSE_MAX:
+            return a > b
+        return a < b

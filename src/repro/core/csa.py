@@ -1,0 +1,338 @@
+"""Conservative Summary Approximation and CSA-Solve (Sections 4–5).
+
+``formulate_csa`` builds the reduced DILP ``CSA_{Q,M,Z}``: each
+probabilistic constraint is approximated by ``Z`` α-summaries with one
+indicator each and the cardinality constraint ``Σ_z y_z ≥ ⌈pZ⌉`` —
+Θ(N·Z·K) coefficients, independent of ``M`` (Section 4.1).
+
+``csa_solve`` implements Algorithm 3: starting from the
+probabilistically-unconstrained solution ``x^{(0)}``, it alternates
+validation (measuring per-item p-surpluses), α updates
+(``GuessOptimalConservativeness``), summary regeneration (greedy ``G_z``
+from the incumbent's scenario scores, with convergence acceleration when
+α decreases), and re-solving — until it certifies a feasible
+``(1+ε)``-approximate solution, detects a cycle, or exhausts its
+iteration budget, in which case the best solution in the history is
+returned.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..silp.canonical import flip_chance_constraint
+from ..silp.model import SENSE_MAX, SENSE_MIN
+from ..solver.model import MILPBuilder
+from ..utils.timing import Stopwatch
+from .alpha import guess_alpha, snap_to_grid
+from .approx import epsilon_certificate
+from .summaries import SummaryBuilder, SummarySet
+from .validator import ValidationReport, Validator
+
+
+@dataclass
+class CSAFormulation:
+    """The reduced DILP plus bookkeeping to interpret solutions."""
+
+    builder: MILPBuilder
+    x_indices: np.ndarray
+    n_scenarios: int
+    objective_weights: np.ndarray | None = None
+    objective_indicators: np.ndarray | None = None
+    objective_flipped: bool = False
+
+    def extract_package(self, solution: np.ndarray) -> np.ndarray:
+        """Integer multiplicities of the decision variables in ``solution``."""
+        return np.round(solution[self.x_indices]).astype(np.int64)
+
+    def claimed_objective(self, solution: np.ndarray, ctx) -> float | None:
+        """Conservative objective claim of the CSA solution.
+
+        For probability objectives: the guaranteed satisfied fraction
+        ``Σ_z y_z ⌈α|Π_z|⌉ / M`` (or its complement when minimizing).
+        """
+        x = self.extract_package(solution)
+        if self.objective_indicators is None:
+            return ctx.mean_objective_value(x)
+        chosen = np.round(solution[self.objective_indicators])
+        fraction = float(self.objective_weights @ chosen)
+        return 1.0 - fraction if self.objective_flipped else fraction
+
+
+def formulate_csa(
+    ctx, item_summaries: dict[int, SummarySet | None], n_scenarios: int
+) -> CSAFormulation:
+    """Build ``CSA_{Q,M,Z}`` from per-item summaries.
+
+    ``item_summaries[k] = None`` encodes α = 0 for item ``k``: the
+    constraint is dropped (0% of scenarios need to be satisfied), and a
+    probability objective degenerates to a feasibility objective.
+    """
+    builder, x_idx = ctx.build_base_milp()
+    objective_weights = None
+    objective_indicators = None
+    objective_flipped = False
+    for item in ctx.chance_items():
+        summary_set = item_summaries.get(item["index"])
+        if summary_set is None:
+            continue
+        n_summaries = summary_set.n_summaries
+        y_idx = builder.add_variables(
+            f"y_item{item['index']}", n_summaries, lb=0.0, ub=1.0, integer=True
+        )
+        inner_op = summary_set.inner_op
+        for z in range(n_summaries):
+            builder.add_indicator(
+                int(y_idx[z]), x_idx, summary_set.values[:, z], inner_op, item["rhs"]
+            )
+        if not item["is_objective"]:
+            required = math.ceil(item["p"] * n_summaries)
+            builder.add_constraint(y_idx, np.ones(n_summaries), lb=required)
+            continue
+        weights = summary_set.guaranteed_fraction_weights(n_scenarios)
+        builder.set_objective(y_idx, weights, SENSE_MAX)
+        objective_weights = weights
+        objective_indicators = y_idx
+        objective_flipped = item.get("sense") == SENSE_MIN
+    return CSAFormulation(
+        builder=builder,
+        x_indices=x_idx,
+        n_scenarios=n_scenarios,
+        objective_weights=objective_weights,
+        objective_indicators=objective_indicators,
+        objective_flipped=objective_flipped,
+    )
+
+
+def _objective_item_for_summaries(item: dict) -> dict:
+    """Summaries for a minimized probability objective bound violations.
+
+    Maximization keeps the item's own inner constraint; minimization
+    flips it so each satisfied summary certifies violated scenarios.
+    """
+    if not item["is_objective"] or item.get("sense") != SENSE_MIN:
+        return item
+    flipped_op, _ = flip_chance_constraint(item["inner_op"], 0.5)
+    flipped = dict(item)
+    flipped["inner_op"] = flipped_op
+    return flipped
+
+
+@dataclass
+class CSAIteration:
+    """One validate/guess/summarize/solve round of CSA-Solve."""
+
+    q: int
+    alphas: tuple
+    feasible: bool
+    objective: float | None
+    claimed: float | None
+    epsilon_upper: float | None
+    surpluses: tuple
+    solver_status: str = ""
+    solve_time: float = 0.0
+    summary_time: float = 0.0
+    validate_time: float = 0.0
+
+
+@dataclass
+class CSASolveResult:
+    """Outcome of one CSA-Solve call (Algorithm 3's return value)."""
+
+    x: np.ndarray | None
+    report: ValidationReport | None
+    feasible: bool
+    eps_ok: bool
+    iterations: list = field(default_factory=list)
+    cycle_detected: bool = False
+
+    @property
+    def objective(self) -> float | None:
+        return self.report.objective if self.report is not None else None
+
+
+def _solution_key(x: np.ndarray, alphas: list[float]) -> tuple:
+    return (tuple(np.nonzero(x)[0].tolist()),
+            tuple(int(v) for v in x[np.nonzero(x)[0]]),
+            tuple(round(a, 9) for a in alphas))
+
+
+def csa_solve(
+    ctx,
+    validator: Validator,
+    bounds,
+    x0: np.ndarray,
+    n_scenarios: int,
+    n_summaries: int,
+    epsilon: float,
+    deadline=None,
+) -> CSASolveResult:
+    """Algorithm 3: find the best solution for fixed ``M`` and ``Z``."""
+    items = [dict(item) for item in ctx.chance_items()]
+    n_items = len(items)
+    if n_items == 0:
+        # No probabilistic parts: x0 already solves the full problem.
+        report = validator.validate(x0)
+        return CSASolveResult(
+            x=x0, report=report, feasible=report.feasible, eps_ok=True
+        )
+    summary_builder = SummaryBuilder(ctx, n_scenarios, n_summaries)
+    grid_step = max(n_summaries / n_scenarios, 1e-9)
+    sense = ctx.objective_sense
+
+    alphas = [0.0] * n_items
+    histories: list[list[tuple[float, float]]] = [[] for _ in range(n_items)]
+    x = np.asarray(x0, dtype=np.int64)
+    claimed: float | None = None
+    seen: set = set()
+    iterations: list[CSAIteration] = []
+    best: CSASolveResult | None = None
+    cycle = False
+
+    for q in range(ctx.config.max_csa_iterations + 1):
+        key = _solution_key(x, alphas)
+        if key in seen:
+            cycle = True
+            break
+        seen.add(key)
+
+        validate_watch = Stopwatch()
+        with validate_watch:
+            report = validator.validate(x, claimed_objective=claimed)
+        eps_q = epsilon_certificate(sense, report.objective, bounds) if sense else None
+        report.epsilon_upper = eps_q
+        surpluses = _item_surpluses(items, report, claimed)
+        record = CSAIteration(
+            q=q,
+            alphas=tuple(alphas),
+            feasible=report.feasible,
+            objective=report.objective,
+            claimed=claimed,
+            epsilon_upper=eps_q,
+            surpluses=tuple(surpluses),
+            validate_time=validate_watch.elapsed,
+        )
+        iterations.append(record)
+
+        candidate = CSASolveResult(
+            x=x.copy(),
+            report=report,
+            feasible=report.feasible,
+            eps_ok=_eps_ok(report.feasible, eps_q, epsilon, sense),
+            iterations=iterations,
+        )
+        best = _better_result(ctx, best, candidate)
+        if candidate.feasible and candidate.eps_ok:
+            return candidate
+
+        if deadline is not None and deadline.expired():
+            break
+        if q == ctx.config.max_csa_iterations:
+            break
+
+        # --- update α per item and rebuild summaries ------------------------
+        accelerate = [False] * n_items
+        for k in range(n_items):
+            histories[k].append((alphas[k], surpluses[k]))
+            new_alpha = guess_alpha(
+                histories[k], grid_step, target_p=items[k]["p"]
+            )
+            accelerate[k] = new_alpha < alphas[k] - 1e-12
+            alphas[k] = new_alpha
+
+        summary_watch = Stopwatch()
+        with summary_watch:
+            item_summaries: dict[int, SummarySet | None] = {}
+            for k, item in enumerate(items):
+                summary_item = _objective_item_for_summaries(item)
+                item_summaries[item["index"]] = summary_builder.build(
+                    summary_item, snap_to_grid(alphas[k], grid_step), x, accelerate[k]
+                )
+        formulation = formulate_csa(ctx, item_summaries, n_scenarios)
+
+        time_limit = ctx.config.solver_time_limit
+        if deadline is not None:
+            time_limit = min(time_limit, max(deadline.remaining(), 0.01))
+        result = formulation.builder.solve(
+            backend=ctx.config.solver,
+            time_limit=time_limit,
+            mip_gap=ctx.config.mip_gap,
+        )
+        record.solver_status = result.status
+        record.solve_time = result.solve_time
+        record.summary_time = summary_watch.elapsed
+        if not result.has_solution:
+            # Over-conservative summaries made the CSA infeasible (or the
+            # solver hit its limit): return the best solution seen so far;
+            # SummarySearch will grow M.
+            break
+        x = formulation.extract_package(result.x)
+        claimed = formulation.claimed_objective(result.x, ctx)
+
+    assert best is not None
+    best.cycle_detected = cycle
+    return best
+
+
+def _item_surpluses(items, report: ValidationReport, claimed) -> list[float]:
+    """Per-item surplus: constraint p-surplus, or objective claim gap.
+
+    For the probability-objective pseudo-item the surplus is
+    ``validated − claimed``: negative means the conservative claim
+    overstates reality (α must grow), positive-and-large means the claim
+    is needlessly conservative (α can shrink).
+    """
+    surpluses = []
+    for item, validation in zip(items, report.items):
+        if not item["is_objective"]:
+            surpluses.append(validation.surplus)
+        else:
+            claim = 0.0 if claimed is None else claimed
+            surpluses.append(validation.satisfied_fraction - claim)
+    return surpluses
+
+
+def _eps_ok(
+    feasible: bool, eps_q: float | None, epsilon: float, sense: str | None
+) -> bool:
+    """Termination test of Algorithm 3, line 14.
+
+    Feasibility-only problems (no objective) terminate on feasibility;
+    otherwise a certificate ``ε^{(q)} ≤ ε`` is required.  When no
+    certificate is computable for the current solution, CSA-Solve keeps
+    searching and SummarySearch decides whether to accept the best
+    feasible-but-uncertified solution (see ``summarysearch``).
+    """
+    if not feasible:
+        return False
+    if sense is None:
+        return True
+    if eps_q is None:
+        return False
+    return eps_q <= epsilon
+
+
+def _better_result(
+    ctx, best: CSASolveResult | None, candidate: CSASolveResult
+) -> CSASolveResult:
+    """``Best(·)`` of Algorithm 3: prefer feasible, then objective value.
+
+    Among infeasible candidates, prefer the one closest to feasibility
+    (largest worst-case p-surplus) so that a failed CSA-Solve still hands
+    SummarySearch (and the user) the most useful solution.
+    """
+    if best is None:
+        return candidate
+    if candidate.feasible != best.feasible:
+        return candidate if candidate.feasible else best
+    if candidate.feasible:
+        return candidate if ctx.better(candidate.objective, best.objective) else best
+    return candidate if _worst_surplus(candidate) > _worst_surplus(best) else best
+
+
+def _worst_surplus(result: CSASolveResult) -> float:
+    surpluses = [s for s in result.report.surpluses if s is not None]
+    return min(surpluses) if surpluses else 0.0

@@ -1,0 +1,87 @@
+"""Deterministic package-query evaluation (the PaQL baseline).
+
+Package queries with no probabilistic parts translate directly into an
+ILP (Section 2.1); this evaluator is both the PackageBuilder-style
+baseline and the building block SummarySearch uses to solve the
+probabilistically-unconstrained problem ``Q₀`` (Algorithm 2, line 2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..config import SPQConfig
+from ..errors import EvaluationError
+from ..silp.model import StochasticPackageProblem
+from ..solver.result import MILPResult
+from ..utils.timing import Stopwatch
+from .context import EvaluationContext
+from .package import Package, PackageResult
+from .stats import IterationRecord, RunStats
+from .validator import ValidationReport
+
+METHOD_DETERMINISTIC = "deterministic"
+
+
+def solve_unconstrained(ctx: EvaluationContext, time_limit: float) -> MILPResult:
+    """Solve the base MILP (mean constraints + mean objective) directly.
+
+    This is ``Solve(SAA(Q₀, M̂))``: expectation coefficients are the μ̂
+    estimates computed from the expectation stream, chance constraints
+    are absent, and a probability objective degenerates to feasibility
+    (its conservative claim at α = 0 is zero).
+    """
+    builder, _ = ctx.build_base_milp()
+    return builder.solve(
+        backend=ctx.config.solver,
+        time_limit=time_limit,
+        mip_gap=ctx.config.mip_gap,
+    )
+
+
+def deterministic_evaluate(
+    problem: StochasticPackageProblem, config: SPQConfig
+) -> PackageResult:
+    """Evaluate a package query with no probabilistic parts."""
+    if problem.chance_constraints or problem.has_probability_objective:
+        raise EvaluationError(
+            "deterministic evaluation requires a query without probabilistic"
+            " constraints or objectives; use naive or summarysearch"
+        )
+    ctx = EvaluationContext(problem, config)
+    stats = RunStats(METHOD_DETERMINISTIC)
+    watch = Stopwatch()
+    with watch:
+        result = solve_unconstrained(ctx, config.solver_time_limit)
+    stats.add(
+        IterationRecord(
+            method=METHOD_DETERMINISTIC,
+            iteration=1,
+            n_scenarios=0,
+            solver_status=result.status,
+            solve_time=result.solve_time,
+            feasible=result.has_solution,
+            objective=result.objective,
+        )
+    )
+    stats.total_time = watch.elapsed
+    if not result.has_solution:
+        return PackageResult(
+            package=None,
+            feasible=False,
+            objective=None,
+            method=METHOD_DETERMINISTIC,
+            stats=stats,
+            message=f"solver reported {result.status}",
+        )
+    x = np.round(result.x[: problem.n_vars]).astype(np.int64)
+    objective = ctx.mean_objective_value(x)
+    report = ValidationReport(feasible=True, items=[], objective=objective)
+    return PackageResult(
+        package=Package(problem, x),
+        feasible=True,
+        objective=objective,
+        method=METHOD_DETERMINISTIC,
+        validation=report,
+        stats=stats,
+    )

@@ -1,0 +1,90 @@
+"""End-to-end query engine: parse → compile → evaluate.
+
+:class:`SPQEngine` is the public façade: register relations (and their
+stochastic models) in a catalog, then execute sPaQL text with the method
+of your choice.  The engine mirrors the paper's system architecture —
+data stays "in the database" (the catalog) and the optimization layers
+pull scenario realizations on demand.
+"""
+
+from __future__ import annotations
+
+from ..config import DEFAULT_CONFIG, SPQConfig
+from ..db.catalog import Catalog
+from ..errors import EvaluationError
+from ..silp.compile import compile_query
+from ..silp.model import StochasticPackageProblem
+from ..spaql.nodes import PackageQuery
+from ..spaql.parser import parse_query
+from .deterministic import deterministic_evaluate
+from .naive import naive_evaluate
+from .package import PackageResult
+from .summarysearch import summary_search_evaluate
+
+METHOD_SUMMARY_SEARCH = "summarysearch"
+METHOD_NAIVE = "naive"
+METHOD_DETERMINISTIC = "deterministic"
+
+_METHODS = (METHOD_SUMMARY_SEARCH, METHOD_NAIVE, METHOD_DETERMINISTIC)
+
+
+class SPQEngine:
+    """Evaluates stochastic package queries against a catalog."""
+
+    def __init__(self, catalog: Catalog | None = None, config: SPQConfig | None = None):
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.config = config if config is not None else DEFAULT_CONFIG
+
+    # --- registration ---------------------------------------------------------
+
+    def register(self, relation, model=None, name: str | None = None) -> None:
+        """Register a relation (and optional stochastic model)."""
+        self.catalog.register(relation, model=model, name=name)
+
+    # --- pipeline stages ----------------------------------------------------------
+
+    def parse(self, text: str) -> PackageQuery:
+        """Parse sPaQL text into a :class:`PackageQuery` AST."""
+        return parse_query(text)
+
+    def compile(self, query: str | PackageQuery) -> StochasticPackageProblem:
+        """Compile a query against this engine's catalog."""
+        return compile_query(query, self.catalog)
+
+    # --- evaluation ------------------------------------------------------------------
+
+    def execute(
+        self,
+        query: str | PackageQuery | StochasticPackageProblem,
+        method: str = METHOD_SUMMARY_SEARCH,
+        config: SPQConfig | None = None,
+        **overrides,
+    ) -> PackageResult:
+        """Evaluate ``query`` and return a :class:`PackageResult`.
+
+        ``overrides`` are applied on top of the engine's (or the given)
+        config, e.g. ``engine.execute(q, seed=7, epsilon=0.05)``.
+        """
+        if method not in _METHODS:
+            raise EvaluationError(
+                f"unknown method {method!r}; expected one of {_METHODS}"
+            )
+        effective = config if config is not None else self.config
+        if overrides:
+            effective = effective.replace(**overrides)
+        problem = (
+            query
+            if isinstance(query, StochasticPackageProblem)
+            else self.compile(query)
+        )
+        if method == METHOD_DETERMINISTIC:
+            return deterministic_evaluate(problem, effective)
+        has_probabilistic = bool(problem.chance_constraints) or (
+            problem.has_probability_objective
+        )
+        if not has_probabilistic:
+            # Both algorithms degenerate to the deterministic solve.
+            return deterministic_evaluate(problem, effective)
+        if method == METHOD_NAIVE:
+            return naive_evaluate(problem, effective)
+        return summary_search_evaluate(problem, effective)

@@ -1,0 +1,63 @@
+"""Run statistics collected by the evaluation algorithms.
+
+The experiment harness (Figures 4–7) consumes these records: per
+optimize/validate iteration we track the scenario/summary counts, solver
+time, validation time, and feasibility — enough to reconstruct every
+series the paper plots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class IterationRecord:
+    """One optimize/validate iteration of Naïve or SummarySearch."""
+
+    method: str
+    iteration: int
+    n_scenarios: int
+    n_summaries: int | None = None
+    csa_iterations: int | None = None
+    solver_status: str = ""
+    solve_time: float = 0.0
+    validate_time: float = 0.0
+    summary_time: float = 0.0
+    feasible: bool = False
+    objective: float | None = None
+    epsilon_upper: float | None = None
+    alphas: tuple = ()
+
+
+@dataclass
+class RunStats:
+    """Aggregate statistics for one query evaluation."""
+
+    method: str
+    iterations: list[IterationRecord] = field(default_factory=list)
+    total_time: float = 0.0
+    precompute_time: float = 0.0
+    final_n_scenarios: int = 0
+    final_n_summaries: int | None = None
+    timed_out: bool = False
+    declared_infeasible: bool = False
+
+    @property
+    def n_iterations(self) -> int:
+        return len(self.iterations)
+
+    @property
+    def total_solve_time(self) -> float:
+        return sum(r.solve_time for r in self.iterations)
+
+    @property
+    def total_validate_time(self) -> float:
+        return sum(r.validate_time for r in self.iterations)
+
+    def add(self, record: IterationRecord) -> None:
+        """Append an iteration record and update the final counters."""
+        self.iterations.append(record)
+        self.final_n_scenarios = record.n_scenarios
+        if record.n_summaries is not None:
+            self.final_n_summaries = record.n_summaries

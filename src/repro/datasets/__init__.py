@@ -1,0 +1,24 @@
+"""Synthetic workload datasets (Section 6.1, Appendix C).
+
+The paper's experiments use three data sources we cannot redistribute
+(SDSS Galaxy extracts, Yahoo Finance stock histories, TPC-H dbgen
+output).  These builders generate synthetic equivalents that preserve
+every property the queries exercise: base-value distributions, the noise
+models of Table 3, per-stock GBM correlation structure, volatile-subset
+extraction, and D-source integration uncertainty.  Each builder returns
+``(relation, stochastic_model)`` ready for catalog registration and is
+deterministic given its seed.
+"""
+
+from .galaxy import build_galaxy, GalaxyParams
+from .portfolio import build_portfolio, PortfolioParams
+from .tpch import build_tpch, TpchParams
+
+__all__ = [
+    "build_galaxy",
+    "GalaxyParams",
+    "build_portfolio",
+    "PortfolioParams",
+    "build_tpch",
+    "TpchParams",
+]

@@ -1,0 +1,93 @@
+"""Synthetic Galaxy dataset (SDSS-like sky readings).
+
+The paper extracts 55,000–274,000 tuples from the Sloan Digital Sky
+Survey; each tuple holds color components of a small sky region, and the
+telescope-reading uncertainty is modeled as Gaussian or Pareto noise on
+the reading (Table 3).  The stochastic attribute queried is the r-band
+Petrosian magnitude ``Petromag_r``.
+
+This builder synthesizes base ``petromag_r`` values with the
+right-skewed, bounded shape of real SDSS magnitude catalogs (bright
+sources are rare), plus sky coordinates for realism.  Noise parameters
+follow Table 3 exactly:
+
+* ``sigma`` — one shared noise scale (the σ rows);
+* ``sigma_star`` — per-tuple scales drawn as ``|Normal(0, σ*)|`` (the σ*
+  rows);
+* Pareto noise uses scale = shape = 1 for the σ rows and per-tuple scale
+  for the σ* rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.relation import Relation
+from ..errors import EvaluationError
+from ..mcdb.distributions import GaussianNoiseVG, ParetoNoiseVG
+from ..mcdb.stochastic import StochasticModel
+from ..utils.rngkeys import spawn_dataset_rng
+
+NOISE_GAUSSIAN = "gaussian"
+NOISE_PARETO = "pareto"
+
+#: Magnitude range of the synthetic catalog (typical SDSS r-band span).
+#: The bright floor is chosen so the paper's Table 3 thresholds keep
+#: their intended tension: the five brightest regions sum to ≈ 37.5,
+#: making SUM ≥ 40 (Q1) binding and SUM ≤ 50 (Q3) satisfiable at p = 0.9.
+#: Clipping creates a small bright-end atom, so the brightest-five sum is
+#: stable across all dataset scales of the Figure 7 sweep.
+_MAG_LOW, _MAG_HIGH = 7.5, 22.0
+
+
+@dataclass(frozen=True)
+class GalaxyParams:
+    """Configuration for one synthetic Galaxy table.
+
+    ``randomized_scale`` selects the σ* rows of Table 3: per-tuple noise
+    scales drawn as ``|Normal(0, scale)|`` at build time.
+    """
+
+    n_rows: int = 55_000
+    noise: str = NOISE_GAUSSIAN
+    scale: float = 2.0
+    pareto_shape: float = 1.0
+    randomized_scale: bool = False
+    seed: int = 42
+    name: str = "galaxy"
+
+
+def build_galaxy(params: GalaxyParams) -> tuple[Relation, StochasticModel]:
+    """Build the Galaxy relation and its stochastic model."""
+    if params.n_rows < 1:
+        raise EvaluationError("galaxy dataset needs at least one row")
+    if params.noise not in (NOISE_GAUSSIAN, NOISE_PARETO):
+        raise EvaluationError(f"unknown galaxy noise model {params.noise!r}")
+    rng = spawn_dataset_rng(params.seed, f"{params.name}:{params.n_rows}")
+    n = params.n_rows
+    # Right-skewed magnitudes: faint sources dominate, clipped to range.
+    base = _MAG_HIGH - rng.gamma(shape=3.0, scale=2.0, size=n)
+    base = np.clip(base, _MAG_LOW, _MAG_HIGH)
+    right_ascension = rng.uniform(0.0, 360.0, size=n)
+    declination = np.degrees(np.arcsin(rng.uniform(-1.0, 1.0, size=n)))
+    relation = Relation(
+        params.name,
+        {
+            "petromag_r": np.round(base, 4),
+            "ra": np.round(right_ascension, 5),
+            "dec": np.round(declination, 5),
+        },
+    )
+    if params.randomized_scale:
+        scales = np.abs(rng.normal(0.0, params.scale, size=n))
+        scales = np.maximum(scales, 1e-3)  # degenerate zero-noise rows
+    else:
+        scales = params.scale
+    if params.noise == NOISE_GAUSSIAN:
+        vg = GaussianNoiseVG("petromag_r", scales)
+    else:
+        vg = ParetoNoiseVG("petromag_r", scales, params.pareto_shape)
+    model = StochasticModel(relation, {"Petromag_r": vg})
+    return relation, model

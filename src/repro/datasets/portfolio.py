@@ -1,0 +1,97 @@
+"""Synthetic Portfolio dataset (Yahoo-Finance-like stock universe).
+
+The paper uses 6,895 stocks with actual prices on 2018-01-02 and
+forecasts future prices by geometric Brownian motion with per-stock
+parameters estimated from history; each tuple is a *trade* — buy one
+share now, sell at a given horizon — so one stock yields one tuple per
+horizon, and tuples of the same stock share a Brownian path (Section
+6.1).  The "2-day" datasets hold horizons {1, 2} days (≈14,000 tuples),
+the "1-week" datasets horizons {1,…,7} (≈48,000 tuples), and the hard
+queries restrict to the 30% most volatile stocks.
+
+This builder synthesizes a stock universe with realistic price,
+volatility, and drift cross-sections:
+
+* prices: lognormal, ~$5–$500 (equity-market-like);
+* annualized volatility: lognormal around ~35%, converted to per-√day;
+* daily drift: small, slightly positive on average.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.relation import Relation
+from ..errors import EvaluationError
+from ..mcdb.gbm import GeometricBrownianMotionVG
+from ..mcdb.stochastic import StochasticModel
+from ..utils.rngkeys import spawn_dataset_rng
+
+HORIZONS_TWO_DAY = (1.0, 2.0)
+HORIZONS_ONE_WEEK = (1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0)
+
+#: Trading days per year, for annualized-to-daily volatility conversion.
+_TRADING_DAYS = 252.0
+
+
+@dataclass(frozen=True)
+class PortfolioParams:
+    """Configuration for one synthetic Stock_Investments table."""
+
+    n_stocks: int = 7_000
+    horizons: tuple = HORIZONS_TWO_DAY
+    volatile_only: bool = False
+    volatile_fraction: float = 0.30
+    seed: int = 42
+    name: str = "stock_investments"
+
+
+def build_portfolio(params: PortfolioParams) -> tuple[Relation, StochasticModel]:
+    """Build the Stock_Investments relation and its GBM model."""
+    if params.n_stocks < 1:
+        raise EvaluationError("portfolio dataset needs at least one stock")
+    if not params.horizons or any(h <= 0 for h in params.horizons):
+        raise EvaluationError("sell horizons must be positive")
+    rng = spawn_dataset_rng(params.seed, f"{params.name}:{params.n_stocks}")
+    n = params.n_stocks
+    prices = np.clip(np.exp(rng.normal(3.6, 0.9, size=n)), 5.0, 500.0)
+    annual_vol = np.clip(np.exp(rng.normal(np.log(0.35), 0.45, size=n)), 0.10, 1.50)
+    daily_vol = annual_vol / np.sqrt(_TRADING_DAYS)
+    daily_drift = rng.normal(0.0004, 0.0012, size=n)
+
+    if params.volatile_only:
+        cutoff = np.quantile(daily_vol, 1.0 - params.volatile_fraction)
+        keep = np.nonzero(daily_vol >= cutoff)[0]
+        prices, daily_vol, daily_drift = (
+            prices[keep],
+            daily_vol[keep],
+            daily_drift[keep],
+        )
+        n = len(keep)
+        stock_ids = keep
+    else:
+        stock_ids = np.arange(n)
+
+    horizons = np.asarray(params.horizons, dtype=float)
+    n_h = len(horizons)
+    relation = Relation(
+        params.name,
+        {
+            "stock": np.repeat([f"S{int(s):05d}" for s in stock_ids], n_h),
+            "price": np.round(np.repeat(prices, n_h), 2),
+            "drift": np.repeat(daily_drift, n_h),
+            "volatility": np.repeat(daily_vol, n_h),
+            "sell_in_days": np.tile(horizons, n),
+        },
+    )
+    vg = GeometricBrownianMotionVG(
+        price_column="price",
+        drift_column="drift",
+        volatility_column="volatility",
+        horizon_column="sell_in_days",
+        group_column="stock",
+    )
+    model = StochasticModel(relation, {"Gain": vg})
+    return relation, model

@@ -1,0 +1,120 @@
+"""Synthetic TPC-H dataset with data-integration uncertainty.
+
+The paper extracts ~117,600 tuples from the TPC-H benchmark and
+simulates integrating ``D`` data sources: each attribute value is
+replaced by a discrete distribution over ``D`` variations anchored on
+the original value, sampled from an Exponential, Poisson, Uniform, or
+Student's-t perturbation model (Section 6.1, Table 3).
+
+This builder synthesizes a lineitem-like table — quantities uniform in
+1..50 and revenue = quantity × unit price × (1 − discount), matching
+TPC-H's pricing structure at a smaller monetary scale so the paper's
+query thresholds (revenue ≥ 1000 over ≤ 10 transactions with ≤ 15 total
+quantity) remain meaningfully selective — then attaches
+``DiscreteVariantsVG`` models to both ``Quantity`` and ``Revenue``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..db.relation import Relation
+from ..errors import EvaluationError
+from ..mcdb.integration import (
+    INTEGRATION_FAMILIES,
+    DiscreteVariantsVG,
+    build_integration_variants,
+)
+from ..mcdb.stochastic import StochasticModel
+from ..utils.rngkeys import spawn_dataset_rng
+
+
+@dataclass(frozen=True)
+class TpchParams:
+    """Configuration for one synthetic integrated TPC-H table.
+
+    ``family`` and ``family_param`` follow Table 3 (e.g. Exponential with
+    λ=1, Poisson λ∈{1,2}, Uniform(0,1), Student's t with ν=2);
+    ``n_sources`` is the paper's ``D`` (3 or 10).
+    """
+
+    n_rows: int = 117_600
+    n_sources: int = 3
+    family: str = "exponential"
+    family_param: float | None = None
+    quantity_spread: float = 1.5
+    revenue_spread: float = 150.0
+    #: Smallest base quantity.  The default (1) matches TPC-H; the
+    #: infeasible query Q8 uses a bulk-order extract (min 8 > its bound
+    #: v = 7), making the chance constraint unsatisfiable for any
+    #: nonempty package — reproducing the paper's one infeasible query.
+    min_quantity: int = 1
+    seed: int = 42
+    name: str = "tpch"
+
+
+def build_tpch(params: TpchParams) -> tuple[Relation, StochasticModel]:
+    """Build the integrated TPC-H relation and its stochastic model."""
+    if params.n_rows < 1:
+        raise EvaluationError("tpch dataset needs at least one row")
+    if params.family not in INTEGRATION_FAMILIES:
+        raise EvaluationError(
+            f"unknown integration family {params.family!r};"
+            f" expected one of {INTEGRATION_FAMILIES}"
+        )
+    if params.n_sources < 1:
+        raise EvaluationError("n_sources (D) must be >= 1")
+    rng = spawn_dataset_rng(
+        params.seed, f"{params.name}:{params.n_rows}:{params.n_sources}"
+    )
+    if not 1 <= params.min_quantity <= 50:
+        raise EvaluationError("min_quantity must lie in [1, 50]")
+    n = params.n_rows
+    quantity = rng.integers(params.min_quantity, 51, size=n).astype(float)
+    # Clipped at 120 so that reaching the paper's revenue threshold
+    # (1000) genuinely competes with the quantity chance constraints
+    # (v ∈ {7, 10, 15}): cheap-quantity/high-revenue free lunches are rare.
+    unit_price = np.round(
+        np.clip(np.exp(rng.normal(np.log(55.0), 0.6, size=n)), 10.0, 120.0), 2
+    )
+    discount = np.round(rng.uniform(0.0, 0.10, size=n), 4)
+    revenue = np.round(quantity * unit_price * (1.0 - discount), 2)
+    relation = Relation(
+        params.name,
+        {
+            "orderkey": np.arange(n, dtype=np.int64),
+            "quantity": quantity,
+            "unit_price": unit_price,
+            "discount": discount,
+            "revenue": revenue,
+        },
+    )
+    quantity_variants = build_integration_variants(
+        quantity,
+        params.n_sources,
+        params.family,
+        rng,
+        spread=params.quantity_spread,
+        family_param=params.family_param,
+    )
+    # Quantities are counts: keep variants nonnegative.
+    quantity_variants = np.maximum(quantity_variants, 0.0)
+    revenue_variants = build_integration_variants(
+        revenue,
+        params.n_sources,
+        params.family,
+        rng,
+        spread=params.revenue_spread,
+        family_param=params.family_param,
+    )
+    revenue_variants = np.maximum(revenue_variants, 0.0)
+    model = StochasticModel(
+        relation,
+        {
+            "Quantity": DiscreteVariantsVG(quantity_variants),
+            "Revenue": DiscreteVariantsVG(revenue_variants),
+        },
+    )
+    return relation, model

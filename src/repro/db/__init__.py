@@ -1,0 +1,49 @@
+"""In-memory columnar database substrate.
+
+The paper's prototype stores base tuples in PostgreSQL; the algorithms
+themselves operate on per-attribute vectors.  This package provides the
+equivalent substrate: columnar :class:`Relation` objects with a
+deterministic key column (Section 2.2), a vectorized expression language
+used by sPaQL ``WHERE`` predicates and ``SUM(f(R))`` constraints, a
+catalog for registering relations and their stochastic models, and CSV
+import/export.
+"""
+
+from .types import DType
+from .relation import Relation
+from .catalog import Catalog
+from .expressions import (
+    Expr,
+    Attr,
+    Const,
+    BinOp,
+    UnaryOp,
+    Compare,
+    BoolOp,
+    Not,
+    FuncCall,
+    evaluate,
+    attributes_of,
+    parse_expression,
+)
+from .csvio import read_csv, write_csv
+
+__all__ = [
+    "DType",
+    "Relation",
+    "Catalog",
+    "Expr",
+    "Attr",
+    "Const",
+    "BinOp",
+    "UnaryOp",
+    "Compare",
+    "BoolOp",
+    "Not",
+    "FuncCall",
+    "evaluate",
+    "attributes_of",
+    "parse_expression",
+    "read_csv",
+    "write_csv",
+]

@@ -1,0 +1,76 @@
+"""Catalog: named relations plus their stochastic models.
+
+The engine resolves ``FROM`` clauses against a catalog.  A relation may
+be registered together with a :class:`repro.mcdb.StochasticModel`
+describing its uncertain attributes and their VG functions; relations
+without a model are fully deterministic (plain PaQL behaviour).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Iterator
+
+from ..errors import SchemaError
+from .relation import Relation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..mcdb.stochastic import StochasticModel
+
+
+class Catalog:
+    """A case-insensitive mapping of table names to (relation, model)."""
+
+    def __init__(self) -> None:
+        self._tables: dict[str, tuple[Relation, "StochasticModel | None"]] = {}
+
+    @staticmethod
+    def _norm(name: str) -> str:
+        return name.lower()
+
+    def register(
+        self,
+        relation: Relation,
+        model: "StochasticModel | None" = None,
+        name: str | None = None,
+    ) -> None:
+        """Register ``relation`` (optionally with its stochastic model).
+
+        Re-registering a name replaces the previous entry, mirroring
+        ``CREATE OR REPLACE``.
+        """
+        table_name = self._norm(name or relation.name)
+        if model is not None:
+            model.check_against(relation)
+        self._tables[table_name] = (relation, model)
+
+    def relation(self, name: str) -> Relation:
+        """The relation registered under ``name``."""
+        return self._entry(name)[0]
+
+    def model(self, name: str) -> "StochasticModel | None":
+        """The stochastic model registered under ``name`` (or None)."""
+        return self._entry(name)[1]
+
+    def _entry(self, name: str) -> tuple[Relation, "StochasticModel | None"]:
+        key = self._norm(name)
+        if key not in self._tables:
+            raise SchemaError(
+                f"unknown table {name!r}; registered: {sorted(self._tables)}"
+            )
+        return self._tables[key]
+
+    def __contains__(self, name: str) -> bool:
+        return self._norm(name) in self._tables
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._tables)
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def drop(self, name: str) -> None:
+        """Remove a registered table."""
+        key = self._norm(name)
+        if key not in self._tables:
+            raise SchemaError(f"unknown table {name!r}")
+        del self._tables[key]

@@ -1,0 +1,74 @@
+"""CSV import/export for relations.
+
+Keeps the library usable without pandas: a small reader that infers
+int/float/text column types, and a symmetric writer.  Intended for
+loading user data and for persisting experiment inputs/outputs.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+from typing import Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .relation import Relation
+
+
+def _parse_column(raw: list[str], name: str) -> np.ndarray:
+    """Infer the tightest type (int -> float -> text) for a raw column."""
+    try:
+        return np.array([int(v) for v in raw], dtype=np.int64)
+    except ValueError:
+        pass
+    try:
+        return np.array([float(v) for v in raw], dtype=np.float64)
+    except ValueError:
+        pass
+    return np.array(raw, dtype=object)
+
+
+def read_csv(path_or_text, name: str | None = None, key: str = "id") -> Relation:
+    """Read a relation from a CSV file path or raw CSV text.
+
+    The first row must be a header.  A missing ``id`` key column is
+    created automatically (positional), as in :class:`Relation`.
+    """
+    is_pathlike = isinstance(path_or_text, Path) or (
+        isinstance(path_or_text, str)
+        and "\n" not in path_or_text
+        and Path(path_or_text).is_file()
+    )
+    if is_pathlike:
+        path = Path(path_or_text)
+        text = path.read_text()
+        default_name = path.stem
+    else:
+        text = str(path_or_text)
+        default_name = "relation"
+    reader = csv.reader(io.StringIO(text))
+    rows = [row for row in reader if row]
+    if not rows:
+        raise SchemaError("CSV input is empty")
+    header, *data = rows
+    if not data:
+        raise SchemaError("CSV input has a header but no data rows")
+    columns = {}
+    for j, col_name in enumerate(header):
+        raw = [row[j] for row in data]
+        columns[col_name] = _parse_column(raw, col_name)
+    return Relation(name or default_name, columns, key=key)
+
+
+def write_csv(relation: Relation, path, columns: Sequence[str] | None = None) -> None:
+    """Write ``relation`` to ``path`` as CSV (header + rows)."""
+    names = list(columns) if columns is not None else relation.column_names
+    arrays = [relation.column(n) for n in names]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(names)
+        for i in range(relation.n_rows):
+            writer.writerow([arr[i] for arr in arrays])

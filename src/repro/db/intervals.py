@@ -1,0 +1,122 @@
+"""Interval arithmetic over expression trees.
+
+Appendix B's assumption (A1) needs per-tuple bounds ``s̲ ≤ ŝ_ij ≤ s̄`` on
+the realized values of the objective's inner function.  When VG functions
+expose finite support intervals, propagating them through the constraint
+expression with interval arithmetic yields *sound* bounds; when a bound
+comes out infinite the caller falls back to empirical probing.
+
+Only the operations needed by sPaQL expressions are supported; anything
+unsupported raises :class:`IntervalError`, which callers treat the same
+as an unbounded result.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from ..errors import SPQError
+from .expressions import Attr, BinOp, Const, Expr, FuncCall, UnaryOp
+
+
+class IntervalError(SPQError):
+    """Raised when an expression cannot be bounded by interval arithmetic."""
+
+
+#: Resolver mapping an attribute name to its per-row (lo, hi) support.
+SupportResolver = Callable[[str], tuple[np.ndarray, np.ndarray]]
+
+
+def evaluate_interval(
+    expr: Expr, support: SupportResolver
+) -> tuple[np.ndarray, np.ndarray]:
+    """Per-row interval ``[lo, hi]`` enclosing all realizations of ``expr``."""
+    if isinstance(expr, Const):
+        if not isinstance(expr.value, (int, float)):
+            raise IntervalError("non-numeric constant in interval evaluation")
+        value = np.asarray(float(expr.value))
+        return value, value
+    if isinstance(expr, Attr):
+        lo, hi = support(expr.name)
+        return np.asarray(lo, dtype=float), np.asarray(hi, dtype=float)
+    if isinstance(expr, UnaryOp):
+        lo, hi = evaluate_interval(expr.operand, support)
+        if expr.op == "-":
+            return -hi, -lo
+        if expr.op == "+":
+            return lo, hi
+        raise IntervalError(f"unsupported unary operator {expr.op!r}")
+    if isinstance(expr, BinOp):
+        a_lo, a_hi = evaluate_interval(expr.left, support)
+        b_lo, b_hi = evaluate_interval(expr.right, support)
+        if expr.op == "+":
+            return a_lo + b_lo, a_hi + b_hi
+        if expr.op == "-":
+            return a_lo - b_hi, a_hi - b_lo
+        if expr.op == "*":
+            candidates = np.stack(
+                [a_lo * b_lo, a_lo * b_hi, a_hi * b_lo, a_hi * b_hi]
+            )
+            with np.errstate(invalid="ignore"):
+                lo = np.nanmin(np.where(np.isnan(candidates), np.inf, candidates), axis=0)
+                hi = np.nanmax(np.where(np.isnan(candidates), -np.inf, candidates), axis=0)
+            return lo, hi
+        if expr.op == "/":
+            # Only safe when the denominator interval excludes zero.
+            if np.any((b_lo <= 0) & (b_hi >= 0)):
+                raise IntervalError("division by an interval containing zero")
+            candidates = np.stack(
+                [a_lo / b_lo, a_lo / b_hi, a_hi / b_lo, a_hi / b_hi]
+            )
+            return candidates.min(axis=0), candidates.max(axis=0)
+        if expr.op == "^":
+            return _power_interval(a_lo, a_hi, expr.right)
+        raise IntervalError(f"unsupported operator {expr.op!r}")
+    if isinstance(expr, FuncCall):
+        return _function_interval(expr, support)
+    raise IntervalError(
+        f"unsupported node {type(expr).__name__} in interval evaluation"
+    )
+
+
+def _power_interval(lo: np.ndarray, hi: np.ndarray, exponent_expr: Expr):
+    if not isinstance(exponent_expr, Const) or not isinstance(
+        exponent_expr.value, (int, float)
+    ):
+        raise IntervalError("exponent must be a numeric constant")
+    exponent = float(exponent_expr.value)
+    if exponent != round(exponent) or exponent < 0:
+        raise IntervalError("only nonnegative integer exponents are supported")
+    k = int(exponent)
+    if k == 0:
+        one = np.ones_like(np.asarray(lo, dtype=float))
+        return one, one
+    if k % 2 == 1:
+        return lo**k, hi**k
+    # Even power: minimum is 0 if the interval straddles zero.
+    lo_k = np.where((lo <= 0) & (hi >= 0), 0.0, np.minimum(lo**k, hi**k))
+    hi_k = np.maximum(lo**k, hi**k)
+    return lo_k, hi_k
+
+
+_MONOTONE_INCREASING = {"exp": np.exp, "sqrt": np.sqrt, "ln": np.log, "log": np.log10}
+
+
+def _function_interval(expr: FuncCall, support: SupportResolver):
+    name = expr.name.lower()
+    if len(expr.args) != 1:
+        raise IntervalError(f"function {name!r} must have one argument")
+    lo, hi = evaluate_interval(expr.args[0], support)
+    if name == "abs":
+        abs_lo = np.where((lo <= 0) & (hi >= 0), 0.0, np.minimum(np.abs(lo), np.abs(hi)))
+        abs_hi = np.maximum(np.abs(lo), np.abs(hi))
+        return abs_lo, abs_hi
+    func = _MONOTONE_INCREASING.get(name)
+    if func is None:
+        raise IntervalError(f"unsupported function {name!r}")
+    if name in ("sqrt", "ln", "log") and np.any(lo < 0 if name == "sqrt" else lo <= 0):
+        raise IntervalError(f"{name} applied to a nonpositive interval")
+    with np.errstate(divide="ignore"):
+        return func(lo), func(hi)

@@ -1,0 +1,183 @@
+"""Columnar relations with a deterministic key column.
+
+Section 2.2 of the paper requires a deterministic key column that is the
+same in every scenario, so that "the i-th tuple" is well defined across
+scenarios.  :class:`Relation` stores data column-wise (numpy arrays) and
+keeps the key column's positional order as the canonical tuple order used
+by scenario matrices and decision variables.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Mapping, Sequence
+
+import numpy as np
+
+from ..errors import SchemaError
+from .expressions import Expr, evaluate
+from .types import DType, coerce_column, infer_dtype
+
+
+class Relation:
+    """An immutable-by-convention, in-memory columnar relation.
+
+    Columns are 1-D numpy arrays of equal length.  The ``key`` column must
+    contain unique values; by default a fresh ``id`` column is created.
+    Mutating methods return new relations (filter, project, etc.); adding
+    a derived column in place is allowed via :meth:`with_column` which
+    also returns a new relation, keeping shared columns zero-copy.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        columns: Mapping[str, Iterable],
+        key: str = "id",
+    ) -> None:
+        if not columns:
+            raise SchemaError(f"relation {name!r} must have at least one column")
+        self.name = name
+        self._columns: dict[str, np.ndarray] = {}
+        n_rows: int | None = None
+        for col_name, values in columns.items():
+            arr = coerce_column(values, col_name)
+            if n_rows is None:
+                n_rows = len(arr)
+            elif len(arr) != n_rows:
+                raise SchemaError(
+                    f"column {col_name!r} has {len(arr)} rows,"
+                    f" expected {n_rows} in relation {name!r}"
+                )
+            self._columns[col_name] = arr
+        assert n_rows is not None
+        self._n_rows = n_rows
+        if key not in self._columns:
+            if key != "id":
+                raise SchemaError(f"key column {key!r} not found in relation {name!r}")
+            self._columns["id"] = np.arange(n_rows, dtype=np.int64)
+        self.key = key
+        key_values = self._columns[key]
+        if len(np.unique(key_values)) != n_rows:
+            raise SchemaError(f"key column {key!r} must be unique in {name!r}")
+
+    # --- basic accessors ----------------------------------------------------
+
+    @property
+    def n_rows(self) -> int:
+        return self._n_rows
+
+    def __len__(self) -> int:
+        return self._n_rows
+
+    @property
+    def column_names(self) -> list[str]:
+        return list(self._columns)
+
+    def has_column(self, name: str) -> bool:
+        """Whether a column named ``name`` exists."""
+        return name in self._columns
+
+    def column(self, name: str) -> np.ndarray:
+        """The column array for ``name`` (raises SchemaError if unknown)."""
+        try:
+            return self._columns[name]
+        except KeyError:
+            raise SchemaError(
+                f"relation {self.name!r} has no column {name!r};"
+                f" available: {sorted(self._columns)}"
+            ) from None
+
+    def __getitem__(self, name: str) -> np.ndarray:
+        return self.column(name)
+
+    def dtype(self, name: str) -> DType:
+        """Logical type of column ``name``."""
+        return infer_dtype(self.column(name))
+
+    def columns_mapping(self) -> Mapping[str, np.ndarray]:
+        """A read-only view usable as an expression column resolver."""
+        return dict(self._columns)
+
+    def iter_rows(self) -> Iterator[dict]:
+        """Iterate rows as dicts (for display and small-data tests only)."""
+        names = self.column_names
+        for i in range(self._n_rows):
+            yield {n: self._columns[n][i] for n in names}
+
+    def row(self, index: int) -> dict:
+        """One row as a dict (small-data convenience)."""
+        return {n: self._columns[n][index] for n in self.column_names}
+
+    # --- derivation ----------------------------------------------------------
+
+    def with_column(self, name: str, values: Iterable) -> "Relation":
+        """Return a new relation with column ``name`` added or replaced."""
+        cols = dict(self._columns)
+        cols[name] = coerce_column(values, name)
+        if len(cols[name]) != self._n_rows:
+            raise SchemaError(
+                f"column {name!r} has {len(cols[name])} rows, expected {self._n_rows}"
+            )
+        return Relation(self.name, cols, key=self.key)
+
+    def rename(self, name: str) -> "Relation":
+        """A copy of this relation under a new name (columns shared)."""
+        return Relation(name, self._columns, key=self.key)
+
+    def project(self, names: Sequence[str]) -> "Relation":
+        """Keep only ``names`` (the key column is always retained)."""
+        keep = list(dict.fromkeys([*names, self.key]))
+        cols = {n: self.column(n) for n in keep}
+        return Relation(self.name, cols, key=self.key)
+
+    def take(self, indices: np.ndarray) -> "Relation":
+        """Positional selection of rows (preserves given order)."""
+        idx = np.asarray(indices)
+        cols = {n: arr[idx] for n, arr in self._columns.items()}
+        return Relation(self.name, cols, key=self.key)
+
+    def filter(self, predicate: Expr) -> "Relation":
+        """Rows satisfying a boolean expression over this relation."""
+        mask = evaluate(predicate, self._columns)
+        mask = np.asarray(mask, dtype=bool)
+        if mask.shape != (self._n_rows,):
+            raise SchemaError("predicate did not evaluate to one boolean per row")
+        return self.take(np.nonzero(mask)[0])
+
+    def head(self, n: int = 5) -> "Relation":
+        """The first ``n`` rows."""
+        return self.take(np.arange(min(n, self._n_rows)))
+
+    # --- convenience ----------------------------------------------------------
+
+    def key_values(self) -> np.ndarray:
+        """The key column's values in canonical tuple order."""
+        return self._columns[self.key]
+
+    def positions_for_keys(self, keys: Iterable) -> np.ndarray:
+        """Map key values to row positions (raises on unknown keys)."""
+        lookup = {k: i for i, k in enumerate(self._columns[self.key].tolist())}
+        out = []
+        for k in keys:
+            if k not in lookup:
+                raise SchemaError(f"unknown key value {k!r} in relation {self.name!r}")
+            out.append(lookup[k])
+        return np.asarray(out, dtype=np.int64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Relation({self.name!r}, rows={self._n_rows},"
+            f" columns={self.column_names})"
+        )
+
+    def to_text(self, limit: int = 10) -> str:
+        """Small fixed-width rendering for examples and docs."""
+        from ..utils.textable import TextTable
+
+        table = TextTable(self.column_names)
+        for i, row in enumerate(self.iter_rows()):
+            if i >= limit:
+                table.add_row(["..."] * len(self.column_names))
+                break
+            table.add_row([row[n] for n in self.column_names])
+        return table.render()

@@ -1,0 +1,64 @@
+"""Column types supported by the columnar store."""
+
+from __future__ import annotations
+
+import enum
+
+import numpy as np
+
+from ..errors import SchemaError
+
+
+class DType(enum.Enum):
+    """Logical column types.
+
+    ``FLOAT`` and ``INT`` columns participate in arithmetic; ``TEXT``
+    columns only in equality predicates; ``BOOL`` is produced by
+    predicate evaluation.
+    """
+
+    FLOAT = "float"
+    INT = "int"
+    TEXT = "text"
+    BOOL = "bool"
+
+    @property
+    def is_numeric(self) -> bool:
+        return self in (DType.FLOAT, DType.INT)
+
+
+def infer_dtype(values: np.ndarray) -> DType:
+    """Map a numpy array's dtype to a logical :class:`DType`."""
+    kind = values.dtype.kind
+    if kind == "f":
+        return DType.FLOAT
+    if kind in ("i", "u"):
+        return DType.INT
+    if kind == "b":
+        return DType.BOOL
+    if kind in ("U", "S", "O"):
+        return DType.TEXT
+    raise SchemaError(f"unsupported column dtype {values.dtype!r}")
+
+
+def coerce_column(values, name: str) -> np.ndarray:
+    """Normalize raw input into a 1-D numpy column array.
+
+    Numeric data becomes ``float64``/``int64``; strings become object
+    arrays (to avoid fixed-width truncation on updates).
+    """
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise SchemaError(f"column {name!r} must be one-dimensional")
+    kind = arr.dtype.kind
+    if kind == "f":
+        return arr.astype(np.float64, copy=False)
+    if kind in ("i", "u"):
+        return arr.astype(np.int64, copy=False)
+    if kind == "b":
+        return arr
+    if kind in ("U", "S"):
+        return arr.astype(object)
+    if kind == "O":
+        return arr
+    raise SchemaError(f"column {name!r} has unsupported dtype {arr.dtype!r}")

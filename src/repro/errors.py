@@ -1,0 +1,76 @@
+"""Exception taxonomy for the stochastic package query engine.
+
+Every error raised by this library derives from :class:`SPQError`, so
+callers can catch a single type at API boundaries.  The hierarchy mirrors
+the pipeline stages: language (parse), compilation, data model, solving,
+and query evaluation.
+"""
+
+from __future__ import annotations
+
+
+class SPQError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class ParseError(SPQError):
+    """Raised when sPaQL text cannot be tokenized or parsed.
+
+    Carries the offending position so callers can render a caret
+    diagnostic.
+    """
+
+    def __init__(self, message: str, line: int = 0, column: int = 0):
+        super().__init__(message)
+        self.message = message
+        self.line = line
+        self.column = column
+
+    def __str__(self) -> str:  # pragma: no cover - trivial formatting
+        if self.line:
+            return f"{self.message} (line {self.line}, column {self.column})"
+        return self.message
+
+
+class CompileError(SPQError):
+    """Raised when a parsed query cannot be compiled into a SILP.
+
+    Examples: unknown table, unknown attribute, non-linear objective,
+    probabilistic constraint on a purely deterministic attribute.
+    """
+
+
+class SchemaError(SPQError):
+    """Raised on inconsistent relation construction or column access."""
+
+
+class VGFunctionError(SPQError):
+    """Raised when a VG function is mis-specified or mis-used."""
+
+
+class SolverError(SPQError):
+    """Raised when the underlying MILP solver fails unexpectedly."""
+
+
+class InfeasibleError(SolverError):
+    """Raised when a (deterministic) model is proven infeasible."""
+
+
+class UnboundedError(SolverError):
+    """Raised when a model is unbounded.
+
+    For package queries this almost always means the multiplicity
+    upper-bound derivation failed; see ``silp.varbounds``.
+    """
+
+
+class EvaluationError(SPQError):
+    """Raised when query evaluation cannot proceed (e.g. bad parameters)."""
+
+
+class TimeLimitExceeded(SPQError):
+    """Raised internally when an evaluation exceeds its wall-clock budget."""
+
+    def __init__(self, message: str = "time limit exceeded", elapsed: float = 0.0):
+        super().__init__(message)
+        self.elapsed = elapsed

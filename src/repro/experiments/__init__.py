@@ -1,0 +1,19 @@
+"""Experiment harness regenerating the paper's tables and figures.
+
+Each module reproduces one exhibit from Section 6 at a configurable
+scale (the defaults are laptop-sized; pass ``--paper-scale`` flags for
+the original sizes):
+
+* ``table3``  — the workload description table (Appendix C).
+* ``figure4`` — time to reach 100% feasibility rate, Naïve vs
+  SummarySearch, per query.
+* ``figure5`` — scalability with the number of optimization scenarios M.
+* ``figure6`` — effect of the number of summaries Z (Portfolio).
+* ``figure7`` — scalability with dataset size N (Galaxy).
+
+Run e.g. ``python -m repro.experiments.figure4 --workload galaxy``.
+"""
+
+from .runner import RunOutcome, run_query, run_seeds, feasibility_rate
+
+__all__ = ["RunOutcome", "run_query", "run_seeds", "feasibility_rate"]

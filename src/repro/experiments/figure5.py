@@ -1,0 +1,115 @@
+"""Figure 5: scalability with the number of optimization scenarios M.
+
+Each query runs at a sweep of *fixed* scenario counts (no growth: the
+evaluation gets exactly ``M`` scenarios and one shot).  Reported per
+(query, method, M): response time, feasibility rate, and the empirical
+approximation ratio ``1 + ε̂`` relative to the best feasible objective
+found by any method at any M for that query.
+
+Paper shapes: Naïve's time grows steeply with M and its feasibility rate
+stays low (missing points in the paper are solver failures);
+SummarySearch is feasible already at small M with ratios close to 1.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..utils.textable import TextTable
+from ..workloads import WORKLOADS
+from .report import add_common_arguments, default_scale, experiment_config
+from .runner import (
+    best_feasible_objective,
+    feasibility_rate,
+    mean_ratio,
+    mean_time,
+    run_seeds,
+)
+
+METHODS = ("summarysearch", "naive")
+DEFAULT_SWEEP = (10, 20, 40, 80)
+
+
+def run_figure5(
+    workloads: list[str],
+    config,
+    n_runs: int,
+    scale: int | None,
+    data_seed: int,
+    sweep=DEFAULT_SWEEP,
+    queries: list[str] | None = None,
+) -> TextTable:
+    """Run the Figure 5 M-sweep and return its report table."""
+    table = TextTable(
+        ["query", "method", "M", "feasibility rate", "avg time (s)", "1+eps-hat"]
+    )
+    for workload_name in workloads:
+        for spec in WORKLOADS[workload_name]:
+            if queries and spec.name.lower() not in queries:
+                continue
+            workload_scale = default_scale(workload_name, scale)
+            maximize = "MAXIMIZE" in spec.spaql.upper()
+            per_method: dict[tuple, list] = {}
+            all_outcomes = []
+            for method in METHODS:
+                for m in sweep:
+                    fixed = config.replace(
+                        n_initial_scenarios=m,
+                        max_scenarios=m,
+                        initial_summaries=spec.default_summaries,
+                    )
+                    outcomes = run_seeds(
+                        spec, method, fixed, n_runs,
+                        scale=workload_scale, data_seed=data_seed,
+                    )
+                    per_method[(method, m)] = outcomes
+                    all_outcomes.extend(outcomes)
+            best = best_feasible_objective(all_outcomes, maximize)
+            for method in METHODS:
+                for m in sweep:
+                    outcomes = per_method[(method, m)]
+                    table.add_row(
+                        [
+                            spec.qualified_name,
+                            method,
+                            m,
+                            feasibility_rate(outcomes),
+                            mean_time(outcomes),
+                            mean_ratio(outcomes, best, maximize),
+                        ]
+                    )
+    return table
+
+
+def main(argv=None) -> None:
+    """CLI wrapper (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser)
+    parser.add_argument(
+        "--workload",
+        action="append",
+        choices=sorted(WORKLOADS),
+        help="workloads to run (default: all three)",
+    )
+    parser.add_argument("--query", action="append")
+    parser.add_argument(
+        "--sweep",
+        type=int,
+        nargs="+",
+        default=list(DEFAULT_SWEEP),
+        help="scenario counts M to test",
+    )
+    args = parser.parse_args(argv)
+    workloads = args.workload or sorted(WORKLOADS)
+    queries = [q.lower() for q in args.query] if args.query else None
+    config = experiment_config(args)
+    print("Figure 5: scalability with number of optimization scenarios")
+    table = run_figure5(
+        workloads, config, args.runs, args.scale, args.data_seed,
+        sweep=tuple(args.sweep), queries=queries,
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

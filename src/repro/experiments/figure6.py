@@ -1,0 +1,121 @@
+"""Figure 6: effect of the number of summaries Z (Portfolio workload).
+
+With M fixed (a value where SummarySearch reaches 100% feasibility), Z
+sweeps from 1 up to M (expressed as percentages of M, as in the paper).
+Naïve at the same fixed M is the comparison point.  Reported: response
+time, feasibility rate, and ``1 + ε̂``.
+
+Paper shapes: response time is mostly flat in Z; the ratio improves as Z
+grows; pushing Z to 100% of M makes CSA coincide with SAA, so
+feasibility degrades toward Naïve's (overfitting to the scenario draw).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..utils.textable import TextTable
+from ..workloads import WORKLOADS
+from .report import add_common_arguments, default_scale, experiment_config
+from .runner import (
+    best_feasible_objective,
+    feasibility_rate,
+    mean_ratio,
+    mean_time,
+    run_seeds,
+)
+
+DEFAULT_PERCENTS = (1, 10, 25, 50, 100)
+DEFAULT_M = 40
+
+
+def run_figure6(
+    config,
+    n_runs: int,
+    scale: int | None,
+    data_seed: int,
+    n_scenarios: int = DEFAULT_M,
+    percents=DEFAULT_PERCENTS,
+    queries: list[str] | None = None,
+) -> TextTable:
+    """Run the Figure 6 Z-sweep and return its report table."""
+    table = TextTable(
+        ["query", "method", "Z (% of M)", "feasibility rate",
+         "avg time (s)", "1+eps-hat"]
+    )
+    workload_scale = default_scale("portfolio", scale)
+    for spec in WORKLOADS["portfolio"]:
+        if queries and spec.name.lower() not in queries:
+            continue
+        per_setting: dict[str, list] = {}
+        all_outcomes = []
+        for percent in percents:
+            z = max(1, round(n_scenarios * percent / 100))
+            fixed = config.replace(
+                n_initial_scenarios=n_scenarios,
+                max_scenarios=n_scenarios,
+                initial_summaries=z,
+            )
+            outcomes = run_seeds(
+                spec, "summarysearch", fixed, n_runs,
+                scale=workload_scale, data_seed=data_seed,
+            )
+            per_setting[f"ss:{percent}"] = outcomes
+            all_outcomes.extend(outcomes)
+        naive_config = config.replace(
+            n_initial_scenarios=n_scenarios, max_scenarios=n_scenarios
+        )
+        naive_outcomes = run_seeds(
+            spec, "naive", naive_config, n_runs,
+            scale=workload_scale, data_seed=data_seed,
+        )
+        all_outcomes.extend(naive_outcomes)
+        best = best_feasible_objective(all_outcomes, maximize=True)
+        for percent in percents:
+            outcomes = per_setting[f"ss:{percent}"]
+            table.add_row(
+                [
+                    spec.qualified_name,
+                    "summarysearch",
+                    percent,
+                    feasibility_rate(outcomes),
+                    mean_time(outcomes),
+                    mean_ratio(outcomes, best, maximize=True),
+                ]
+            )
+        table.add_row(
+            [
+                spec.qualified_name,
+                "naive",
+                "-",
+                feasibility_rate(naive_outcomes),
+                mean_time(naive_outcomes),
+                mean_ratio(naive_outcomes, best, maximize=True),
+            ]
+        )
+    return table
+
+
+def main(argv=None) -> None:
+    """CLI wrapper (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser)
+    parser.add_argument("--query", action="append")
+    parser.add_argument("--scenarios", type=int, default=DEFAULT_M,
+                        help="fixed M for the sweep")
+    parser.add_argument("--percents", type=int, nargs="+",
+                        default=list(DEFAULT_PERCENTS))
+    args = parser.parse_args(argv)
+    queries = [q.lower() for q in args.query] if args.query else None
+    config = experiment_config(args)
+    print("Figure 6: effect of the number of summaries (Portfolio)")
+    table = run_figure6(
+        config, args.runs, args.scale, args.data_seed,
+        n_scenarios=args.scenarios, percents=tuple(args.percents),
+        queries=queries,
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,102 @@
+"""Figure 7: scalability with dataset size N (Galaxy workload).
+
+The Galaxy table grows across a sweep of sizes (the paper: 55k → 274k;
+scaled default: 1k → 8k) with M fixed at 56 for Q1–Q7 and 562 (scaled:
+halved sweep base × 10) for the hard Pareto query Q8, Z = 1 throughout.
+Reported per (query, method, N): time, feasibility rate, ``1 + ε̂``.
+
+Paper shapes: both methods slow down as N grows; SummarySearch stays
+feasible with good ratios, while Naïve times out or stays infeasible on
+most queries (Q3, Q4, Q7 being its easy exceptions).
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from ..utils.textable import TextTable
+from ..workloads import WORKLOADS
+from .report import add_common_arguments, experiment_config
+from .runner import (
+    best_feasible_objective,
+    feasibility_rate,
+    mean_ratio,
+    mean_time,
+    run_seeds,
+)
+
+METHODS = ("summarysearch", "naive")
+DEFAULT_SIZES = (1_000, 2_000, 4_000, 8_000)
+#: Fixed scenario counts, as in the paper (M=56; Q8 uses 10x more).
+DEFAULT_M = 56
+DEFAULT_M_Q8 = 562
+
+
+def run_figure7(
+    config,
+    n_runs: int,
+    data_seed: int,
+    sizes=DEFAULT_SIZES,
+    queries: list[str] | None = None,
+    n_scenarios: int = DEFAULT_M,
+    n_scenarios_q8: int = DEFAULT_M_Q8,
+) -> TextTable:
+    """Run the Figure 7 N-sweep and return its report table."""
+    table = TextTable(
+        ["query", "method", "N", "feasibility rate", "avg time (s)", "1+eps-hat"]
+    )
+    for spec in WORKLOADS["galaxy"]:
+        if queries and spec.name.lower() not in queries:
+            continue
+        m = n_scenarios_q8 if spec.name == "Q8" else n_scenarios
+        fixed = config.replace(
+            n_initial_scenarios=m, max_scenarios=m, initial_summaries=1
+        )
+        per_size: dict[tuple, list] = {}
+        all_outcomes = []
+        for size in sizes:
+            for method in METHODS:
+                outcomes = run_seeds(
+                    spec, method, fixed, n_runs, scale=size, data_seed=data_seed
+                )
+                per_size[(method, size)] = outcomes
+                all_outcomes.extend(outcomes)
+        best = best_feasible_objective(all_outcomes, maximize=False)
+        for method in METHODS:
+            for size in sizes:
+                outcomes = per_size[(method, size)]
+                table.add_row(
+                    [
+                        spec.qualified_name,
+                        method,
+                        size,
+                        feasibility_rate(outcomes),
+                        mean_time(outcomes),
+                        mean_ratio(outcomes, best, maximize=False),
+                    ]
+                )
+    return table
+
+
+def main(argv=None) -> None:
+    """CLI wrapper (see module docstring)."""
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_common_arguments(parser)
+    parser.add_argument("--query", action="append")
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(DEFAULT_SIZES))
+    parser.add_argument("--scenarios", type=int, default=DEFAULT_M)
+    parser.add_argument("--scenarios-q8", type=int, default=DEFAULT_M_Q8)
+    args = parser.parse_args(argv)
+    queries = [q.lower() for q in args.query] if args.query else None
+    config = experiment_config(args)
+    print("Figure 7: scalability with dataset size (Galaxy)")
+    table = run_figure7(
+        config, args.runs, args.data_seed, sizes=tuple(args.sizes),
+        queries=queries, n_scenarios=args.scenarios,
+        n_scenarios_q8=args.scenarios_q8,
+    )
+    print(table.render())
+
+
+if __name__ == "__main__":
+    main()

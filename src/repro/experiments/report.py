@@ -1,0 +1,65 @@
+"""Report helpers shared by the experiment scripts."""
+
+from __future__ import annotations
+
+import argparse
+
+from ..config import SPQConfig
+
+
+def experiment_config(args: argparse.Namespace) -> SPQConfig:
+    """Build the scaled-down (or paper-scale) evaluation config."""
+    if getattr(args, "paper_scale", False):
+        return SPQConfig(
+            n_validation_scenarios=1_000_000,
+            n_initial_scenarios=100,
+            scenario_increment=100,
+            max_scenarios=1_000,
+            n_expectation_scenarios=10_000,
+            epsilon=args.epsilon,
+            time_limit=4 * 3600.0,
+            solver_time_limit=4 * 3600.0,
+            seed=args.seed,
+        )
+    return SPQConfig(
+        n_validation_scenarios=args.validation_scenarios,
+        n_initial_scenarios=args.initial_scenarios,
+        scenario_increment=args.scenario_increment,
+        max_scenarios=args.max_scenarios,
+        n_expectation_scenarios=args.expectation_scenarios,
+        epsilon=args.epsilon,
+        time_limit=args.time_limit,
+        solver_time_limit=args.solver_time_limit,
+        seed=args.seed,
+    )
+
+
+def add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    """CLI knobs shared by every experiment script."""
+    parser.add_argument("--runs", type=int, default=3,
+                        help="i.i.d. runs per configuration (paper: 10)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="dataset scale (rows or stocks); default: scaled-down")
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--data-seed", type=int, default=42)
+    parser.add_argument("--epsilon", type=float, default=0.5)
+    parser.add_argument("--validation-scenarios", type=int, default=5_000)
+    parser.add_argument("--initial-scenarios", type=int, default=20)
+    parser.add_argument("--scenario-increment", type=int, default=20)
+    parser.add_argument("--max-scenarios", type=int, default=200)
+    parser.add_argument("--expectation-scenarios", type=int, default=1_000)
+    parser.add_argument("--time-limit", type=float, default=120.0,
+                        help="per-run wall-clock budget (paper: 4h)")
+    parser.add_argument("--solver-time-limit", type=float, default=20.0)
+    parser.add_argument("--paper-scale", action="store_true",
+                        help="use the paper's full experimental settings")
+
+
+#: Scaled-down default dataset sizes per workload (paper sizes are 55k
+#: rows / 7k stocks / 117.6k rows; see EXPERIMENTS.md for the mapping).
+DEFAULT_SCALES = {"galaxy": 2_000, "portfolio": 250, "tpch": 2_000}
+
+
+def default_scale(workload: str, requested: int | None) -> int:
+    """Workload-specific dataset scale (requested or scaled-down default)."""
+    return requested if requested is not None else DEFAULT_SCALES[workload]

@@ -1,0 +1,166 @@
+"""Shared experiment machinery: multi-seed runs and summary metrics.
+
+The paper's protocol (Section 6.1): each query runs 10 times with
+different seeds for the optimization scenarios; the *feasibility rate*
+is the fraction of runs producing a validation-feasible solution;
+accuracy is ``1 + ε̂`` with ``ε̂ = ω/ω* − 1`` where ``ω*`` is the best
+feasible objective found by any method.  Response times are cumulative
+over the optimize/validate iterations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from ..config import SPQConfig
+from ..core.engine import SPQEngine
+from ..db.catalog import Catalog
+from ..workloads.spec import QuerySpec
+
+
+@dataclass
+class RunOutcome:
+    """Result of one (query, method, seed) evaluation."""
+
+    workload: str
+    query: str
+    method: str
+    seed: int
+    feasible: bool
+    objective: float | None
+    total_time: float
+    n_iterations: int
+    final_n_scenarios: int
+    final_n_summaries: int | None
+    timed_out: bool
+    declared_infeasible: bool
+
+
+def _materialize(spec: QuerySpec, scale: int | None, data_seed: int):
+    relation, model = spec.build_dataset(scale, seed=data_seed)
+    catalog = Catalog()
+    catalog.register(relation, model)
+    return catalog
+
+
+def run_query(
+    spec: QuerySpec,
+    method: str,
+    config: SPQConfig,
+    scale: int | None = None,
+    data_seed: int = 42,
+    catalog: Catalog | None = None,
+) -> RunOutcome:
+    """Evaluate one workload query once and summarize the outcome."""
+    if catalog is None:
+        catalog = _materialize(spec, scale, data_seed)
+    engine = SPQEngine(catalog=catalog, config=config)
+    result = engine.execute(spec.spaql, method=method)
+    stats = result.stats
+    return RunOutcome(
+        workload=spec.workload,
+        query=spec.name,
+        method=method,
+        seed=config.seed,
+        feasible=result.feasible,
+        objective=result.objective,
+        total_time=stats.total_time if stats else 0.0,
+        n_iterations=stats.n_iterations if stats else 0,
+        final_n_scenarios=stats.final_n_scenarios if stats else 0,
+        final_n_summaries=stats.final_n_summaries if stats else None,
+        timed_out=stats.timed_out if stats else False,
+        declared_infeasible=stats.declared_infeasible if stats else False,
+    )
+
+
+def run_seeds(
+    spec: QuerySpec,
+    method: str,
+    config: SPQConfig,
+    n_runs: int,
+    scale: int | None = None,
+    data_seed: int = 42,
+) -> list[RunOutcome]:
+    """Run a query ``n_runs`` times with i.i.d. optimization seeds.
+
+    The dataset is built once (fixed ``data_seed``); only the scenario
+    streams vary across runs, matching the paper's protocol.
+    """
+    catalog = _materialize(spec, scale, data_seed)
+    outcomes = []
+    for run in range(n_runs):
+        run_config = config.replace(seed=config.seed + 1000 * run)
+        outcomes.append(
+            run_query(spec, method, run_config, scale, data_seed, catalog=catalog)
+        )
+    return outcomes
+
+
+# --- metrics ---------------------------------------------------------------------
+
+
+def feasibility_rate(outcomes: Iterable[RunOutcome]) -> float:
+    """Fraction of outcomes that reached validation feasibility."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        return 0.0
+    return sum(1 for o in outcomes if o.feasible) / len(outcomes)
+
+
+def mean_time(outcomes: Iterable[RunOutcome]) -> float:
+    """Mean total response time across outcomes."""
+    outcomes = list(outcomes)
+    if not outcomes:
+        return 0.0
+    return float(np.mean([o.total_time for o in outcomes]))
+
+
+def confidence_95(values: Sequence[float]) -> float:
+    """Half-width of a normal 95% confidence interval (paper's shading)."""
+    values = np.asarray(list(values), dtype=float)
+    if len(values) < 2:
+        return 0.0
+    return float(1.96 * values.std(ddof=1) / np.sqrt(len(values)))
+
+
+def best_feasible_objective(
+    outcomes: Iterable[RunOutcome], maximize: bool
+) -> float | None:
+    """``ω*``: best feasible objective across all methods/runs."""
+    values = [o.objective for o in outcomes if o.feasible and o.objective is not None]
+    if not values:
+        return None
+    return max(values) if maximize else min(values)
+
+
+def approximation_ratio(
+    objective: float | None, best: float | None, maximize: bool
+) -> float | None:
+    """``1 + ε̂``: how far an objective is from the best feasible one."""
+    if objective is None or best is None:
+        return None
+    if maximize:
+        if objective <= 0:
+            return None
+        return max(1.0, best / objective)
+    if best <= 0:
+        return None
+    return max(1.0, objective / best)
+
+
+def mean_ratio(
+    outcomes: Iterable[RunOutcome], best: float | None, maximize: bool
+) -> float | None:
+    """Average ``1 + ε̂`` over the feasible runs."""
+    ratios = [
+        approximation_ratio(o.objective, best, maximize)
+        for o in outcomes
+        if o.feasible
+    ]
+    ratios = [r for r in ratios if r is not None]
+    if not ratios:
+        return None
+    return float(np.mean(ratios))

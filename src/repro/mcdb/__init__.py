@@ -1,0 +1,43 @@
+"""Monte Carlo database substrate (MCDB-style).
+
+Implements the probabilistic data model of Section 2.2: uncertain
+attribute values are random variables realized by user-defined **VG
+functions**; a *scenario* is one realization of every random variable in
+the relation.  Scenarios are i.i.d. across an RNG *stream*; optimization,
+validation, and expectation-estimation use disjoint streams (Sections
+3.1–3.2).  Generation supports both the *tuple-wise* and *scenario-wise*
+seeding strategies of Section 5.5.
+"""
+
+from .vg import VGFunction
+from .distributions import (
+    GaussianNoiseVG,
+    ParetoNoiseVG,
+    UniformNoiseVG,
+    ExponentialNoiseVG,
+    StudentTNoiseVG,
+)
+from .gbm import GeometricBrownianMotionVG
+from .integration import DiscreteVariantsVG, build_integration_variants
+from .bootstrap import BootstrapVG
+from .stochastic import StochasticModel
+from .scenarios import ScenarioGenerator, MODE_SCENARIO_WISE, MODE_TUPLE_WISE
+from .expectation import ExpectationEstimator
+
+__all__ = [
+    "VGFunction",
+    "GaussianNoiseVG",
+    "ParetoNoiseVG",
+    "UniformNoiseVG",
+    "ExponentialNoiseVG",
+    "StudentTNoiseVG",
+    "GeometricBrownianMotionVG",
+    "DiscreteVariantsVG",
+    "build_integration_variants",
+    "BootstrapVG",
+    "StochasticModel",
+    "ScenarioGenerator",
+    "MODE_SCENARIO_WISE",
+    "MODE_TUPLE_WISE",
+    "ExpectationEstimator",
+]

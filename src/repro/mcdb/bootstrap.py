@@ -1,0 +1,76 @@
+"""Bootstrap VG function: resample historical observations.
+
+A common alternative to parametric models (Section 1 mentions forecasts
+built directly from historical data): each scenario draws from an
+empirical sample matrix of past observations.
+
+Two resampling modes:
+
+* ``joint=True`` (default) — one historical *observation* (column) is
+  drawn per scenario and applied to every tuple, preserving the
+  cross-tuple dependence present in the history (e.g. same-day returns
+  of different stocks co-move).  The whole relation is one block.
+* ``joint=False`` — each tuple independently draws one of its own
+  historical values; tuples are independent blocks.
+
+Means and supports are exact (finite empirical distribution), so
+expectation precomputation is analytic.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VGFunctionError
+from .vg import VGFunction
+
+
+class BootstrapVG(VGFunction):
+    """Empirical resampling over an ``(n_rows, n_observations)`` matrix."""
+
+    def __init__(self, observations: np.ndarray, joint: bool = True):
+        super().__init__()
+        self.observations = np.asarray(observations, dtype=float)
+        if self.observations.ndim != 2 or self.observations.shape[1] < 1:
+            raise VGFunctionError(
+                "observations must have shape (n_rows, n_observations)"
+            )
+        self.joint = joint
+
+    @property
+    def n_observations(self) -> int:
+        return self.observations.shape[1]
+
+    def _build_blocks(self, relation):
+        if self.joint:
+            return [np.arange(relation.n_rows)]
+        return super()._build_blocks(relation)
+
+    def _after_bind(self, relation) -> None:
+        if self.observations.shape[0] != relation.n_rows:
+            raise VGFunctionError(
+                f"observations cover {self.observations.shape[0]} rows,"
+                f" relation has {relation.n_rows}"
+            )
+
+    def _sample_block(self, block_index, rng, size):
+        rows = self.blocks[block_index]
+        if self.joint:
+            # One historical column per scenario, shared by all rows.
+            choices = rng.integers(0, self.n_observations, size=size)
+            return self.observations[np.ix_(rows, choices)]
+        choices = rng.integers(0, self.n_observations, size=(len(rows), size))
+        return self.observations[rows[:, None], choices]
+
+    def sample_all(self, rng):
+        if self.joint:
+            choice = int(rng.integers(0, self.n_observations))
+            return self.observations[:, choice].copy()
+        choices = rng.integers(0, self.n_observations, size=self.n_rows)
+        return self.observations[np.arange(self.n_rows), choices]
+
+    def mean(self):
+        return self.observations.mean(axis=1)
+
+    def support(self):
+        return self.observations.min(axis=1), self.observations.max(axis=1)

@@ -1,0 +1,163 @@
+"""Geometric-Brownian-motion VG function for the Portfolio workload.
+
+Section 6.1: "future prices are generated according to a geometric
+Brownian motion", and "tuples referring to the same stock are correlated
+to one another" — e.g. the 1-day and 1-week gains of the same stock share
+one Brownian path, while different stocks are independent.
+
+For a stock with current price ``S₀``, drift ``μ``, and volatility ``σ``,
+the price at horizon ``t`` (in days) is
+
+    ``S_t = S₀ · exp((μ − σ²/2)·t + σ·W_t)``
+
+with ``W_t`` a standard Brownian motion.  The *gain* attribute of a tuple
+that sells at horizon ``t`` is ``S_t − S₀``.  Correlation across horizons
+of the same stock is realized by building ``W`` from shared increments.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VGFunctionError
+from .vg import VGFunction, grouped_blocks
+
+
+class GeometricBrownianMotionVG(VGFunction):
+    """Per-stock correlated GBM gains.
+
+    Parameters
+    ----------
+    price_column, drift_column, volatility_column, horizon_column:
+        Column names holding ``S₀``, ``μ`` (per day), ``σ`` (per √day),
+        and the sell horizon ``t`` in days.
+    group_column:
+        Column identifying the stock; rows with equal values form one
+        correlated block sharing a Brownian path.
+    """
+
+    def __init__(
+        self,
+        price_column: str = "price",
+        drift_column: str = "drift",
+        volatility_column: str = "volatility",
+        horizon_column: str = "sell_in_days",
+        group_column: str = "stock",
+    ):
+        super().__init__()
+        self.price_column = price_column
+        self.drift_column = drift_column
+        self.volatility_column = volatility_column
+        self.horizon_column = horizon_column
+        self.group_column = group_column
+        self._price: np.ndarray | None = None
+        self._drift: np.ndarray | None = None
+        self._vol: np.ndarray | None = None
+        self._horizon: np.ndarray | None = None
+        # Fast-path state: set when all blocks share one horizon grid.
+        self._uniform: dict | None = None
+
+    def _build_blocks(self, relation):
+        return grouped_blocks(relation.column(self.group_column))
+
+    def _after_bind(self, relation) -> None:
+        self._price = np.asarray(relation.column(self.price_column), dtype=float)
+        self._drift = np.asarray(relation.column(self.drift_column), dtype=float)
+        self._vol = np.asarray(relation.column(self.volatility_column), dtype=float)
+        self._horizon = np.asarray(relation.column(self.horizon_column), dtype=float)
+        if np.any(self._price <= 0):
+            raise VGFunctionError("stock prices must be positive")
+        if np.any(self._vol < 0):
+            raise VGFunctionError("volatility must be nonnegative")
+        if np.any(self._horizon <= 0):
+            raise VGFunctionError("sell horizons must be positive")
+        for rows in self.blocks:
+            for col, name in ((self._drift, "drift"), (self._vol, "volatility")):
+                if np.ptp(col[rows]) != 0:
+                    raise VGFunctionError(
+                        f"{name} must be constant within a stock block"
+                    )
+        self._detect_uniform_grid()
+
+    def _detect_uniform_grid(self) -> None:
+        """Enable the vectorized path when every block uses one horizon grid.
+
+        All built-in datasets satisfy this (each row group has the same
+        set of sell horizons), turning :meth:`sample_all` into a handful
+        of array operations instead of a Python loop over thousands of
+        stocks.
+        """
+        assert self._horizon is not None
+        blocks = self.blocks
+        first = np.sort(np.unique(self._horizon[blocks[0]]))
+        grids_match = all(
+            np.array_equal(np.sort(np.unique(self._horizon[rows])), first)
+            for rows in blocks
+        )
+        if not grids_match:
+            self._uniform = None
+            return
+        horizon_index = {t: k for k, t in enumerate(first.tolist())}
+        row_block = np.empty(self.n_rows, dtype=np.int64)
+        row_step = np.empty(self.n_rows, dtype=np.int64)
+        for b, rows in enumerate(blocks):
+            row_block[rows] = b
+            for r in rows:
+                row_step[r] = horizon_index[float(self._horizon[r])]
+        self._uniform = {
+            "grid": first,
+            "dt": np.diff(np.concatenate([[0.0], first])),
+            "row_block": row_block,
+            "row_step": row_step,
+        }
+
+    # --- sampling ------------------------------------------------------------
+
+    def _gains_from_w(self, rows: np.ndarray, w: np.ndarray) -> np.ndarray:
+        """Gains for ``rows`` given Brownian values ``w`` at their horizons.
+
+        ``w`` has shape ``(len(rows), size)``.
+        """
+        assert self._price is not None
+        s0 = self._price[rows][:, None]
+        mu = self._drift[rows][:, None]
+        sigma = self._vol[rows][:, None]
+        t = self._horizon[rows][:, None]
+        log_growth = (mu - 0.5 * sigma**2) * t + sigma * w
+        return s0 * (np.exp(log_growth) - 1.0)
+
+    def _sample_block(self, block_index, rng, size):
+        rows = self.blocks[block_index]
+        horizons = self._horizon[rows]
+        grid = np.sort(np.unique(horizons))
+        dt = np.diff(np.concatenate([[0.0], grid]))
+        # Brownian path at the grid points, for `size` scenarios.
+        increments = rng.normal(0.0, 1.0, size=(len(grid), size)) * np.sqrt(dt)[:, None]
+        w_grid = np.cumsum(increments, axis=0)
+        step_of_row = np.searchsorted(grid, horizons)
+        w = w_grid[step_of_row, :]
+        return self._gains_from_w(rows, w)
+
+    def sample_all(self, rng):
+        if self._uniform is None:
+            return super().sample_all(rng)
+        u = self._uniform
+        n_blocks = len(self.blocks)
+        n_steps = len(u["grid"])
+        increments = rng.normal(0.0, 1.0, size=(n_blocks, n_steps)) * np.sqrt(u["dt"])
+        w_grid = np.cumsum(increments, axis=1)
+        w = w_grid[u["row_block"], u["row_step"]][:, None]
+        rows = np.arange(self.n_rows)
+        return self._gains_from_w(rows, w)[:, 0]
+
+    # --- analytic structure ----------------------------------------------------
+
+    def mean(self):
+        """``E[gain] = S₀(e^{μt} − 1)`` (closed form for GBM)."""
+        assert self._price is not None
+        return self._price * (np.exp(self._drift * self._horizon) - 1.0)
+
+    def support(self):
+        """Prices stay positive, so gains are bounded below by ``−S₀``."""
+        assert self._price is not None
+        return -self._price.copy(), np.full(self.n_rows, np.inf)

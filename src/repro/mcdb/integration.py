@@ -1,0 +1,114 @@
+"""Data-integration uncertainty: discrete mixtures over source variants.
+
+The TPC-H workload (Section 6.1) simulates integrating ``D`` data sources
+into one table: each original value is replaced by ``D`` possible
+variations, anchored so their mean is the original value, with the
+variations drawn from an Exponential, Poisson, Uniform, or Student's-t
+perturbation model.  A scenario then realizes each attribute by picking
+one of its ``D`` variants uniformly at random (a discrete distribution
+per tuple), independently across tuples.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VGFunctionError
+from .vg import VGFunction
+
+#: Perturbation families supported by :func:`build_integration_variants`.
+INTEGRATION_FAMILIES = ("exponential", "poisson", "uniform", "student-t")
+
+
+def build_integration_variants(
+    base: np.ndarray,
+    n_sources: int,
+    family: str,
+    rng: np.random.Generator,
+    spread: float = 1.0,
+    family_param: float | None = None,
+) -> np.ndarray:
+    """Generate the ``(n_rows, D)`` variant matrix for one attribute.
+
+    Each row's ``D`` source values are the original value plus centered
+    perturbations from the requested family, then re-centered so the row
+    mean equals the original value exactly ("the mean of these D values is
+    anchored around the original value").
+
+    ``family_param`` carries the distribution parameter from Table 3
+    (rate λ for exponential, λ for Poisson, ν for Student's t; ignored
+    for uniform, which uses ``spread`` as its half-width).
+    """
+    if n_sources < 1:
+        raise VGFunctionError("n_sources must be >= 1")
+    if family not in INTEGRATION_FAMILIES:
+        raise VGFunctionError(
+            f"unknown integration family {family!r};"
+            f" expected one of {INTEGRATION_FAMILIES}"
+        )
+    base = np.asarray(base, dtype=float)
+    shape = (len(base), n_sources)
+    if family == "exponential":
+        lam = 1.0 if family_param is None else float(family_param)
+        if lam <= 0:
+            raise VGFunctionError("exponential rate must be positive")
+        noise = rng.exponential(1.0 / lam, size=shape) - 1.0 / lam
+    elif family == "poisson":
+        lam = 1.0 if family_param is None else float(family_param)
+        if lam <= 0:
+            raise VGFunctionError("poisson rate must be positive")
+        noise = rng.poisson(lam, size=shape).astype(float) - lam
+    elif family == "uniform":
+        noise = rng.uniform(-spread, spread, size=shape)
+    else:  # student-t
+        dof = 2.0 if family_param is None else float(family_param)
+        if dof <= 0:
+            raise VGFunctionError("student-t degrees of freedom must be positive")
+        noise = rng.standard_t(dof, size=shape) * spread
+    noise = noise * (spread if family in ("exponential", "poisson") else 1.0)
+    variants = base[:, None] + noise
+    # Re-center each row so the D source values average to the original.
+    variants += (base - variants.mean(axis=1))[:, None]
+    return variants
+
+
+class DiscreteVariantsVG(VGFunction):
+    """Uniform draw over ``D`` per-tuple variants.
+
+    ``variants`` has shape ``(n_rows, D)``; each scenario independently
+    picks, for each row, one of its ``D`` columns.  Means and supports
+    are exact (finite discrete distribution), so expectation
+    precomputation is analytic for this VG.
+    """
+
+    def __init__(self, variants: np.ndarray):
+        super().__init__()
+        self.variants = np.asarray(variants, dtype=float)
+        if self.variants.ndim != 2 or self.variants.shape[1] < 1:
+            raise VGFunctionError("variants must have shape (n_rows, D) with D >= 1")
+
+    @property
+    def n_sources(self) -> int:
+        return self.variants.shape[1]
+
+    def _after_bind(self, relation) -> None:
+        if self.variants.shape[0] != relation.n_rows:
+            raise VGFunctionError(
+                f"variants cover {self.variants.shape[0]} rows,"
+                f" relation has {relation.n_rows}"
+            )
+
+    def _sample_block(self, block_index, rng, size):
+        rows = self.blocks[block_index]
+        choices = rng.integers(0, self.n_sources, size=(len(rows), size))
+        return self.variants[rows[:, None], choices]
+
+    def sample_all(self, rng):
+        choices = rng.integers(0, self.n_sources, size=self.n_rows)
+        return self.variants[np.arange(self.n_rows), choices]
+
+    def mean(self):
+        return self.variants.mean(axis=1)
+
+    def support(self):
+        return self.variants.min(axis=1), self.variants.max(axis=1)

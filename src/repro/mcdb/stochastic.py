@@ -1,0 +1,87 @@
+"""Stochastic model: which attributes of a relation are uncertain.
+
+A :class:`StochasticModel` maps attribute names to bound VG functions.
+Stochastic attributes do not exist as materialized columns in the base
+relation (their values are unknown, shown as "?" in Figure 1); they come
+into existence per scenario.  Deterministic attributes are served from
+the relation itself.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping
+
+import numpy as np
+
+from ..errors import SchemaError, VGFunctionError
+from .vg import VGFunction
+
+
+class StochasticModel:
+    """Binds VG functions to the stochastic attributes of one relation."""
+
+    def __init__(self, relation, attributes: Mapping[str, VGFunction]):
+        if not attributes:
+            raise VGFunctionError("a stochastic model needs at least one attribute")
+        self.relation = relation
+        self._vgs: dict[str, VGFunction] = {}
+        for name, vg in attributes.items():
+            if relation.has_column(name):
+                raise SchemaError(
+                    f"stochastic attribute {name!r} clashes with a"
+                    f" deterministic column of {relation.name!r}"
+                )
+            self._vgs[name] = vg.bind(relation) if not vg.bound else vg
+        # Stable integer ids feed RNG key derivation.
+        self._attr_ids = {name: i for i, name in enumerate(sorted(self._vgs))}
+
+    # --- lookups -------------------------------------------------------------
+
+    @property
+    def attribute_names(self) -> list[str]:
+        return sorted(self._vgs)
+
+    def is_stochastic(self, name: str) -> bool:
+        """Whether ``name`` is one of this model's stochastic attributes."""
+        return name in self._vgs
+
+    def vg(self, name: str) -> VGFunction:
+        """The bound VG function for attribute ``name``."""
+        try:
+            return self._vgs[name]
+        except KeyError:
+            raise SchemaError(
+                f"no stochastic attribute {name!r};"
+                f" available: {self.attribute_names}"
+            ) from None
+
+    def attr_id(self, name: str) -> int:
+        """Stable integer id of attribute ``name`` (feeds RNG keys)."""
+        self.vg(name)
+        return self._attr_ids[name]
+
+    def stochastic_subset(self, names: Iterable[str]) -> list[str]:
+        """The stochastic attributes among ``names`` (order-stable)."""
+        return [n for n in names if n in self._vgs]
+
+    # --- consistency -----------------------------------------------------------
+
+    def check_against(self, relation) -> None:
+        """Verify the model was built for ``relation`` (same row count/key)."""
+        if relation.n_rows != self.relation.n_rows:
+            raise SchemaError(
+                "stochastic model row count does not match relation"
+                f" ({self.relation.n_rows} vs {relation.n_rows})"
+            )
+        if not np.array_equal(relation.key_values(), self.relation.key_values()):
+            raise SchemaError("stochastic model key column does not match relation")
+
+    # --- analytic structure -----------------------------------------------------
+
+    def mean(self, name: str) -> np.ndarray | None:
+        """Per-row analytic mean of ``name`` (None if unavailable)."""
+        return self.vg(name).mean()
+
+    def support(self, name: str) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row support interval of ``name``."""
+        return self.vg(name).support()

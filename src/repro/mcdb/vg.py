@@ -1,0 +1,167 @@
+"""VG-function framework.
+
+A VG ("variable generation") function produces realizations of one
+stochastic attribute for every tuple of a relation.  Independence
+structure is expressed through *blocks*: rows within a block may be
+arbitrarily correlated (e.g. trades on the same stock share a Brownian
+path, Section 6.1), while distinct blocks are statistically independent.
+The block partition is what makes both of the paper's summary-generation
+strategies (Section 5.5) possible:
+
+* **tuple-wise** generation seeds one RNG per *block* and draws all ``M``
+  realizations for that block at once;
+* **scenario-wise** generation seeds one RNG per *scenario* and draws one
+  realization of every block.
+
+Subclasses implement :meth:`_sample_block`; a vectorized
+:meth:`sample_all` fast path may be overridden when the block loop is a
+bottleneck (all built-in VG functions do).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from ..errors import VGFunctionError
+
+
+class VGFunction(ABC):
+    """Base class for variable-generation functions.
+
+    A VG function must be *bound* to a relation before sampling; binding
+    resolves column references and fixes the block partition.  Bound
+    instances are immutable with respect to sampling: the same RNG state
+    always produces the same realizations.
+    """
+
+    def __init__(self) -> None:
+        self._relation = None
+        self._blocks: list[np.ndarray] | None = None
+        self._block_of_row: np.ndarray | None = None
+
+    # --- binding -------------------------------------------------------------
+
+    def bind(self, relation) -> "VGFunction":
+        """Resolve columns against ``relation`` and build the block partition."""
+        self._relation = relation
+        self._blocks = self._build_blocks(relation)
+        n = relation.n_rows
+        covered = np.full(n, -1, dtype=np.int64)
+        for b, rows in enumerate(self._blocks):
+            if np.any(covered[rows] != -1):
+                raise VGFunctionError("blocks must be disjoint")
+            covered[rows] = b
+        if np.any(covered < 0):
+            raise VGFunctionError("blocks must cover every row of the relation")
+        self._block_of_row = covered
+        self._after_bind(relation)
+        return self
+
+    def _build_blocks(self, relation) -> list[np.ndarray]:
+        """Default partition: every row is its own (independent) block."""
+        return [np.array([i]) for i in range(relation.n_rows)]
+
+    def _after_bind(self, relation) -> None:
+        """Hook for subclasses to precompute bound state."""
+
+    @property
+    def bound(self) -> bool:
+        return self._relation is not None
+
+    def _require_bound(self):
+        if self._relation is None:
+            raise VGFunctionError(
+                f"{type(self).__name__} must be bound to a relation before use"
+            )
+        return self._relation
+
+    @property
+    def n_rows(self) -> int:
+        return self._require_bound().n_rows
+
+    @property
+    def blocks(self) -> list[np.ndarray]:
+        self._require_bound()
+        assert self._blocks is not None
+        return self._blocks
+
+    @property
+    def n_blocks(self) -> int:
+        return len(self.blocks)
+
+    def block_of_rows(self, rows: np.ndarray) -> np.ndarray:
+        """Block index for each given row position."""
+        self._require_bound()
+        assert self._block_of_row is not None
+        return self._block_of_row[rows]
+
+    # --- sampling ------------------------------------------------------------
+
+    @abstractmethod
+    def _sample_block(
+        self, block_index: int, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Draw ``size`` i.i.d. realizations of one block.
+
+        Returns an array of shape ``(block_len, size)``.
+        """
+
+    def sample_block(
+        self, block_index: int, rng: np.random.Generator, size: int
+    ) -> np.ndarray:
+        """Public wrapper around :meth:`_sample_block` with shape checking."""
+        self._require_bound()
+        values = np.asarray(self._sample_block(block_index, rng, size), dtype=float)
+        expected = (len(self.blocks[block_index]), size)
+        if values.shape != expected:
+            raise VGFunctionError(
+                f"{type(self).__name__}._sample_block returned shape"
+                f" {values.shape}, expected {expected}"
+            )
+        return values
+
+    def sample_all(self, rng: np.random.Generator) -> np.ndarray:
+        """Draw one full scenario (one value per row), vectorized.
+
+        The default implementation loops blocks with a single shared RNG;
+        subclasses override it with vectorized logic.  Both paths must
+        produce the same *distribution* (not the same bit stream).
+        """
+        relation = self._require_bound()
+        out = np.empty(relation.n_rows, dtype=float)
+        for b, rows in enumerate(self.blocks):
+            out[rows] = self._sample_block(b, rng, 1)[:, 0]
+        return out
+
+    # --- analytic structure ----------------------------------------------------
+
+    def mean(self) -> np.ndarray | None:
+        """Per-row expectation, if available in closed form (else ``None``).
+
+        Used by the expectation-precomputation phase (Section 3.2) to skip
+        Monte Carlo averaging.
+        """
+        return None
+
+    def support(self) -> tuple[np.ndarray, np.ndarray]:
+        """Per-row support interval ``(lo, hi)``; ±inf where unbounded.
+
+        Feeds the objective-value bounds of Appendix B (assumption A1).
+        """
+        n = self.n_rows
+        return np.full(n, -np.inf), np.full(n, np.inf)
+
+
+def grouped_blocks(values: np.ndarray) -> list[np.ndarray]:
+    """Partition row positions by equal values of ``values``.
+
+    Used by VG functions whose correlation structure is keyed by a
+    grouping column (e.g. stock symbol).  Blocks preserve first-occurrence
+    order, making the partition deterministic.
+    """
+    order: dict = {}
+    for i, v in enumerate(np.asarray(values).tolist()):
+        order.setdefault(v, []).append(i)
+    return [np.asarray(rows, dtype=np.int64) for rows in order.values()]

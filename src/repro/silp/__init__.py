@@ -1,0 +1,35 @@
+"""Stochastic ILP intermediate representation.
+
+The sPaQL AST is normalized (Section 2.3) into a
+:class:`StochasticPackageProblem`: a relation (with the WHERE filter
+applied as an active-row set), one decision variable per active tuple,
+mean-based linear constraints, probabilistic constraints in the canonical
+``Pr(Σ f·x ⊙ v) ≥ p`` form, and an objective that is either an
+expectation (covering deterministic objectives as the degenerate case) or
+a probability (handled by epigraph-style SAA/CSA objectives).
+"""
+
+from .model import (
+    MeanConstraint,
+    ChanceConstraint,
+    ExpectationObjectiveIR,
+    ProbabilityObjectiveIR,
+    StochasticPackageProblem,
+)
+from .compile import compile_query
+from .canonical import flip_chance_constraint, normalize_constraint, normalize_objective
+from .varbounds import derive_variable_bounds, package_size_bounds
+
+__all__ = [
+    "MeanConstraint",
+    "ChanceConstraint",
+    "ExpectationObjectiveIR",
+    "ProbabilityObjectiveIR",
+    "StochasticPackageProblem",
+    "compile_query",
+    "flip_chance_constraint",
+    "normalize_constraint",
+    "normalize_objective",
+    "derive_variable_bounds",
+    "package_size_bounds",
+]

@@ -1,0 +1,130 @@
+"""Canonicalization rewrites (Section 2.3).
+
+* ``Pr(inner) ≤ p`` becomes ``Pr(flipped inner) ≥ 1−p`` by flipping the
+  inner operator (for continuous inner functions the boundary event has
+  probability zero; for discrete ones the rewrite is the standard
+  convention adopted by the paper).
+* ``COUNT(*)`` constraints become ``SUM(1)`` constraints.
+* Bare ``SUM`` over stochastic expressions is rejected: the user must say
+  ``EXPECTED`` or attach ``WITH PROBABILITY``.
+* Objectives: expectations (and deterministic sums) map to
+  :class:`ExpectationObjectiveIR`; probability objectives keep their
+  inner constraint for epigraph-style treatment by the evaluators.
+"""
+
+from __future__ import annotations
+
+from ..db.expressions import Const, Expr, attributes_of
+from ..errors import CompileError
+from ..spaql.nodes import (
+    CountConstraint,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+    ProbabilityObjective,
+)
+from .model import (
+    ChanceConstraint,
+    ExpectationObjectiveIR,
+    MeanConstraint,
+    OP_GE,
+    OP_LE,
+    ProbabilityObjectiveIR,
+)
+
+_FLIP = {OP_LE: OP_GE, OP_GE: OP_LE}
+
+
+def _is_stochastic(expr: Expr, model) -> bool:
+    if model is None:
+        return False
+    return any(model.is_stochastic(name) for name in attributes_of(expr))
+
+
+def flip_chance_constraint(
+    inner_op: str, probability: float
+) -> tuple[str, float]:
+    """Rewrite ``Pr(· inner_op v) ≤ p`` into the canonical ``≥`` form."""
+    if inner_op not in _FLIP:
+        raise CompileError(
+            "probabilistic constraints need a <= or >= inner operator"
+        )
+    return _FLIP[inner_op], 1.0 - probability
+
+
+def normalize_constraint(node, model) -> list:
+    """Lower one AST constraint into IR constraints."""
+    if isinstance(node, CountConstraint):
+        one = Const(1)
+        if node.op is not None:
+            return [MeanConstraint(one, node.op, float(node.value))]
+        out = []
+        if node.low is not None:
+            out.append(MeanConstraint(one, OP_GE, float(node.low)))
+        if node.high is not None:
+            out.append(MeanConstraint(one, OP_LE, float(node.high)))
+        return out
+    if isinstance(node, SumConstraint):
+        stochastic = _is_stochastic(node.expr, model)
+        if stochastic and not node.expected:
+            raise CompileError(
+                f"SUM({node.expr}) ranges over stochastic attributes;"
+                " write EXPECTED SUM(...) or add WITH PROBABILITY"
+            )
+        if node.op not in (OP_LE, OP_GE, "="):
+            raise CompileError(
+                f"unsupported constraint operator {node.op!r};"
+                " use <=, >= or ="
+            )
+        return [MeanConstraint(node.expr, node.op, float(node.rhs))]
+    if isinstance(node, ProbabilisticConstraint):
+        if not _is_stochastic(node.expr, model):
+            raise CompileError(
+                f"WITH PROBABILITY on deterministic expression {node.expr};"
+                " the constraint is either always or never satisfied"
+            )
+        inner_op, probability = node.op, node.probability
+        if node.prob_op == OP_LE:
+            inner_op, probability = flip_chance_constraint(inner_op, probability)
+        elif node.prob_op != OP_GE:
+            raise CompileError(
+                f"unsupported probability comparison {node.prob_op!r}"
+            )
+        if inner_op not in (OP_LE, OP_GE):
+            raise CompileError(
+                "probabilistic inner constraints support only <= and >="
+            )
+        if not 0.0 < probability < 1.0:
+            raise CompileError(
+                "after canonicalization the probability threshold must be"
+                f" in (0, 1); got {probability}"
+            )
+        return [
+            ChanceConstraint(node.expr, inner_op, float(node.rhs), probability)
+        ]
+    raise CompileError(f"unknown constraint node {type(node).__name__}")
+
+
+def normalize_objective(node, model):
+    """Lower the AST objective into an IR objective (or ``None``)."""
+    if node is None:
+        return None
+    if isinstance(node, SumObjective):
+        stochastic = _is_stochastic(node.expr, model)
+        if stochastic and not node.expected:
+            raise CompileError(
+                "objective over stochastic attributes must be EXPECTED SUM"
+                " or PROBABILITY OF"
+            )
+        return ExpectationObjectiveIR(node.sense, node.expr)
+    if isinstance(node, ProbabilityObjective):
+        if node.op not in (OP_LE, OP_GE):
+            raise CompileError(
+                "probability objectives support only <= and >= inner operators"
+            )
+        if not _is_stochastic(node.expr, model):
+            raise CompileError(
+                "PROBABILITY OF objective over a deterministic expression"
+            )
+        return ProbabilityObjectiveIR(node.sense, node.expr, node.op, float(node.rhs))
+    raise CompileError(f"unknown objective node {type(node).__name__}")

@@ -1,0 +1,90 @@
+"""Compile a parsed sPaQL query against a catalog into the SILP IR."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..db.catalog import Catalog
+from ..db.expressions import attributes_of, evaluate
+from ..errors import CompileError
+from ..spaql.nodes import PackageQuery
+from ..spaql.parser import parse_query
+from .canonical import normalize_constraint, normalize_objective
+from .model import StochasticPackageProblem
+
+
+def _check_attributes(query: PackageQuery, relation, model) -> None:
+    """Every referenced attribute must be a column or a stochastic attribute."""
+    exprs = []
+    if query.where is not None:
+        exprs.append(("WHERE", query.where))
+    for constraint in query.constraints:
+        expr = getattr(constraint, "expr", None)
+        if expr is not None:
+            exprs.append(("SUCH THAT", expr))
+    objective_expr = getattr(query.objective, "expr", None)
+    if objective_expr is not None:
+        exprs.append(("objective", objective_expr))
+    for clause, expr in exprs:
+        for name in attributes_of(expr):
+            known = relation.has_column(name) or (
+                model is not None and model.is_stochastic(name)
+            )
+            if not known:
+                raise CompileError(
+                    f"unknown attribute {name!r} in {clause} clause of query"
+                    f" over table {relation.name!r}"
+                )
+
+
+def _apply_where(query: PackageQuery, relation, model) -> np.ndarray:
+    """Resolve the WHERE clause to active base-relation row positions.
+
+    Tuple-level predicates must be deterministic (the paper's queries
+    filter on deterministic attributes only; predicates over stochastic
+    attributes would make the package *membership* random).
+    """
+    if query.where is None:
+        return np.arange(relation.n_rows, dtype=np.int64)
+    names = attributes_of(query.where)
+    if model is not None:
+        stochastic = [n for n in names if model.is_stochastic(n)]
+        if stochastic:
+            raise CompileError(
+                "WHERE predicates over stochastic attributes are not"
+                f" supported: {sorted(stochastic)}"
+            )
+    mask = evaluate(query.where, relation.columns_mapping())
+    mask = np.asarray(mask, dtype=bool)
+    if mask.shape != (relation.n_rows,):
+        raise CompileError("WHERE predicate must evaluate to one boolean per row")
+    return np.nonzero(mask)[0].astype(np.int64)
+
+
+def compile_query(
+    query: PackageQuery | str, catalog: Catalog
+) -> StochasticPackageProblem:
+    """Compile sPaQL (text or AST) into a :class:`StochasticPackageProblem`."""
+    if isinstance(query, str):
+        query = parse_query(query)
+    relation = catalog.relation(query.table)
+    model = catalog.model(query.table)
+    _check_attributes(query, relation, model)
+    active_rows = _apply_where(query, relation, model)
+    constraints = []
+    for node in query.constraints:
+        constraints.extend(normalize_constraint(node, model))
+    objective = normalize_objective(query.objective, model)
+    if query.repeat is not None and query.repeat < 0:
+        raise CompileError("REPEAT limit must be nonnegative")
+    problem = StochasticPackageProblem(
+        relation=relation,
+        model=model,
+        active_rows=active_rows,
+        objective=objective,
+        constraints=constraints,
+        repeat=query.repeat,
+        source_query=query,
+    )
+    problem.validate()
+    return problem

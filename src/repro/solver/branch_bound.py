@@ -1,0 +1,190 @@
+"""From-scratch LP-based branch and bound.
+
+A compact MILP solver built on ``scipy.optimize.linprog`` (HiGHS LP):
+best-bound node selection, most-fractional branching, incumbent pruning
+with a relative-gap stop.  It exists for two reasons:
+
+* a fallback when the HiGHS MILP interface is unavailable or behaves
+  unexpectedly, mirroring how the paper's system treats the solver as a
+  replaceable component;
+* a differential-testing oracle — the test suite cross-checks it against
+  HiGHS on randomized small instances.
+
+It is intended for the small CSA problems (Θ(N·Z·K) coefficients); Naïve's
+giant SAA problems should use the HiGHS backend.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import time
+
+import numpy as np
+from scipy.optimize import linprog
+
+from .result import (
+    MILPResult,
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_TIME_LIMIT,
+    STATUS_UNBOUNDED,
+)
+
+#: Integrality tolerance: LP values closer than this to an integer count
+#: as integral.
+_INT_TOL = 1e-6
+
+
+def _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub):
+    """LP relaxation with current variable box; returns (status, x, obj)."""
+    bounds = np.column_stack([var_lb, var_ub])
+    res = linprog(
+        c,
+        A_ub=a_ub,
+        b_ub=b_ub,
+        bounds=bounds,
+        method="highs",
+    )
+    if res.status == 0:
+        return "optimal", res.x, float(res.fun)
+    if res.status == 2:
+        return "infeasible", None, np.inf
+    if res.status == 3:
+        return "unbounded", None, -np.inf
+    return "error", None, np.inf
+
+
+def _to_inequality_form(matrix, row_lb, row_ub):
+    """Convert two-sided rows into ``A_ub x ≤ b_ub`` form."""
+    blocks = []
+    rhs = []
+    dense = matrix.toarray() if hasattr(matrix, "toarray") else np.asarray(matrix)
+    finite_ub = np.isfinite(row_ub)
+    if np.any(finite_ub):
+        blocks.append(dense[finite_ub])
+        rhs.append(row_ub[finite_ub])
+    finite_lb = np.isfinite(row_lb)
+    if np.any(finite_lb):
+        blocks.append(-dense[finite_lb])
+        rhs.append(-row_lb[finite_lb])
+    if not blocks:
+        return None, None
+    return np.vstack(blocks), np.concatenate(rhs)
+
+
+def solve_with_branch_bound(
+    builder,
+    time_limit: float | None = None,
+    mip_gap: float = 1e-6,
+    max_nodes: int = 200_000,
+) -> MILPResult:
+    """Solve the builder's model by branch and bound."""
+    c, matrix, row_lb, row_ub, var_lb, var_ub, integrality = builder.to_arrays()
+    a_ub, b_ub = _to_inequality_form(matrix, row_lb, row_ub)
+    started = time.perf_counter()
+    deadline = None if time_limit is None else started + float(time_limit)
+
+    status, x0, bound0 = _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub)
+    if status == "infeasible":
+        return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started))
+    if status == "unbounded":
+        return MILPResult(status=STATUS_UNBOUNDED, solve_time=_since(started))
+    if status == "error":
+        return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started),
+                          message="LP relaxation failed")
+
+    incumbent_x: np.ndarray | None = None
+    incumbent_obj = np.inf
+    counter = itertools.count()
+    # Heap of (lp_bound, tiebreak, var_lb, var_ub, lp_x).
+    heap = [(bound0, next(counter), var_lb.copy(), var_ub.copy(), x0)]
+    n_nodes = 0
+
+    while heap:
+        bound, _, lb, ub, x = heapq.heappop(heap)
+        n_nodes += 1
+        if n_nodes > max_nodes:
+            break
+        if deadline is not None and time.perf_counter() > deadline:
+            break
+        if incumbent_x is not None and bound >= incumbent_obj - _gap_slack(
+            incumbent_obj, mip_gap
+        ):
+            continue  # pruned by bound
+        frac_index = _most_fractional(x, integrality)
+        if frac_index is None:
+            # Integral: new incumbent (bounds guarantee improvement).
+            candidate = _snap(x, integrality)
+            obj = float(c @ candidate)
+            if obj < incumbent_obj:
+                incumbent_obj = obj
+                incumbent_x = candidate
+            continue
+        value = x[frac_index]
+        for branch in ("down", "up"):
+            new_lb = lb.copy()
+            new_ub = ub.copy()
+            if branch == "down":
+                new_ub[frac_index] = np.floor(value)
+            else:
+                new_lb[frac_index] = np.ceil(value)
+            if new_lb[frac_index] > new_ub[frac_index]:
+                continue
+            child_status, child_x, child_bound = _solve_relaxation(
+                c, a_ub, b_ub, new_lb, new_ub
+            )
+            if child_status != "optimal":
+                continue
+            if incumbent_x is not None and child_bound >= incumbent_obj - _gap_slack(
+                incumbent_obj, mip_gap
+            ):
+                continue
+            heapq.heappush(
+                heap, (child_bound, next(counter), new_lb, new_ub, child_x)
+            )
+
+    elapsed = _since(started)
+    if incumbent_x is None:
+        if n_nodes > max_nodes or (deadline is not None and time.perf_counter() > deadline):
+            return MILPResult(
+                status=STATUS_TIME_LIMIT, solve_time=elapsed, n_nodes=n_nodes
+            )
+        return MILPResult(
+            status=STATUS_INFEASIBLE, solve_time=elapsed, n_nodes=n_nodes
+        )
+    exhausted = not heap
+    status_out = STATUS_OPTIMAL if exhausted else STATUS_FEASIBLE
+    return MILPResult(
+        status=status_out,
+        x=incumbent_x,
+        objective=builder.objective_value(incumbent_x),
+        solve_time=elapsed,
+        n_nodes=n_nodes,
+    )
+
+
+def _since(started: float) -> float:
+    return time.perf_counter() - started
+
+
+def _gap_slack(incumbent_obj: float, mip_gap: float) -> float:
+    return abs(incumbent_obj) * mip_gap
+
+
+def _most_fractional(x: np.ndarray, integrality: np.ndarray):
+    """Index of the integer variable farthest from integrality, or None."""
+    fractional = np.abs(x - np.round(x))
+    fractional[~integrality] = 0.0
+    index = int(np.argmax(fractional))
+    if fractional[index] <= _INT_TOL:
+        return None
+    return index
+
+
+def _snap(x: np.ndarray, integrality: np.ndarray) -> np.ndarray:
+    out = np.array(x, dtype=float)
+    out[integrality] = np.round(out[integrality])
+    out[out == 0.0] = 0.0
+    return out

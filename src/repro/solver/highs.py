@@ -1,0 +1,93 @@
+"""HiGHS MILP backend via ``scipy.optimize.milp``."""
+
+from __future__ import annotations
+
+import time
+
+import numpy as np
+from scipy.optimize import Bounds, LinearConstraint, milp
+
+from .result import (
+    MILPResult,
+    STATUS_FEASIBLE,
+    STATUS_INFEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_TIME_LIMIT,
+    STATUS_UNBOUNDED,
+    STATUS_ERROR,
+)
+
+#: scipy.optimize.milp status codes.
+_SCIPY_OPTIMAL = 0
+_SCIPY_INFEASIBLE = 2
+_SCIPY_UNBOUNDED = 3
+_SCIPY_LIMIT = 1  # iteration or time limit
+
+
+def solve_with_highs(
+    builder,
+    time_limit: float | None = None,
+    mip_gap: float = 1e-6,
+) -> MILPResult:
+    """Solve the builder's model with HiGHS and normalize the outcome."""
+    c, matrix, row_lb, row_ub, var_lb, var_ub, integrality = builder.to_arrays()
+    options: dict = {"mip_rel_gap": max(mip_gap, 0.0), "presolve": True}
+    if time_limit is not None:
+        options["time_limit"] = max(float(time_limit), 0.01)
+    constraints = (
+        LinearConstraint(matrix, row_lb, row_ub) if matrix.shape[0] else ()
+    )
+    started = time.perf_counter()
+    res = milp(
+        c=c,
+        constraints=constraints,
+        integrality=integrality.astype(int),
+        bounds=Bounds(var_lb, var_ub),
+        options=options,
+    )
+    elapsed = time.perf_counter() - started
+    if res.status == _SCIPY_OPTIMAL:
+        x = _round_integers(res.x, integrality)
+        return MILPResult(
+            status=STATUS_OPTIMAL,
+            x=x,
+            objective=builder.objective_value(x),
+            solve_time=elapsed,
+            gap=float(res.mip_gap) if res.mip_gap is not None else None,
+            message=str(res.message),
+        )
+    if res.status == _SCIPY_INFEASIBLE:
+        return MILPResult(
+            status=STATUS_INFEASIBLE, solve_time=elapsed, message=str(res.message)
+        )
+    if res.status == _SCIPY_UNBOUNDED:
+        return MILPResult(
+            status=STATUS_UNBOUNDED, solve_time=elapsed, message=str(res.message)
+        )
+    if res.status == _SCIPY_LIMIT and res.x is not None:
+        # Limit hit but HiGHS returned an incumbent.
+        x = _round_integers(res.x, integrality)
+        return MILPResult(
+            status=STATUS_FEASIBLE,
+            x=x,
+            objective=builder.objective_value(x),
+            solve_time=elapsed,
+            gap=float(res.mip_gap) if res.mip_gap is not None else None,
+            message=str(res.message),
+        )
+    if res.status == _SCIPY_LIMIT:
+        return MILPResult(
+            status=STATUS_TIME_LIMIT, solve_time=elapsed, message=str(res.message)
+        )
+    return MILPResult(
+        status=STATUS_ERROR, solve_time=elapsed, message=str(res.message)
+    )
+
+
+def _round_integers(x: np.ndarray, integrality: np.ndarray) -> np.ndarray:
+    """Snap integer variables to exact integers (HiGHS returns floats)."""
+    out = np.array(x, dtype=float)
+    out[integrality] = np.round(out[integrality])
+    # Guard against -0.0 which confuses downstream equality checks.
+    out[out == 0.0] = 0.0
+    return out

@@ -1,0 +1,258 @@
+"""Matrix-form MILP construction with indicator-constraint support.
+
+The SAA/CSA formulations (Sections 3.1 and 4.1) need, per probabilistic
+constraint and per scenario/summary, an *indicator constraint*
+``y = 1 ⟹ Σ s_ij·x_i ⊙ v`` plus a cardinality constraint over the
+indicators.  CPLEX supports indicators natively; here they are encoded
+with data-derived big-M values, which is exact when variable bounds are
+finite (they are — ``silp.varbounds`` guarantees it):
+
+* ``y=1 ⟹ a·x ≥ v``   becomes   ``a·x − (v − lo)·y ≥ lo``
+* ``y=1 ⟹ a·x ≤ v``   becomes   ``a·x + (hi − v)·y ≤ hi``
+
+where ``lo/hi`` bound ``a·x`` over the variable box.  If the implication
+is vacuous (``lo ≥ v`` resp. ``hi ≤ v``) no row is emitted; if it is
+unsatisfiable the indicator is pinned to zero.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from ..errors import SolverError
+from .result import MILPResult
+
+SENSE_MIN = "minimize"
+SENSE_MAX = "maximize"
+
+
+class MILPBuilder:
+    """Incrementally builds ``min/max c·x  s.t.  lb ≤ Ax ≤ ub, x ∈ box``."""
+
+    def __init__(self) -> None:
+        self._names: list[str] = []
+        self._lb: list[float] = []
+        self._ub: list[float] = []
+        self._integer: list[bool] = []
+        self._rows: list[tuple[np.ndarray, np.ndarray]] = []
+        self._row_lb: list[float] = []
+        self._row_ub: list[float] = []
+        self._objective: dict[int, float] = {}
+        self._sense = SENSE_MIN
+
+    # --- variables ---------------------------------------------------------------
+
+    def add_variable(
+        self,
+        name: str,
+        lb: float = 0.0,
+        ub: float = np.inf,
+        integer: bool = True,
+    ) -> int:
+        """Register one decision variable; returns its index."""
+        if lb > ub:
+            raise SolverError(f"variable {name!r} has lb {lb} > ub {ub}")
+        self._names.append(name)
+        self._lb.append(float(lb))
+        self._ub.append(float(ub))
+        self._integer.append(bool(integer))
+        return len(self._names) - 1
+
+    def add_variables(
+        self,
+        prefix: str,
+        count: int,
+        lb=0.0,
+        ub=np.inf,
+        integer: bool = True,
+    ) -> np.ndarray:
+        """Vector helper: returns the indices of ``count`` new variables."""
+        lbs = np.broadcast_to(np.asarray(lb, dtype=float), (count,))
+        ubs = np.broadcast_to(np.asarray(ub, dtype=float), (count,))
+        start = len(self._names)
+        for i in range(count):
+            self.add_variable(f"{prefix}[{i}]", lbs[i], ubs[i], integer)
+        return np.arange(start, start + count)
+
+    @property
+    def n_variables(self) -> int:
+        return len(self._names)
+
+    @property
+    def n_constraints(self) -> int:
+        return len(self._rows)
+
+    def variable_bounds(self, index: int) -> tuple[float, float]:
+        """The (lb, ub) box of variable ``index``."""
+        return self._lb[index], self._ub[index]
+
+    # --- constraints ----------------------------------------------------------------
+
+    def add_constraint(
+        self,
+        indices,
+        coefficients,
+        lb: float = -np.inf,
+        ub: float = np.inf,
+    ) -> int:
+        """Add ``lb ≤ Σ coefficients·x[indices] ≤ ub``."""
+        idx = np.asarray(indices, dtype=np.int64)
+        coef = np.asarray(coefficients, dtype=float)
+        if idx.shape != coef.shape:
+            raise SolverError("indices and coefficients must have equal shape")
+        if idx.size and (idx.min() < 0 or idx.max() >= self.n_variables):
+            raise SolverError("constraint references unknown variable index")
+        if lb > ub:
+            raise SolverError(f"constraint has lb {lb} > ub {ub}")
+        self._rows.append((idx, coef))
+        self._row_lb.append(float(lb))
+        self._row_ub.append(float(ub))
+        return len(self._rows) - 1
+
+    def row_value_bounds(self, indices, coefficients) -> tuple[float, float]:
+        """Range of ``Σ c·x`` over the current variable box."""
+        idx = np.asarray(indices, dtype=np.int64)
+        coef = np.asarray(coefficients, dtype=float)
+        lo = hi = 0.0
+        lbs = np.asarray(self._lb)[idx]
+        ubs = np.asarray(self._ub)[idx]
+        low_terms = np.minimum(coef * lbs, coef * ubs)
+        high_terms = np.maximum(coef * lbs, coef * ubs)
+        lo = float(low_terms.sum())
+        hi = float(high_terms.sum())
+        return lo, hi
+
+    def add_indicator(
+        self,
+        binary_index: int,
+        indices,
+        coefficients,
+        op: str,
+        rhs: float,
+    ) -> None:
+        """Encode ``x[binary_index] = 1 ⟹ Σ c·x ⊙ rhs`` via big-M."""
+        lb, ub = self.variable_bounds(binary_index)
+        if not (lb >= 0 and ub <= 1 and self._integer[binary_index]):
+            raise SolverError("indicator variable must be binary")
+        lo, hi = self.row_value_bounds(indices, coefficients)
+        if not np.isfinite(lo) or not np.isfinite(hi):
+            raise SolverError(
+                "indicator constraints need finite variable bounds for the"
+                " big-M encoding (see silp.varbounds)"
+            )
+        idx = np.append(np.asarray(indices, dtype=np.int64), binary_index)
+        coef = np.asarray(coefficients, dtype=float)
+        if op == ">=":
+            if lo >= rhs:
+                return  # implication always holds
+            if hi < rhs:
+                # y = 1 can never satisfy the inner constraint: pin y = 0.
+                self.add_constraint([binary_index], [1.0], ub=0.0)
+                return
+            big_m = rhs - lo
+            self.add_constraint(idx, np.append(coef, -big_m), lb=lo)
+        elif op == "<=":
+            if hi <= rhs:
+                return
+            if lo > rhs:
+                self.add_constraint([binary_index], [1.0], ub=0.0)
+                return
+            big_m = hi - rhs
+            self.add_constraint(idx, np.append(coef, big_m), ub=hi)
+        else:
+            raise SolverError(f"indicator operator must be <= or >=, got {op!r}")
+
+    # --- objective -------------------------------------------------------------------
+
+    def set_objective(self, indices, coefficients, sense: str = SENSE_MIN) -> None:
+        """Set the (sparse) linear objective and its sense."""
+        if sense not in (SENSE_MIN, SENSE_MAX):
+            raise SolverError(f"unknown objective sense {sense!r}")
+        idx = np.asarray(indices, dtype=np.int64)
+        coef = np.asarray(coefficients, dtype=float)
+        if idx.shape != coef.shape:
+            raise SolverError("indices and coefficients must have equal shape")
+        self._objective = {int(i): float(c) for i, c in zip(idx, coef)}
+        self._sense = sense
+
+    # --- materialization ---------------------------------------------------------------
+
+    def to_arrays(self):
+        """Materialize ``(c, A, row_lb, row_ub, var_lb, var_ub, integrality)``.
+
+        ``c`` is in *minimization* form (negated for maximize); callers
+        translate objective values back via :meth:`objective_sign`.
+        """
+        n = self.n_variables
+        c = np.zeros(n)
+        for i, v in self._objective.items():
+            c[i] = v
+        if self._sense == SENSE_MAX:
+            c = -c
+        if self._rows:
+            data, rows, cols = [], [], []
+            for r, (idx, coef) in enumerate(self._rows):
+                rows.extend([r] * len(idx))
+                cols.extend(idx.tolist())
+                data.extend(coef.tolist())
+            matrix = sparse.csr_matrix(
+                (data, (rows, cols)), shape=(len(self._rows), n)
+            )
+        else:
+            matrix = sparse.csr_matrix((0, n))
+        return (
+            c,
+            matrix,
+            np.asarray(self._row_lb),
+            np.asarray(self._row_ub),
+            np.asarray(self._lb),
+            np.asarray(self._ub),
+            np.asarray(self._integer, dtype=bool),
+        )
+
+    @property
+    def sense(self) -> str:
+        return self._sense
+
+    def objective_value(self, x: np.ndarray) -> float:
+        """Evaluate the objective at ``x`` in the caller's sense."""
+        return float(sum(c * x[i] for i, c in self._objective.items()))
+
+    # --- solving ----------------------------------------------------------------------
+
+    def solve(
+        self,
+        backend: str = "highs",
+        time_limit: float | None = None,
+        mip_gap: float = 1e-6,
+    ) -> MILPResult:
+        """Solve with the requested backend; returns a :class:`MILPResult`."""
+        from .branch_bound import solve_with_branch_bound
+        from .highs import solve_with_highs
+
+        if backend == "highs":
+            return solve_with_highs(self, time_limit=time_limit, mip_gap=mip_gap)
+        if backend == "branch-bound":
+            return solve_with_branch_bound(
+                self, time_limit=time_limit, mip_gap=mip_gap
+            )
+        raise SolverError(f"unknown solver backend {backend!r}")
+
+    def check_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
+        """Verify ``x`` against all rows and bounds (testing aid)."""
+        x = np.asarray(x, dtype=float)
+        if x.shape != (self.n_variables,):
+            return False
+        lbs = np.asarray(self._lb)
+        ubs = np.asarray(self._ub)
+        if np.any(x < lbs - tol) or np.any(x > ubs + tol):
+            return False
+        integers = np.asarray(self._integer, dtype=bool)
+        if np.any(np.abs(x[integers] - np.round(x[integers])) > tol):
+            return False
+        for (idx, coef), lb, ub in zip(self._rows, self._row_lb, self._row_ub):
+            value = float(coef @ x[idx])
+            if value < lb - tol or value > ub + tol:
+                return False
+        return True

@@ -1,0 +1,48 @@
+"""Solver result object shared by all backends."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+STATUS_OPTIMAL = "optimal"
+STATUS_FEASIBLE = "feasible"  # stopped early with an incumbent
+STATUS_INFEASIBLE = "infeasible"
+STATUS_UNBOUNDED = "unbounded"
+STATUS_TIME_LIMIT = "time_limit"  # stopped early with no incumbent
+STATUS_ERROR = "error"
+
+
+@dataclass
+class MILPResult:
+    """Outcome of one MILP solve.
+
+    ``x`` is ``None`` unless a feasible assignment was found
+    (``optimal``/``feasible``).  ``objective`` is reported in the caller's
+    sense (maximization objectives are not negated).
+    """
+
+    status: str
+    x: np.ndarray | None = None
+    objective: float | None = None
+    solve_time: float = 0.0
+    n_nodes: int = 0
+    gap: float | None = None
+    message: str = ""
+    meta: dict = field(default_factory=dict)
+
+    @property
+    def has_solution(self) -> bool:
+        return self.x is not None
+
+    @property
+    def is_optimal(self) -> bool:
+        return self.status == STATUS_OPTIMAL
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        obj = "-" if self.objective is None else f"{self.objective:.6g}"
+        return (
+            f"MILPResult(status={self.status!r}, objective={obj},"
+            f" time={self.solve_time:.3f}s, nodes={self.n_nodes})"
+        )

@@ -1,0 +1,31 @@
+"""sPaQL: the stochastic package query language (Appendix A).
+
+sPaQL extends PaQL (itself an extension of SQL) with ``EXPECTED``
+constraints/objectives and ``WITH PROBABILITY`` (chance) constraints,
+plus ``PROBABILITY OF`` objectives.  This package provides the lexer,
+AST, recursive-descent parser, and a pretty-printer whose output
+round-trips through the parser.
+"""
+
+from .nodes import (
+    PackageQuery,
+    CountConstraint,
+    SumConstraint,
+    ProbabilisticConstraint,
+    SumObjective,
+    ProbabilityObjective,
+)
+from .parser import parse_query, parse_standalone_expression
+from .pretty import format_query
+
+__all__ = [
+    "PackageQuery",
+    "CountConstraint",
+    "SumConstraint",
+    "ProbabilisticConstraint",
+    "SumObjective",
+    "ProbabilityObjective",
+    "parse_query",
+    "parse_standalone_expression",
+    "format_query",
+]

@@ -1,0 +1,111 @@
+"""Hand-written lexer for sPaQL.
+
+Produces a flat token list ending in an EOF token.  Comments use SQL's
+``--`` to end of line.  Numbers support decimal and scientific notation;
+strings are single-quoted with ``''`` escaping.
+"""
+
+from __future__ import annotations
+
+from ..errors import ParseError
+from .tokens import (
+    KEYWORDS,
+    KIND_EOF,
+    KIND_IDENT,
+    KIND_KEYWORD,
+    KIND_NUMBER,
+    KIND_OP,
+    KIND_STRING,
+    OPERATORS,
+    Token,
+)
+
+
+def tokenize(text: str) -> list[Token]:
+    """Tokenize sPaQL source text (raises :class:`ParseError` on bad input)."""
+    tokens: list[Token] = []
+    i = 0
+    line = 1
+    line_start = 0
+    n = len(text)
+
+    def column(pos: int) -> int:
+        return pos - line_start + 1
+
+    while i < n:
+        ch = text[i]
+        # -- whitespace / newlines ------------------------------------------
+        if ch in " \t\r":
+            i += 1
+            continue
+        if ch == "\n":
+            i += 1
+            line += 1
+            line_start = i
+            continue
+        # -- comments ---------------------------------------------------------
+        if text.startswith("--", i):
+            while i < n and text[i] != "\n":
+                i += 1
+            continue
+        # -- strings ----------------------------------------------------------
+        if ch == "'":
+            start = i
+            i += 1
+            chunks: list[str] = []
+            while True:
+                if i >= n:
+                    raise ParseError("unterminated string literal", line, column(start))
+                if text[i] == "'":
+                    if i + 1 < n and text[i + 1] == "'":
+                        chunks.append("'")
+                        i += 2
+                        continue
+                    i += 1
+                    break
+                chunks.append(text[i])
+                i += 1
+            tokens.append(Token(KIND_STRING, "".join(chunks), line, column(start)))
+            continue
+        # -- numbers ----------------------------------------------------------
+        if ch.isdigit() or (ch == "." and i + 1 < n and text[i + 1].isdigit()):
+            start = i
+            while i < n and (text[i].isdigit() or text[i] == "."):
+                i += 1
+            if i < n and text[i] in "eE":
+                j = i + 1
+                if j < n and text[j] in "+-":
+                    j += 1
+                if j < n and text[j].isdigit():
+                    i = j
+                    while i < n and text[i].isdigit():
+                        i += 1
+            literal = text[start:i]
+            if literal.count(".") > 1:
+                raise ParseError(
+                    f"malformed number {literal!r}", line, column(start)
+                )
+            tokens.append(Token(KIND_NUMBER, literal, line, column(start)))
+            continue
+        # -- identifiers / keywords --------------------------------------------
+        if ch.isalpha() or ch == "_":
+            start = i
+            while i < n and (text[i].isalnum() or text[i] == "_"):
+                i += 1
+            word = text[start:i]
+            upper = word.upper()
+            if upper in KEYWORDS:
+                tokens.append(Token(KIND_KEYWORD, upper, line, column(start)))
+            else:
+                tokens.append(Token(KIND_IDENT, word, line, column(start)))
+            continue
+        # -- operators ---------------------------------------------------------
+        for op in OPERATORS:
+            if text.startswith(op, i):
+                tokens.append(Token(KIND_OP, op, line, column(i)))
+                i += len(op)
+                break
+        else:
+            raise ParseError(f"unexpected character {ch!r}", line, column(i))
+    tokens.append(Token(KIND_EOF, "", line, column(i)))
+    return tokens

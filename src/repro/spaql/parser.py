@@ -1,0 +1,341 @@
+"""Recursive-descent parser for sPaQL (Appendix A, Figure 8).
+
+Grammar sketch::
+
+    query      := SELECT PACKAGE '(' '*' ')' [AS ident]
+                  FROM ident [REPEAT number] [WHERE predicate]
+                  SUCH THAT constraint (AND constraint)*
+                  [objective]
+    constraint := COUNT '(' '*' ')' (BETWEEN num AND num | cmp num)
+                | [EXPECTED] SUM '(' expr ')'
+                      (BETWEEN num AND num | cmp num)
+                      [WITH PROBABILITY cmp num]
+    objective  := (MINIMIZE | MAXIMIZE)
+                  ( [EXPECTED] SUM '(' expr ')'
+                  | PROBABILITY OF SUM '(' expr ')' cmp num
+                  | COUNT '(' '*' ')' )
+
+``expr`` is the shared arithmetic/boolean expression language of
+``repro.db.expressions`` with standard precedence.  ``SUM(f) BETWEEN a
+AND b`` desugars into two constraints at parse time.
+"""
+
+from __future__ import annotations
+
+from ..db.expressions import (
+    Attr,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    Expr,
+    FuncCall,
+    Not,
+    UnaryOp,
+)
+from ..errors import ParseError
+from .lexer import tokenize
+from .nodes import (
+    CountConstraint,
+    PackageQuery,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+    ProbabilityObjective,
+    SENSE_MAXIMIZE,
+    SENSE_MINIMIZE,
+)
+from .tokens import KIND_EOF, KIND_IDENT, KIND_KEYWORD, KIND_NUMBER, KIND_STRING, Token
+
+_COMPARE_OPS = ("<=", ">=", "<>", "<", ">", "=")
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+
+    # --- token utilities -------------------------------------------------------
+
+    @property
+    def current(self) -> Token:
+        return self.tokens[self.pos]
+
+    def advance(self) -> Token:
+        token = self.current
+        if token.kind != KIND_EOF:
+            self.pos += 1
+        return token
+
+    def error(self, message: str) -> ParseError:
+        token = self.current
+        return ParseError(
+            f"{message}, found {token.describe()}", token.line, token.column
+        )
+
+    def expect_keyword(self, *words: str) -> Token:
+        if self.current.is_keyword(*words):
+            return self.advance()
+        raise self.error(f"expected {' or '.join(words)}")
+
+    def expect_op(self, *ops: str) -> Token:
+        if self.current.is_op(*ops):
+            return self.advance()
+        raise self.error(f"expected {' or '.join(repr(o) for o in ops)}")
+
+    def expect_ident(self, what: str) -> str:
+        if self.current.kind == KIND_IDENT:
+            return self.advance().value
+        raise self.error(f"expected {what}")
+
+    def accept_keyword(self, *words: str) -> bool:
+        if self.current.is_keyword(*words):
+            self.advance()
+            return True
+        return False
+
+    # --- query ------------------------------------------------------------------
+
+    def parse_query(self) -> PackageQuery:
+        self.expect_keyword("SELECT")
+        self.expect_keyword("PACKAGE")
+        self.expect_op("(")
+        self.expect_op("*")
+        self.expect_op(")")
+        alias = None
+        if self.accept_keyword("AS"):
+            alias = self.expect_ident("package alias")
+        self.expect_keyword("FROM")
+        table = self.expect_ident("table name")
+        repeat = None
+        if self.accept_keyword("REPEAT"):
+            repeat = int(self.parse_signed_number())
+            if repeat < 0:
+                raise self.error("REPEAT limit must be nonnegative")
+        where = None
+        if self.accept_keyword("WHERE"):
+            where = self.parse_or()
+        constraints: list = []
+        if self.current.is_keyword("SUCH"):
+            self.expect_keyword("SUCH")
+            self.expect_keyword("THAT")
+            constraints.extend(self.parse_constraint())
+            while self.accept_keyword("AND"):
+                constraints.extend(self.parse_constraint())
+        objective = None
+        if self.current.is_keyword("MINIMIZE", "MAXIMIZE"):
+            objective = self.parse_objective()
+        if self.current.kind != KIND_EOF:
+            raise self.error("unexpected trailing input")
+        return PackageQuery(
+            table=table,
+            alias=alias,
+            repeat=repeat,
+            where=where,
+            constraints=tuple(constraints),
+            objective=objective,
+        )
+
+    # --- constraints ---------------------------------------------------------------
+
+    def parse_constraint(self) -> list:
+        if self.current.is_keyword("COUNT"):
+            return [self.parse_count_constraint()]
+        expected = self.accept_keyword("EXPECTED")
+        self.expect_keyword("SUM")
+        self.expect_op("(")
+        expr = self.parse_or()
+        self.expect_op(")")
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_signed_number()
+            self.expect_keyword("AND")
+            high = self.parse_signed_number()
+            if low > high:
+                raise self.error("BETWEEN bounds must satisfy low <= high")
+            return [
+                SumConstraint(expr, ">=", low, expected=expected),
+                SumConstraint(expr, "<=", high, expected=expected),
+            ]
+        op = self.expect_op(*_COMPARE_OPS).value
+        rhs = self.parse_signed_number()
+        if self.current.is_keyword("WITH"):
+            if expected:
+                raise self.error(
+                    "EXPECTED and WITH PROBABILITY cannot be combined"
+                )
+            self.expect_keyword("WITH")
+            self.expect_keyword("PROBABILITY")
+            prob_op = self.expect_op("<=", ">=").value
+            p = self.parse_signed_number()
+            if not 0.0 < p < 1.0:
+                raise self.error("probability threshold must lie in (0, 1)")
+            return [ProbabilisticConstraint(expr, op, rhs, prob_op, p)]
+        return [SumConstraint(expr, op, rhs, expected=expected)]
+
+    def parse_count_constraint(self) -> CountConstraint:
+        self.expect_keyword("COUNT")
+        self.expect_op("(")
+        self.expect_op("*")
+        self.expect_op(")")
+        if self.accept_keyword("BETWEEN"):
+            low = self.parse_signed_number()
+            self.expect_keyword("AND")
+            high = self.parse_signed_number()
+            if low > high:
+                raise self.error("BETWEEN bounds must satisfy low <= high")
+            return CountConstraint(low=low, high=high)
+        op = self.expect_op(*_COMPARE_OPS).value
+        value = self.parse_signed_number()
+        return CountConstraint(op=op, value=value)
+
+    # --- objective ------------------------------------------------------------------
+
+    def parse_objective(self):
+        sense_token = self.expect_keyword("MINIMIZE", "MAXIMIZE")
+        sense = SENSE_MINIMIZE if sense_token.value == "MINIMIZE" else SENSE_MAXIMIZE
+        if self.accept_keyword("PROBABILITY"):
+            self.expect_keyword("OF")
+            self.expect_keyword("SUM")
+            self.expect_op("(")
+            expr = self.parse_or()
+            self.expect_op(")")
+            op = self.expect_op(*_COMPARE_OPS).value
+            rhs = self.parse_signed_number()
+            return ProbabilityObjective(sense, expr, op, rhs)
+        if self.current.is_keyword("COUNT"):
+            self.expect_keyword("COUNT")
+            self.expect_op("(")
+            self.expect_op("*")
+            self.expect_op(")")
+            return SumObjective(sense, Const(1), expected=False)
+        expected = self.accept_keyword("EXPECTED")
+        self.expect_keyword("SUM")
+        self.expect_op("(")
+        expr = self.parse_or()
+        self.expect_op(")")
+        return SumObjective(sense, expr, expected=expected)
+
+    # --- expressions -------------------------------------------------------------------
+
+    def parse_signed_number(self) -> float:
+        negative = False
+        while self.current.is_op("-", "+"):
+            if self.advance().value == "-":
+                negative = not negative
+        if self.current.kind != KIND_NUMBER:
+            raise self.error("expected a numeric literal")
+        value = _number(self.advance().value)
+        return -value if negative else value
+
+    def parse_or(self) -> Expr:
+        left = self.parse_and()
+        while self.current.is_keyword("OR"):
+            self.advance()
+            left = BoolOp("OR", left, self.parse_and())
+        return left
+
+    def parse_and(self) -> Expr:
+        left = self.parse_not()
+        while self.current.is_keyword("AND") and self._and_continues_predicate():
+            self.advance()
+            left = BoolOp("AND", left, self.parse_not())
+        return left
+
+    def _and_continues_predicate(self) -> bool:
+        """Inside SUCH THAT, ``AND`` separates constraints; inside a
+        parenthesized predicate or WHERE clause it is a boolean operator.
+        The constraint parser never recurses into :meth:`parse_and` with a
+        pending constraint keyword, so ``AND`` followed by a constraint
+        head (COUNT/SUM/EXPECTED) is a separator, not an operator."""
+        lookahead = self.tokens[self.pos + 1]
+        return not lookahead.is_keyword("COUNT", "SUM", "EXPECTED")
+
+    def parse_not(self) -> Expr:
+        if self.current.is_keyword("NOT"):
+            self.advance()
+            return Not(self.parse_not())
+        return self.parse_comparison()
+
+    def parse_comparison(self) -> Expr:
+        left = self.parse_additive()
+        if self.current.is_op(*_COMPARE_OPS):
+            op = self.advance().value
+            right = self.parse_additive()
+            return Compare(op, left, right)
+        return left
+
+    def parse_additive(self) -> Expr:
+        left = self.parse_multiplicative()
+        while self.current.is_op("+", "-"):
+            op = self.advance().value
+            left = BinOp(op, left, self.parse_multiplicative())
+        return left
+
+    def parse_multiplicative(self) -> Expr:
+        left = self.parse_unary()
+        while self.current.is_op("*", "/"):
+            op = self.advance().value
+            left = BinOp(op, left, self.parse_unary())
+        return left
+
+    def parse_unary(self) -> Expr:
+        if self.current.is_op("-"):
+            self.advance()
+            return UnaryOp("-", self.parse_unary())
+        if self.current.is_op("+"):
+            self.advance()
+            return self.parse_unary()
+        return self.parse_power()
+
+    def parse_power(self) -> Expr:
+        base = self.parse_primary()
+        if self.current.is_op("^"):
+            self.advance()
+            return BinOp("^", base, self.parse_unary())
+        return base
+
+    def parse_primary(self) -> Expr:
+        token = self.current
+        if token.kind == KIND_NUMBER:
+            self.advance()
+            return Const(_number(token.value))
+        if token.kind == KIND_STRING:
+            self.advance()
+            return Const(token.value)
+        if token.is_op("("):
+            self.advance()
+            inner = self.parse_or()
+            self.expect_op(")")
+            return inner
+        if token.kind == KIND_IDENT:
+            name = self.advance().value
+            if self.current.is_op("("):
+                self.advance()
+                args = [self.parse_or()]
+                while self.current.is_op(","):
+                    self.advance()
+                    args.append(self.parse_or())
+                self.expect_op(")")
+                return FuncCall(name, tuple(args))
+            return Attr(name)
+        raise self.error("expected an expression")
+
+
+def _number(literal: str) -> float:
+    if "." in literal or "e" in literal or "E" in literal:
+        return float(literal)
+    return int(literal)
+
+
+def parse_query(text: str) -> PackageQuery:
+    """Parse sPaQL text into a :class:`PackageQuery` AST."""
+    return _Parser(tokenize(text)).parse_query()
+
+
+def parse_standalone_expression(text: str) -> Expr:
+    """Parse a bare expression (used by ``db.expressions.parse_expression``)."""
+    parser = _Parser(tokenize(text))
+    expr = parser.parse_or()
+    if parser.current.kind != KIND_EOF:
+        raise parser.error("unexpected trailing input")
+    return expr

@@ -1,0 +1,83 @@
+"""Pretty-printer for sPaQL ASTs.
+
+``format_query`` emits canonical sPaQL text that parses back to an
+equivalent AST (property-tested round trip).
+"""
+
+from __future__ import annotations
+
+from ..db.expressions import render
+from .nodes import (
+    CountConstraint,
+    PackageQuery,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+    ProbabilityObjective,
+    SENSE_MINIMIZE,
+)
+
+
+def _format_number(value: float) -> str:
+    if isinstance(value, int):
+        return str(value)
+    if float(value).is_integer():
+        return str(int(value))
+    return repr(float(value))
+
+
+def format_constraint(constraint) -> str:
+    """Render one constraint node as sPaQL text."""
+    if isinstance(constraint, CountConstraint):
+        if constraint.op is not None:
+            return f"COUNT(*) {constraint.op} {_format_number(constraint.value)}"
+        return (
+            f"COUNT(*) BETWEEN {_format_number(constraint.low)}"
+            f" AND {_format_number(constraint.high)}"
+        )
+    if isinstance(constraint, SumConstraint):
+        prefix = "EXPECTED " if constraint.expected else ""
+        return (
+            f"{prefix}SUM({render(constraint.expr)}) {constraint.op}"
+            f" {_format_number(constraint.rhs)}"
+        )
+    if isinstance(constraint, ProbabilisticConstraint):
+        return (
+            f"SUM({render(constraint.expr)}) {constraint.op}"
+            f" {_format_number(constraint.rhs)}"
+            f" WITH PROBABILITY {constraint.prob_op}"
+            f" {_format_number(constraint.probability)}"
+        )
+    raise TypeError(f"unknown constraint node {type(constraint).__name__}")
+
+
+def format_objective(objective) -> str:
+    """Render the objective node as sPaQL text."""
+    word = "MINIMIZE" if objective.sense == SENSE_MINIMIZE else "MAXIMIZE"
+    if isinstance(objective, SumObjective):
+        prefix = "EXPECTED " if objective.expected else ""
+        return f"{word} {prefix}SUM({render(objective.expr)})"
+    if isinstance(objective, ProbabilityObjective):
+        return (
+            f"{word} PROBABILITY OF SUM({render(objective.expr)})"
+            f" {objective.op} {_format_number(objective.rhs)}"
+        )
+    raise TypeError(f"unknown objective node {type(objective).__name__}")
+
+
+def format_query(query: PackageQuery) -> str:
+    """Render a :class:`PackageQuery` as canonical sPaQL text."""
+    lines = ["SELECT PACKAGE(*)" + (f" AS {query.alias}" if query.alias else "")]
+    from_line = f"FROM {query.table}"
+    if query.repeat is not None:
+        from_line += f" REPEAT {query.repeat}"
+    lines.append(from_line)
+    if query.where is not None:
+        lines.append(f"WHERE {render(query.where)}")
+    if query.constraints:
+        lines.append("SUCH THAT")
+        formatted = [format_constraint(c) for c in query.constraints]
+        lines.append(" AND\n".join("    " + text for text in formatted))
+    if query.objective is not None:
+        lines.append(format_objective(query.objective))
+    return "\n".join(lines)

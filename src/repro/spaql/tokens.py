@@ -1,0 +1,66 @@
+"""Token definitions for the sPaQL lexer."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Reserved words, uppercase.  Identifiers matching these (case
+#: insensitively) lex as keywords.
+KEYWORDS = frozenset(
+    {
+        "SELECT",
+        "PACKAGE",
+        "AS",
+        "FROM",
+        "REPEAT",
+        "WHERE",
+        "SUCH",
+        "THAT",
+        "AND",
+        "OR",
+        "NOT",
+        "BETWEEN",
+        "SUM",
+        "COUNT",
+        "EXPECTED",
+        "WITH",
+        "PROBABILITY",
+        "OF",
+        "MAXIMIZE",
+        "MINIMIZE",
+    }
+)
+
+#: Multi-character operators must be listed before their prefixes.
+OPERATORS = ("<=", ">=", "<>", "<", ">", "=", "+", "-", "*", "/", "^", "(", ")", ",")
+
+KIND_KEYWORD = "KEYWORD"
+KIND_IDENT = "IDENT"
+KIND_NUMBER = "NUMBER"
+KIND_STRING = "STRING"
+KIND_OP = "OP"
+KIND_EOF = "EOF"
+
+
+@dataclass(frozen=True)
+class Token:
+    """One lexical token with its source position (1-based)."""
+
+    kind: str
+    value: str
+    line: int
+    column: int
+
+    def is_keyword(self, *words: str) -> bool:
+        """Whether this token is one of the given keywords."""
+        return self.kind == KIND_KEYWORD and self.value in words
+
+    def is_op(self, *ops: str) -> bool:
+        """Whether this token is one of the given operators."""
+        return self.kind == KIND_OP and self.value in ops
+
+    def describe(self) -> str:
+        """Human-readable token description for error messages."""
+        if self.kind == KIND_EOF:
+            return "end of query"
+        return f"{self.value!r}"

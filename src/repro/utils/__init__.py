@@ -1,0 +1,14 @@
+"""Shared utilities: RNG key derivation, timing, text tables."""
+
+from .rngkeys import derive_key, make_generator, spawn_dataset_rng
+from .timing import Stopwatch, Deadline
+from .textable import TextTable
+
+__all__ = [
+    "derive_key",
+    "make_generator",
+    "spawn_dataset_rng",
+    "Stopwatch",
+    "Deadline",
+    "TextTable",
+]

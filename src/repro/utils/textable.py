@@ -1,0 +1,62 @@
+"""Minimal ASCII table rendering for experiment reports.
+
+The benchmark harness prints the same rows/series the paper's figures
+plot; a small self-contained renderer keeps those reports readable
+without pulling in plotting dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Sequence
+
+
+def _fmt(value: Any, float_fmt: str) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, bool):
+        return "yes" if value else "no"
+    if isinstance(value, float):
+        return format(value, float_fmt)
+    return str(value)
+
+
+class TextTable:
+    """Column-aligned text table.
+
+    >>> t = TextTable(["query", "time (s)"])
+    >>> t.add_row(["Q1", 1.2345])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    query | time (s)
+    ------+---------
+    Q1    | 1.234
+    """
+
+    def __init__(self, headers: Sequence[str], float_fmt: str = ".3f") -> None:
+        self.headers = list(headers)
+        self.float_fmt = float_fmt
+        self.rows: list[list[str]] = []
+
+    def add_row(self, row: Iterable[Any]) -> None:
+        """Append one row (must match the header width)."""
+        cells = [_fmt(v, self.float_fmt) for v in row]
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells, expected {len(self.headers)}"
+            )
+        self.rows.append(cells)
+
+    def render(self) -> str:
+        """Render the aligned table as text."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        header = " | ".join(h.ljust(w) for h, w in zip(self.headers, widths))
+        rule = "-+-".join("-" * w for w in widths)
+        lines = [header.rstrip(), rule]
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)).rstrip())
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()

@@ -1,0 +1,82 @@
+"""Wall-clock helpers: stopwatches and deadlines.
+
+The paper's evaluation enforces a per-run time limit (four hours) and
+reports cumulative time across optimize/validate iterations; these small
+helpers keep that bookkeeping out of the algorithm code.
+"""
+
+from __future__ import annotations
+
+import time
+
+from ..errors import TimeLimitExceeded
+
+
+class Stopwatch:
+    """Accumulating stopwatch.
+
+    >>> sw = Stopwatch()
+    >>> with sw:
+    ...     pass
+    >>> sw.elapsed >= 0.0
+    True
+    """
+
+    def __init__(self) -> None:
+        self.elapsed = 0.0
+        self._started: float | None = None
+
+    def start(self) -> "Stopwatch":
+        """Start timing (error if already running)."""
+        if self._started is not None:
+            raise RuntimeError("stopwatch already running")
+        self._started = time.perf_counter()
+        return self
+
+    def stop(self) -> float:
+        """Stop timing; returns this interval's duration."""
+        if self._started is None:
+            raise RuntimeError("stopwatch not running")
+        delta = time.perf_counter() - self._started
+        self.elapsed += delta
+        self._started = None
+        return delta
+
+    def __enter__(self) -> "Stopwatch":
+        return self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+
+class Deadline:
+    """A wall-clock budget that can be checked or enforced.
+
+    ``remaining()`` never goes negative; ``check()`` raises
+    :class:`TimeLimitExceeded` once the budget is exhausted, which the
+    evaluation loops translate into "return best solution found so far"
+    (mirroring the paper's treatment of CPLEX time-outs).
+    """
+
+    def __init__(self, seconds: float) -> None:
+        if seconds <= 0:
+            raise ValueError("deadline must be positive")
+        self.budget = float(seconds)
+        self._start = time.perf_counter()
+
+    @property
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._start
+
+    def remaining(self) -> float:
+        """Seconds left in the budget (never negative)."""
+        return max(0.0, self.budget - self.elapsed)
+
+    def expired(self) -> bool:
+        """Whether the budget is exhausted."""
+        return self.elapsed >= self.budget
+
+    def check(self) -> None:
+        """Raise :class:`TimeLimitExceeded` once expired."""
+        if self.expired():
+            raise TimeLimitExceeded(elapsed=self.elapsed)

@@ -1,0 +1,30 @@
+"""The paper's experimental workloads: 24 sPaQL queries over 3 datasets.
+
+Each query of Table 3 (Appendix C) is encoded as a :class:`QuerySpec`
+bundling the sPaQL text, the dataset recipe (noise family, parameters,
+subsets), the probability threshold ``p`` and bound ``v``, the
+objective/constraint interaction class, and whether the query is
+feasible.  ``WORKLOADS`` maps workload name → list of eight specs.
+"""
+
+from .spec import QuerySpec, workload_names, get_workload, get_query
+from .galaxy import GALAXY_QUERIES
+from .portfolio import PORTFOLIO_QUERIES
+from .tpch import TPCH_QUERIES
+
+WORKLOADS = {
+    "galaxy": GALAXY_QUERIES,
+    "portfolio": PORTFOLIO_QUERIES,
+    "tpch": TPCH_QUERIES,
+}
+
+__all__ = [
+    "QuerySpec",
+    "WORKLOADS",
+    "GALAXY_QUERIES",
+    "PORTFOLIO_QUERIES",
+    "TPCH_QUERIES",
+    "workload_names",
+    "get_workload",
+    "get_query",
+]

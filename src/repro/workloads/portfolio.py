@@ -1,0 +1,78 @@
+"""Portfolio workload: queries Q1–Q8 of Table 3.
+
+Template (Appendix C, Figure 9)::
+
+    SELECT PACKAGE(*) FROM Stock_Investments SUCH THAT
+    SUM(price) <= 1000 AND
+    SUM(Gain) >= {v} WITH PROBABILITY >= {p}
+    MAXIMIZE EXPECTED SUM(Gain)
+
+The supporting risk constraint is a Value-at-Risk bound: lose no more
+than ``−v`` dollars with probability at least ``p``.  Variants cover
+high/low risk (p ∈ {0.9, 0.95}), high/low VaR (v ∈ {−10, −1}), 2-day vs
+1-week horizons, and the most-volatile-30% subsets (Section 6.1).
+"""
+
+from __future__ import annotations
+
+from ..datasets.portfolio import (
+    HORIZONS_ONE_WEEK,
+    HORIZONS_TWO_DAY,
+    PortfolioParams,
+    build_portfolio,
+)
+from .spec import SUPPORTED, QuerySpec
+
+#: Paper-scale default universe size.
+DEFAULT_SCALE = 7_000
+
+
+def _template(v: float, p: float) -> str:
+    return (
+        "SELECT PACKAGE(*) FROM stock_investments SUCH THAT\n"
+        "    SUM(price) <= 1000 AND\n"
+        f"    SUM(Gain) >= {v} WITH PROBABILITY >= {p}\n"
+        "MAXIMIZE EXPECTED SUM(Gain)"
+    )
+
+
+def _factory(horizons, volatile_only: bool):
+    def build(n_stocks: int | None, seed: int):
+        params = PortfolioParams(
+            n_stocks=n_stocks if n_stocks is not None else DEFAULT_SCALE,
+            horizons=horizons,
+            volatile_only=volatile_only,
+            seed=seed,
+        )
+        return build_portfolio(params)
+
+    return build
+
+
+def _spec(name, p, v, horizons, volatile, uncertainty):
+    return QuerySpec(
+        workload="portfolio",
+        name=name,
+        spaql=_template(v, p),
+        dataset_factory=_factory(horizons, volatile),
+        probability=p,
+        bound=v,
+        interaction=SUPPORTED,
+        feasible=True,
+        default_summaries=1,
+        uncertainty=uncertainty,
+    )
+
+
+#: Table 3, Portfolio rows ("2-day" = horizons {1,2}, "1-week" =
+#: horizons {1..7}; "volatile" = most volatile 30% of stocks).
+PORTFOLIO_QUERIES = [
+    _spec("Q1", 0.90, -10.0, HORIZONS_TWO_DAY, False, "GBM, 2-day, all stocks"),
+    _spec("Q2", 0.95, -10.0, HORIZONS_TWO_DAY, False, "GBM, 2-day, all stocks"),
+    _spec("Q3", 0.90, -10.0, HORIZONS_TWO_DAY, True, "GBM, 2-day, most volatile"),
+    _spec("Q4", 0.95, -10.0, HORIZONS_TWO_DAY, True, "GBM, 2-day, most volatile"),
+    _spec("Q5", 0.90, -1.0, HORIZONS_TWO_DAY, True, "GBM, 2-day, most volatile"),
+    _spec("Q6", 0.95, -1.0, HORIZONS_TWO_DAY, True, "GBM, 2-day, most volatile"),
+    _spec("Q7", 0.90, -10.0, HORIZONS_ONE_WEEK, True, "GBM, 1-week, most volatile"),
+    _spec("Q8", 0.90, -1.0, HORIZONS_ONE_WEEK, True, "GBM, 1-week, most volatile"),
+]

@@ -1,0 +1,72 @@
+"""Query specifications for the experimental workloads."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..errors import EvaluationError
+
+#: Objective/constraint interaction labels (Definition 2, Table 3).
+SUPPORTED = "supported"
+COUNTERACTED = "counteracted"
+INDEPENDENT = "independent"
+
+
+@dataclass(frozen=True)
+class QuerySpec:
+    """One workload query: sPaQL text plus its dataset recipe.
+
+    ``dataset_factory(scale, seed)`` builds the (relation, model) pair;
+    ``scale`` is workload-specific (rows for Galaxy/TPC-H, stocks for
+    Portfolio) and ``None`` selects the paper's full size.
+    ``default_summaries`` is the per-workload ``Z`` used in Figure 4
+    (1 for Galaxy and Portfolio, 2 for TPC-H).
+    """
+
+    workload: str
+    name: str
+    spaql: str
+    dataset_factory: Callable
+    probability: float
+    bound: float
+    interaction: str
+    feasible: bool = True
+    default_summaries: int = 1
+    uncertainty: str = ""
+    notes: str = ""
+
+    @property
+    def qualified_name(self) -> str:
+        return f"{self.workload}/{self.name}"
+
+    def build_dataset(self, scale: int | None = None, seed: int = 42):
+        """Materialize the dataset for this query."""
+        return self.dataset_factory(scale, seed)
+
+
+def workload_names() -> list[str]:
+    """Sorted names of the available workloads."""
+    from . import WORKLOADS
+
+    return sorted(WORKLOADS)
+
+
+def get_workload(name: str) -> list[QuerySpec]:
+    """The eight query specs of one workload."""
+    from . import WORKLOADS
+
+    try:
+        return WORKLOADS[name.lower()]
+    except KeyError:
+        raise EvaluationError(
+            f"unknown workload {name!r}; expected one of {sorted(WORKLOADS)}"
+        ) from None
+
+
+def get_query(workload: str, query: str) -> QuerySpec:
+    """Look up one query spec by workload and name."""
+    for spec in get_workload(workload):
+        if spec.name.lower() == query.lower():
+            return spec
+    raise EvaluationError(f"unknown query {query!r} in workload {workload!r}")

@@ -1,0 +1,89 @@
+"""TPC-H workload: queries Q1–Q8 of Table 3.
+
+Template (Appendix C, Figure 9)::
+
+    SELECT PACKAGE(*) FROM Tpch_{D} SUCH THAT
+    COUNT(*) BETWEEN 1 AND 10 AND
+    SUM(Quantity) <= {v} WITH PROBABILITY >= {p}
+    MAXIMIZE PROBABILITY OF SUM(Revenue) >= 1000
+
+The objective is *independent* of the constraint (Definition 2): the
+constraint bounds quantity while the objective is a probability over
+revenue.  The eight variants sweep four integration-noise families over
+D ∈ {3, 10} sources; Q8 is the workload's one infeasible query (its
+bulk-order extract has minimum quantity 8 > v = 7, so no nonempty
+package can reach probability 0.95 — see ``datasets.tpch``).
+"""
+
+from __future__ import annotations
+
+from ..datasets.tpch import TpchParams, build_tpch
+from .spec import INDEPENDENT, QuerySpec
+
+#: Paper-scale default table size.
+DEFAULT_SCALE = 117_600
+
+
+def _template(v: float, p: float) -> str:
+    # REPEAT 0: Section 6.1 asks for "a set of between one and ten
+    # transactions" — each transaction appears at most once.
+    return (
+        "SELECT PACKAGE(*) FROM tpch REPEAT 0 SUCH THAT\n"
+        "    COUNT(*) BETWEEN 1 AND 10 AND\n"
+        f"    SUM(Quantity) <= {v} WITH PROBABILITY >= {p}\n"
+        "MAXIMIZE PROBABILITY OF SUM(Revenue) >= 1000"
+    )
+
+
+def _factory(family: str, family_param, n_sources: int, min_quantity: int = 1):
+    def build(n_rows: int | None, seed: int):
+        params = TpchParams(
+            n_rows=n_rows if n_rows is not None else DEFAULT_SCALE,
+            n_sources=n_sources,
+            family=family,
+            family_param=family_param,
+            min_quantity=min_quantity,
+            seed=seed,
+        )
+        return build_tpch(params)
+
+    return build
+
+
+def _spec(name, family, family_param, n_sources, p, v, feasible=True,
+          min_quantity=1, uncertainty=""):
+    return QuerySpec(
+        workload="tpch",
+        name=name,
+        spaql=_template(v, p),
+        dataset_factory=_factory(family, family_param, n_sources, min_quantity),
+        probability=p,
+        bound=v,
+        interaction=INDEPENDENT,
+        feasible=feasible,
+        default_summaries=2,
+        uncertainty=uncertainty or f"{family}, D={n_sources}",
+    )
+
+
+#: Table 3, TPC-H rows.
+TPCH_QUERIES = [
+    _spec("Q1", "exponential", 1.0, 3, 0.90, 15.0, uncertainty="Exponential(lambda=1), D=3"),
+    _spec("Q2", "exponential", 1.0, 10, 0.95, 7.0, uncertainty="Exponential(lambda=1), D=10"),
+    _spec("Q3", "poisson", 2.0, 3, 0.90, 15.0, uncertainty="Poisson(lambda=2), D=3"),
+    _spec("Q4", "poisson", 1.0, 10, 0.90, 10.0, uncertainty="Poisson(lambda=1), D=10"),
+    _spec("Q5", "uniform", None, 3, 0.90, 15.0, uncertainty="Uniform(0,1), D=3"),
+    _spec("Q6", "uniform", None, 10, 0.95, 7.0, uncertainty="Uniform(0,1), D=10"),
+    _spec("Q7", "student-t", 2.0, 3, 0.90, 29.0, uncertainty="Student's t(nu=2), D=3"),
+    _spec(
+        "Q8",
+        "student-t",
+        2.0,
+        10,
+        0.95,
+        7.0,
+        feasible=False,
+        min_quantity=8,
+        uncertainty="Student's t(nu=2), D=10",
+    ),
+]

@@ -1,0 +1,176 @@
+"""End-to-end algorithm tests: Naïve (Alg. 1), SummarySearch (Alg. 2),
+and the deterministic baseline, cross-checked against brute force."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.context import EvaluationContext
+from repro.core.deterministic import deterministic_evaluate
+from repro.core.naive import naive_evaluate
+from repro.core.summarysearch import summary_search_evaluate
+from repro.core.validator import Validator
+from repro.errors import EvaluationError
+from repro.silp.compile import compile_query
+
+CHANCE_QUERY = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) <= 3 AND
+    SUM(Value) >= 5 WITH PROBABILITY >= 0.8
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+INFEASIBLE_DETERMINISTIC = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) <= 1 AND
+    SUM(price) >= 100 AND
+    SUM(Value) >= 0 WITH PROBABILITY >= 0.5
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+INFEASIBLE_CHANCE = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) BETWEEN 1 AND 2 AND
+    SUM(Value) >= 100 WITH PROBABILITY >= 0.9
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+
+@pytest.fixture
+def problem(items_catalog):
+    return compile_query(CHANCE_QUERY, items_catalog)
+
+
+@pytest.mark.parametrize("evaluate", [naive_evaluate, summary_search_evaluate])
+def test_feasible_query_solved(problem, fast_config, evaluate):
+    result = evaluate(problem, fast_config)
+    assert result.feasible
+    assert result.package is not None and not result.package.is_empty
+    assert result.validation.items[0].satisfied_fraction >= 0.8
+    assert result.stats.n_iterations >= 1
+
+
+@pytest.mark.parametrize("evaluate", [naive_evaluate, summary_search_evaluate])
+def test_solution_near_brute_force_optimum(problem, fast_config, evaluate):
+    """Both algorithms should land within a reasonable factor of the
+    validation-optimal package (enumerated exhaustively)."""
+    ctx = EvaluationContext(problem, fast_config)
+    validator = Validator(ctx)
+    best = None
+    for x in itertools.product(range(4), repeat=5):
+        x = np.array(x)
+        if x.sum() > 3:
+            continue
+        report = validator.validate(x)
+        if report.feasible and (best is None or report.objective < best):
+            best = report.objective
+    result = evaluate(problem, fast_config)
+    assert result.objective <= best * 1.5 + 1e-9
+
+
+def test_summarysearch_declares_deterministic_infeasibility(
+    items_catalog, fast_config
+):
+    problem = compile_query(INFEASIBLE_DETERMINISTIC, items_catalog)
+    result = summary_search_evaluate(problem, fast_config)
+    assert not result.feasible
+    assert result.package is None
+    assert "no solution" in result.message
+
+
+@pytest.mark.parametrize("evaluate", [naive_evaluate, summary_search_evaluate])
+def test_chance_infeasible_query_fails_gracefully(
+    items_catalog, fast_config, evaluate
+):
+    problem = compile_query(INFEASIBLE_CHANCE, items_catalog)
+    config = fast_config.replace(
+        n_initial_scenarios=10, scenario_increment=10, max_scenarios=30
+    )
+    result = evaluate(problem, config)
+    assert not result.feasible
+    # M must have been grown to the cap before giving up (Section 6.2.1).
+    assert result.stats.final_n_scenarios == 30
+
+
+def test_naive_accumulates_scenarios_on_failure(items_catalog, fast_config):
+    problem = compile_query(INFEASIBLE_CHANCE, items_catalog)
+    config = fast_config.replace(
+        n_initial_scenarios=5, scenario_increment=5, max_scenarios=20
+    )
+    result = naive_evaluate(problem, config)
+    counts = [r.n_scenarios for r in result.stats.iterations]
+    assert counts == [5, 10, 15, 20]
+
+
+def test_summarysearch_reports_alphas_and_bounds(problem, fast_config):
+    result = summary_search_evaluate(problem, fast_config)
+    assert result.meta["final_Z"] >= 1
+    assert "bounds" in result.meta
+    record = result.stats.iterations[-1]
+    assert record.n_summaries >= 1
+    assert record.csa_iterations >= 1
+
+
+def test_deterministic_baseline_matches_brute_force(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT SUM(price) <= 12"
+        " MAXIMIZE SUM(price)",
+        items_catalog,
+    )
+    result = deterministic_evaluate(problem, fast_config)
+    assert result.feasible
+    prices = items_catalog.relation("items").column("price")
+    best = 0.0
+    ub = EvaluationContext(problem, fast_config).variable_ub
+    for x in itertools.product(*(range(int(u) + 1) for u in ub)):
+        total = float(np.dot(prices, x))
+        if total <= 12.0:
+            best = max(best, total)
+    assert result.objective == pytest.approx(best)
+
+
+def test_deterministic_rejects_probabilistic_query(problem, fast_config):
+    with pytest.raises(EvaluationError):
+        deterministic_evaluate(problem, fast_config)
+
+
+def test_repeat_limit_respected(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items REPEAT 0 SUCH THAT"
+        " COUNT(*) <= 3 AND SUM(Value) >= 6 WITH PROBABILITY >= 0.5"
+        " MINIMIZE EXPECTED SUM(Value)",
+        items_catalog,
+    )
+    result = summary_search_evaluate(problem, fast_config)
+    assert result.feasible
+    assert np.all(result.package.multiplicities <= 1)
+
+
+def test_seed_reproducibility(problem, fast_config):
+    a = summary_search_evaluate(problem, fast_config)
+    b = summary_search_evaluate(problem, fast_config)
+    assert np.array_equal(a.package.multiplicities, b.package.multiplicities)
+    assert a.objective == b.objective
+
+
+def test_different_seeds_allowed(problem, fast_config):
+    a = summary_search_evaluate(problem, fast_config)
+    b = summary_search_evaluate(problem, fast_config.replace(seed=999))
+    # Both feasible; packages may differ, but objectives stay comparable.
+    assert a.feasible and b.feasible
+
+
+def test_probability_objective_end_to_end(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) BETWEEN 1 AND 2 AND"
+        " SUM(Value) <= 20 WITH PROBABILITY >= 0.7"
+        " MAXIMIZE PROBABILITY OF SUM(Value) >= 9",
+        items_catalog,
+    )
+    for evaluate in (naive_evaluate, summary_search_evaluate):
+        result = evaluate(problem, fast_config)
+        assert result.feasible
+        assert 0.0 <= result.objective <= 1.0
+        # items 1+3 reach E=14: probability of >= 9 should be high.
+        assert result.objective >= 0.5

@@ -1,0 +1,223 @@
+"""Approximation guarantees: Propositions 2–5 and the Appendix B bounds.
+
+The bound assembly is verified against brute force: on tiny problems we
+enumerate every package, find the validation-optimal objective ω̂, and
+check ω̲ ≤ ω̂ ≤ ω̄.
+"""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.core.approx import (
+    INTERACTION_COUNTERACTING,
+    INTERACTION_INDEPENDENT,
+    INTERACTION_SUPPORTING,
+    ObjectiveBounds,
+    compute_objective_bounds,
+    epsilon_certificate,
+    epsilon_min,
+    interaction,
+    scenario_total_bounds,
+)
+from repro.core.context import EvaluationContext
+from repro.core.validator import Validator
+from repro.db.expressions import Attr
+from repro.silp.compile import compile_query
+from repro.silp.model import (
+    ChanceConstraint,
+    ExpectationObjectiveIR,
+    SENSE_MAX,
+    SENSE_MIN,
+)
+
+
+# --- Table 1: scenario-total bounds --------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "s_lo,s_hi,l_lo,l_hi,expected_lo,expected_hi",
+    [
+        (1.0, 2.0, 1.0, 3.0, 1.0, 6.0),  # s >= 0: (s̲l̲, s̄l̄)
+        (-2.0, -1.0, 1.0, 3.0, -6.0, -1.0),  # s < 0: (s̲l̄, s̄l̲)
+        (-2.0, 3.0, 0.0, 4.0, -8.0, 12.0),  # mixed signs
+        (0.0, 0.0, 0.0, 5.0, 0.0, 0.0),
+    ],
+)
+def test_scenario_total_bounds_cases(s_lo, s_hi, l_lo, l_hi, expected_lo, expected_hi):
+    assert scenario_total_bounds(s_lo, s_hi, l_lo, l_hi) == (
+        expected_lo,
+        expected_hi,
+    )
+
+
+def test_scenario_total_bounds_enclose_brute_force():
+    s_lo, s_hi, l_lo, l_hi = -1.5, 2.0, 1, 3
+    lo, hi = scenario_total_bounds(s_lo, s_hi, l_lo, l_hi)
+    rng = np.random.default_rng(0)
+    for _ in range(200):
+        size = rng.integers(l_lo, l_hi + 1)
+        values = rng.uniform(s_lo, s_hi, size)
+        assert lo - 1e-9 <= values.sum() <= hi + 1e-9
+
+
+# --- Definition 2 ------------------------------------------------------------------
+
+
+def test_interaction_classification():
+    objective_min = ExpectationObjectiveIR(SENSE_MIN, Attr("X"))
+    objective_max = ExpectationObjectiveIR(SENSE_MAX, Attr("X"))
+    ge = ChanceConstraint(Attr("X"), ">=", 1.0, 0.9)
+    le = ChanceConstraint(Attr("X"), "<=", 1.0, 0.9)
+    other = ChanceConstraint(Attr("Y"), ">=", 1.0, 0.9)
+    assert interaction(objective_min, ge) == INTERACTION_COUNTERACTING
+    assert interaction(objective_min, le) == INTERACTION_SUPPORTING
+    assert interaction(objective_max, ge) == INTERACTION_SUPPORTING
+    assert interaction(objective_max, le) == INTERACTION_COUNTERACTING
+    assert interaction(objective_min, other) == INTERACTION_INDEPENDENT
+
+
+# --- Propositions 2–5 -----------------------------------------------------------------
+
+
+def test_prop2_min_positive_lower():
+    bounds = ObjectiveBounds(lower=4.0, upper=100.0)
+    eps = epsilon_certificate(SENSE_MIN, 5.0, bounds)
+    assert eps == pytest.approx(0.25)
+    # Guarantee: omega_q <= (1+eps) * omega_hat for any omega_hat >= lower.
+    assert 5.0 <= (1 + eps) * 4.0 + 1e-12
+
+
+def test_prop3_min_negative_lower():
+    bounds = ObjectiveBounds(lower=-10.0, upper=0.0)
+    eps = epsilon_certificate(SENSE_MIN, -8.0, bounds)
+    assert eps == pytest.approx(0.25)
+    assert epsilon_certificate(SENSE_MIN, 5.0, bounds) is None  # wrong sign
+
+
+def test_prop4_max_positive_upper():
+    bounds = ObjectiveBounds(lower=0.0, upper=12.0)
+    eps = epsilon_certificate(SENSE_MAX, 10.0, bounds)
+    assert eps == pytest.approx(0.2)
+    assert epsilon_certificate(SENSE_MAX, 0.0, bounds) is None
+
+
+def test_prop5_max_negative_upper():
+    bounds = ObjectiveBounds(lower=-100.0, upper=-5.0)
+    eps = epsilon_certificate(SENSE_MAX, -6.0, bounds)
+    assert eps == pytest.approx(0.2)
+    assert epsilon_certificate(SENSE_MAX, 1.0, bounds) is None
+
+
+def test_certificate_handles_missing_inputs():
+    assert epsilon_certificate(SENSE_MIN, None, ObjectiveBounds(1, 2)) is None
+    assert epsilon_certificate(SENSE_MIN, 1.0, None) is None
+    infinite = ObjectiveBounds(-np.inf, np.inf)
+    assert epsilon_certificate(SENSE_MIN, 1.0, infinite) is None
+
+
+def test_certificate_never_negative():
+    bounds = ObjectiveBounds(lower=4.0, upper=10.0)
+    # omega below the lower bound (can't happen for truly feasible
+    # solutions, but the certificate must stay sane).
+    assert epsilon_certificate(SENSE_MIN, 3.0, bounds) == 0.0
+
+
+def test_epsilon_min_uses_far_edge():
+    bounds = ObjectiveBounds(lower=4.0, upper=8.0)
+    assert epsilon_min(SENSE_MIN, bounds) == pytest.approx(1.0)
+    assert epsilon_min(SENSE_MAX, bounds) == pytest.approx(1.0)
+    assert epsilon_min(SENSE_MIN, None) is None
+
+
+def test_tightened_keeps_best():
+    bounds = ObjectiveBounds(lower=1.0, upper=10.0)
+    tightened = bounds.tightened(lower=2.0, upper=12.0, source="relax")
+    assert tightened.lower == 2.0
+    assert tightened.upper == 10.0
+    assert "relax" in tightened.sources
+
+
+# --- bound assembly vs brute force ------------------------------------------------------
+
+
+def _brute_force_optimum(ctx, maximize=False):
+    """Enumerate all packages, validate each, return the optimal feasible
+    validated objective (the ω̂ proxy)."""
+    validator = Validator(ctx)
+    best = None
+    ubs = ctx.variable_ub
+    for x in itertools.product(*(range(int(u) + 1) for u in ubs)):
+        x = np.array(x)
+        # Mean constraints first.
+        ok = True
+        for constraint in ctx.problem.mean_constraints:
+            value = ctx.mean_coefficients(constraint.expr) @ x
+            if constraint.op == "<=" and value > constraint.rhs + 1e-9:
+                ok = False
+            if constraint.op == ">=" and value < constraint.rhs - 1e-9:
+                ok = False
+        if not ok:
+            continue
+        report = validator.validate(x)
+        if not report.feasible:
+            continue
+        objective = report.objective
+        if best is None or (objective > best if maximize else objective < best):
+            best = objective
+    return best
+
+
+QUERY_COUNTERACTED = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) <= 2 AND
+    SUM(Value) >= 4 WITH PROBABILITY >= 0.8
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+QUERY_SUPPORTED = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) BETWEEN 1 AND 2 AND
+    SUM(Value) <= 12 WITH PROBABILITY >= 0.8
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+
+@pytest.mark.parametrize("query", [QUERY_COUNTERACTED, QUERY_SUPPORTED])
+def test_bounds_enclose_brute_force_optimum(items_catalog, fast_config, query):
+    problem = compile_query(query, items_catalog)
+    config = fast_config.replace(n_validation_scenarios=400)
+    ctx = EvaluationContext(problem, config)
+    bounds = compute_objective_bounds(ctx)
+    omega_hat = _brute_force_optimum(ctx)
+    assert omega_hat is not None
+    assert bounds.lower - 1e-9 <= omega_hat <= bounds.upper + 1e-9
+
+
+def test_counteracted_bound_is_pv(items_catalog, fast_config):
+    """Section 5.4: a counteracting constraint with v >= 0 yields
+    ω̂ >= p·v, and the assembled lower bound must be at least that."""
+    problem = compile_query(QUERY_COUNTERACTED, items_catalog)
+    ctx = EvaluationContext(problem, fast_config)
+    bounds = compute_objective_bounds(ctx)
+    assert bounds.lower >= 0.8 * 4.0 - 1e-9
+
+
+def test_probability_objective_bounds_are_unit_interval(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) BETWEEN 1 AND 2"
+        " MAXIMIZE PROBABILITY OF SUM(Value) >= 10",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    bounds = compute_objective_bounds(ctx)
+    assert (bounds.lower, bounds.upper) == (0.0, 1.0)
+
+
+def test_no_objective_no_bounds(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 2", items_catalog
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    assert compute_objective_bounds(ctx) is None

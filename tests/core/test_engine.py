@@ -1,0 +1,74 @@
+"""SPQEngine façade."""
+
+import pytest
+
+from repro import Catalog, Relation, SPQEngine
+from repro.errors import EvaluationError
+
+
+@pytest.fixture
+def engine(items_catalog, fast_config):
+    return SPQEngine(catalog=items_catalog, config=fast_config)
+
+
+QUERY = (
+    "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+    " SUM(Value) >= 5 WITH PROBABILITY >= 0.8 MINIMIZE EXPECTED SUM(Value)"
+)
+
+
+def test_execute_default_method(engine):
+    result = engine.execute(QUERY)
+    assert result.method == "summarysearch"
+    assert result.feasible
+
+
+def test_execute_naive(engine):
+    result = engine.execute(QUERY, method="naive")
+    assert result.method == "naive"
+    assert result.feasible
+
+
+def test_unknown_method_rejected(engine):
+    with pytest.raises(EvaluationError, match="unknown method"):
+        engine.execute(QUERY, method="magic")
+
+
+def test_overrides_apply(engine):
+    result = engine.execute(QUERY, seed=77, n_validation_scenarios=500)
+    assert result.feasible
+
+
+def test_deterministic_routing(engine):
+    query = "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 2 MAXIMIZE SUM(price)"
+    # Non-probabilistic queries route to the deterministic solver even
+    # when a stochastic method was requested.
+    for method in ("summarysearch", "naive", "deterministic"):
+        result = engine.execute(query, method=method)
+        assert result.method == "deterministic"
+        assert result.objective == pytest.approx(16.0)  # two copies of the price-8 item
+
+
+def test_parse_and_compile_helpers(engine):
+    ast = engine.parse(QUERY)
+    assert ast.table == "items"
+    problem = engine.compile(ast)
+    assert problem.n_vars == 5
+    # Problems can be executed directly (skipping recompilation).
+    result = engine.execute(problem)
+    assert result.feasible
+
+
+def test_register_through_engine(fast_config):
+    engine = SPQEngine(config=fast_config)
+    engine.register(Relation("t", {"cost": [1.0, 2.0, 3.0]}))
+    result = engine.execute(
+        "SELECT PACKAGE(*) FROM t SUCH THAT SUM(cost) <= 3 MAXIMIZE SUM(cost)"
+    )
+    assert result.objective == pytest.approx(3.0)
+
+
+def test_default_config_engine():
+    engine = SPQEngine()
+    assert engine.catalog is not None
+    assert len(engine.catalog) == 0

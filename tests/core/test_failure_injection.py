@@ -1,0 +1,108 @@
+"""Failure injection: time limits, solver failures, degenerate inputs.
+
+Checks the graceful-degradation paths the paper's evaluation relies on
+(Section 6.1's four-hour cap: "When the time limit expires, we interrupt
+CPLEX and get the best solution found by the solver until then").
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.naive import naive_evaluate
+from repro.core.summarysearch import summary_search_evaluate
+from repro.silp.compile import compile_query
+
+QUERY = (
+    "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+    " SUM(Value) >= 5 WITH PROBABILITY >= 0.8 MINIMIZE EXPECTED SUM(Value)"
+)
+
+
+@pytest.fixture
+def problem(items_catalog):
+    return compile_query(QUERY, items_catalog)
+
+
+@pytest.mark.parametrize("evaluate", [naive_evaluate, summary_search_evaluate])
+def test_tiny_time_limit_returns_gracefully(problem, fast_config, evaluate):
+    """An expired deadline must yield a result object, not an exception,
+    with the timeout recorded."""
+    config = fast_config.replace(time_limit=1e-3)
+    result = evaluate(problem, config)
+    assert result is not None
+    if not result.feasible:
+        assert result.stats.timed_out or result.stats.n_iterations <= 1
+
+
+@pytest.mark.parametrize("evaluate", [naive_evaluate, summary_search_evaluate])
+def test_single_scenario_budget(problem, fast_config, evaluate):
+    """M = max M = 1: the algorithms must still run one full round."""
+    config = fast_config.replace(
+        n_initial_scenarios=1, max_scenarios=1, scenario_increment=1
+    )
+    result = evaluate(problem, config)
+    assert result.stats.final_n_scenarios == 1
+
+
+def test_single_row_relation(fast_config):
+    from repro import Catalog, Relation
+    from repro.mcdb import GaussianNoiseVG, StochasticModel
+
+    relation = Relation("solo", {"price": [10.0]})
+    model = StochasticModel(relation, {"V": GaussianNoiseVG("price", 0.5)})
+    catalog = Catalog()
+    catalog.register(relation, model)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM solo SUCH THAT COUNT(*) <= 2 AND"
+        " SUM(V) >= 8 WITH PROBABILITY >= 0.9 MINIMIZE EXPECTED SUM(V)",
+        catalog,
+    )
+    result = summary_search_evaluate(problem, fast_config)
+    assert result.feasible
+    assert result.package.total_count >= 1
+
+
+def test_branch_bound_backend_end_to_end(problem, fast_config):
+    """The home-grown solver handles the full pipeline (small instance)."""
+    config = fast_config.replace(
+        solver="branch-bound", n_initial_scenarios=10, max_scenarios=20
+    )
+    result = summary_search_evaluate(problem, config)
+    assert result.feasible
+
+
+def test_tight_solver_time_limit_still_terminates(problem, fast_config):
+    config = fast_config.replace(solver_time_limit=0.05)
+    result = summary_search_evaluate(problem, config)
+    assert result is not None  # may or may not be feasible, must not hang
+
+
+def test_probability_one_boundary_not_allowed():
+    """p must lie in (0,1); the boundary belongs to deterministic SQL."""
+    from repro.errors import ParseError
+    from repro.spaql.parser import parse_query
+
+    with pytest.raises(ParseError):
+        parse_query(
+            "SELECT PACKAGE(*) FROM t SUCH THAT SUM(X) >= 0"
+            " WITH PROBABILITY >= 1.0"
+        )
+
+
+def test_empty_chance_feasible_set_with_empty_package_allowed(
+    items_catalog, fast_config
+):
+    """COUNT >= 0 plus an impossible inner constraint: the empty package
+    satisfies a <= chance constraint trivially, so the query is feasible
+    with the empty package."""
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 2 AND"
+        " SUM(Value) <= -100 WITH PROBABILITY >= 0.9"
+        " MINIMIZE EXPECTED SUM(Value)",
+        items_catalog,
+    )
+    result = summary_search_evaluate(problem, fast_config)
+    # Empty package: sum identically 0 > -100 fails the <= constraint...
+    # actually 0 <= -100 is false, so the empty package FAILS; nonempty
+    # packages fail harder. The query must be declared infeasible.
+    assert not result.feasible

@@ -1,0 +1,105 @@
+"""SAA formulation (Section 3.1): FormulateSAA and its invariants."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.core.context import EvaluationContext
+from repro.core.saa import formulate_saa
+from repro.silp.compile import compile_query
+
+
+def test_sizes_scale_with_scenarios(chance_context):
+    small = formulate_saa(chance_context, 5)
+    large = formulate_saa(chance_context, 15)
+    # One binary per scenario per chance constraint.
+    assert small.builder.n_variables == 5 + 5
+    assert large.builder.n_variables == 5 + 15
+    assert large.builder.n_constraints > small.builder.n_constraints
+
+
+def test_solution_satisfies_ceil_pm_scenarios(chance_context):
+    """Key SAA invariant: the solved package satisfies the inner
+    constraint on at least ⌈pM⌉ of the optimization scenarios."""
+    n_scenarios = 10
+    formulation = formulate_saa(chance_context, n_scenarios)
+    result = formulation.builder.solve()
+    assert result.has_solution
+    x = formulation.extract_package(result.x)
+    constraint = chance_context.problem.chance_constraints[0]
+    matrix = chance_context.optimization_matrix(constraint.expr, n_scenarios)
+    scores = x @ matrix
+    satisfied = int((scores >= constraint.rhs - 1e-9).sum())
+    assert satisfied >= math.ceil(constraint.probability * n_scenarios)
+
+
+def test_expectation_objective_claimed_value(chance_context):
+    formulation = formulate_saa(chance_context, 6)
+    result = formulation.builder.solve()
+    x = formulation.extract_package(result.x)
+    claimed = formulation.claimed_objective(result.x, chance_context)
+    assert claimed == pytest.approx(chance_context.mean_objective_value(x))
+
+
+def test_probability_objective_indicators(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) BETWEEN 1 AND 2"
+        " MAXIMIZE PROBABILITY OF SUM(Value) >= 10",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    n_scenarios = 8
+    formulation = formulate_saa(ctx, n_scenarios)
+    assert formulation.objective_indicators is not None
+    result = formulation.builder.solve()
+    assert result.has_solution
+    claimed = formulation.claimed_objective(result.x, ctx)
+    # Claimed probability is the satisfied fraction of the sample.
+    x = formulation.extract_package(result.x)
+    matrix = ctx.optimization_matrix(problem.objective.expr, n_scenarios)
+    actual_fraction = float(((x @ matrix) >= 10.0 - 1e-9).mean())
+    assert 0.0 <= claimed <= 1.0
+    assert claimed <= actual_fraction + 1e-9
+
+
+def test_minimized_probability_objective_flips(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) BETWEEN 1 AND 2"
+        " MINIMIZE PROBABILITY OF SUM(Value) >= 10",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    formulation = formulate_saa(ctx, 8)
+    assert formulation.objective_flipped
+    result = formulation.builder.solve()
+    claimed = formulation.claimed_objective(result.x, ctx)
+    # Minimizer should pick low-value items: claimed probability small.
+    assert claimed <= 0.5
+
+
+def test_no_chance_constraints_reduces_to_base(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 2"
+        " MINIMIZE SUM(price)",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    formulation = formulate_saa(ctx, 10)
+    assert formulation.builder.n_variables == 5  # no indicators at all
+
+
+def test_saa_grows_monotonically_harder(chance_context):
+    """More scenarios can only shrink the feasible region (the scenario
+    sets are nested), so the optimal objective is nondecreasing for a
+    minimization problem."""
+    objectives = []
+    for m in (5, 10, 20):
+        formulation = formulate_saa(chance_context, m)
+        result = formulation.builder.solve()
+        assert result.has_solution
+        objectives.append(
+            formulation.claimed_objective(result.x, chance_context)
+        )
+    assert objectives[0] <= objectives[1] + 1e-9
+    assert objectives[1] <= objectives[2] + 1e-9

@@ -1,0 +1,117 @@
+"""SketchRefine extension (Section 8 future-work item ii)."""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Relation
+from repro.core.context import EvaluationContext
+from repro.core.deterministic import deterministic_evaluate
+from repro.core.sketchrefine import make_groups, sketch_refine_evaluate
+from repro.errors import EvaluationError
+from repro.silp.compile import compile_query
+from repro.utils.rngkeys import make_generator
+
+
+def _random_catalog(n_rows=60, seed=0):
+    rng = make_generator(seed, 0)
+    relation = Relation(
+        "inventory",
+        {
+            "cost": np.round(rng.uniform(1.0, 20.0, n_rows), 2),
+            "value": np.round(rng.uniform(0.5, 30.0, n_rows), 2),
+        },
+    )
+    catalog = Catalog()
+    catalog.register(relation)
+    return catalog
+
+
+QUERY = (
+    "SELECT PACKAGE(*) FROM inventory SUCH THAT"
+    " SUM(cost) <= 50 AND COUNT(*) <= 8 MAXIMIZE SUM(value)"
+)
+
+
+def test_groups_partition_active_rows(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 2 MINIMIZE SUM(price)",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    groups = make_groups(ctx, 2)
+    merged = np.sort(np.concatenate(groups))
+    assert merged.tolist() == list(range(5))
+    # Quantile grouping by objective coefficient: first group holds the
+    # cheaper half.
+    prices = ctx.mean_coefficients(problem.objective.expr)
+    assert prices[groups[0]].max() <= prices[groups[-1]].min()
+
+
+def test_single_partition_equals_exact(fast_config):
+    catalog = _random_catalog()
+    problem = compile_query(QUERY, catalog)
+    exact = deterministic_evaluate(problem, fast_config)
+    approx = sketch_refine_evaluate(problem, fast_config, n_partitions=1)
+    assert approx.feasible
+    # One group refines over the whole relation: optimal.
+    assert approx.objective == pytest.approx(exact.objective, rel=1e-6)
+
+
+@pytest.mark.parametrize("n_partitions", [4, 8])
+def test_solution_feasible_and_near_optimal(fast_config, n_partitions):
+    catalog = _random_catalog(n_rows=80, seed=3)
+    problem = compile_query(QUERY, catalog)
+    exact = deterministic_evaluate(problem, fast_config)
+    approx = sketch_refine_evaluate(problem, fast_config, n_partitions=n_partitions)
+    assert approx.feasible
+    package = approx.package
+    assert package.deterministic_total("cost") <= 50 + 1e-6
+    assert package.total_count <= 8
+    # Quality: within 25% of the exact maximizer on these instances.
+    assert approx.objective >= 0.75 * exact.objective
+
+
+def test_minimization_with_lower_pressure(fast_config):
+    catalog = _random_catalog(seed=5)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM inventory SUCH THAT"
+        " SUM(value) >= 40 AND COUNT(*) <= 10 MINIMIZE SUM(cost)",
+        catalog,
+    )
+    exact = deterministic_evaluate(problem, fast_config)
+    approx = sketch_refine_evaluate(problem, fast_config, n_partitions=6)
+    assert approx.feasible
+    assert approx.package.deterministic_total("value") >= 40 - 1e-6
+    assert approx.objective <= exact.objective * 1.5
+
+
+def test_probabilistic_query_rejected(chance_problem, fast_config):
+    with pytest.raises(EvaluationError):
+        sketch_refine_evaluate(chance_problem, fast_config)
+
+
+def test_invalid_partition_count(fast_config):
+    catalog = _random_catalog()
+    problem = compile_query(QUERY, catalog)
+    with pytest.raises(EvaluationError):
+        sketch_refine_evaluate(problem, fast_config, n_partitions=0)
+
+
+def test_infeasible_problem_reported(fast_config):
+    catalog = _random_catalog()
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM inventory SUCH THAT"
+        " SUM(cost) <= 1 AND SUM(value) >= 10000 MINIMIZE SUM(cost)",
+        catalog,
+    )
+    result = sketch_refine_evaluate(problem, fast_config, n_partitions=4)
+    assert not result.feasible
+    assert result.package is None
+
+
+def test_more_partitions_do_not_break_feasibility(fast_config):
+    catalog = _random_catalog(n_rows=120, seed=9)
+    problem = compile_query(QUERY, catalog)
+    for n_partitions in (2, 16, 60):
+        result = sketch_refine_evaluate(problem, fast_config, n_partitions)
+        assert result.feasible

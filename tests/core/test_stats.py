@@ -1,0 +1,40 @@
+"""Run statistics bookkeeping."""
+
+from repro.core.stats import IterationRecord, RunStats
+
+
+def _record(i, m, solve=1.0, validate=0.5, z=None):
+    return IterationRecord(
+        method="x", iteration=i, n_scenarios=m, n_summaries=z,
+        solve_time=solve, validate_time=validate,
+    )
+
+
+def test_add_tracks_final_counts():
+    stats = RunStats("naive")
+    stats.add(_record(1, 10))
+    stats.add(_record(2, 20))
+    assert stats.n_iterations == 2
+    assert stats.final_n_scenarios == 20
+    assert stats.final_n_summaries is None
+
+
+def test_summaries_tracked_when_present():
+    stats = RunStats("summarysearch")
+    stats.add(_record(1, 10, z=1))
+    stats.add(_record(2, 10, z=3))
+    assert stats.final_n_summaries == 3
+
+
+def test_time_aggregates():
+    stats = RunStats("naive")
+    stats.add(_record(1, 10, solve=1.0, validate=0.25))
+    stats.add(_record(2, 20, solve=2.0, validate=0.75))
+    assert stats.total_solve_time == 3.0
+    assert stats.total_validate_time == 1.0
+
+
+def test_flags_default_false():
+    stats = RunStats("naive")
+    assert not stats.timed_out
+    assert not stats.declared_infeasible

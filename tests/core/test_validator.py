@@ -1,0 +1,131 @@
+"""Out-of-sample validation (Section 3.2)."""
+
+import numpy as np
+import pytest
+from scipy import stats
+
+from repro.core.context import EvaluationContext
+from repro.core.validator import Validator
+from repro.silp.compile import compile_query
+
+
+@pytest.fixture
+def validator(chance_context):
+    return Validator(chance_context)
+
+
+def test_validation_reproducible(validator):
+    x = np.array([1, 0, 0, 1, 0])
+    a = validator.validate(x)
+    b = validator.validate(x)
+    assert a.items[0].satisfied_fraction == b.items[0].satisfied_fraction
+
+
+def test_known_gaussian_probability(items_catalog, fast_config):
+    """One tuple with Value ~ N(8, 1): P(Value >= 6) = Φ(2) ≈ 0.977."""
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value) >= 6 WITH PROBABILITY >= 0.8"
+        " MINIMIZE EXPECTED SUM(Value)",
+        items_catalog,
+    )
+    config = fast_config.replace(n_validation_scenarios=20_000)
+    ctx = EvaluationContext(problem, config)
+    validator = Validator(ctx)
+    x = np.array([0, 1, 0, 0, 0])  # the price-8 item
+    report = validator.validate(x)
+    expected = stats.norm.cdf(2.0)
+    assert report.items[0].satisfied_fraction == pytest.approx(expected, abs=0.01)
+    assert report.feasible
+
+
+def test_multiplicities_scale_scores(items_catalog, fast_config):
+    """Two copies of the price-3 item: total ~ N(6, sqrt(2)), and
+    P(total >= 6) ≈ 0.5."""
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value) >= 6 WITH PROBABILITY >= 0.8"
+        " MINIMIZE EXPECTED SUM(Value)",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config.replace(n_validation_scenarios=20_000))
+    validator = Validator(ctx)
+    report = validator.validate(np.array([0, 0, 2, 0, 0]))
+    assert report.items[0].satisfied_fraction == pytest.approx(0.5, abs=0.02)
+    assert not report.feasible
+
+
+def test_surplus_definition(validator):
+    report = validator.validate(np.array([0, 1, 0, 1, 0]))
+    item = report.items[0]
+    assert item.surplus == pytest.approx(item.satisfied_fraction - 0.8)
+
+
+def test_empty_package_ge_constraint_infeasible(validator):
+    report = validator.validate(np.zeros(5, dtype=int))
+    # Score 0 >= 6 never holds.
+    assert report.items[0].satisfied_fraction == 0.0
+    assert not report.feasible
+
+
+def test_empty_package_le_constraint_feasible(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value) <= 100 WITH PROBABILITY >= 0.9",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    report = Validator(ctx).validate(np.zeros(5, dtype=int))
+    assert report.items[0].satisfied_fraction == 1.0
+    assert report.feasible
+
+
+def test_mean_objective_reported(validator, chance_context):
+    x = np.array([1, 0, 1, 0, 0])
+    report = validator.validate(x)
+    assert report.objective == pytest.approx(
+        chance_context.mean_objective_value(x)
+    )
+
+
+def test_probability_objective_validated(items_catalog, fast_config):
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) BETWEEN 1 AND 2"
+        " MAXIMIZE PROBABILITY OF SUM(Value) >= 12",
+        items_catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config.replace(n_validation_scenarios=20_000))
+    validator = Validator(ctx)
+    # items 1 and 3: total ~ N(14, sqrt 2) => P(>= 12) = Φ(2/sqrt2) ≈ 0.921.
+    report = validator.validate(np.array([0, 1, 0, 1, 0]))
+    expected = stats.norm.cdf(2.0 / np.sqrt(2.0))
+    assert report.objective == pytest.approx(expected, abs=0.01)
+    assert report.items[-1].is_objective
+    assert report.items[-1].surplus is None
+
+
+def test_claimed_objective_passthrough(validator):
+    report = validator.validate(np.array([1, 0, 0, 0, 0]), claimed_objective=0.5)
+    assert report.claimed_objective == 0.5
+
+
+def test_chunking_consistency(items_catalog, fast_config):
+    """Fractions with M̂ spanning multiple chunks agree with the small-M̂
+    prefix (chunk identity is stable)."""
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value) >= 6 WITH PROBABILITY >= 0.8",
+        items_catalog,
+    )
+    x = np.array([0, 1, 0, 0, 0])
+    big_ctx = EvaluationContext(
+        problem, fast_config.replace(n_validation_scenarios=5000)
+    )
+    small_ctx = EvaluationContext(
+        problem, fast_config.replace(n_validation_scenarios=4096)
+    )
+    big_count = Validator(big_ctx).satisfied_count(x, big_ctx.chance_items()[0])
+    small_count = Validator(small_ctx).satisfied_count(x, small_ctx.chance_items()[0])
+    # The first 4096 scenarios are shared: counts differ by at most the
+    # 904 extra scenarios.
+    assert 0 <= big_count - small_count <= 5000 - 4096

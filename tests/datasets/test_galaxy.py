@@ -1,0 +1,79 @@
+"""Galaxy dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.galaxy import (
+    GalaxyParams,
+    NOISE_GAUSSIAN,
+    NOISE_PARETO,
+    build_galaxy,
+)
+from repro.errors import EvaluationError
+from repro.mcdb.distributions import GaussianNoiseVG, ParetoNoiseVG
+
+
+def test_basic_shape_and_columns():
+    relation, model = build_galaxy(GalaxyParams(n_rows=500))
+    assert relation.n_rows == 500
+    assert {"petromag_r", "ra", "dec"}.issubset(relation.column_names)
+    assert model.attribute_names == ["Petromag_r"]
+
+
+def test_magnitude_range_realistic():
+    relation, _ = build_galaxy(GalaxyParams(n_rows=2000))
+    mags = relation.column("petromag_r")
+    assert mags.min() >= 7.5 and mags.max() <= 22.0
+    # Right-skewed: faint (large-magnitude) sources dominate.
+    assert np.median(mags) > 14.0
+
+
+def test_brightest_five_sum_stable_across_scales():
+    """The bright-end atom keeps the Table 3 thresholds meaningful at
+    every Figure 7 dataset size."""
+    sums = []
+    for n_rows in (500, 2000, 8000):
+        relation, _ = build_galaxy(GalaxyParams(n_rows=n_rows))
+        mags = np.sort(relation.column("petromag_r"))
+        sums.append(mags[:5].sum())
+    assert max(sums) - min(sums) < 5.0
+    assert all(36.0 <= s <= 42.0 for s in sums)
+
+
+def test_coordinates_valid():
+    relation, _ = build_galaxy(GalaxyParams(n_rows=1000))
+    assert relation.column("ra").min() >= 0 and relation.column("ra").max() <= 360
+    decs = relation.column("dec")
+    assert decs.min() >= -90 and decs.max() <= 90
+
+
+def test_deterministic_per_seed():
+    a, _ = build_galaxy(GalaxyParams(n_rows=100, seed=7))
+    b, _ = build_galaxy(GalaxyParams(n_rows=100, seed=7))
+    c, _ = build_galaxy(GalaxyParams(n_rows=100, seed=8))
+    assert np.array_equal(a.column("petromag_r"), b.column("petromag_r"))
+    assert not np.array_equal(a.column("petromag_r"), c.column("petromag_r"))
+
+
+def test_noise_model_selection():
+    _, gaussian = build_galaxy(GalaxyParams(n_rows=50, noise=NOISE_GAUSSIAN))
+    assert isinstance(gaussian.vg("Petromag_r"), GaussianNoiseVG)
+    _, pareto = build_galaxy(GalaxyParams(n_rows=50, noise=NOISE_PARETO))
+    assert isinstance(pareto.vg("Petromag_r"), ParetoNoiseVG)
+
+
+def test_randomized_scales_differ_per_tuple():
+    _, model = build_galaxy(
+        GalaxyParams(n_rows=100, noise=NOISE_GAUSSIAN, scale=3.0,
+                     randomized_scale=True)
+    )
+    sigma = model.vg("Petromag_r")._sigma
+    assert len(np.unique(sigma)) > 10  # per-tuple, not shared
+    assert np.all(sigma > 0)
+
+
+def test_invalid_params_rejected():
+    with pytest.raises(EvaluationError):
+        build_galaxy(GalaxyParams(n_rows=0))
+    with pytest.raises(EvaluationError):
+        build_galaxy(GalaxyParams(n_rows=10, noise="cauchy"))

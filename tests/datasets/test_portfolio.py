@@ -1,0 +1,78 @@
+"""Portfolio dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.portfolio import (
+    HORIZONS_ONE_WEEK,
+    HORIZONS_TWO_DAY,
+    PortfolioParams,
+    build_portfolio,
+)
+from repro.errors import EvaluationError
+
+
+def test_tuple_count_is_stocks_times_horizons():
+    relation, _ = build_portfolio(PortfolioParams(n_stocks=100))
+    assert relation.n_rows == 200  # 2-day horizons
+    relation, _ = build_portfolio(
+        PortfolioParams(n_stocks=100, horizons=HORIZONS_ONE_WEEK)
+    )
+    assert relation.n_rows == 700
+
+
+def test_per_stock_rows_share_parameters():
+    relation, _ = build_portfolio(PortfolioParams(n_stocks=50))
+    stocks = relation.column("stock")
+    prices = relation.column("price")
+    vols = relation.column("volatility")
+    for stock in np.unique(stocks):
+        rows = stocks == stock
+        assert len(np.unique(prices[rows])) == 1
+        assert len(np.unique(vols[rows])) == 1
+
+
+def test_horizons_tile_correctly():
+    relation, _ = build_portfolio(PortfolioParams(n_stocks=3))
+    assert relation.column("sell_in_days").tolist() == [1.0, 2.0] * 3
+
+
+def test_price_and_volatility_ranges():
+    relation, _ = build_portfolio(PortfolioParams(n_stocks=500))
+    prices = relation.column("price")
+    assert prices.min() >= 5.0 and prices.max() <= 500.0
+    daily_vol = relation.column("volatility")
+    assert daily_vol.min() > 0.0
+    assert daily_vol.max() < 0.10  # 150% annualized is ~0.094/sqrt(day)
+
+
+def test_volatile_subset_selects_top_fraction():
+    full_relation, _ = build_portfolio(PortfolioParams(n_stocks=400, seed=3))
+    subset_relation, _ = build_portfolio(
+        PortfolioParams(n_stocks=400, volatile_only=True, seed=3)
+    )
+    assert subset_relation.n_rows == pytest.approx(0.3 * full_relation.n_rows, rel=0.05)
+    # Every volatility in the subset is at least the full universe's 70th
+    # percentile.
+    cutoff = np.quantile(np.unique(full_relation.column("volatility")), 0.7)
+    assert subset_relation.column("volatility").min() >= cutoff * 0.999
+
+
+def test_gbm_model_blocks_by_stock():
+    relation, model = build_portfolio(PortfolioParams(n_stocks=10))
+    vg = model.vg("Gain")
+    assert vg.n_blocks == 10
+    assert all(len(block) == 2 for block in vg.blocks)
+
+
+def test_deterministic_per_seed():
+    a, _ = build_portfolio(PortfolioParams(n_stocks=20, seed=1))
+    b, _ = build_portfolio(PortfolioParams(n_stocks=20, seed=1))
+    assert np.array_equal(a.column("price"), b.column("price"))
+
+
+def test_invalid_params():
+    with pytest.raises(EvaluationError):
+        build_portfolio(PortfolioParams(n_stocks=0))
+    with pytest.raises(EvaluationError):
+        build_portfolio(PortfolioParams(n_stocks=5, horizons=(0.0,)))

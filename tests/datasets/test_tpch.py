@@ -1,0 +1,86 @@
+"""TPC-H integrated dataset builder."""
+
+import numpy as np
+import pytest
+
+from repro.datasets.tpch import TpchParams, build_tpch
+from repro.errors import EvaluationError
+
+
+def test_shape_and_stochastic_attributes():
+    relation, model = build_tpch(TpchParams(n_rows=300))
+    assert relation.n_rows == 300
+    assert set(model.attribute_names) == {"Quantity", "Revenue"}
+    assert {"quantity", "revenue", "unit_price", "discount"}.issubset(
+        relation.column_names
+    )
+
+
+def test_quantity_range_tpch_like():
+    relation, _ = build_tpch(TpchParams(n_rows=1000))
+    quantity = relation.column("quantity")
+    assert quantity.min() >= 1 and quantity.max() <= 50
+
+
+def test_revenue_consistent_with_pricing():
+    relation, _ = build_tpch(TpchParams(n_rows=200))
+    expected = (
+        relation.column("quantity")
+        * relation.column("unit_price")
+        * (1 - relation.column("discount"))
+    )
+    assert np.allclose(relation.column("revenue"), expected, atol=0.01)
+
+
+def test_variant_count_matches_sources():
+    _, model = build_tpch(TpchParams(n_rows=100, n_sources=7))
+    assert model.vg("Quantity").n_sources == 7
+    assert model.vg("Revenue").n_sources == 7
+
+
+def test_variants_nonnegative():
+    _, model = build_tpch(TpchParams(n_rows=500, family="student-t",
+                                     family_param=2.0, n_sources=10))
+    assert model.vg("Quantity").variants.min() >= 0.0
+    assert model.vg("Revenue").variants.min() >= 0.0
+
+
+def test_min_quantity_for_infeasible_query():
+    relation, model = build_tpch(TpchParams(n_rows=400, min_quantity=8))
+    assert relation.column("quantity").min() >= 8
+    # Bulk-order extract: mean quantities sit at >= 8 too, so any chance
+    # constraint with v < 8 and high p is unsatisfiable.
+    assert model.vg("Quantity").mean().min() >= 7.0
+
+
+def test_all_families_build():
+    for family, param in (
+        ("exponential", 1.0),
+        ("poisson", 2.0),
+        ("uniform", None),
+        ("student-t", 2.0),
+    ):
+        relation, model = build_tpch(
+            TpchParams(n_rows=50, family=family, family_param=param)
+        )
+        assert relation.n_rows == 50
+
+
+def test_deterministic_per_seed():
+    a, model_a = build_tpch(TpchParams(n_rows=60, seed=4))
+    b, model_b = build_tpch(TpchParams(n_rows=60, seed=4))
+    assert np.array_equal(a.column("revenue"), b.column("revenue"))
+    assert np.array_equal(
+        model_a.vg("Quantity").variants, model_b.vg("Quantity").variants
+    )
+
+
+def test_invalid_params():
+    with pytest.raises(EvaluationError):
+        build_tpch(TpchParams(n_rows=0))
+    with pytest.raises(EvaluationError):
+        build_tpch(TpchParams(n_rows=10, family="gamma"))
+    with pytest.raises(EvaluationError):
+        build_tpch(TpchParams(n_rows=10, n_sources=0))
+    with pytest.raises(EvaluationError):
+        build_tpch(TpchParams(n_rows=10, min_quantity=99))

@@ -1,0 +1,62 @@
+"""Catalog registration and lookup."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.db.relation import Relation
+from repro.errors import SchemaError
+from repro.mcdb import GaussianNoiseVG, StochasticModel
+
+
+def test_register_and_lookup_case_insensitive(items_relation):
+    catalog = Catalog()
+    catalog.register(items_relation)
+    assert "ITEMS" in catalog
+    assert catalog.relation("Items") is items_relation
+    assert catalog.model("items") is None
+
+
+def test_register_with_model(items_relation, items_model):
+    catalog = Catalog()
+    catalog.register(items_relation, items_model)
+    assert catalog.model("items") is items_model
+
+
+def test_register_mismatched_model_rejected(items_relation, items_model):
+    other = Relation("other", {"price": [1.0, 2.0]})
+    catalog = Catalog()
+    with pytest.raises(SchemaError):
+        catalog.register(other, items_model)
+
+
+def test_reregistration_replaces(items_relation):
+    catalog = Catalog()
+    catalog.register(items_relation)
+    replacement = Relation("items", {"price": [9.0]})
+    catalog.register(replacement)
+    assert catalog.relation("items") is replacement
+
+
+def test_register_under_alias(items_relation):
+    catalog = Catalog()
+    catalog.register(items_relation, name="inventory")
+    assert "inventory" in catalog
+    assert "items" not in catalog
+
+
+def test_unknown_table_message(items_relation):
+    catalog = Catalog()
+    catalog.register(items_relation)
+    with pytest.raises(SchemaError, match="unknown table"):
+        catalog.relation("missing")
+
+
+def test_drop_and_iteration(items_relation):
+    catalog = Catalog()
+    catalog.register(items_relation)
+    assert list(catalog) == ["items"]
+    assert len(catalog) == 1
+    catalog.drop("items")
+    assert len(catalog) == 0
+    with pytest.raises(SchemaError):
+        catalog.drop("items")

@@ -1,0 +1,48 @@
+"""CSV import/export."""
+
+import numpy as np
+import pytest
+
+from repro.db.csvio import read_csv, write_csv
+from repro.db.relation import Relation
+from repro.errors import SchemaError
+
+CSV_TEXT = "name,qty,price\nalpha,3,1.5\nbeta,7,2.25\n"
+
+
+def test_read_from_text_infers_types():
+    relation = read_csv(CSV_TEXT, name="stock")
+    assert relation.name == "stock"
+    assert relation.column("qty").dtype == np.int64
+    assert relation.column("price").dtype == np.float64
+    assert relation.column("name").dtype.kind == "O"
+    assert relation.n_rows == 2
+
+
+def test_round_trip_through_file(tmp_path):
+    path = tmp_path / "data.csv"
+    original = Relation("t", {"a": [1, 2, 3], "b": [0.5, 1.5, 2.5]})
+    write_csv(original, path)
+    loaded = read_csv(path)
+    assert loaded.column("a").tolist() == [1, 2, 3]
+    assert loaded.column("b").tolist() == [0.5, 1.5, 2.5]
+    assert loaded.name == "data"
+
+
+def test_write_selected_columns(tmp_path):
+    path = tmp_path / "out.csv"
+    relation = Relation("t", {"a": [1], "b": [2]})
+    write_csv(relation, path, columns=["b"])
+    assert read_csv(path).column_names == ["b", "id"]
+
+
+def test_empty_csv_rejected():
+    with pytest.raises(SchemaError):
+        read_csv("")
+    with pytest.raises(SchemaError):
+        read_csv("only,a,header\n")
+
+
+def test_mixed_column_falls_back_to_text():
+    relation = read_csv("v\n1\nx\n")
+    assert relation.column("v").dtype.kind == "O"

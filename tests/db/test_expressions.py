@@ -1,0 +1,147 @@
+"""Expression evaluation, analysis, and rendering."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.expressions import (
+    Attr,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    FuncCall,
+    Not,
+    UnaryOp,
+    affine_in,
+    attributes_of,
+    evaluate,
+    parse_expression,
+    render,
+)
+from repro.errors import CompileError
+
+COLUMNS = {
+    "a": np.array([1.0, 2.0, 3.0]),
+    "b": np.array([4.0, 5.0, 6.0]),
+}
+
+
+def test_arithmetic_operations():
+    expr = BinOp("+", BinOp("*", Const(2), Attr("a")), Attr("b"))
+    assert evaluate(expr, COLUMNS).tolist() == [6.0, 9.0, 12.0]
+
+
+def test_subtraction_division_power():
+    assert evaluate(BinOp("-", Attr("b"), Attr("a")), COLUMNS).tolist() == [3.0] * 3
+    assert evaluate(BinOp("/", Attr("b"), Const(2)), COLUMNS).tolist() == [2.0, 2.5, 3.0]
+    assert evaluate(BinOp("^", Attr("a"), Const(2)), COLUMNS).tolist() == [1.0, 4.0, 9.0]
+
+
+def test_unary_minus_and_plus():
+    assert evaluate(UnaryOp("-", Attr("a")), COLUMNS).tolist() == [-1.0, -2.0, -3.0]
+    assert evaluate(UnaryOp("+", Attr("a")), COLUMNS).tolist() == [1.0, 2.0, 3.0]
+
+
+def test_comparisons_produce_booleans():
+    out = evaluate(Compare(">=", Attr("a"), Const(2)), COLUMNS)
+    assert out.tolist() == [False, True, True]
+    out = evaluate(Compare("<>", Attr("a"), Const(2)), COLUMNS)
+    assert out.tolist() == [True, False, True]
+
+
+def test_boolean_operators_and_not():
+    left = Compare(">", Attr("a"), Const(1))
+    right = Compare("<", Attr("b"), Const(6))
+    assert evaluate(BoolOp("AND", left, right), COLUMNS).tolist() == [False, True, False]
+    assert evaluate(BoolOp("OR", left, right), COLUMNS).tolist() == [True, True, True]
+    assert evaluate(Not(left), COLUMNS).tolist() == [True, False, False]
+
+
+def test_functions():
+    assert evaluate(FuncCall("abs", (UnaryOp("-", Attr("a")),)), COLUMNS).tolist() == [
+        1.0,
+        2.0,
+        3.0,
+    ]
+    out = evaluate(FuncCall("sqrt", (Attr("b"),)), COLUMNS)
+    assert out[0] == pytest.approx(2.0)
+
+
+def test_unknown_function_and_attr_rejected():
+    with pytest.raises(CompileError):
+        evaluate(FuncCall("bogus", (Attr("a"),)), COLUMNS)
+    with pytest.raises(CompileError):
+        evaluate(Attr("zzz"), COLUMNS)
+
+
+def test_callable_resolver():
+    out = evaluate(Attr("x"), lambda name: np.array([7.0]))
+    assert out.tolist() == [7.0]
+
+
+def test_attributes_of_collects_all():
+    expr = BinOp("+", Attr("a"), FuncCall("abs", (BinOp("*", Attr("b"), Attr("c")),)))
+    assert attributes_of(expr) == {"a", "b", "c"}
+
+
+# --- affine analysis ----------------------------------------------------------
+
+
+def test_affine_simple_cases():
+    names = {"x"}
+    assert affine_in(Attr("x"), names)
+    assert affine_in(BinOp("+", Attr("x"), Const(3)), names)
+    assert affine_in(BinOp("*", Attr("a"), Attr("x")), names)  # a is constant here
+    assert affine_in(Const(5), names)
+    assert affine_in(Attr("other"), names)
+
+
+def test_affine_rejects_nonlinear():
+    names = {"x"}
+    assert not affine_in(BinOp("*", Attr("x"), Attr("x")), names)
+    assert not affine_in(BinOp("^", Attr("x"), Const(2)), names)
+    assert not affine_in(FuncCall("exp", (Attr("x"),)), names)
+    assert not affine_in(BinOp("/", Const(1), Attr("x")), names)
+
+
+def test_affine_division_by_constant_ok():
+    assert affine_in(BinOp("/", Attr("x"), Const(2)), {"x"})
+
+
+@given(
+    coeff=st.floats(-5, 5, allow_nan=False),
+    shift=st.floats(-5, 5, allow_nan=False),
+)
+def test_affine_expectation_substitution_is_exact(coeff, shift):
+    """For affine expressions, f(E[X]) == E[f(X)] — the property the
+    expectation estimator relies on when it substitutes means."""
+    expr = BinOp("+", BinOp("*", Const(coeff), Attr("x")), Const(shift))
+    assert affine_in(expr, {"x"})
+    samples = np.array([1.0, 2.0, 7.0, -3.0])
+    mean_of_f = evaluate(expr, {"x": samples}).mean()
+    f_of_mean = evaluate(expr, {"x": np.array([samples.mean()])})[0]
+    assert mean_of_f == pytest.approx(f_of_mean)
+
+
+# --- rendering ----------------------------------------------------------------
+
+
+def test_render_parse_round_trip():
+    texts = [
+        "a + b * 2",
+        "(a + b) * 2",
+        "-a",
+        "abs(a - b)",
+        "3 * a ^ 2 - 2 * sqrt(b) + 1",
+        "price <= 100",
+    ]
+    for text in texts:
+        expr = parse_expression(text)
+        again = parse_expression(render(expr))
+        assert again == expr
+
+
+def test_render_string_constant_escaping():
+    expr = Compare("=", Attr("name"), Const("o'brien"))
+    assert parse_expression(render(expr)) == expr

@@ -1,0 +1,107 @@
+"""Interval arithmetic: soundness against sampled realizations."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.db.expressions import Attr, BinOp, Const, FuncCall, UnaryOp, parse_expression
+from repro.db.intervals import IntervalError, evaluate_interval
+
+
+def _support(bounds: dict):
+    def resolver(name):
+        lo, hi = bounds[name]
+        return np.asarray(lo, dtype=float), np.asarray(hi, dtype=float)
+
+    return resolver
+
+
+def test_constant_and_attr():
+    lo, hi = evaluate_interval(Const(3), _support({}))
+    assert lo == hi == 3.0
+    lo, hi = evaluate_interval(Attr("x"), _support({"x": ([1.0], [2.0])}))
+    assert lo.tolist() == [1.0] and hi.tolist() == [2.0]
+
+
+def test_negation_flips():
+    lo, hi = evaluate_interval(
+        UnaryOp("-", Attr("x")), _support({"x": ([1.0], [2.0])})
+    )
+    assert lo.tolist() == [-2.0] and hi.tolist() == [-1.0]
+
+
+def test_division_by_zero_straddling_interval_rejected():
+    with pytest.raises(IntervalError):
+        evaluate_interval(
+            BinOp("/", Const(1), Attr("x")), _support({"x": ([-1.0], [1.0])})
+        )
+
+
+def test_even_power_straddling_zero_has_zero_min():
+    lo, hi = evaluate_interval(
+        BinOp("^", Attr("x"), Const(2)), _support({"x": ([-3.0], [2.0])})
+    )
+    assert lo.tolist() == [0.0] and hi.tolist() == [9.0]
+
+
+def test_abs_straddling_zero():
+    lo, hi = evaluate_interval(
+        FuncCall("abs", (Attr("x"),)), _support({"x": ([-3.0], [2.0])})
+    )
+    assert lo.tolist() == [0.0] and hi.tolist() == [3.0]
+
+
+def test_unsupported_function_rejected():
+    with pytest.raises(IntervalError):
+        evaluate_interval(FuncCall("floor", (Attr("x"),)), _support({"x": ([0.0], [1.0])}))
+
+
+def test_sqrt_of_negative_interval_rejected():
+    with pytest.raises(IntervalError):
+        evaluate_interval(FuncCall("sqrt", (Attr("x"),)), _support({"x": ([-1.0], [1.0])}))
+
+
+def test_fractional_exponent_rejected():
+    with pytest.raises(IntervalError):
+        evaluate_interval(
+            BinOp("^", Attr("x"), Const(0.5)), _support({"x": ([1.0], [2.0])})
+        )
+
+
+EXPRESSIONS = [
+    "x + y",
+    "x - y",
+    "x * y",
+    "2 * x - 3 * y + 1",
+    "abs(x) + y",
+    "x ^ 2",
+    "x ^ 3",
+    "-x * y",
+    "exp(x / 10)",
+]
+
+
+@given(
+    text=st.sampled_from(EXPRESSIONS),
+    x_lo=st.floats(-5, 5, allow_nan=False),
+    x_width=st.floats(0, 5, allow_nan=False),
+    y_lo=st.floats(-5, 5, allow_nan=False),
+    y_width=st.floats(0, 5, allow_nan=False),
+    data=st.data(),
+)
+def test_interval_encloses_sampled_values(text, x_lo, x_width, y_lo, y_width, data):
+    """Soundness: every realization within the supports evaluates inside
+    the computed interval (this is the property Appendix B's (A1) bounds
+    rely on)."""
+    expr = parse_expression(text)
+    support = _support(
+        {"x": ([x_lo], [x_lo + x_width]), "y": ([y_lo], [y_lo + y_width])}
+    )
+    lo, hi = evaluate_interval(expr, support)
+    x = data.draw(st.floats(x_lo, x_lo + x_width, allow_nan=False))
+    y = data.draw(st.floats(y_lo, y_lo + y_width, allow_nan=False))
+    from repro.db.expressions import evaluate
+
+    value = float(evaluate(expr, {"x": np.array([x]), "y": np.array([y])})[0])
+    tolerance = 1e-7 * max(1.0, abs(value))
+    assert lo[0] - tolerance <= value <= hi[0] + tolerance

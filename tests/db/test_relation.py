@@ -1,0 +1,109 @@
+"""Columnar relation behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.db.expressions import Attr, BoolOp, Compare, Const
+from repro.db.relation import Relation
+from repro.errors import SchemaError
+
+
+def test_auto_id_key_created(items_relation):
+    assert items_relation.key == "id"
+    assert np.array_equal(items_relation.key_values(), np.arange(5))
+
+
+def test_explicit_key_must_exist():
+    with pytest.raises(SchemaError):
+        Relation("t", {"a": [1, 2]}, key="missing")
+
+
+def test_key_must_be_unique():
+    with pytest.raises(SchemaError):
+        Relation("t", {"k": [1, 1], "a": [2.0, 3.0]}, key="k")
+
+
+def test_unequal_column_lengths_rejected():
+    with pytest.raises(SchemaError):
+        Relation("t", {"a": [1, 2], "b": [1, 2, 3]})
+
+
+def test_empty_columns_rejected():
+    with pytest.raises(SchemaError):
+        Relation("t", {})
+
+
+def test_column_access_and_error(items_relation):
+    assert items_relation.column("price")[0] == 5.0
+    assert items_relation["weight"][1] == 1.0
+    with pytest.raises(SchemaError):
+        items_relation.column("nope")
+
+
+def test_filter_with_predicate(items_relation):
+    cheap = items_relation.filter(Compare("<=", Attr("price"), Const(5)))
+    assert cheap.n_rows == 3
+    assert set(cheap.column("price").tolist()) == {5.0, 3.0, 4.0}
+    # Key values survive the filter (stable tuple identity).
+    assert set(cheap.key_values().tolist()) == {0, 2, 4}
+
+
+def test_filter_boolean_combination(items_relation):
+    predicate = BoolOp(
+        "AND",
+        Compare(">", Attr("price"), Const(3)),
+        Compare("=", Attr("category"), Const("a")),
+    )
+    out = items_relation.filter(predicate)
+    assert out.n_rows == 2
+
+
+def test_take_preserves_order(items_relation):
+    out = items_relation.take(np.array([3, 0]))
+    assert out.column("price").tolist() == [6.0, 5.0]
+
+
+def test_project_keeps_key(items_relation):
+    out = items_relation.project(["price"])
+    assert set(out.column_names) == {"price", "id"}
+
+
+def test_with_column_is_nondestructive(items_relation):
+    out = items_relation.with_column("double_price", items_relation["price"] * 2)
+    assert "double_price" not in items_relation.column_names
+    assert out.column("double_price")[0] == 10.0
+
+
+def test_with_column_wrong_length(items_relation):
+    with pytest.raises(SchemaError):
+        items_relation.with_column("bad", [1.0])
+
+
+def test_positions_for_keys(items_relation):
+    positions = items_relation.positions_for_keys([2, 0])
+    assert positions.tolist() == [2, 0]
+    with pytest.raises(SchemaError):
+        items_relation.positions_for_keys([99])
+
+
+def test_iter_rows_and_row(items_relation):
+    rows = list(items_relation.iter_rows())
+    assert len(rows) == 5
+    assert rows[1]["price"] == 8.0
+    assert items_relation.row(2)["category"] == "a"
+
+
+def test_rename_and_head(items_relation):
+    renamed = items_relation.rename("other")
+    assert renamed.name == "other"
+    assert items_relation.head(2).n_rows == 2
+
+
+def test_to_text_truncates(items_relation):
+    text = items_relation.to_text(limit=2)
+    assert "..." in text
+
+
+def test_text_columns_stored_as_objects(items_relation):
+    # Object dtype avoids fixed-width truncation when values are replaced.
+    assert items_relation.column("category").dtype.kind == "O"

@@ -1,0 +1,49 @@
+"""Column typing helpers."""
+
+import numpy as np
+import pytest
+
+from repro.db.types import DType, coerce_column, infer_dtype
+from repro.errors import SchemaError
+
+
+def test_coerce_int_list():
+    out = coerce_column([1, 2, 3], "c")
+    assert out.dtype == np.int64
+
+
+def test_coerce_float_list():
+    out = coerce_column([1.5, 2.0], "c")
+    assert out.dtype == np.float64
+
+
+def test_coerce_strings_to_object():
+    out = coerce_column(["x", "y"], "c")
+    assert out.dtype.kind == "O"
+
+
+def test_coerce_bool_passthrough():
+    out = coerce_column(np.array([True, False]), "c")
+    assert out.dtype.kind == "b"
+
+
+def test_coerce_rejects_2d():
+    with pytest.raises(SchemaError):
+        coerce_column(np.zeros((2, 2)), "c")
+
+
+def test_infer_dtype_variants():
+    assert infer_dtype(np.array([1.0])) == DType.FLOAT
+    assert infer_dtype(np.array([1])) == DType.INT
+    assert infer_dtype(np.array([True])) == DType.BOOL
+    assert infer_dtype(np.array(["a"], dtype=object)) == DType.TEXT
+
+
+def test_numeric_flag():
+    assert DType.FLOAT.is_numeric and DType.INT.is_numeric
+    assert not DType.TEXT.is_numeric and not DType.BOOL.is_numeric
+
+
+def test_infer_rejects_unsupported():
+    with pytest.raises(SchemaError):
+        infer_dtype(np.array([1 + 2j]))

@@ -1,0 +1,82 @@
+"""Experiment scripts produce the paper's rows/series (tiny scales)."""
+
+import pytest
+
+from repro import SPQConfig
+from repro.experiments.figure4 import run_figure4
+from repro.experiments.figure5 import run_figure5
+from repro.experiments.figure6 import run_figure6
+from repro.experiments.figure7 import run_figure7
+from repro.experiments.table3 import build_table
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SPQConfig(
+        n_validation_scenarios=400,
+        n_initial_scenarios=10,
+        scenario_increment=10,
+        max_scenarios=20,
+        n_expectation_scenarios=200,
+        epsilon=1.0,
+        solver_time_limit=5.0,
+        time_limit=30.0,
+        seed=3,
+    )
+
+
+def test_table3_has_24_rows():
+    table = build_table()
+    assert len(table.rows) == 24
+    text = table.render()
+    assert "counteracted" in text and "independent" in text
+
+
+def test_figure4_rows(tiny_config):
+    table = run_figure4(
+        ["galaxy"], tiny_config, n_runs=1, scale=120, data_seed=1, queries=["q1"]
+    )
+    assert len(table.rows) == 2  # one query x two methods
+    assert table.rows[0][1] == "summarysearch"
+    assert table.rows[1][1] == "naive"
+
+
+def test_figure5_sweep_rows(tiny_config):
+    table = run_figure5(
+        ["galaxy"], tiny_config, n_runs=1, scale=120, data_seed=1,
+        sweep=(5, 10), queries=["q3"],
+    )
+    assert len(table.rows) == 4  # 2 methods x 2 M values
+    m_values = {row[2] for row in table.rows}
+    assert m_values == {"5", "10"}
+
+
+def test_figure6_rows(tiny_config):
+    table = run_figure6(
+        tiny_config, n_runs=1, scale=40, data_seed=1,
+        n_scenarios=10, percents=(10, 100), queries=["q1"],
+    )
+    # 2 summary settings + 1 naive row.
+    assert len(table.rows) == 3
+    assert table.rows[-1][1] == "naive"
+
+
+def test_figure7_rows(tiny_config):
+    table = run_figure7(
+        tiny_config, n_runs=1, data_seed=1, sizes=(100, 200),
+        queries=["q3"], n_scenarios=8, n_scenarios_q8=8,
+    )
+    assert len(table.rows) == 4  # 2 methods x 2 sizes
+    sizes = {row[2] for row in table.rows}
+    assert sizes == {"100", "200"}
+
+
+def test_cli_mains_run(capsys, tiny_config):
+    from repro.experiments import table3
+
+    table3.main([])
+    captured = capsys.readouterr()
+    assert "Table 3" in captured.out
+    table3.main(["--queries"])
+    captured = capsys.readouterr()
+    assert "SELECT PACKAGE(*)" in captured.out

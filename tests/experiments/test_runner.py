@@ -1,0 +1,99 @@
+"""Experiment runner and metrics."""
+
+import pytest
+
+from repro import SPQConfig
+from repro.experiments.runner import (
+    RunOutcome,
+    approximation_ratio,
+    best_feasible_objective,
+    confidence_95,
+    feasibility_rate,
+    mean_ratio,
+    mean_time,
+    run_query,
+    run_seeds,
+)
+from repro.workloads import get_query
+
+
+def _outcome(feasible=True, objective=1.0, time=1.0, method="x", seed=0):
+    return RunOutcome(
+        workload="w", query="Q1", method=method, seed=seed,
+        feasible=feasible, objective=objective, total_time=time,
+        n_iterations=1, final_n_scenarios=10, final_n_summaries=1,
+        timed_out=False, declared_infeasible=False,
+    )
+
+
+def test_feasibility_rate():
+    outcomes = [_outcome(True), _outcome(False), _outcome(True), _outcome(True)]
+    assert feasibility_rate(outcomes) == 0.75
+    assert feasibility_rate([]) == 0.0
+
+
+def test_mean_time_and_confidence():
+    outcomes = [_outcome(time=1.0), _outcome(time=3.0)]
+    assert mean_time(outcomes) == 2.0
+    assert confidence_95([1.0, 3.0]) > 0.0
+    assert confidence_95([1.0]) == 0.0
+
+
+def test_best_feasible_objective_directions():
+    outcomes = [
+        _outcome(True, 5.0),
+        _outcome(True, 2.0),
+        _outcome(False, 0.1),  # infeasible: ignored
+    ]
+    assert best_feasible_objective(outcomes, maximize=False) == 2.0
+    assert best_feasible_objective(outcomes, maximize=True) == 5.0
+    assert best_feasible_objective([_outcome(False)], maximize=True) is None
+
+
+def test_approximation_ratio_semantics():
+    # Minimization: ratio = omega / best.
+    assert approximation_ratio(6.0, 4.0, maximize=False) == pytest.approx(1.5)
+    # Maximization: ratio = best / omega.
+    assert approximation_ratio(4.0, 6.0, maximize=True) == pytest.approx(1.5)
+    # Never below 1 (the best may come from this very run).
+    assert approximation_ratio(4.0, 6.0, maximize=False) == 1.0
+    assert approximation_ratio(None, 6.0, maximize=False) is None
+    assert approximation_ratio(-1.0, 6.0, maximize=True) is None
+
+
+def test_mean_ratio_skips_infeasible():
+    outcomes = [_outcome(True, 4.0), _outcome(False, 1.0), _outcome(True, 8.0)]
+    ratio = mean_ratio(outcomes, best=4.0, maximize=False)
+    assert ratio == pytest.approx((1.0 + 2.0) / 2)
+    assert mean_ratio([_outcome(False)], best=4.0, maximize=False) is None
+
+
+@pytest.fixture(scope="module")
+def tiny_config():
+    return SPQConfig(
+        n_validation_scenarios=500,
+        n_initial_scenarios=10,
+        scenario_increment=10,
+        max_scenarios=40,
+        n_expectation_scenarios=200,
+        epsilon=1.0,
+        solver_time_limit=10.0,
+        time_limit=60.0,
+        seed=5,
+    )
+
+
+def test_run_query_end_to_end(tiny_config):
+    spec = get_query("galaxy", "Q1")
+    outcome = run_query(spec, "summarysearch", tiny_config, scale=150)
+    assert outcome.workload == "galaxy"
+    assert outcome.method == "summarysearch"
+    assert outcome.total_time > 0
+    assert outcome.final_n_scenarios >= 10
+
+
+def test_run_seeds_varies_seed_not_data(tiny_config):
+    spec = get_query("galaxy", "Q1")
+    outcomes = run_seeds(spec, "summarysearch", tiny_config, n_runs=2, scale=150)
+    assert len(outcomes) == 2
+    assert outcomes[0].seed != outcomes[1].seed

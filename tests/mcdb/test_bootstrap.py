@@ -1,0 +1,97 @@
+"""Bootstrap (empirical resampling) VG function."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import Relation
+from repro.errors import VGFunctionError
+from repro.mcdb.bootstrap import BootstrapVG
+from repro.utils.rngkeys import make_generator
+
+OBSERVATIONS = np.array(
+    [
+        [1.0, 2.0, 3.0, 4.0],
+        [10.0, 20.0, 30.0, 40.0],
+        [-1.0, -2.0, -3.0, -4.0],
+    ]
+)
+
+
+@pytest.fixture
+def relation():
+    return Relation("t", {"name": ["a", "b", "c"]})
+
+
+def test_joint_mode_is_one_block(relation):
+    vg = BootstrapVG(OBSERVATIONS, joint=True).bind(relation)
+    assert vg.n_blocks == 1
+
+
+def test_independent_mode_singleton_blocks(relation):
+    vg = BootstrapVG(OBSERVATIONS, joint=False).bind(relation)
+    assert vg.n_blocks == 3
+
+
+def test_joint_samples_are_historical_columns(relation):
+    """Joint resampling preserves cross-tuple dependence: every scenario
+    must be exactly one column of the history."""
+    vg = BootstrapVG(OBSERVATIONS, joint=True).bind(relation)
+    rng = make_generator(0, 0)
+    columns = {tuple(c) for c in OBSERVATIONS.T}
+    for _ in range(30):
+        assert tuple(vg.sample_all(rng)) in columns
+
+
+def test_independent_samples_break_columns(relation):
+    vg = BootstrapVG(OBSERVATIONS, joint=False).bind(relation)
+    rng = make_generator(1, 0)
+    draws = {tuple(vg.sample_all(rng)) for _ in range(60)}
+    columns = {tuple(c) for c in OBSERVATIONS.T}
+    assert not draws.issubset(columns)  # mixes observations across rows
+    for draw in draws:
+        for i, value in enumerate(draw):
+            assert value in OBSERVATIONS[i]
+
+
+def test_exact_mean_and_support(relation):
+    vg = BootstrapVG(OBSERVATIONS).bind(relation)
+    assert np.allclose(vg.mean(), [2.5, 25.0, -2.5])
+    lo, hi = vg.support()
+    assert lo.tolist() == [1.0, 10.0, -4.0]
+    assert hi.tolist() == [4.0, 40.0, -1.0]
+
+
+def test_block_many_shapes(relation):
+    vg = BootstrapVG(OBSERVATIONS, joint=True).bind(relation)
+    values = vg.sample_block(0, make_generator(2, 0), 7)
+    assert values.shape == (3, 7)
+
+
+def test_validation_errors(relation):
+    with pytest.raises(VGFunctionError):
+        BootstrapVG(np.zeros(3))
+    with pytest.raises(VGFunctionError):
+        BootstrapVG(np.zeros((2, 4))).bind(relation)
+
+
+def test_end_to_end_with_engine(relation, fast_config):
+    from repro import Catalog, SPQEngine
+    from repro.mcdb import StochasticModel
+
+    rel = Relation("assets", {"cost": [3.0, 5.0, 2.0]})
+    history = np.array(
+        [
+            [0.5, 1.5, 2.5, -0.5],
+            [2.0, 4.0, -1.0, 3.0],
+            [0.1, 0.2, 0.3, 0.4],
+        ]
+    )
+    model = StochasticModel(rel, {"Return": BootstrapVG(history)})
+    engine = SPQEngine(config=fast_config)
+    engine.register(rel, model)
+    result = engine.execute(
+        "SELECT PACKAGE(*) FROM assets SUCH THAT COUNT(*) <= 2 AND"
+        " SUM(Return) >= 0 WITH PROBABILITY >= 0.7"
+        " MAXIMIZE EXPECTED SUM(Return)"
+    )
+    assert result.feasible

@@ -1,0 +1,76 @@
+"""Correlated VG models through the full scenario/validation stack."""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, SPQConfig
+from repro.config import STREAM_OPTIMIZATION
+from repro.core.context import EvaluationContext
+from repro.core.validator import Validator
+from repro.mcdb.scenarios import MODE_TUPLE_WISE, ScenarioGenerator
+from repro.silp.compile import compile_query
+
+
+def test_gbm_blocks_survive_tuple_mode_restriction(portfolio_toy):
+    """Restricting generation to one row of a correlated stock block
+    still reproduces the full-matrix values for that row."""
+    _, model = portfolio_toy
+    generator = ScenarioGenerator(
+        model, seed=3, stream=STREAM_OPTIMIZATION, mode=MODE_TUPLE_WISE
+    )
+    full = generator.matrix("Gain", 16)
+    # Row 1 is AAPL's 1-week tuple; generating just that row must pull in
+    # its whole block deterministically.
+    restricted = generator.matrix("Gain", 16, rows=np.array([1]))
+    assert np.array_equal(restricted[0], full[1])
+
+
+def test_gbm_one_day_and_week_gains_comove(portfolio_toy):
+    _, model = portfolio_toy
+    generator = ScenarioGenerator(model, seed=3, stream=STREAM_OPTIMIZATION)
+    matrix = generator.matrix("Gain", 3000)
+    same_stock = np.corrcoef(matrix[4], matrix[5])[0, 1]  # TSLA 1d vs 1wk
+    cross = np.corrcoef(matrix[0], matrix[4])[0, 1]  # AAPL vs TSLA
+    assert same_stock > 0.25
+    assert abs(cross) < 0.1
+
+
+def test_portfolio_toy_end_to_end(portfolio_toy, fast_config):
+    relation, model = portfolio_toy
+    catalog = Catalog()
+    catalog.register(relation, model)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM stock_investments SUCH THAT"
+        " SUM(price) <= 600 AND"
+        " SUM(Gain) >= -15 WITH PROBABILITY >= 0.9"
+        " MAXIMIZE EXPECTED SUM(Gain)",
+        catalog,
+    )
+    from repro.core.summarysearch import summary_search_evaluate
+
+    result = summary_search_evaluate(problem, fast_config)
+    assert result.feasible
+    assert result.package.deterministic_total("price") <= 600
+
+
+def test_discrete_variants_through_validator(variants_model, fast_config):
+    relation, model = variants_model
+    catalog = Catalog()
+    catalog.register(relation, model)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM orders SUCH THAT COUNT(*) <= 2 AND"
+        " SUM(Quantity) <= 7 WITH PROBABILITY >= 0.6",
+        catalog,
+    )
+    ctx = EvaluationContext(problem, fast_config)
+    validator = Validator(ctx)
+    # Row 2's variants are {8, 9, 10}: alone it never satisfies <= 7.
+    report = validator.validate(np.array([0, 0, 1, 0]))
+    assert report.items[0].satisfied_fraction == 0.0
+    # Row 0's variants are {1, 2, 3}: always satisfies <= 7.
+    report = validator.validate(np.array([1, 0, 0, 0]))
+    assert report.items[0].satisfied_fraction == 1.0
+    # Rows 0+1: sum ranges over {5..9}; P(<= 7) = P(v0 + v1 <= 7) with
+    # independent uniform picks = 6/9.
+    report = validator.validate(np.array([1, 1, 0, 0]))
+    assert report.items[0].satisfied_fraction == pytest.approx(6 / 9, abs=0.05)

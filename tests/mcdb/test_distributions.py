@@ -1,0 +1,128 @@
+"""Noise-model VG functions: distributions, means, supports."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import Relation
+from repro.errors import VGFunctionError
+from repro.mcdb.distributions import (
+    ExponentialNoiseVG,
+    GaussianNoiseVG,
+    ParetoNoiseVG,
+    StudentTNoiseVG,
+    UniformNoiseVG,
+)
+from repro.utils.rngkeys import make_generator
+
+
+@pytest.fixture
+def relation():
+    return Relation("t", {"base": np.linspace(10.0, 14.0, 5)})
+
+
+def _samples(vg, n=4000, seed=0):
+    rng = make_generator(seed, 0)
+    return np.stack([vg.sample_all(rng) for _ in range(n)])
+
+
+def test_gaussian_mean_and_spread(relation):
+    vg = GaussianNoiseVG("base", 2.0).bind(relation)
+    assert np.allclose(vg.mean(), relation.column("base"))
+    samples = _samples(vg)
+    assert np.allclose(samples.mean(axis=0), vg.mean(), atol=0.15)
+    assert np.allclose(samples.std(axis=0), 2.0, atol=0.15)
+
+
+def test_gaussian_per_row_sigma(relation):
+    sigma = np.array([0.1, 0.5, 1.0, 2.0, 3.0])
+    vg = GaussianNoiseVG("base", sigma).bind(relation)
+    samples = _samples(vg)
+    assert np.allclose(samples.std(axis=0), sigma, rtol=0.12)
+
+
+def test_gaussian_rejects_negative_sigma(relation):
+    with pytest.raises(VGFunctionError):
+        GaussianNoiseVG("base", -1.0).bind(relation)
+
+
+def test_gaussian_rejects_wrong_length_sigma(relation):
+    with pytest.raises(VGFunctionError):
+        GaussianNoiseVG("base", np.ones(3)).bind(relation)
+
+
+def test_pareto_support_and_infinite_mean(relation):
+    vg = ParetoNoiseVG("base", 1.0, 1.0).bind(relation)
+    assert vg.mean() is None  # shape 1 has no finite mean
+    lo, hi = vg.support()
+    assert np.allclose(lo, relation.column("base") + 1.0)
+    assert np.all(np.isinf(hi))
+    samples = _samples(vg, n=500)
+    assert np.all(samples >= lo[None, :] - 1e-12)
+
+
+def test_pareto_finite_mean_when_shape_above_one(relation):
+    vg = ParetoNoiseVG("base", 1.0, 3.0).bind(relation)
+    expected = relation.column("base") + 3.0 / 2.0
+    assert np.allclose(vg.mean(), expected)
+    samples = _samples(vg, n=8000, seed=5)
+    assert np.allclose(samples.mean(axis=0), expected, rtol=0.06)
+
+
+def test_pareto_rejects_bad_params(relation):
+    with pytest.raises(VGFunctionError):
+        ParetoNoiseVG("base", 0.0, 1.0).bind(relation)
+    with pytest.raises(VGFunctionError):
+        ParetoNoiseVG("base", 1.0, -1.0).bind(relation)
+
+
+def test_uniform_support_mean(relation):
+    vg = UniformNoiseVG("base", -1.0, 3.0).bind(relation)
+    lo, hi = vg.support()
+    assert np.allclose(lo, relation.column("base") - 1.0)
+    assert np.allclose(hi, relation.column("base") + 3.0)
+    assert np.allclose(vg.mean(), relation.column("base") + 1.0)
+    samples = _samples(vg, n=500)
+    assert np.all(samples >= lo[None, :]) and np.all(samples <= hi[None, :])
+
+
+def test_uniform_rejects_inverted_bounds(relation):
+    with pytest.raises(VGFunctionError):
+        UniformNoiseVG("base", 2.0, 1.0).bind(relation)
+
+
+def test_exponential_centered_mean(relation):
+    vg = ExponentialNoiseVG("base", rate=2.0).bind(relation)
+    assert np.allclose(vg.mean(), relation.column("base"))
+    lo, _ = vg.support()
+    assert np.allclose(lo, relation.column("base") - 0.5)
+    samples = _samples(vg, n=6000)
+    assert np.allclose(samples.mean(axis=0), vg.mean(), atol=0.1)
+
+
+def test_exponential_uncentered(relation):
+    vg = ExponentialNoiseVG("base", rate=2.0, centered=False).bind(relation)
+    assert np.allclose(vg.mean(), relation.column("base") + 0.5)
+    lo, _ = vg.support()
+    assert np.allclose(lo, relation.column("base"))
+
+
+def test_student_t_mean_rules(relation):
+    assert StudentTNoiseVG("base", 2.0).bind(relation).mean() is not None
+    assert StudentTNoiseVG("base", 1.0).bind(relation).mean() is None
+    with pytest.raises(VGFunctionError):
+        StudentTNoiseVG("base", -1.0).bind(relation)
+
+
+def test_block_sampling_matches_all_rows_distribution(relation):
+    """sample_block over singleton blocks covers the same distribution
+    family as sample_all (they use different draw orders)."""
+    vg = GaussianNoiseVG("base", 1.0).bind(relation)
+    rng = make_generator(1, 0)
+    block_vals = vg.sample_block(2, rng, 2000)[0]
+    assert abs(block_vals.mean() - relation.column("base")[2]) < 0.1
+    assert abs(block_vals.std() - 1.0) < 0.1
+
+
+def test_unknown_base_column_rejected(relation):
+    with pytest.raises(Exception):
+        GaussianNoiseVG("missing", 1.0).bind(relation)

@@ -1,0 +1,134 @@
+"""Geometric Brownian motion VG: correlation, means, fast path."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import Relation
+from repro.errors import VGFunctionError
+from repro.mcdb.gbm import GeometricBrownianMotionVG
+from repro.utils.rngkeys import make_generator
+
+
+def _relation(horizons=(1.0, 7.0), n_stocks=3, vol=0.02, drift=0.001):
+    n_h = len(horizons)
+    return Relation(
+        "trades",
+        {
+            "stock": np.repeat([f"S{i}" for i in range(n_stocks)], n_h),
+            "price": np.repeat(np.array([100.0, 150.0, 80.0])[:n_stocks], n_h),
+            "drift": np.full(n_stocks * n_h, drift),
+            "volatility": np.full(n_stocks * n_h, vol),
+            "sell_in_days": np.tile(np.asarray(horizons, dtype=float), n_stocks),
+        },
+    )
+
+
+def _bound(relation):
+    return GeometricBrownianMotionVG(group_column="stock").bind(relation)
+
+
+def test_blocks_group_by_stock():
+    vg = _bound(_relation())
+    assert vg.n_blocks == 3
+    assert vg.blocks[0].tolist() == [0, 1]
+
+
+def test_closed_form_mean():
+    relation = _relation()
+    vg = _bound(relation)
+    price = relation.column("price")
+    drift = relation.column("drift")
+    horizon = relation.column("sell_in_days")
+    expected = price * (np.exp(drift * horizon) - 1.0)
+    assert np.allclose(vg.mean(), expected)
+
+
+def test_mean_matches_monte_carlo():
+    vg = _bound(_relation(vol=0.03))
+    rng = make_generator(0, 0)
+    samples = np.stack([vg.sample_all(rng) for _ in range(20_000)])
+    assert np.allclose(samples.mean(axis=0), vg.mean(), atol=0.25)
+
+
+def test_gain_bounded_below_by_negative_price():
+    relation = _relation(vol=0.5)  # extreme volatility stresses the bound
+    vg = _bound(relation)
+    lo, hi = vg.support()
+    assert np.allclose(lo, -relation.column("price"))
+    rng = make_generator(1, 0)
+    samples = np.stack([vg.sample_all(rng) for _ in range(500)])
+    assert np.all(samples > lo[None, :])
+
+
+def test_same_stock_horizons_share_path():
+    """1-day and 7-day gains of one stock use one Brownian path: their
+    correlation must be strongly positive, and (same-sign) co-movement
+    must hold far more often than for independent draws."""
+    vg = _bound(_relation(vol=0.05, drift=0.0))
+    rng = make_generator(2, 0)
+    samples = np.stack([vg.sample_all(rng) for _ in range(4000)])
+    same_stock = np.corrcoef(samples[:, 0], samples[:, 1])[0, 1]
+    cross_stock = np.corrcoef(samples[:, 0], samples[:, 2])[0, 1]
+    assert same_stock > 0.3  # W(1) is a component of W(7)
+    assert abs(cross_stock) < 0.1
+
+
+def test_uniform_grid_fast_path_detected_and_consistent():
+    relation = _relation()
+    vg = _bound(relation)
+    assert vg._uniform is not None
+    # Means from the vectorized path agree with the per-block path.
+    rng_a = make_generator(3, 0)
+    fast = np.stack([vg.sample_all(rng_a) for _ in range(6000)])
+    block = np.concatenate(
+        [vg.sample_block(b, make_generator(4, 0, b), 6000).mean(axis=1)
+         for b in range(vg.n_blocks)]
+    )
+    assert np.allclose(fast.mean(axis=0), block, atol=0.3)
+
+
+def test_non_uniform_grid_falls_back():
+    relation = Relation(
+        "trades",
+        {
+            "stock": ["A", "A", "B"],
+            "price": [100.0, 100.0, 90.0],
+            "drift": [0.001, 0.001, 0.001],
+            "volatility": [0.02, 0.02, 0.02],
+            "sell_in_days": [1.0, 3.0, 2.0],
+        },
+    )
+    vg = _bound(relation)
+    assert vg._uniform is None
+    out = vg.sample_all(make_generator(0, 0))
+    assert out.shape == (3,)
+
+
+def test_validation_errors():
+    bad_price = Relation(
+        "t", {"stock": ["A"], "price": [-1.0], "drift": [0.0],
+              "volatility": [0.1], "sell_in_days": [1.0]}
+    )
+    with pytest.raises(VGFunctionError):
+        _bound(bad_price)
+    bad_horizon = Relation(
+        "t", {"stock": ["A"], "price": [10.0], "drift": [0.0],
+              "volatility": [0.1], "sell_in_days": [0.0]}
+    )
+    with pytest.raises(VGFunctionError):
+        _bound(bad_horizon)
+
+
+def test_inconsistent_group_parameters_rejected():
+    relation = Relation(
+        "t",
+        {
+            "stock": ["A", "A"],
+            "price": [10.0, 10.0],
+            "drift": [0.0, 0.001],  # drift differs within the stock
+            "volatility": [0.1, 0.1],
+            "sell_in_days": [1.0, 2.0],
+        },
+    )
+    with pytest.raises(VGFunctionError, match="constant within"):
+        _bound(relation)

@@ -1,0 +1,94 @@
+"""Data-integration mixtures: variant construction and the discrete VG."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.relation import Relation
+from repro.errors import VGFunctionError
+from repro.mcdb.integration import (
+    INTEGRATION_FAMILIES,
+    DiscreteVariantsVG,
+    build_integration_variants,
+)
+from repro.utils.rngkeys import make_generator
+
+
+@pytest.mark.parametrize("family", INTEGRATION_FAMILIES)
+def test_variants_anchored_on_original(family):
+    """Row means equal the original values exactly (the paper's 'mean of
+    these D values is anchored around the original value')."""
+    base = np.array([10.0, 25.0, 3.0])
+    rng = make_generator(0, 0)
+    variants = build_integration_variants(base, 5, family, rng, spread=2.0)
+    assert variants.shape == (3, 5)
+    assert np.allclose(variants.mean(axis=1), base)
+
+
+def test_variant_errors():
+    rng = make_generator(0, 0)
+    with pytest.raises(VGFunctionError):
+        build_integration_variants(np.array([1.0]), 0, "uniform", rng)
+    with pytest.raises(VGFunctionError):
+        build_integration_variants(np.array([1.0]), 3, "cauchy", rng)
+    with pytest.raises(VGFunctionError):
+        build_integration_variants(np.array([1.0]), 3, "poisson", rng, family_param=-1)
+
+
+def test_single_source_degenerates_to_original():
+    base = np.array([4.0, 9.0])
+    variants = build_integration_variants(base, 1, "uniform", make_generator(0, 0))
+    assert np.allclose(variants[:, 0], base)
+
+
+@pytest.fixture
+def vg(variants_model):
+    relation, model = variants_model
+    return model.vg("Quantity")
+
+
+def test_samples_are_always_one_of_the_variants(vg):
+    rng = make_generator(1, 0)
+    for _ in range(50):
+        values = vg.sample_all(rng)
+        for i, v in enumerate(values):
+            assert v in vg.variants[i, :]
+
+
+def test_discrete_mean_and_support_exact(vg):
+    assert np.allclose(vg.mean(), vg.variants.mean(axis=1))
+    lo, hi = vg.support()
+    assert np.allclose(lo, vg.variants.min(axis=1))
+    assert np.allclose(hi, vg.variants.max(axis=1))
+
+
+def test_each_variant_selected_uniformly(vg):
+    rng = make_generator(2, 0)
+    samples = np.stack([vg.sample_all(rng) for _ in range(6000)])
+    for column in range(vg.variants.shape[1]):
+        frequency = (samples[:, 0] == vg.variants[0, column]).mean()
+        assert frequency == pytest.approx(1.0 / 3.0, abs=0.04)
+
+
+def test_block_sampling_matches_variants(vg):
+    values = vg.sample_block(1, make_generator(3, 0), 200)
+    assert values.shape == (1, 200)
+    assert set(np.unique(values)).issubset(set(vg.variants[1, :]))
+
+
+def test_shape_mismatch_rejected():
+    relation = Relation("t", {"a": [1.0, 2.0]})
+    with pytest.raises(VGFunctionError):
+        DiscreteVariantsVG(np.zeros((3, 2))).bind(relation)
+    with pytest.raises(VGFunctionError):
+        DiscreteVariantsVG(np.zeros(3))
+
+
+@settings(max_examples=25, deadline=None)
+@given(spread=st.floats(0.1, 10.0), d=st.integers(2, 8))
+def test_anchoring_property(spread, d):
+    base = np.array([7.0, -2.0, 100.0])
+    rng = make_generator(9, 0)
+    variants = build_integration_variants(base, d, "student-t", rng, spread=spread,
+                                          family_param=3.0)
+    assert np.allclose(variants.mean(axis=1), base, atol=1e-9)

@@ -1,0 +1,66 @@
+"""Stochastic model bookkeeping."""
+
+import numpy as np
+import pytest
+
+from repro.db.relation import Relation
+from repro.errors import SchemaError, VGFunctionError
+from repro.mcdb import GaussianNoiseVG, StochasticModel
+
+
+def test_attribute_lookup(items_model):
+    assert items_model.attribute_names == ["Value"]
+    assert items_model.is_stochastic("Value")
+    assert not items_model.is_stochastic("price")
+    assert items_model.attr_id("Value") == 0
+
+
+def test_unknown_attribute_rejected(items_model):
+    with pytest.raises(SchemaError):
+        items_model.vg("Nope")
+
+
+def test_clash_with_deterministic_column(items_relation):
+    with pytest.raises(SchemaError):
+        StochasticModel(items_relation, {"price": GaussianNoiseVG("price", 1.0)})
+
+
+def test_empty_model_rejected(items_relation):
+    with pytest.raises(VGFunctionError):
+        StochasticModel(items_relation, {})
+
+
+def test_check_against_row_count(items_model):
+    other = Relation("items", {"price": [1.0, 2.0]})
+    with pytest.raises(SchemaError):
+        items_model.check_against(other)
+
+
+def test_check_against_key_values(items_model, items_relation):
+    shuffled = items_relation.take(np.array([1, 0, 2, 3, 4]))
+    with pytest.raises(SchemaError):
+        items_model.check_against(shuffled)
+    items_model.check_against(items_relation)  # identical: fine
+
+
+def test_stochastic_subset_order(items_model):
+    subset = items_model.stochastic_subset(["price", "Value", "weight"])
+    assert subset == ["Value"]
+
+
+def test_mean_and_support_delegate(items_model, items_relation):
+    assert np.allclose(items_model.mean("Value"), items_relation.column("price"))
+    lo, hi = items_model.support("Value")
+    assert np.all(np.isinf(lo)) and np.all(np.isinf(hi))
+
+
+def test_attr_ids_stable_across_sorted_names(items_relation):
+    model = StochasticModel(
+        items_relation,
+        {
+            "Zeta": GaussianNoiseVG("price", 1.0),
+            "Alpha": GaussianNoiseVG("weight", 1.0),
+        },
+    )
+    assert model.attr_id("Alpha") == 0
+    assert model.attr_id("Zeta") == 1

@@ -1,0 +1,122 @@
+"""Canonicalization rewrites (Section 2.3)."""
+
+import pytest
+
+from repro.db.expressions import Attr, Const
+from repro.errors import CompileError
+from repro.silp.canonical import (
+    flip_chance_constraint,
+    normalize_constraint,
+    normalize_objective,
+)
+from repro.silp.model import (
+    ChanceConstraint,
+    ExpectationObjectiveIR,
+    MeanConstraint,
+    ProbabilityObjectiveIR,
+)
+from repro.spaql.nodes import (
+    CountConstraint,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+    ProbabilityObjective,
+)
+
+
+def test_flip_chance_constraint():
+    assert flip_chance_constraint(">=", 0.9) == ("<=", pytest.approx(0.1))
+    assert flip_chance_constraint("<=", 0.25) == (">=", pytest.approx(0.75))
+    with pytest.raises(CompileError):
+        flip_chance_constraint("=", 0.5)
+
+
+def test_count_between_lowered_to_two_mean_constraints(items_model):
+    node = CountConstraint(low=2, high=5)
+    out = normalize_constraint(node, items_model)
+    assert [(c.op, c.rhs) for c in out] == [(">=", 2.0), ("<=", 5.0)]
+    assert all(c.expr == Const(1) for c in out)
+
+
+def test_count_comparison(items_model):
+    out = normalize_constraint(CountConstraint(op="=", value=3), items_model)
+    assert out == [MeanConstraint(Const(1), "=", 3.0)]
+
+
+def test_deterministic_sum_kept_as_mean_constraint(items_model):
+    node = SumConstraint(Attr("price"), "<=", 100.0)
+    out = normalize_constraint(node, items_model)
+    assert isinstance(out[0], MeanConstraint)
+
+
+def test_bare_stochastic_sum_rejected(items_model):
+    node = SumConstraint(Attr("Value"), "<=", 100.0, expected=False)
+    with pytest.raises(CompileError, match="EXPECTED"):
+        normalize_constraint(node, items_model)
+
+
+def test_expected_stochastic_sum_accepted(items_model):
+    node = SumConstraint(Attr("Value"), ">=", 1.0, expected=True)
+    out = normalize_constraint(node, items_model)
+    assert isinstance(out[0], MeanConstraint)
+
+
+def test_probabilistic_le_outer_flips_inner(items_model):
+    node = ProbabilisticConstraint(Attr("Value"), ">=", 5.0, "<=", 0.2)
+    out = normalize_constraint(node, items_model)
+    constraint = out[0]
+    assert isinstance(constraint, ChanceConstraint)
+    assert constraint.inner_op == "<="
+    assert constraint.probability == pytest.approx(0.8)
+
+
+def test_probabilistic_over_deterministic_rejected(items_model):
+    node = ProbabilisticConstraint(Attr("price"), ">=", 5.0, ">=", 0.9)
+    with pytest.raises(CompileError, match="deterministic"):
+        normalize_constraint(node, items_model)
+
+
+def test_probabilistic_equality_inner_rejected(items_model):
+    node = ProbabilisticConstraint(Attr("Value"), "=", 5.0, ">=", 0.9)
+    with pytest.raises(CompileError):
+        normalize_constraint(node, items_model)
+
+
+def test_objective_expected_sum(items_model):
+    out = normalize_objective(
+        SumObjective("minimize", Attr("Value"), expected=True), items_model
+    )
+    assert isinstance(out, ExpectationObjectiveIR)
+    assert out.sense == "minimize"
+
+
+def test_objective_deterministic_sum_is_expectation_case(items_model):
+    out = normalize_objective(
+        SumObjective("maximize", Attr("price"), expected=False), items_model
+    )
+    assert isinstance(out, ExpectationObjectiveIR)
+
+
+def test_objective_bare_stochastic_rejected(items_model):
+    with pytest.raises(CompileError):
+        normalize_objective(
+            SumObjective("maximize", Attr("Value"), expected=False), items_model
+        )
+
+
+def test_probability_objective_lowered(items_model):
+    out = normalize_objective(
+        ProbabilityObjective("maximize", Attr("Value"), ">=", 0.0), items_model
+    )
+    assert isinstance(out, ProbabilityObjectiveIR)
+
+
+def test_probability_objective_deterministic_rejected(items_model):
+    with pytest.raises(CompileError):
+        normalize_objective(
+            ProbabilityObjective("maximize", Attr("price"), ">=", 0.0), items_model
+        )
+
+
+def test_missing_objective_none(items_model):
+    assert normalize_objective(None, items_model) is None

@@ -1,0 +1,128 @@
+"""MILP builder: variables, constraints, indicator (big-M) encoding."""
+
+import itertools
+
+import numpy as np
+import pytest
+
+from repro.errors import SolverError
+from repro.solver.model import MILPBuilder
+
+
+def test_variable_bookkeeping():
+    builder = MILPBuilder()
+    i = builder.add_variable("x", 0, 5)
+    assert i == 0
+    idx = builder.add_variables("y", 3, lb=0.0, ub=[1, 2, 3])
+    assert idx.tolist() == [1, 2, 3]
+    assert builder.n_variables == 4
+    assert builder.variable_bounds(3) == (0.0, 3.0)
+
+
+def test_invalid_variable_bounds():
+    with pytest.raises(SolverError):
+        MILPBuilder().add_variable("x", 2, 1)
+
+
+def test_constraint_validation():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, 1)
+    with pytest.raises(SolverError):
+        builder.add_constraint([0], [1.0, 2.0])
+    with pytest.raises(SolverError):
+        builder.add_constraint([5], [1.0])
+    with pytest.raises(SolverError):
+        builder.add_constraint([0], [1.0], lb=2.0, ub=1.0)
+
+
+def test_row_value_bounds():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, 3)
+    builder.add_variable("y", -1, 2)
+    lo, hi = builder.row_value_bounds([0, 1], [2.0, -1.0])
+    assert (lo, hi) == (-2.0, 7.0)
+
+
+def test_objective_sense_and_value():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, 4)
+    builder.set_objective([0], [3.0], "maximize")
+    c, *_ = builder.to_arrays()
+    assert c[0] == -3.0  # negated internally for minimization form
+    assert builder.objective_value(np.array([2.0])) == 6.0
+
+
+def test_unknown_sense_rejected():
+    builder = MILPBuilder()
+    builder.add_variable("x")
+    with pytest.raises(SolverError):
+        builder.set_objective([0], [1.0], "upwards")
+
+
+@pytest.mark.parametrize("op", [">=", "<="])
+def test_indicator_implication_brute_force(op):
+    """Exhaustive check of the big-M encoding: over the whole variable
+    box, y = 1 must imply the inner constraint, and any x satisfying the
+    inner constraint must admit y = 1 (the encoding is not over-tight)."""
+    rhs = 4.0
+    coefficients = np.array([2.0, -1.0])
+    builder = MILPBuilder()
+    builder.add_variable("x0", 0, 3)
+    builder.add_variable("x1", 0, 3)
+    y = builder.add_variable("y", 0, 1)
+    builder.add_indicator(y, [0, 1], coefficients, op, rhs)
+    _, matrix, row_lb, row_ub, *_ = builder.to_arrays()
+    dense = matrix.toarray()
+
+    def rows_ok(point):
+        values = dense @ point
+        return np.all(values >= row_lb - 1e-9) and np.all(values <= row_ub + 1e-9)
+
+    for x0, x1 in itertools.product(range(4), repeat=2):
+        inner = 2.0 * x0 - x1
+        holds = inner >= rhs if op == ">=" else inner <= rhs
+        assert rows_ok(np.array([x0, x1, 1.0])) == holds
+        # y = 0 never blocks any x.
+        assert rows_ok(np.array([x0, x1, 0.0]))
+
+
+def test_indicator_vacuous_case_emits_no_row():
+    builder = MILPBuilder()
+    builder.add_variable("x", 2, 3)
+    y = builder.add_variable("y", 0, 1)
+    builder.add_indicator(y, [0], [1.0], ">=", 1.0)  # always true on the box
+    assert builder.n_constraints == 0
+
+
+def test_indicator_unsatisfiable_pins_y_to_zero():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, 3)
+    y = builder.add_variable("y", 0, 1)
+    builder.add_indicator(y, [0], [1.0], ">=", 100.0)  # impossible
+    assert builder.n_constraints == 1
+    assert not builder.check_feasible(np.array([0.0, 1.0]))
+    assert builder.check_feasible(np.array([0.0, 0.0]))
+
+
+def test_indicator_requires_binary_variable():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, 3)
+    z = builder.add_variable("z", 0, 2)
+    with pytest.raises(SolverError, match="binary"):
+        builder.add_indicator(z, [0], [1.0], ">=", 1.0)
+
+
+def test_indicator_requires_finite_bounds():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, np.inf)
+    y = builder.add_variable("y", 0, 1)
+    with pytest.raises(SolverError, match="finite"):
+        builder.add_indicator(y, [0], [1.0], "<=", 1.0)
+
+
+def test_check_feasible_integrality():
+    builder = MILPBuilder()
+    builder.add_variable("x", 0, 5, integer=True)
+    builder.add_variable("f", 0, 5, integer=False)
+    assert builder.check_feasible(np.array([2.0, 2.5]))
+    assert not builder.check_feasible(np.array([2.5, 2.5]))

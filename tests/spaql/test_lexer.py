@@ -1,0 +1,73 @@
+"""sPaQL lexer."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.spaql.lexer import tokenize
+from repro.spaql.tokens import KIND_EOF, KIND_IDENT, KIND_KEYWORD, KIND_NUMBER, KIND_STRING
+
+
+def kinds(text):
+    return [t.kind for t in tokenize(text)]
+
+
+def values(text):
+    return [t.value for t in tokenize(text)[:-1]]
+
+
+def test_keywords_case_insensitive():
+    tokens = tokenize("select Package FROM")
+    assert all(t.kind == KIND_KEYWORD for t in tokens[:-1])
+    assert values("select Package FROM") == ["SELECT", "PACKAGE", "FROM"]
+
+
+def test_identifiers_keep_case():
+    token = tokenize("Petromag_r")[0]
+    assert token.kind == KIND_IDENT
+    assert token.value == "Petromag_r"
+
+
+def test_numbers_variants():
+    assert values("42 3.14 1e5 2.5E-3 .5") == ["42", "3.14", "1e5", "2.5E-3", ".5"]
+    assert all(k == KIND_NUMBER for k in kinds("42 3.14 1e5")[:-1])
+
+
+def test_malformed_number_rejected():
+    with pytest.raises(ParseError):
+        tokenize("1.2.3")
+
+
+def test_string_literals_with_escapes():
+    tokens = tokenize("'hello' 'o''brien'")
+    assert tokens[0].kind == KIND_STRING and tokens[0].value == "hello"
+    assert tokens[1].value == "o'brien"
+
+
+def test_unterminated_string():
+    with pytest.raises(ParseError, match="unterminated"):
+        tokenize("'oops")
+
+
+def test_comments_skipped():
+    tokens = tokenize("SELECT -- a comment\nPACKAGE")
+    assert [t.value for t in tokens[:-1]] == ["SELECT", "PACKAGE"]
+
+
+def test_operators_longest_match():
+    assert values("<= >= <> < > =") == ["<=", ">=", "<>", "<", ">", "="]
+
+
+def test_positions_tracked():
+    tokens = tokenize("a\n  b")
+    assert (tokens[0].line, tokens[0].column) == (1, 1)
+    assert (tokens[1].line, tokens[1].column) == (2, 3)
+
+
+def test_unexpected_character():
+    with pytest.raises(ParseError) as info:
+        tokenize("a ? b")
+    assert info.value.column == 3
+
+
+def test_eof_token_terminates():
+    assert tokenize("")[-1].kind == KIND_EOF

@@ -1,0 +1,188 @@
+"""sPaQL parser: the grammar of Appendix A / Figure 8."""
+
+import pytest
+
+from repro.db.expressions import Attr, BinOp, Compare, Const
+from repro.errors import ParseError
+from repro.spaql.nodes import (
+    CountConstraint,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+    ProbabilityObjective,
+)
+from repro.spaql.parser import parse_query, parse_standalone_expression
+
+FULL_QUERY = """
+SELECT PACKAGE(*) AS Portfolio
+FROM Stock_Investments REPEAT 2
+WHERE price <= 500 AND sell_in = '1 day'
+SUCH THAT
+    SUM(price) <= 1000 AND
+    COUNT(*) BETWEEN 1 AND 10 AND
+    EXPECTED SUM(Gain) >= 0 AND
+    SUM(Gain) >= -10 WITH PROBABILITY >= 0.95
+MAXIMIZE EXPECTED SUM(Gain)
+"""
+
+
+def test_full_query_structure():
+    query = parse_query(FULL_QUERY)
+    assert query.table == "Stock_Investments"
+    assert query.alias == "Portfolio"
+    assert query.repeat == 2
+    assert query.where is not None
+    # COUNT BETWEEN stays one node; SUM BETWEEN would expand.
+    assert len(query.constraints) == 4
+    kinds = [type(c) for c in query.constraints]
+    assert kinds == [
+        SumConstraint,
+        CountConstraint,
+        SumConstraint,
+        ProbabilisticConstraint,
+    ]
+    assert isinstance(query.objective, SumObjective)
+    assert query.objective.expected
+
+
+def test_minimal_query():
+    query = parse_query("SELECT PACKAGE(*) FROM t")
+    assert query.constraints == ()
+    assert query.objective is None
+    assert query.where is None
+
+
+def test_probabilistic_constraint_fields():
+    query = parse_query(
+        "SELECT PACKAGE(*) FROM t SUCH THAT SUM(X) >= -10 WITH PROBABILITY >= 0.95"
+    )
+    constraint = query.constraints[0]
+    assert isinstance(constraint, ProbabilisticConstraint)
+    assert constraint.op == ">="
+    assert constraint.rhs == -10
+    assert constraint.prob_op == ">="
+    assert constraint.probability == 0.95
+
+
+def test_probability_must_be_in_open_interval():
+    for bad in ("1.5", "0", "1"):
+        with pytest.raises(ParseError):
+            parse_query(
+                f"SELECT PACKAGE(*) FROM t SUCH THAT SUM(X) >= 0"
+                f" WITH PROBABILITY >= {bad}"
+            )
+
+
+def test_expected_with_probability_rejected():
+    with pytest.raises(ParseError):
+        parse_query(
+            "SELECT PACKAGE(*) FROM t SUCH THAT"
+            " EXPECTED SUM(X) >= 0 WITH PROBABILITY >= 0.9"
+        )
+
+
+def test_sum_between_expands_to_two_constraints():
+    query = parse_query(
+        "SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) BETWEEN 2 AND 5"
+    )
+    first, second = query.constraints
+    assert (first.op, first.rhs) == (">=", 2)
+    assert (second.op, second.rhs) == ("<=", 5)
+
+
+def test_between_bounds_order_checked():
+    with pytest.raises(ParseError):
+        parse_query("SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) BETWEEN 5 AND 2")
+
+
+def test_count_simple_comparison():
+    query = parse_query("SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) = 3")
+    constraint = query.constraints[0]
+    assert constraint.op == "=" and constraint.value == 3
+
+
+def test_probability_objective():
+    query = parse_query(
+        "SELECT PACKAGE(*) FROM t MAXIMIZE PROBABILITY OF SUM(Revenue) >= 1000"
+    )
+    objective = query.objective
+    assert isinstance(objective, ProbabilityObjective)
+    assert objective.sense == "maximize"
+    assert objective.op == ">=" and objective.rhs == 1000
+
+
+def test_count_objective_sugar():
+    query = parse_query("SELECT PACKAGE(*) FROM t MINIMIZE COUNT(*)")
+    assert isinstance(query.objective, SumObjective)
+    assert query.objective.expr == Const(1)
+
+
+def test_where_and_binds_inside_predicate():
+    query = parse_query(
+        "SELECT PACKAGE(*) FROM t WHERE a > 1 AND b < 2"
+        " SUCH THAT COUNT(*) <= 3"
+    )
+    assert query.where is not None
+    assert len(query.constraints) == 1
+
+
+def test_signed_rhs_values():
+    query = parse_query("SELECT PACKAGE(*) FROM t SUCH THAT SUM(a) >= -10.5")
+    assert query.constraints[0].rhs == -10.5
+
+
+def test_repeat_must_be_nonnegative():
+    with pytest.raises(ParseError):
+        parse_query("SELECT PACKAGE(*) FROM t REPEAT -1")
+
+
+def test_trailing_input_rejected():
+    with pytest.raises(ParseError, match="trailing"):
+        parse_query("SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) <= 1 garbage")
+
+
+def test_missing_pieces_rejected():
+    for text in (
+        "SELECT * FROM t",
+        "SELECT PACKAGE(*) SUCH THAT COUNT(*) = 1",
+        "SELECT PACKAGE(*) FROM t SUCH THAT",
+        "SELECT PACKAGE(*) FROM t SUCH THAT SUM(a)",
+    ):
+        with pytest.raises(ParseError):
+            parse_query(text)
+
+
+def test_expression_precedence():
+    expr = parse_standalone_expression("1 + 2 * x ^ 2")
+    assert expr == BinOp(
+        "+", Const(1), BinOp("*", Const(2), BinOp("^", Attr("x"), Const(2)))
+    )
+
+
+def test_expression_parentheses_override():
+    expr = parse_standalone_expression("(1 + 2) * x")
+    assert expr == BinOp("*", BinOp("+", Const(1), Const(2)), Attr("x"))
+
+
+def test_unary_minus_chains():
+    from repro.db.expressions import UnaryOp
+
+    expr = parse_standalone_expression("- -3")
+    assert expr == UnaryOp("-", UnaryOp("-", Const(3)))
+
+
+def test_double_dash_is_a_comment():
+    # SQL semantics: "--" starts a comment, so "--3" is empty input.
+    with pytest.raises(ParseError):
+        parse_standalone_expression("--3")
+
+
+def test_standalone_expression_trailing_rejected():
+    with pytest.raises(ParseError):
+        parse_standalone_expression("a + b extra")
+
+
+def test_int_vs_float_literals():
+    assert parse_standalone_expression("3") == Const(3)
+    assert parse_standalone_expression("3.0") == Const(3.0)
+    assert parse_standalone_expression("1e2") == Const(100.0)

@@ -1,0 +1,116 @@
+"""Pretty-printer round-trip: parse(format(q)) == q (property-based)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.db.expressions import Attr, BinOp, Const
+from repro.spaql.nodes import (
+    CountConstraint,
+    PackageQuery,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+    ProbabilityObjective,
+)
+from repro.spaql.parser import parse_query
+from repro.spaql.pretty import format_query
+
+# --- strategies for random query ASTs ----------------------------------------
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper()
+    not in {
+        "SELECT", "PACKAGE", "AS", "FROM", "REPEAT", "WHERE", "SUCH", "THAT",
+        "AND", "OR", "NOT", "BETWEEN", "SUM", "COUNT", "EXPECTED", "WITH",
+        "PROBABILITY", "OF", "MAXIMIZE", "MINIMIZE",
+    }
+)
+
+numbers = st.one_of(
+    st.integers(-1000, 1000),
+    st.floats(-1000, 1000, allow_nan=False, allow_infinity=False).map(
+        lambda x: round(x, 4)
+    ),
+)
+
+
+def simple_exprs():
+    # Literals inside expressions are nonnegative: a leading "-" parses
+    # as UnaryOp, so negative Const leaves cannot round-trip verbatim.
+    nonnegative = numbers.map(lambda v: Const(abs(v) if v != 0 else 0))
+    leaves = st.one_of(identifiers.map(Attr), nonnegative)
+    return st.recursive(
+        leaves,
+        lambda children: st.builds(
+            BinOp, st.sampled_from(["+", "-", "*"]), children, children
+        ),
+        max_leaves=4,
+    )
+
+
+ops = st.sampled_from(["<=", ">="])
+probabilities = st.floats(0.01, 0.99).map(lambda p: round(p, 3))
+
+
+def constraints():
+    count = st.one_of(
+        st.builds(
+            lambda lo, width: CountConstraint(low=lo, high=lo + width),
+            st.integers(0, 5),
+            st.integers(0, 5),
+        ),
+        st.builds(CountConstraint, st.none(), st.none(), ops, numbers),
+    )
+    linear = st.builds(SumConstraint, simple_exprs(), ops, numbers, st.booleans())
+    chance = st.builds(
+        ProbabilisticConstraint, simple_exprs(), ops, numbers, ops, probabilities
+    )
+    return st.one_of(count, linear, chance)
+
+
+def objectives():
+    senses = st.sampled_from(["minimize", "maximize"])
+    return st.one_of(
+        st.none(),
+        st.builds(SumObjective, senses, simple_exprs(), st.booleans()),
+        st.builds(ProbabilityObjective, senses, simple_exprs(), ops, numbers),
+    )
+
+
+queries = st.builds(
+    PackageQuery,
+    table=identifiers,
+    alias=st.one_of(st.none(), identifiers),
+    repeat=st.one_of(st.none(), st.integers(0, 10)),
+    where=st.none(),
+    constraints=st.lists(constraints(), max_size=4).map(tuple),
+    objective=objectives(),
+)
+
+
+@settings(max_examples=200, deadline=None)
+@given(query=queries)
+def test_round_trip(query):
+    text = format_query(query)
+    reparsed = parse_query(text)
+    assert reparsed == query
+
+
+def test_where_clause_round_trips():
+    text = (
+        "SELECT PACKAGE(*) FROM t REPEAT 1 WHERE price <= 100 AND kind = 'a'"
+        " SUCH THAT COUNT(*) <= 2 MINIMIZE SUM(price)"
+    )
+    query = parse_query(text)
+    assert parse_query(format_query(query)) == query
+
+
+def test_format_example_is_readable():
+    query = parse_query(
+        "SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) BETWEEN 1 AND 3"
+        " AND SUM(X) >= 0 WITH PROBABILITY >= 0.9 MINIMIZE EXPECTED SUM(X)"
+    )
+    text = format_query(query)
+    assert "SUCH THAT" in text
+    assert "WITH PROBABILITY >= 0.9" in text
+    assert text.splitlines()[0] == "SELECT PACKAGE(*)"

@@ -1,0 +1,141 @@
+"""Command-line interface."""
+
+import numpy as np
+import pytest
+
+from repro.cli import main, parse_vg_spec
+from repro.db.relation import Relation
+from repro.errors import SPQError
+from repro.mcdb.distributions import GaussianNoiseVG, ParetoNoiseVG
+from repro.mcdb.gbm import GeometricBrownianMotionVG
+
+
+@pytest.fixture
+def csv_path(tmp_path):
+    path = tmp_path / "items.csv"
+    path.write_text(
+        "price,weight\n5.0,2\n8.0,1\n3.0,4\n6.0,3\n4.0,2\n"
+    )
+    return path
+
+
+@pytest.fixture
+def relation():
+    return Relation("items", {"price": [5.0, 8.0], "sigma": [0.5, 1.0]})
+
+
+def test_parse_gaussian_spec_scalar(relation):
+    name, vg = parse_vg_spec("Value=gaussian(price, 2.0)", relation)
+    assert name == "Value"
+    assert isinstance(vg, GaussianNoiseVG)
+
+
+def test_parse_gaussian_spec_column_arg(relation):
+    _, vg = parse_vg_spec("Value=gaussian(price, sigma)", relation)
+    vg.bind(relation)
+    assert np.allclose(vg._sigma, [0.5, 1.0])
+
+
+def test_parse_pareto_and_gbm(relation):
+    _, vg = parse_vg_spec("V=pareto(price, 1.0, 1.5)", relation)
+    assert isinstance(vg, ParetoNoiseVG)
+    _, vg = parse_vg_spec("G=gbm(price,drift,vol,horizon,stock)", relation)
+    assert isinstance(vg, GeometricBrownianMotionVG)
+
+
+@pytest.mark.parametrize(
+    "spec",
+    [
+        "no_equals(price)",
+        "V=gaussian price",
+        "V=mystery(price, 1)",
+        "V=gaussian(price, 1, 2, 3)",
+        "V=gaussian(3.0, 1.0)",  # base must be a column
+        "V=gaussian(price, bogus_col)",
+    ],
+)
+def test_bad_specs_rejected(relation, spec):
+    with pytest.raises(SPQError):
+        parse_vg_spec(spec, relation)
+
+
+def test_cli_end_to_end(csv_path, tmp_path, capsys):
+    out_path = tmp_path / "package.csv"
+    code = main(
+        [
+            "--table", str(csv_path),
+            "--stochastic", "Value=gaussian(price, 1.0)",
+            "--query",
+            "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+            " SUM(Value) >= 5 WITH PROBABILITY >= 0.8"
+            " MINIMIZE EXPECTED SUM(Value)",
+            "--validation-scenarios", "1000",
+            "--initial-scenarios", "20",
+            "--max-scenarios", "60",
+            "--epsilon", "0.8",
+            "--output", str(out_path),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "feasible=True" in captured.out
+    assert out_path.exists()
+    assert "price" in out_path.read_text()
+
+
+def test_cli_deterministic_query(csv_path, capsys):
+    code = main(
+        [
+            "--table", str(csv_path),
+            "--query",
+            "SELECT PACKAGE(*) FROM items SUCH THAT SUM(price) <= 9"
+            " MAXIMIZE SUM(price)",
+        ]
+    )
+    assert code == 0
+    assert "deterministic" in capsys.readouterr().out
+
+
+def test_cli_query_file(csv_path, tmp_path, capsys):
+    query_file = tmp_path / "q.spaql"
+    query_file.write_text(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 1 MAXIMIZE SUM(price)"
+    )
+    code = main(["--table", str(csv_path), "--query-file", str(query_file)])
+    assert code == 0
+
+
+def test_cli_table_alias(csv_path, capsys):
+    code = main(
+        [
+            "--table", f"{csv_path}:inventory",
+            "--query",
+            "SELECT PACKAGE(*) FROM inventory SUCH THAT COUNT(*) <= 1"
+            " MAXIMIZE SUM(price)",
+        ]
+    )
+    assert code == 0
+
+
+def test_cli_bad_spec_is_reported(csv_path, capsys):
+    code = main(
+        [
+            "--table", str(csv_path),
+            "--stochastic", "V=mystery(price)",
+            "--query", "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 1",
+        ]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_infeasible_returns_one(csv_path, capsys):
+    code = main(
+        [
+            "--table", str(csv_path),
+            "--query",
+            "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 1 AND"
+            " SUM(price) >= 100 MINIMIZE SUM(price)",
+        ]
+    )
+    assert code == 1

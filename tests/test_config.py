@@ -1,0 +1,51 @@
+"""SPQConfig validation and derivation."""
+
+import pytest
+
+from repro import SPQConfig
+from repro.config import paper_scale_config
+from repro.errors import EvaluationError
+
+
+def test_defaults_valid():
+    SPQConfig().validate()  # must not raise
+
+
+@pytest.mark.parametrize(
+    "field,value",
+    [
+        ("n_validation_scenarios", 0),
+        ("n_initial_scenarios", 0),
+        ("scenario_increment", 0),
+        ("initial_summaries", 0),
+        ("summary_increment", 0),
+        ("epsilon", -0.1),
+        ("summary_strategy", "zip"),
+        ("solver", "cplex"),
+        ("time_limit", 0.0),
+    ],
+)
+def test_invalid_values_rejected(field, value):
+    with pytest.raises(EvaluationError):
+        SPQConfig(**{field: value})
+
+
+def test_max_scenarios_must_cover_initial():
+    with pytest.raises(EvaluationError):
+        SPQConfig(n_initial_scenarios=100, max_scenarios=50)
+
+
+def test_replace_revalidates():
+    config = SPQConfig()
+    with pytest.raises(EvaluationError):
+        config.replace(epsilon=-1.0)
+    clone = config.replace(seed=7)
+    assert clone.seed == 7
+    assert config.seed != 7  # original untouched
+
+
+def test_paper_scale_config():
+    config = paper_scale_config()
+    assert config.n_validation_scenarios == 1_000_000
+    assert config.time_limit == 4 * 3600.0
+    assert config.max_scenarios == 1_000

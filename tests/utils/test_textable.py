@@ -1,0 +1,44 @@
+"""ASCII table rendering."""
+
+import pytest
+
+from repro.utils.textable import TextTable
+
+
+def test_basic_rendering_alignment():
+    table = TextTable(["name", "value"])
+    table.add_row(["x", 1])
+    table.add_row(["longer", 2.5])
+    text = table.render()
+    lines = text.splitlines()
+    assert lines[0].startswith("name")
+    assert "-+-" in lines[1]
+    assert lines[2].startswith("x")
+    # All separator positions align.
+    assert lines[0].index("|") == lines[2].index("|")
+
+
+def test_float_formatting():
+    table = TextTable(["v"], float_fmt=".2f")
+    table.add_row([3.14159])
+    assert "3.14" in table.render()
+    assert "3.142" not in table.render()
+
+
+def test_none_and_bool_formatting():
+    table = TextTable(["a", "b"])
+    table.add_row([None, True])
+    rendered = table.render()
+    assert "-" in rendered
+    assert "yes" in rendered
+
+
+def test_row_width_mismatch_rejected():
+    table = TextTable(["a", "b"])
+    with pytest.raises(ValueError):
+        table.add_row([1])
+
+
+def test_empty_table_renders_header_only():
+    table = TextTable(["just", "headers"])
+    assert len(table.render().splitlines()) == 2

@@ -1,0 +1,61 @@
+"""Stopwatch and Deadline behaviour."""
+
+import time
+
+import pytest
+
+from repro.errors import TimeLimitExceeded
+from repro.utils.timing import Deadline, Stopwatch
+
+
+def test_stopwatch_accumulates():
+    watch = Stopwatch()
+    with watch:
+        time.sleep(0.01)
+    first = watch.elapsed
+    with watch:
+        time.sleep(0.01)
+    assert watch.elapsed > first >= 0.01
+
+
+def test_stopwatch_double_start_rejected():
+    watch = Stopwatch().start()
+    with pytest.raises(RuntimeError):
+        watch.start()
+    watch.stop()
+
+
+def test_stopwatch_stop_without_start_rejected():
+    with pytest.raises(RuntimeError):
+        Stopwatch().stop()
+
+
+def test_stopwatch_stop_returns_delta():
+    watch = Stopwatch().start()
+    time.sleep(0.01)
+    delta = watch.stop()
+    assert delta == pytest.approx(watch.elapsed)
+
+
+def test_deadline_remaining_counts_down():
+    deadline = Deadline(10.0)
+    assert 0 < deadline.remaining() <= 10.0
+    assert not deadline.expired()
+
+
+def test_deadline_expiry():
+    deadline = Deadline(0.01)
+    time.sleep(0.02)
+    assert deadline.expired()
+    assert deadline.remaining() == 0.0
+    with pytest.raises(TimeLimitExceeded):
+        deadline.check()
+
+
+def test_deadline_check_passes_before_expiry():
+    Deadline(10.0).check()  # should not raise
+
+
+def test_deadline_rejects_nonpositive_budget():
+    with pytest.raises(ValueError):
+        Deadline(0.0)

@@ -1,0 +1,107 @@
+"""The 24-query workload catalog (Table 3)."""
+
+import pytest
+
+from repro.db.catalog import Catalog
+from repro.errors import EvaluationError
+from repro.silp.compile import compile_query
+from repro.spaql.parser import parse_query
+from repro.workloads import WORKLOADS, get_query, get_workload, workload_names
+
+
+def test_three_workloads_of_eight():
+    assert workload_names() == ["galaxy", "portfolio", "tpch"]
+    for name, specs in WORKLOADS.items():
+        assert len(specs) == 8
+        assert [s.name for s in specs] == [f"Q{i}" for i in range(1, 9)]
+
+
+def test_lookup_helpers():
+    spec = get_query("portfolio", "q3")
+    assert spec.qualified_name == "portfolio/Q3"
+    assert get_workload("GALAXY")[0].workload == "galaxy"
+    with pytest.raises(EvaluationError):
+        get_workload("nyse")
+    with pytest.raises(EvaluationError):
+        get_query("galaxy", "Q9")
+
+
+def test_all_queries_parse():
+    for specs in WORKLOADS.values():
+        for spec in specs:
+            query = parse_query(spec.spaql)
+            assert query.constraints
+
+
+def test_table3_parameters_match_paper():
+    galaxy = WORKLOADS["galaxy"]
+    assert [s.bound for s in galaxy] == [40, 43, 50, 52, 65, 65, 109, 90]
+    assert all(s.probability == 0.9 for s in galaxy)
+    assert [s.interaction for s in galaxy] == [
+        "counteracted", "counteracted", "supported", "supported",
+        "counteracted", "counteracted", "supported", "supported",
+    ]
+
+    portfolio = WORKLOADS["portfolio"]
+    assert [s.probability for s in portfolio] == [
+        0.90, 0.95, 0.90, 0.95, 0.90, 0.95, 0.90, 0.90,
+    ]
+    assert [s.bound for s in portfolio] == [-10, -10, -10, -10, -1, -1, -10, -1]
+    assert all(s.interaction == "supported" for s in portfolio)
+
+    tpch = WORKLOADS["tpch"]
+    assert [s.probability for s in tpch] == [
+        0.90, 0.95, 0.90, 0.90, 0.90, 0.95, 0.90, 0.95,
+    ]
+    assert [s.bound for s in tpch] == [15, 7, 15, 10, 15, 7, 29, 7]
+    assert all(s.interaction == "independent" for s in tpch)
+
+
+def test_only_tpch_q8_infeasible():
+    infeasible = [
+        spec.qualified_name
+        for specs in WORKLOADS.values()
+        for spec in specs
+        if not spec.feasible
+    ]
+    assert infeasible == ["tpch/Q8"]
+
+
+def test_default_summaries_per_workload():
+    assert all(s.default_summaries == 1 for s in WORKLOADS["galaxy"])
+    assert all(s.default_summaries == 1 for s in WORKLOADS["portfolio"])
+    assert all(s.default_summaries == 2 for s in WORKLOADS["tpch"])
+
+
+@pytest.mark.parametrize("workload", ["galaxy", "portfolio", "tpch"])
+def test_queries_compile_against_their_datasets(workload):
+    """Every spec's sPaQL text must compile against its own dataset."""
+    scale = 60 if workload != "portfolio" else 30
+    for spec in WORKLOADS[workload]:
+        relation, model = spec.build_dataset(scale, seed=1)
+        catalog = Catalog()
+        catalog.register(relation, model)
+        problem = compile_query(spec.spaql, catalog)
+        assert problem.chance_constraints or problem.has_probability_objective
+
+
+def test_dataset_scale_parameter():
+    spec = get_query("galaxy", "Q1")
+    relation, _ = spec.build_dataset(123, seed=1)
+    assert relation.n_rows == 123
+    spec = get_query("portfolio", "Q1")
+    relation, _ = spec.build_dataset(40, seed=1)
+    assert relation.n_rows == 80  # two horizons per stock
+
+
+def test_volatile_queries_use_subsets():
+    all_stocks, _ = get_query("portfolio", "Q1").build_dataset(100, seed=1)
+    volatile, _ = get_query("portfolio", "Q3").build_dataset(100, seed=1)
+    assert volatile.n_rows < all_stocks.n_rows
+
+
+def test_week_queries_have_seven_horizons():
+    relation, _ = get_query("portfolio", "Q7").build_dataset(10, seed=1)
+    import numpy as np
+
+    assert len(np.unique(relation.column("sell_in_days"))) == 7
