@@ -124,6 +124,13 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--initial-scenarios", type=int, default=100)
     parser.add_argument("--max-scenarios", type=int, default=1_000)
     parser.add_argument("--time-limit", type=float, default=600.0)
+    parser.add_argument("--workers", type=int, default=1,
+                        help="worker processes for scenario generation"
+                             " (results are identical for any count)")
+    parser.add_argument("--no-incremental", action="store_true",
+                        help="rebuild and cold-solve every solver iteration"
+                             " instead of reusing the model skeleton and"
+                             " warm-starting from the previous solution")
     parser.add_argument("--output", help="write the package relation as CSV")
     return parser
 
@@ -164,6 +171,8 @@ def main(argv=None) -> int:
             n_initial_scenarios=args.initial_scenarios,
             max_scenarios=max(args.max_scenarios, args.initial_scenarios),
             time_limit=args.time_limit,
+            n_workers=max(args.workers, 1),
+            incremental_solves=not args.no_incremental,
         )
         engine = SPQEngine(catalog=catalog, config=config)
         result = engine.execute(query, method=args.method)

@@ -63,8 +63,21 @@ class EvaluationContext:
             self.opt_generator = ScenarioGenerator(
                 self.model, config.seed, STREAM_OPTIMIZATION, mode=opt_mode
             )
+            # One worker pool per context: the cache and every direct
+            # matrix consumer share it (see opt_matrix_source).
+            self.opt_executor = None
+            if config.n_workers > 1:
+                from ..parallel.executor import ParallelScenarioExecutor
+
+                self.opt_executor = ParallelScenarioExecutor(
+                    self.opt_generator, config.n_workers
+                )
             self.opt_cache = (
-                ScenarioCache(self.opt_generator)
+                ScenarioCache(
+                    self.opt_generator,
+                    n_workers=config.n_workers,
+                    executor=self.opt_executor,
+                )
                 if opt_mode == MODE_SCENARIO_WISE
                 else None
             )
@@ -78,6 +91,7 @@ class EvaluationContext:
             self.estimator = None
             self.opt_generator = None
             self.opt_cache = None
+            self.opt_executor = None
             self.val_generator = None
             self.probe_generator = None
 
@@ -87,6 +101,9 @@ class EvaluationContext:
         self.size_bounds = package_size_bounds(
             problem, self.mean_coefficients, self.variable_ub
         )
+        #: Incremental base-model template: (builder, x indices); callers
+        #: receive clones of the builder (see :meth:`base_milp`).
+        self._incremental_base: tuple | None = None
 
     # --- coefficients -----------------------------------------------------------
 
@@ -119,10 +136,22 @@ class EvaluationContext:
         if self.opt_cache is not None:
             full = self.opt_cache.coefficient_matrix(expr, n_scenarios)
             return full[self.problem.active_rows, :]
-        matrix = self.opt_generator.coefficient_matrix(
+        matrix = self.opt_matrix_source.coefficient_matrix(
             expr, n_scenarios, rows=self.problem.active_rows
         )
         return matrix
+
+    @property
+    def opt_matrix_source(self):
+        """Optimization-stream matrix provider (parallel when configured).
+
+        The executor mirrors :class:`ScenarioGenerator`'s ``matrix`` /
+        ``coefficient_matrix`` signatures with bit-identical output, so
+        callers can hold one code path for both configurations.
+        """
+        return (
+            self.opt_executor if self.opt_executor is not None else self.opt_generator
+        )
 
     def optimization_scenario_vector(self, expr: Expr, scenario: int) -> np.ndarray:
         """One optimization-scenario coefficient vector (active rows)."""
@@ -161,6 +190,28 @@ class EvaluationContext:
         # Probability objectives and missing objectives start as "minimize 0";
         # SAA/CSA overwrite the former with indicator-based objectives.
         return builder, x_idx
+
+    def base_milp(self) -> tuple[MILPBuilder, np.ndarray]:
+        """The base MILP, positioned for appending probabilistic rows.
+
+        With ``config.incremental_solves`` the deterministic block is
+        built (and its sparse rows materialized) exactly once per
+        evaluation; every call returns a cheap clone of that template, so
+        iteration *q+1* of the SAA/CSA loops reuses iteration *q*'s model
+        skeleton and only pays for its own indicator rows.  Without the
+        flag this is a plain :meth:`build_base_milp`, rebuilding from
+        scratch.
+        """
+        if not self.config.incremental_solves:
+            return self.build_base_milp()
+        if self._incremental_base is None:
+            builder, x_idx = self.build_base_milp()
+            # Materialize the deterministic rows now: every clone shares
+            # this CSR block and never re-triplets it.
+            builder.to_arrays()
+            self._incremental_base = (builder, x_idx)
+        builder, x_idx = self._incremental_base
+        return builder.clone(), x_idx
 
     # --- objective helpers ----------------------------------------------------------
 

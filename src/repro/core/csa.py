@@ -31,6 +31,7 @@ from .alpha import guess_alpha, snap_to_grid
 from .approx import epsilon_certificate
 from .summaries import SummaryBuilder, SummarySet
 from .validator import ValidationReport, Validator
+from .warmstart import apply_warm_start
 
 
 @dataclass
@@ -63,18 +64,27 @@ class CSAFormulation:
 
 
 def formulate_csa(
-    ctx, item_summaries: dict[int, SummarySet | None], n_scenarios: int
+    ctx,
+    item_summaries: dict[int, SummarySet | None],
+    n_scenarios: int,
+    warm_x: np.ndarray | None = None,
 ) -> CSAFormulation:
     """Build ``CSA_{Q,M,Z}`` from per-item summaries.
 
     ``item_summaries[k] = None`` encodes α = 0 for item ``k``: the
     constraint is dropped (0% of scenarios need to be satisfied), and a
     probability objective degenerates to a feasibility objective.
+
+    With ``config.incremental_solves`` the deterministic block is reused
+    across calls (only the summary-indicator rows are appended), and
+    ``warm_x`` — the incumbent the summaries were built around — seeds
+    the solver as a MIP start when it is feasible for the new CSA.
     """
-    builder, x_idx = ctx.build_base_milp()
+    builder, x_idx = ctx.base_milp()
     objective_weights = None
     objective_indicators = None
     objective_flipped = False
+    indicator_blocks = []
     for item in ctx.chance_items():
         summary_set = item_summaries.get(item["index"])
         if summary_set is None:
@@ -88,6 +98,9 @@ def formulate_csa(
             builder.add_indicator(
                 int(y_idx[z]), x_idx, summary_set.values[:, z], inner_op, item["rhs"]
             )
+        indicator_blocks.append(
+            (y_idx, summary_set.values, inner_op, item["rhs"])
+        )
         if not item["is_objective"]:
             required = math.ceil(item["p"] * n_summaries)
             builder.add_constraint(y_idx, np.ones(n_summaries), lb=required)
@@ -97,6 +110,8 @@ def formulate_csa(
         objective_weights = weights
         objective_indicators = y_idx
         objective_flipped = item.get("sense") == SENSE_MIN
+    if ctx.config.incremental_solves:
+        apply_warm_start(builder, x_idx, warm_x, indicator_blocks)
     return CSAFormulation(
         builder=builder,
         x_indices=x_idx,
@@ -251,7 +266,9 @@ def csa_solve(
                 item_summaries[item["index"]] = summary_builder.build(
                     summary_item, snap_to_grid(alphas[k], grid_step), x, accelerate[k]
                 )
-        formulation = formulate_csa(ctx, item_summaries, n_scenarios)
+        # The incumbent the summaries were built around doubles as the
+        # MIP start for the re-solve (Algorithm 3's iterate q).
+        formulation = formulate_csa(ctx, item_summaries, n_scenarios, warm_x=x)
 
         time_limit = ctx.config.solver_time_limit
         if deadline is not None:

@@ -40,11 +40,14 @@ def naive_evaluate(
     n_scenarios = config.n_initial_scenarios
     best: PackageResult | None = None
     iteration = 0
+    prev_x = None
     while True:
         iteration += 1
         solve_watch = Stopwatch()
         with solve_watch:
-            formulation = formulate_saa(ctx, n_scenarios)
+            # Iteration q+1 reuses iteration q's model skeleton (via the
+            # context's incremental base) and solution (as a MIP start).
+            formulation = formulate_saa(ctx, n_scenarios, warm_x=prev_x)
             time_limit = min(
                 config.solver_time_limit, max(deadline.remaining(), 0.01)
             )
@@ -64,6 +67,7 @@ def naive_evaluate(
 
         if result.has_solution:
             x = formulation.extract_package(result.x)
+            prev_x = x
             claimed = formulation.claimed_objective(result.x, ctx)
             validate_watch = Stopwatch()
             with validate_watch:

@@ -25,6 +25,7 @@ import numpy as np
 from ..silp.canonical import flip_chance_constraint
 from ..silp.model import ProbabilityObjectiveIR, SENSE_MAX, SENSE_MIN
 from ..solver.model import MILPBuilder
+from .warmstart import apply_warm_start
 
 
 @dataclass
@@ -58,9 +59,18 @@ class SAAFormulation:
         return 1.0 - fraction if self.objective_flipped else fraction
 
 
-def formulate_saa(ctx, n_scenarios: int) -> SAAFormulation:
-    """``FormulateSAA(Q, S)`` with ``|S| = n_scenarios`` (Algorithm 1, line 3)."""
-    builder, x_idx = ctx.build_base_milp()
+def formulate_saa(
+    ctx, n_scenarios: int, warm_x: np.ndarray | None = None
+) -> SAAFormulation:
+    """``FormulateSAA(Q, S)`` with ``|S| = n_scenarios`` (Algorithm 1, line 3).
+
+    With ``config.incremental_solves`` the deterministic block is reused
+    from the previous formulation (only the scenario-indicator rows are
+    appended), and ``warm_x`` — the previous iteration's package — seeds
+    the solver as a MIP start when it is still feasible.
+    """
+    builder, x_idx = ctx.base_milp()
+    indicator_blocks = []
     for constraint in ctx.problem.chance_constraints:
         matrix = ctx.optimization_matrix(constraint.expr, n_scenarios)
         y_idx = builder.add_variables(
@@ -72,6 +82,9 @@ def formulate_saa(ctx, n_scenarios: int) -> SAAFormulation:
             )
         required = math.ceil(constraint.probability * n_scenarios)
         builder.add_constraint(y_idx, np.ones(n_scenarios), lb=required)
+        indicator_blocks.append(
+            (y_idx, matrix, constraint.inner_op, constraint.rhs)
+        )
 
     objective = ctx.problem.objective
     objective_indicators = None
@@ -93,6 +106,9 @@ def formulate_saa(ctx, n_scenarios: int) -> SAAFormulation:
             y_idx, np.full(n_scenarios, 1.0 / n_scenarios), SENSE_MAX
         )
         objective_indicators = y_idx
+        indicator_blocks.append((y_idx, matrix, inner_op, rhs))
+    if ctx.config.incremental_solves:
+        apply_warm_start(builder, x_idx, warm_x, indicator_blocks)
     return SAAFormulation(
         builder=builder,
         x_indices=x_idx,

@@ -112,7 +112,7 @@ class SummaryBuilder:
             return scores
         if self.strategy == SUMMARY_TUPLE_WISE:
             base_rows = self.ctx.problem.active_rows[positions]
-            matrix = self.ctx.opt_generator.coefficient_matrix(
+            matrix = self.ctx.opt_matrix_source.coefficient_matrix(
                 item["expr"], self.n_scenarios, rows=base_rows
             )
             return weights @ matrix
@@ -194,7 +194,7 @@ class SummaryBuilder:
         active = self.ctx.problem.active_rows
         for start in range(0, n_vars, _ROW_CHUNK):
             stop = min(start + _ROW_CHUNK, n_vars)
-            matrix = self.ctx.opt_generator.coefficient_matrix(
+            matrix = self.ctx.opt_matrix_source.coefficient_matrix(
                 item["expr"], self.n_scenarios, rows=active[start:stop]
             )
             chunk_accel = None

@@ -142,6 +142,7 @@ def summary_search_evaluate(
                     "bounds": bounds,
                     "final_M": n_scenarios,
                     "final_Z": min(n_summaries, n_scenarios),
+                    "incremental_solves": config.incremental_solves,
                 },
             )
             best = _keep_best(ctx, best, candidate)

@@ -31,6 +31,22 @@ class Expr:
     def __str__(self) -> str:
         return render(self)
 
+    # Frozen dataclasses with manual __slots__ don't pickle out of the
+    # box (the default slot-state restore goes through the blocked
+    # __setattr__); parallel scenario generation ships expression trees
+    # to worker processes, so spell the state protocol out.
+    def __getstate__(self):
+        state = {}
+        for klass in type(self).__mro__:
+            for slot in getattr(klass, "__slots__", ()):
+                if hasattr(self, slot):
+                    state[slot] = getattr(self, slot)
+        return state
+
+    def __setstate__(self, state) -> None:
+        for name, value in state.items():
+            object.__setattr__(self, name, value)
+
 
 @dataclass(frozen=True)
 class Attr(Expr):

@@ -89,11 +89,20 @@ class ScenarioGenerator:
         attr: str,
         n_scenarios: int,
         rows: np.ndarray | None = None,
+        block_provider=None,
     ) -> np.ndarray:
         """Realizations of ``attr``: shape ``(len(rows), n_scenarios)``.
 
         ``rows`` restricts generation to the given row positions; only
         tuple-wise mode exploits the restriction to reduce work.
+
+        ``block_provider`` substitutes for the sequential tuple-wise
+        per-block draws when supplied — a callable
+        ``(attr, block_ids, n_scenarios) -> iterable[(block_id, values)]``
+        that must realize exactly the same ``(seed, stream, substream,
+        attr, block)``-keyed draws; the parallel executor uses it to fan
+        blocks out across workers while this method keeps the single
+        copy of the scatter/reassembly logic.
         """
         if n_scenarios < 1:
             raise EvaluationError("n_scenarios must be >= 1")
@@ -111,7 +120,7 @@ class ScenarioGenerator:
             return out
         # Tuple-wise: visit only blocks intersecting `rows`.
         if rows is None:
-            block_ids = range(vg.n_blocks)
+            block_ids = list(range(vg.n_blocks))
             out = np.empty((n_rows, n_scenarios), dtype=float)
             position = np.arange(n_rows)
         else:
@@ -120,13 +129,21 @@ class ScenarioGenerator:
             out = np.empty((len(rows), n_scenarios), dtype=float)
             position = np.full(n_rows, -1, dtype=np.int64)
             position[rows] = np.arange(len(rows))
-        for b in block_ids:
-            rng = make_generator(self.seed, self.stream, self.substream, attr_id, b)
-            values = vg.sample_block(b, rng, n_scenarios)
+        if block_provider is not None:
+            pairs = block_provider(attr, block_ids, n_scenarios)
+        else:
+            pairs = self._draw_blocks(vg, attr_id, block_ids, n_scenarios)
+        for b, values in pairs:
             block_rows = vg.blocks[b]
             mask = position[block_rows] >= 0
             out[position[block_rows[mask]], :] = values[mask, :]
         return out
+
+    def _draw_blocks(self, vg, attr_id: int, block_ids, n_scenarios: int):
+        """Sequential per-block draws for the tuple-wise strategy."""
+        for b in block_ids:
+            rng = make_generator(self.seed, self.stream, self.substream, attr_id, b)
+            yield b, vg.sample_block(b, rng, n_scenarios)
 
     # --- expression coefficients -----------------------------------------------
 
@@ -135,12 +152,18 @@ class ScenarioGenerator:
         expr: Expr,
         n_scenarios: int,
         rows: np.ndarray | None = None,
+        matrix_provider=None,
     ) -> np.ndarray:
         """Per-scenario coefficient vectors for ``SUM(expr)`` constraints.
 
         Evaluates ``expr`` with deterministic columns broadcast across
         scenarios and stochastic attributes realized per scenario.
         Output shape: ``(len(rows), n_scenarios)``.
+
+        ``matrix_provider`` substitutes for :meth:`matrix` when supplied
+        (same signature); the parallel executor uses it to fan attribute
+        realization out across workers while the expression evaluation
+        stays in-process.
         """
         names = attributes_of(expr)
         stochastic = [n for n in sorted(names) if self.model.is_stochastic(n)]
@@ -148,8 +171,9 @@ class ScenarioGenerator:
         if not stochastic:
             values = self._deterministic_vector(expr, rows)
             return np.broadcast_to(values[:, None], (n_out, n_scenarios)).copy()
+        provider = matrix_provider if matrix_provider is not None else self.matrix
         realized = {
-            name: self.matrix(name, n_scenarios, rows=rows) for name in stochastic
+            name: provider(name, n_scenarios, rows=rows) for name in stochastic
         }
 
         def resolver(name: str) -> np.ndarray:
@@ -204,15 +228,46 @@ class ScenarioCache:
     with scenario-wise keys, scenario ``j`` is stable as ``M`` grows, so
     the cache only generates the *new* columns when asked for a larger
     matrix.  Keys are expression identities (one entry per constraint).
+
+    With ``n_workers > 1`` the new columns are realized in parallel
+    worker processes, chunked by scenario id — cache contents stay
+    bit-identical to sequential generation (see ``repro.parallel``).
     """
 
-    def __init__(self, generator: ScenarioGenerator):
+    def __init__(
+        self,
+        generator: ScenarioGenerator,
+        n_workers: int = 1,
+        executor=None,
+    ):
         if generator.mode != MODE_SCENARIO_WISE:
             raise EvaluationError(
                 "ScenarioCache requires scenario-wise mode (prefix-stable sets)"
             )
+        if executor is not None and executor.generator is not generator:
+            raise EvaluationError(
+                "ScenarioCache executor must wrap the cache's own generator"
+            )
         self.generator = generator
+        self.n_workers = max(1, int(n_workers))
+        #: Shared ParallelScenarioExecutor (e.g. the evaluation context's)
+        #: so one worker pool serves every consumer of this generator.
+        self._executor = executor
+        self._owns_executor = False
         self._cache: dict[int, tuple[Expr, np.ndarray]] = {}
+
+    def _new_columns(self, expr: Expr, start: int, stop: int) -> np.ndarray:
+        if self._executor is None:
+            # Imported lazily: repro.parallel builds on this module.  At
+            # n_workers=1 the executor is a sequential pass-through, so
+            # this is the single code path for both configurations.
+            from ..parallel.executor import ParallelScenarioExecutor
+
+            self._executor = ParallelScenarioExecutor(
+                self.generator, self.n_workers
+            )
+            self._owns_executor = True
+        return self._executor.coefficient_columns(expr, range(start, stop))
 
     def coefficient_matrix(self, expr: Expr, n_scenarios: int) -> np.ndarray:
         key = id(expr)
@@ -220,19 +275,28 @@ class ScenarioCache:
         if cached is not None and cached[1].shape[1] >= n_scenarios:
             return cached[1][:, :n_scenarios]
         start = 0 if cached is None else cached[1].shape[1]
-        new_cols = np.empty(
-            (self.generator.relation.n_rows, n_scenarios - start), dtype=float
-        )
-        for j in range(start, n_scenarios):
-            new_cols[:, j - start] = self.generator.coefficient_scenario(expr, j)
+        new_cols = self._new_columns(expr, start, n_scenarios)
         matrix = (
             new_cols if cached is None else np.hstack([cached[1], new_cols])
         )
         self._cache[key] = (expr, matrix)
         return matrix
 
+    def close(self) -> None:
+        """Shut down the worker pool, if this cache created it.
+
+        A shared (injected) executor stays attached — its owner manages
+        its lifecycle.  A closed cache stays sequential: it never
+        silently resurrects a pool on the next fill.
+        """
+        if self._executor is not None and self._owns_executor:
+            self._executor.close()
+            self._executor = None
+            self._owns_executor = False
+            self.n_workers = 1
+
     def clear(self) -> None:
-        """Drop all cached matrices."""
+        """Drop all cached matrices (the worker pool, if any, survives)."""
         self._cache.clear()
 
     @property

@@ -1,0 +1,213 @@
+"""Fan scenario-matrix generation out across worker processes.
+
+The executor parallelizes exactly the loops ``ScenarioGenerator`` runs
+sequentially, chunked along the axis that carries RNG identity:
+
+* scenario-wise mode — chunks of scenario indices ``j``; each worker
+  draws its scenarios from the ``(seed, stream, substream, attr, j)``
+  keys, so column ``j`` is the same array no matter who computed it;
+* tuple-wise mode — chunks of independence-block ids; each worker draws
+  its blocks from the ``(seed, stream, substream, attr, block)`` keys.
+
+Reassembly follows the same canonical order as the sequential code, so
+parallel output is bit-identical to ``n_workers=1`` (the determinism
+regression tests assert ``np.array_equal``, not ``allclose``).
+
+Workers are plain ``ProcessPoolExecutor`` processes seeded once with a
+pickled copy of the generator (relations are immutable, generators are
+stateless beyond their key fields).  Any failure to parallelize —
+unpicklable payloads, missing OS support — degrades silently to the
+sequential path: parallelism is an optimization, never a behavior change.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import warnings
+import weakref
+from concurrent.futures import ProcessPoolExecutor
+
+import numpy as np
+
+#: Per-process generator installed by the pool initializer.
+_WORKER_GENERATOR = None
+
+
+def _init_worker(generator) -> None:
+    global _WORKER_GENERATOR
+    _WORKER_GENERATOR = generator
+
+
+def _attr_scenario_chunk(attr, scenarios, rows):
+    """Columns of ``attr`` realizations for the given scenario ids."""
+    generator = _WORKER_GENERATOR
+    n_out = generator.relation.n_rows if rows is None else len(rows)
+    out = np.empty((n_out, len(scenarios)), dtype=float)
+    for i, j in enumerate(scenarios):
+        full = generator.realize(attr, int(j))
+        out[:, i] = full if rows is None else full[rows]
+    return out
+
+
+def _attr_block_chunk(attr, n_scenarios, block_ids):
+    """Tuple-wise draws: ``[(block_id, values)]`` for the given blocks."""
+    from ..utils.rngkeys import make_generator
+
+    generator = _WORKER_GENERATOR
+    vg = generator.model.vg(attr)
+    attr_id = generator.model.attr_id(attr)
+    out = []
+    for b in block_ids:
+        rng = make_generator(
+            generator.seed, generator.stream, generator.substream, attr_id, int(b)
+        )
+        out.append((int(b), vg.sample_block(int(b), rng, n_scenarios)))
+    return out
+
+
+def _coefficient_scenario_chunk(expr, scenarios):
+    """Full-relation coefficient columns for the given scenario ids."""
+    generator = _WORKER_GENERATOR
+    out = np.empty((generator.relation.n_rows, len(scenarios)), dtype=float)
+    for i, j in enumerate(scenarios):
+        out[:, i] = generator.coefficient_scenario(expr, int(j))
+    return out
+
+
+def scenario_chunks(indices, n_chunks: int) -> list[np.ndarray]:
+    """Split ``indices`` into at most ``n_chunks`` contiguous, ordered chunks."""
+    arr = np.asarray(list(indices))
+    n_chunks = max(1, min(int(n_chunks), len(arr)))
+    return [chunk for chunk in np.array_split(arr, n_chunks) if len(chunk)]
+
+
+def _shutdown_pool(pool) -> None:
+    pool.shutdown(wait=False, cancel_futures=True)
+
+
+class ParallelScenarioExecutor:
+    """Chunked, process-parallel façade over one :class:`ScenarioGenerator`.
+
+    With ``n_workers=1`` every method delegates straight to the wrapped
+    generator — the executor is then a zero-cost pass-through, which lets
+    callers hold one code path for both configurations.
+    """
+
+    def __init__(self, generator, n_workers: int = 1):
+        self.generator = generator
+        self.n_workers = max(1, int(n_workers))
+        self._pool = None
+        self._finalizer = None
+        self._broken = False
+
+    # --- pool management ----------------------------------------------------
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            try:
+                mp_context = multiprocessing.get_context("fork")
+            except ValueError:  # pragma: no cover - non-POSIX fallback
+                mp_context = multiprocessing.get_context()
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=mp_context,
+                initializer=_init_worker,
+                initargs=(self.generator,),
+            )
+            self._finalizer = weakref.finalize(self, _shutdown_pool, self._pool)
+        return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._finalizer is not None:
+            self._finalizer()
+            self._finalizer = None
+        self._pool = None
+
+    def _map(self, fn, arg_tuples) -> list | None:
+        """Run ``fn`` over ``arg_tuples`` in the pool; None = fall back."""
+        if self.n_workers == 1 or self._broken or len(arg_tuples) <= 1:
+            return None
+        try:
+            pool = self._ensure_pool()
+            futures = [pool.submit(fn, *args) for args in arg_tuples]
+            return [future.result() for future in futures]
+        except Exception as error:
+            # Parallelism is best-effort: fall back to the sequential
+            # path rather than failing the evaluation — but say so, as
+            # the downgrade is permanent for this executor.
+            warnings.warn(
+                f"parallel scenario generation disabled after worker-pool"
+                f" failure ({type(error).__name__}: {error}); continuing"
+                f" sequentially",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self._broken = True
+            self.close()
+            return None
+
+    # --- parallel generation -------------------------------------------------
+
+    def matrix(self, attr: str, n_scenarios: int, rows=None) -> np.ndarray:
+        """Parallel ``ScenarioGenerator.matrix`` (bit-identical output)."""
+        from ..mcdb.scenarios import MODE_SCENARIO_WISE
+
+        generator = self.generator
+        if generator.mode == MODE_SCENARIO_WISE:
+            rows_arr = None if rows is None else np.asarray(rows)
+            chunks = scenario_chunks(range(n_scenarios), self.n_workers)
+            results = self._map(
+                _attr_scenario_chunk, [(attr, c, rows_arr) for c in chunks]
+            )
+            if results is None:
+                return generator.matrix(attr, n_scenarios, rows=rows)
+            return np.concatenate(results, axis=1)
+        # Tuple-wise: the generator keeps the single copy of the scatter
+        # logic; only the per-block draws fan out.
+        return generator.matrix(
+            attr, n_scenarios, rows=rows, block_provider=self._parallel_blocks
+        )
+
+    def _parallel_blocks(self, attr, block_ids, n_scenarios):
+        """Block draws fanned across workers (sequential fallback)."""
+        chunks = scenario_chunks(block_ids, self.n_workers)
+        results = self._map(
+            _attr_block_chunk, [(attr, n_scenarios, c) for c in chunks]
+        )
+        if results is None:
+            generator = self.generator
+            vg = generator.model.vg(attr)
+            return generator._draw_blocks(
+                vg, generator.model.attr_id(attr), block_ids, n_scenarios
+            )
+        return [pair for chunk_result in results for pair in chunk_result]
+
+    def coefficient_matrix(self, expr, n_scenarios: int, rows=None) -> np.ndarray:
+        """Parallel ``ScenarioGenerator.coefficient_matrix``.
+
+        Stochastic attribute matrices are generated in parallel; the
+        (deterministic) expression evaluation runs in this process, so
+        the result is bit-identical to the sequential code path.
+        """
+        return self.generator.coefficient_matrix(
+            expr, n_scenarios, rows=rows, matrix_provider=self.matrix
+        )
+
+    def coefficient_columns(self, expr, scenarios) -> np.ndarray:
+        """Full-relation coefficient columns for explicit scenario ids.
+
+        This is the cache-fill primitive: ``ScenarioCache`` asks for the
+        *new* columns ``[start, stop)`` when ``M`` grows, and each worker
+        realizes a contiguous sub-range of them.
+        """
+        generator = self.generator
+        scenario_ids = [int(j) for j in scenarios]
+        chunks = scenario_chunks(scenario_ids, self.n_workers)
+        results = self._map(_coefficient_scenario_chunk, [(expr, c) for c in chunks])
+        if results is None:
+            out = np.empty((generator.relation.n_rows, len(scenario_ids)), dtype=float)
+            for i, j in enumerate(scenario_ids):
+                out[:, i] = generator.coefficient_scenario(expr, j)
+            return out
+        return np.concatenate(results, axis=1)

@@ -8,12 +8,13 @@ LP-based branch-and-bound used as a fallback and as a differential-testing
 oracle.
 """
 
-from .model import MILPBuilder
+from .model import BuilderCheckpoint, MILPBuilder
 from .result import MILPResult, STATUS_OPTIMAL, STATUS_INFEASIBLE, STATUS_UNBOUNDED, STATUS_TIME_LIMIT, STATUS_FEASIBLE
 from .highs import solve_with_highs
 from .branch_bound import solve_with_branch_bound
 
 __all__ = [
+    "BuilderCheckpoint",
     "MILPBuilder",
     "MILPResult",
     "STATUS_OPTIMAL",

@@ -85,6 +85,10 @@ def solve_with_branch_bound(
     a_ub, b_ub = _to_inequality_form(matrix, row_lb, row_ub)
     started = time.perf_counter()
     deadline = None if time_limit is None else started + float(time_limit)
+    # A feasible warm-start hint is a true MIP start: it seeds the
+    # incumbent (so best-bound pruning kicks in from the first node) and
+    # is the fallback answer when the root relaxation fails numerically.
+    hint = builder.validated_warm_start()
 
     status, x0, bound0 = _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub)
     if status == "infeasible":
@@ -92,11 +96,23 @@ def solve_with_branch_bound(
     if status == "unbounded":
         return MILPResult(status=STATUS_UNBOUNDED, solve_time=_since(started))
     if status == "error":
+        if hint is not None:
+            x = _snap(hint, integrality)
+            return MILPResult(
+                status=STATUS_FEASIBLE,
+                x=x,
+                objective=builder.objective_value(x),
+                solve_time=_since(started),
+                message="LP relaxation failed; warm-start incumbent returned",
+            )
         return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started),
                           message="LP relaxation failed")
 
     incumbent_x: np.ndarray | None = None
     incumbent_obj = np.inf
+    if hint is not None:
+        incumbent_x = _snap(hint, integrality)
+        incumbent_obj = float(c @ incumbent_x)
     counter = itertools.count()
     # Heap of (lp_bound, tiebreak, var_lb, var_ub, lp_x).
     heap = [(bound0, next(counter), var_lb.copy(), var_ub.copy(), x0)]

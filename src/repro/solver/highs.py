@@ -1,4 +1,13 @@
-"""HiGHS MILP backend via ``scipy.optimize.milp``."""
+"""HiGHS MILP backend via ``scipy.optimize.milp``.
+
+``scipy.optimize.milp`` has no MIP-start parameter, so a warm-start hint
+(see ``MILPBuilder.set_warm_start``) is used as a *guaranteed incumbent*
+instead: when the solver hits its limit without a solution (or errors
+out) the feasible hint is returned as a feasible result, and when the
+solver returns a worse incumbent than the hint, the hint wins.  This
+makes warm-started solves never worse than the previous iteration's
+solution, which is the property the incremental SummarySearch loop needs.
+"""
 
 from __future__ import annotations
 
@@ -31,6 +40,7 @@ def solve_with_highs(
 ) -> MILPResult:
     """Solve the builder's model with HiGHS and normalize the outcome."""
     c, matrix, row_lb, row_ub, var_lb, var_ub, integrality = builder.to_arrays()
+    hint = builder.validated_warm_start()
     options: dict = {"mip_rel_gap": max(mip_gap, 0.0), "presolve": True}
     if time_limit is not None:
         options["time_limit"] = max(float(time_limit), 0.01)
@@ -47,13 +57,16 @@ def solve_with_highs(
     )
     elapsed = time.perf_counter() - started
     if res.status == _SCIPY_OPTIMAL:
-        x = _round_integers(res.x, integrality)
+        # "Optimal" includes gap-terminated solves (mip_rel_gap > 0), so
+        # the incumbent can still trail a good warm-start hint.
+        x = _better_of(c, hint, _round_integers(res.x, integrality),
+                       integrality)
         return MILPResult(
             status=STATUS_OPTIMAL,
             x=x,
             objective=builder.objective_value(x),
             solve_time=elapsed,
-            gap=float(res.mip_gap) if res.mip_gap is not None else None,
+            gap=_gap_for(c, x, res),
             message=str(res.message),
         )
     if res.status == _SCIPY_INFEASIBLE:
@@ -65,22 +78,69 @@ def solve_with_highs(
             status=STATUS_UNBOUNDED, solve_time=elapsed, message=str(res.message)
         )
     if res.status == _SCIPY_LIMIT and res.x is not None:
-        # Limit hit but HiGHS returned an incumbent.
-        x = _round_integers(res.x, integrality)
+        # Limit hit but HiGHS returned an incumbent; a warm-start hint
+        # that beats the incumbent supersedes it.
+        x = _better_of(c, hint, _round_integers(res.x, integrality),
+                       integrality)
         return MILPResult(
             status=STATUS_FEASIBLE,
             x=x,
             objective=builder.objective_value(x),
             solve_time=elapsed,
-            gap=float(res.mip_gap) if res.mip_gap is not None else None,
+            gap=_gap_for(c, x, res),
             message=str(res.message),
         )
     if res.status == _SCIPY_LIMIT:
+        if hint is not None:
+            return _hint_result(builder, hint, integrality, elapsed, res)
         return MILPResult(
             status=STATUS_TIME_LIMIT, solve_time=elapsed, message=str(res.message)
         )
+    # Remaining statuses are solver errors (infeasible/unbounded returned
+    # above); a feasible hint still salvages an incumbent.
+    if hint is not None:
+        return _hint_result(builder, hint, integrality, elapsed, res)
     return MILPResult(
         status=STATUS_ERROR, solve_time=elapsed, message=str(res.message)
+    )
+
+
+#: Minimum (minimized-sense) improvement before the hint supersedes the
+#: solver's incumbent — exact ties keep the solver's solution so that
+#: warm-started and cold runs return identical packages.
+_HINT_TOL = 1e-9
+
+
+def _better_of(c, hint, x, integrality) -> np.ndarray:
+    """The better of the solver's incumbent and the warm-start hint."""
+    if hint is None or float(c @ hint) >= float(c @ x) - _HINT_TOL:
+        return x
+    return _round_integers(hint, integrality)
+
+
+def _gap_for(c, x, res) -> float | None:
+    """Relative MIP gap of the *returned* ``x`` against the dual bound.
+
+    When the warm-start hint supersedes the solver's incumbent the
+    reported gap must describe the hint, not the discarded solution;
+    recomputing from the dual bound covers both cases uniformly.
+    """
+    bound = getattr(res, "mip_dual_bound", None)
+    if bound is None or not np.isfinite(bound):
+        return float(res.mip_gap) if res.mip_gap is not None else None
+    value = float(c @ x)
+    return abs(value - float(bound)) / max(1.0, abs(value))
+
+
+def _hint_result(builder, hint, integrality, elapsed, res) -> MILPResult:
+    """Fall back to the feasible warm-start hint as the incumbent."""
+    x = _round_integers(hint, integrality)
+    return MILPResult(
+        status=STATUS_FEASIBLE,
+        x=x,
+        objective=builder.objective_value(x),
+        solve_time=elapsed,
+        message=f"warm-start incumbent returned ({res.message})",
     )
 
 

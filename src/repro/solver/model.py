@@ -13,9 +13,26 @@ finite (they are — ``silp.varbounds`` guarantees it):
 where ``lo/hi`` bound ``a·x`` over the variable box.  If the implication
 is vacuous (``lo ≥ v`` resp. ``hi ≤ v``) no row is emitted; if it is
 unsatisfiable the indicator is pinned to zero.
+
+The builder also supports *incremental* reuse across closely related
+models, which is how SummarySearch avoids rebuilding the deterministic
+block of the DILP on every CSA iteration:
+
+* :meth:`clone` copies a built base model in O(n) (sharing immutable row
+  and cache storage) — the SAA/CSA loops clone a retained base template
+  and append only their per-iteration indicator rows;
+* :meth:`checkpoint` / :meth:`rollback` are the in-place alternative for
+  single-consumer retain-and-append workflows;
+* :meth:`to_arrays` caches the sparse rows it has already materialized
+  and stacks new rows on top instead of re-building the full triplet
+  list;
+* :meth:`set_warm_start` records a candidate solution (e.g. the previous
+  iteration's incumbent) that the backends use as a MIP start.
 """
 
 from __future__ import annotations
+
+from dataclasses import dataclass
 
 import numpy as np
 from scipy import sparse
@@ -25,6 +42,20 @@ from .result import MILPResult
 
 SENSE_MIN = "minimize"
 SENSE_MAX = "maximize"
+
+
+@dataclass(frozen=True)
+class BuilderCheckpoint:
+    """Restorable snapshot of a :class:`MILPBuilder`'s state.
+
+    Only counts and the objective are stored: the builder is append-only,
+    so rolling back means truncating to the recorded sizes.
+    """
+
+    n_variables: int
+    n_constraints: int
+    objective: dict
+    sense: str
 
 
 class MILPBuilder:
@@ -40,6 +71,17 @@ class MILPBuilder:
         self._row_ub: list[float] = []
         self._objective: dict[int, float] = {}
         self._sense = SENSE_MIN
+        #: Materialized-CSR cache: (n_rows, data, indices, indptr) of the
+        #: row block already converted by a previous ``to_arrays`` call.
+        self._csr_cache: tuple[int, np.ndarray, np.ndarray, np.ndarray] | None = None
+        self._warm_start: np.ndarray | None = None
+        #: (n_variables, n_constraints) the hint was last validated at;
+        #: lets repeated validated_warm_start() calls skip the re-check.
+        self._warm_start_valid_for: tuple[int, int] | None = None
+        #: Bounds-as-arrays cache; entries are append-only, so a cache of
+        #: the right length is current (rollback invalidates explicitly:
+        #: rollback-then-append could restore the old length).
+        self._bounds_cache: tuple[np.ndarray, np.ndarray] | None = None
 
     # --- variables ---------------------------------------------------------------
 
@@ -70,9 +112,16 @@ class MILPBuilder:
         """Vector helper: returns the indices of ``count`` new variables."""
         lbs = np.broadcast_to(np.asarray(lb, dtype=float), (count,))
         ubs = np.broadcast_to(np.asarray(ub, dtype=float), (count,))
+        if np.any(lbs > ubs):
+            bad = int(np.argmax(lbs > ubs))
+            raise SolverError(
+                f"variable {prefix}[{bad}] has lb {lbs[bad]} > ub {ubs[bad]}"
+            )
         start = len(self._names)
-        for i in range(count):
-            self.add_variable(f"{prefix}[{i}]", lbs[i], ubs[i], integer)
+        self._names.extend(f"{prefix}[{i}]" for i in range(count))
+        self._lb.extend(lbs.astype(float).tolist())
+        self._ub.extend(ubs.astype(float).tolist())
+        self._integer.extend([bool(integer)] * count)
         return np.arange(start, start + count)
 
     @property
@@ -110,13 +159,22 @@ class MILPBuilder:
         self._row_ub.append(float(ub))
         return len(self._rows) - 1
 
+    def _bound_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        if self._bounds_cache is None or len(self._bounds_cache[0]) != len(self._lb):
+            self._bounds_cache = (
+                np.asarray(self._lb, dtype=float),
+                np.asarray(self._ub, dtype=float),
+            )
+        return self._bounds_cache
+
     def row_value_bounds(self, indices, coefficients) -> tuple[float, float]:
         """Range of ``Σ c·x`` over the current variable box."""
         idx = np.asarray(indices, dtype=np.int64)
         coef = np.asarray(coefficients, dtype=float)
         lo = hi = 0.0
-        lbs = np.asarray(self._lb)[idx]
-        ubs = np.asarray(self._ub)[idx]
+        all_lbs, all_ubs = self._bound_arrays()
+        lbs = all_lbs[idx]
+        ubs = all_ubs[idx]
         low_terms = np.minimum(coef * lbs, coef * ubs)
         high_terms = np.maximum(coef * lbs, coef * ubs)
         lo = float(low_terms.sum())
@@ -176,6 +234,111 @@ class MILPBuilder:
         self._objective = {int(i): float(c) for i, c in zip(idx, coef)}
         self._sense = sense
 
+    # --- incremental reuse --------------------------------------------------------------
+
+    def checkpoint(self) -> BuilderCheckpoint:
+        """Snapshot the current state for a later :meth:`rollback`."""
+        return BuilderCheckpoint(
+            n_variables=self.n_variables,
+            n_constraints=self.n_constraints,
+            objective=dict(self._objective),
+            sense=self._sense,
+        )
+
+    def rollback(self, cp: BuilderCheckpoint) -> None:
+        """Truncate back to ``cp``: drop later variables, rows, objective.
+
+        Rows materialized by an earlier :meth:`to_arrays` call and still
+        within the checkpoint stay cached, so re-appending rows after a
+        rollback only pays for the new rows.
+        """
+        if cp.n_variables > self.n_variables or cp.n_constraints > self.n_constraints:
+            raise SolverError(
+                "cannot roll back to a checkpoint taken from a larger model"
+            )
+        del self._names[cp.n_variables:]
+        del self._lb[cp.n_variables:]
+        del self._ub[cp.n_variables:]
+        del self._integer[cp.n_variables:]
+        del self._rows[cp.n_constraints:]
+        del self._row_lb[cp.n_constraints:]
+        del self._row_ub[cp.n_constraints:]
+        self._objective = dict(cp.objective)
+        self._sense = cp.sense
+        self._warm_start = None
+        self._warm_start_valid_for = None
+        # Length alone cannot detect rollback-then-append, so drop the
+        # bounds cache outright.
+        self._bounds_cache = None
+        if self._csr_cache is not None and self._csr_cache[0] > cp.n_constraints:
+            k = cp.n_constraints
+            _, data, indices, indptr = self._csr_cache
+            nnz = int(indptr[k])
+            self._csr_cache = (k, data[:nnz], indices[:nnz], indptr[: k + 1])
+
+    def clone(self) -> "MILPBuilder":
+        """Independent copy sharing immutable row/cache storage.
+
+        Rows are append-only ``(indices, coefficients)`` pairs that are
+        never mutated in place, so the clone shares them (and the
+        materialized-CSR cache) with the original: cloning a base model
+        is O(n) list copies, and solving the clone only materializes the
+        rows appended after the clone point.  The warm-start hint is not
+        carried over.
+        """
+        other = MILPBuilder()
+        other._names = list(self._names)
+        other._lb = list(self._lb)
+        other._ub = list(self._ub)
+        other._integer = list(self._integer)
+        other._rows = list(self._rows)
+        other._row_lb = list(self._row_lb)
+        other._row_ub = list(self._row_ub)
+        other._objective = dict(self._objective)
+        other._sense = self._sense
+        other._csr_cache = self._csr_cache
+        other._bounds_cache = self._bounds_cache
+        return other
+
+    # --- warm starts -------------------------------------------------------------------
+
+    def set_warm_start(self, x) -> None:
+        """Record a candidate solution used as a MIP start by the backends.
+
+        Pass ``None`` to clear.  The hint is only used when it is feasible
+        for the model at solve time (see :meth:`validated_warm_start`), so
+        a stale hint is harmless.
+        """
+        self._warm_start_valid_for = None
+        if x is None:
+            self._warm_start = None
+            return
+        arr = np.asarray(x, dtype=float)
+        if arr.shape != (self.n_variables,):
+            raise SolverError(
+                f"warm start has {arr.shape} values; model has"
+                f" {self.n_variables} variables"
+            )
+        self._warm_start = arr.copy()
+
+    def validated_warm_start(self, tol: float = 1e-6) -> np.ndarray | None:
+        """The warm-start hint, or None if absent/stale/infeasible.
+
+        A successful check is memoized against the model shape, so the
+        formulation-time validation and the backend's solve-time call
+        cost one feasibility sweep in total.
+        """
+        hint = self._warm_start
+        if hint is None or hint.shape != (self.n_variables,):
+            return None
+        shape = (self.n_variables, self.n_constraints)
+        if self._warm_start_valid_for == shape:
+            return hint
+        if self.check_feasible(hint, tol):
+            self._warm_start_valid_for = shape
+            return hint
+        return None
+
     # --- materialization ---------------------------------------------------------------
 
     def to_arrays(self):
@@ -186,21 +349,14 @@ class MILPBuilder:
         """
         n = self.n_variables
         c = np.zeros(n)
-        for i, v in self._objective.items():
-            c[i] = v
+        if self._objective:
+            count = len(self._objective)
+            keys = np.fromiter(self._objective.keys(), dtype=np.int64, count=count)
+            vals = np.fromiter(self._objective.values(), dtype=float, count=count)
+            c[keys] = vals
         if self._sense == SENSE_MAX:
             c = -c
-        if self._rows:
-            data, rows, cols = [], [], []
-            for r, (idx, coef) in enumerate(self._rows):
-                rows.extend([r] * len(idx))
-                cols.extend(idx.tolist())
-                data.extend(coef.tolist())
-            matrix = sparse.csr_matrix(
-                (data, (rows, cols)), shape=(len(self._rows), n)
-            )
-        else:
-            matrix = sparse.csr_matrix((0, n))
+        matrix = self._materialize_matrix(n)
         return (
             c,
             matrix,
@@ -210,6 +366,43 @@ class MILPBuilder:
             np.asarray(self._ub),
             np.asarray(self._integer, dtype=bool),
         )
+
+    def _materialize_matrix(self, n: int) -> sparse.csr_matrix:
+        """CSR of all rows, reusing the cached prefix from earlier calls.
+
+        Rows are append-only (rollback only truncates, trimming the cache
+        with it), so a cached row block is always a valid prefix; only
+        rows added since the last materialization need triplet building.
+        """
+        m = len(self._rows)
+        if m == 0:
+            return sparse.csr_matrix((0, n))
+        k = 0
+        if self._csr_cache is not None and self._csr_cache[0] <= m:
+            k = self._csr_cache[0]
+        blocks = []
+        if k:
+            _, data, indices, indptr = self._csr_cache
+            # Rows added before any later variables can only reference
+            # variables that existed then, so widening the shape is safe.
+            blocks.append(
+                sparse.csr_matrix((data, indices, indptr), shape=(k, n))
+            )
+        if m > k:
+            data, rows, cols = [], [], []
+            for r in range(k, m):
+                idx, coef = self._rows[r]
+                rows.extend([r - k] * len(idx))
+                cols.extend(idx.tolist())
+                data.extend(coef.tolist())
+            blocks.append(
+                sparse.csr_matrix((data, (rows, cols)), shape=(m - k, n))
+            )
+        matrix = blocks[0] if len(blocks) == 1 else sparse.vstack(
+            blocks, format="csr"
+        )
+        self._csr_cache = (m, matrix.data, matrix.indices, matrix.indptr)
+        return matrix
 
     @property
     def sense(self) -> str:
@@ -240,19 +433,25 @@ class MILPBuilder:
         raise SolverError(f"unknown solver backend {backend!r}")
 
     def check_feasible(self, x: np.ndarray, tol: float = 1e-6) -> bool:
-        """Verify ``x`` against all rows and bounds (testing aid)."""
+        """Verify ``x`` against all rows and bounds.
+
+        Vectorized through the cached CSR materialization, so repeated
+        checks (e.g. warm-start validation per solve) cost one sparse
+        mat-vec rather than a Python loop over rows.
+        """
         x = np.asarray(x, dtype=float)
         if x.shape != (self.n_variables,):
             return False
-        lbs = np.asarray(self._lb)
-        ubs = np.asarray(self._ub)
+        lbs, ubs = self._bound_arrays()
         if np.any(x < lbs - tol) or np.any(x > ubs + tol):
             return False
         integers = np.asarray(self._integer, dtype=bool)
         if np.any(np.abs(x[integers] - np.round(x[integers])) > tol):
             return False
-        for (idx, coef), lb, ub in zip(self._rows, self._row_lb, self._row_ub):
-            value = float(coef @ x[idx])
-            if value < lb - tol or value > ub + tol:
+        if self._rows:
+            values = self._materialize_matrix(self.n_variables) @ x
+            if np.any(values < np.asarray(self._row_lb) - tol) or np.any(
+                values > np.asarray(self._row_ub) + tol
+            ):
                 return False
         return True

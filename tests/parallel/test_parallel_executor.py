@@ -1,0 +1,183 @@
+"""Determinism regression tests for the parallel scenario executor.
+
+The contract is bit-identical equality (``np.array_equal``, not
+``allclose``): chunking is keyed by scenario/block RNG identity, so any
+worker count must reproduce the sequential stream exactly, in both
+generation modes.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Relation, SPQConfig, SPQEngine
+from repro.config import STREAM_OPTIMIZATION
+from repro.mcdb import GaussianNoiseVG, GeometricBrownianMotionVG, StochasticModel
+from repro.mcdb.scenarios import (
+    MODE_SCENARIO_WISE,
+    MODE_TUPLE_WISE,
+    ScenarioCache,
+    ScenarioGenerator,
+)
+from repro.parallel import ParallelScenarioExecutor, scenario_chunks
+from repro.silp.compile import compile_query
+
+N_WORKERS = 4
+M = 24
+
+
+@pytest.fixture
+def gaussian_setup():
+    relation = Relation(
+        "items", {"price": [float(v) for v in range(3, 40)]}
+    )
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 2.0)})
+    return relation, model
+
+
+@pytest.fixture
+def gbm_setup(portfolio_toy):
+    return portfolio_toy
+
+
+def test_scenario_chunks_cover_in_order():
+    chunks = scenario_chunks(range(10), 4)
+    flat = np.concatenate(chunks)
+    np.testing.assert_array_equal(flat, np.arange(10))
+    assert len(chunks) <= 4
+    assert scenario_chunks(range(2), 8) and len(scenario_chunks(range(2), 8)) == 2
+
+
+@pytest.mark.parametrize("mode", (MODE_SCENARIO_WISE, MODE_TUPLE_WISE))
+def test_attribute_matrix_bit_identical(gaussian_setup, mode):
+    _, model = gaussian_setup
+    sequential = ScenarioGenerator(model, 11, STREAM_OPTIMIZATION, mode=mode)
+    executor = ParallelScenarioExecutor(
+        ScenarioGenerator(model, 11, STREAM_OPTIMIZATION, mode=mode), N_WORKERS
+    )
+    try:
+        expected = sequential.matrix("Value", M)
+        got = executor.matrix("Value", M)
+        assert np.array_equal(got, expected)
+        # Row-restricted generation must agree too.
+        rows = np.array([0, 5, 7, 20])
+        assert np.array_equal(
+            executor.matrix("Value", M, rows=rows),
+            sequential.matrix("Value", M, rows=rows),
+        )
+    finally:
+        executor.close()
+
+
+@pytest.mark.parametrize("mode", (MODE_SCENARIO_WISE, MODE_TUPLE_WISE))
+def test_gbm_block_structure_bit_identical(gbm_setup, mode):
+    """Correlated (block-structured) VGs: per-block draws must land on
+    the same rows regardless of which worker realized the block."""
+    _, model = gbm_setup
+    sequential = ScenarioGenerator(model, 5, STREAM_OPTIMIZATION, mode=mode)
+    executor = ParallelScenarioExecutor(
+        ScenarioGenerator(model, 5, STREAM_OPTIMIZATION, mode=mode), N_WORKERS
+    )
+    try:
+        assert np.array_equal(
+            executor.matrix("Gain", M), sequential.matrix("Gain", M)
+        )
+    finally:
+        executor.close()
+
+
+def test_coefficient_matrix_bit_identical(gaussian_setup):
+    relation, model = gaussian_setup
+    catalog = Catalog()
+    catalog.register(relation, model)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value * 2 + 1) >= 6 WITH PROBABILITY >= 0.8"
+        " MINIMIZE EXPECTED SUM(Value)",
+        catalog,
+    )
+    expr = problem.chance_constraints[0].expr
+    sequential = ScenarioGenerator(model, 11, STREAM_OPTIMIZATION)
+    executor = ParallelScenarioExecutor(
+        ScenarioGenerator(model, 11, STREAM_OPTIMIZATION), N_WORKERS
+    )
+    try:
+        assert np.array_equal(
+            executor.coefficient_matrix(expr, M),
+            sequential.coefficient_matrix(expr, M),
+        )
+        assert np.array_equal(
+            executor.coefficient_columns(expr, range(4, 17)),
+            np.column_stack(
+                [sequential.coefficient_scenario(expr, j) for j in range(4, 17)]
+            ),
+        )
+    finally:
+        executor.close()
+
+
+def test_scenario_cache_contents_bit_identical(gaussian_setup):
+    """Cache fill with n_workers=4 equals n_workers=1, including the
+    incremental top-up when M grows (Algorithm 1, line 9)."""
+    relation, model = gaussian_setup
+    catalog = Catalog()
+    catalog.register(relation, model)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value) >= 6 WITH PROBABILITY >= 0.8",
+        catalog,
+    )
+    expr = problem.chance_constraints[0].expr
+    cache_seq = ScenarioCache(ScenarioGenerator(model, 11, STREAM_OPTIMIZATION))
+    cache_par = ScenarioCache(
+        ScenarioGenerator(model, 11, STREAM_OPTIMIZATION), n_workers=N_WORKERS
+    )
+    try:
+        for m in (6, M):  # second call exercises the grow-only top-up
+            assert np.array_equal(
+                cache_par.coefficient_matrix(expr, m),
+                cache_seq.coefficient_matrix(expr, m),
+            )
+    finally:
+        cache_par.close()
+
+
+@pytest.mark.parametrize("summary_strategy", ("in-memory", "tuple-wise"))
+def test_end_to_end_package_identical_across_worker_counts(
+    gaussian_setup, summary_strategy
+):
+    """Engine-level determinism for both generation modes: the in-memory
+    strategy exercises the parallel ScenarioCache fill (scenario-wise
+    keys), the tuple-wise strategy the parallel block-keyed generator."""
+    relation, model = gaussian_setup
+    query = (
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+        " SUM(Value) >= 9 WITH PROBABILITY >= 0.8"
+        " MINIMIZE EXPECTED SUM(Value)"
+    )
+    packages = []
+    for n_workers in (1, N_WORKERS):
+        config = SPQConfig(
+            n_validation_scenarios=500,
+            n_initial_scenarios=16,
+            scenario_increment=16,
+            max_scenarios=48,
+            n_expectation_scenarios=200,
+            n_probe_scenarios=8,
+            epsilon=0.5,
+            solver_time_limit=10.0,
+            time_limit=60.0,
+            seed=3,
+            n_workers=n_workers,
+            summary_strategy=summary_strategy,
+        )
+        engine = SPQEngine(config=config)
+        engine.register(relation, model)
+        result = engine.execute(query, method="summarysearch")
+        packages.append(
+            None if result.package is None else result.package.multiplicities
+        )
+    first, second = packages
+    if first is None:
+        assert second is None
+    else:
+        np.testing.assert_array_equal(first, second)

@@ -113,3 +113,39 @@ def test_branch_bound_agrees_with_highs(n, data):
     assert result_bb.status == STATUS_OPTIMAL
     assert result_bb.objective == pytest.approx(result_highs.objective, abs=1e-6)
     assert builder_a.check_feasible(result_bb.x)
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    n=st.integers(2, 6),
+    data=st.data(),
+)
+def test_warm_started_backends_agree(n, data):
+    """Warm-started differential test: seeding either backend with a
+    feasible (possibly suboptimal) hint must not change the optimal
+    objective value, and both backends must still agree."""
+    values = [data.draw(st.integers(-5, 10)) for _ in range(n)]
+    weights = [data.draw(st.integers(1, 6)) for _ in range(n)]
+    capacity = data.draw(st.integers(3, 15))
+    cold = knapsack(values, weights, float(capacity), ub=2)
+    reference = solve_with_highs(cold)
+    assert reference.status == STATUS_OPTIMAL
+
+    # Hints of varying quality: empty package, one greedy item, optimum.
+    hints = [np.zeros(n)]
+    cheapest = int(np.argmin(weights))
+    if weights[cheapest] <= capacity:
+        one_item = np.zeros(n)
+        one_item[cheapest] = 1.0
+        hints.append(one_item)
+    hints.append(reference.x)
+    for hint in hints:
+        for solve in (solve_with_highs, solve_with_branch_bound):
+            builder = knapsack(values, weights, float(capacity), ub=2)
+            builder.set_warm_start(hint)
+            result = solve(builder)
+            assert result.status == STATUS_OPTIMAL
+            assert result.objective == pytest.approx(
+                reference.objective, abs=1e-6
+            )
+            assert builder.check_feasible(result.x)
