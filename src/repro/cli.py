@@ -1,11 +1,19 @@
-"""Command-line interface: run sPaQL against CSV data.
+"""Command-line interface: run sPaQL against CSV data, or serve queries.
 
-Lets a user evaluate stochastic package queries without writing Python::
+Two subcommands::
 
-    python -m repro --table trades.csv \\
+    python -m repro run --table trades.csv \\
         --stochastic "Gain=gbm(price,drift,volatility,sell_in_days,stock)" \\
         --query "SELECT PACKAGE(*) FROM trades SUCH THAT ..." \\
         --method summarysearch --seed 7 --output package.csv
+
+    python -m repro serve --workload portfolio:Q1 --scale 200 --port 8080
+
+The legacy invocation (no subcommand, straight ``--table ...``) keeps
+working and means ``run``.
+
+Exit codes are distinct per failure stage: 0 success, 1 infeasible,
+2 parse/compile/spec errors, 3 solve/evaluation errors, 4 I/O errors.
 
 Stochastic attributes are declared with a small spec language
 ``Name=kind(arg, ...)``, where each argument is a column name or a
@@ -24,11 +32,21 @@ from __future__ import annotations
 import argparse
 import sys
 
+from . import __version__
 from .config import SPQConfig
 from .core.engine import SPQEngine
 from .db.catalog import Catalog
 from .db.csvio import read_csv, write_csv
-from .errors import SPQError
+from .errors import (
+    CompileError,
+    EvaluationError,
+    ParseError,
+    SchemaError,
+    SolverError,
+    SPQError,
+    TimeLimitExceeded,
+    VGFunctionError,
+)
 from .mcdb.distributions import (
     ExponentialNoiseVG,
     GaussianNoiseVG,
@@ -38,6 +56,28 @@ from .mcdb.distributions import (
 )
 from .mcdb.gbm import GeometricBrownianMotionVG
 from .mcdb.stochastic import StochasticModel
+
+#: Process exit codes, one per pipeline stage (``repro run --help``).
+EXIT_OK = 0
+EXIT_INFEASIBLE = 1
+EXIT_PARSE = 2
+EXIT_SOLVE = 3
+EXIT_IO = 4
+
+_SUBCOMMANDS = ("run", "serve")
+
+
+def exit_code_for(error: BaseException) -> int:
+    """Map an exception to the CLI's stage-specific exit code."""
+    if isinstance(error, (SolverError, EvaluationError, TimeLimitExceeded)):
+        return EXIT_SOLVE
+    if isinstance(
+        error, (ParseError, CompileError, SchemaError, VGFunctionError, SPQError)
+    ):
+        return EXIT_PARSE
+    if isinstance(error, OSError):
+        return EXIT_IO
+    return EXIT_SOLVE
 
 
 def _numeric_or_column(token: str, relation):
@@ -101,23 +141,37 @@ def parse_vg_spec(spec: str, relation):
     return name, factory(base, *resolved)
 
 
-def build_parser() -> argparse.ArgumentParser:
-    """Build the argparse parser for ``python -m repro``."""
-    parser = argparse.ArgumentParser(
-        prog="repro", description="Evaluate stochastic package queries over CSV data."
-    )
-    parser.add_argument("--table", action="append", required=True,
-                        metavar="PATH[:NAME]",
+def parse_bytes(text: str) -> int:
+    """Parse a byte count with an optional K/M/G suffix (``"512M"``)."""
+    text = text.strip()
+    scale = 1
+    suffixes = {"k": 1024, "m": 1024**2, "g": 1024**3}
+    if text and text[-1].lower() in suffixes:
+        scale = suffixes[text[-1].lower()]
+        text = text[:-1]
+    try:
+        value = int(float(text) * scale)
+    except ValueError:
+        raise SPQError(f"bad byte count {text!r}: expected e.g. 1048576 or 512M")
+    if value < 1:
+        raise SPQError("byte count must be positive")
+    return value
+
+
+# --- argument wiring -------------------------------------------------------
+
+
+def _add_data_arguments(parser: argparse.ArgumentParser, required: bool) -> None:
+    parser.add_argument("--table", action="append", required=required,
+                        default=[], metavar="PATH[:NAME]",
                         help="CSV file to register (optionally as NAME)")
     parser.add_argument("--stochastic", action="append", default=[],
                         metavar="SPEC",
-                        help="stochastic attribute, e.g. Gain=gaussian(price,2.0);"
+                        help="stochastic attribute, e.g. Value=gaussian(price,2.0);"
                              " applies to the most recent --table")
-    query_group = parser.add_mutually_exclusive_group(required=True)
-    query_group.add_argument("--query", help="sPaQL text")
-    query_group.add_argument("--query-file", help="file containing sPaQL text")
-    parser.add_argument("--method", default="summarysearch",
-                        choices=["summarysearch", "naive", "deterministic"])
+
+
+def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=42)
     parser.add_argument("--epsilon", type=float, default=0.25)
     parser.add_argument("--validation-scenarios", type=int, default=10_000)
@@ -131,63 +185,214 @@ def build_parser() -> argparse.ArgumentParser:
                         help="rebuild and cold-solve every solver iteration"
                              " instead of reusing the model skeleton and"
                              " warm-starting from the previous solution")
-    parser.add_argument("--output", help="write the package relation as CSV")
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argparse parser for ``python -m repro``."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Evaluate and serve stochastic package queries over CSV data.",
+        epilog="exit codes: 0 ok, 1 infeasible, 2 parse error, 3 solve error,"
+               " 4 I/O error",
+    )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {__version__}")
+    subparsers = parser.add_subparsers(dest="command")
+
+    run = subparsers.add_parser(
+        "run", help="evaluate one sPaQL query and print the package",
+    )
+    _add_data_arguments(run, required=True)
+    query_group = run.add_mutually_exclusive_group(required=True)
+    query_group.add_argument("--query", help="sPaQL text")
+    query_group.add_argument("--query-file", help="file containing sPaQL text")
+    run.add_argument("--method", default="summarysearch",
+                     choices=["summarysearch", "naive", "deterministic"])
+    _add_config_arguments(run)
+    run.add_argument("--output", help="write the package relation as CSV")
+    run.set_defaults(handler=cmd_run)
+
+    serve = subparsers.add_parser(
+        "serve", help="serve package queries over HTTP (POST /query)",
+    )
+    _add_data_arguments(serve, required=False)
+    serve.add_argument("--workload", action="append", default=[],
+                       metavar="NAME:QUERY",
+                       help="register a built-in workload dataset, e.g."
+                            " portfolio:Q1 (repeatable)")
+    serve.add_argument("--scale", type=int, default=None,
+                       help="workload dataset scale (rows/stocks)")
+    serve.add_argument("--data-seed", type=int, default=42,
+                       help="seed for workload dataset construction")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="listen port (0 = ephemeral, printed on start)")
+    serve.add_argument("--pool-size", type=int, default=None,
+                       help="concurrent engine sessions (default: config)")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       help="admission-control ceiling on queued+running"
+                            " queries (default: 4x pool size)")
+    serve.add_argument("--store-budget", default=None, metavar="BYTES",
+                       help="scenario-store resident byte budget, e.g. 512M"
+                            " (default: unlimited)")
+    serve.add_argument("--no-spill", action="store_true",
+                       help="evict over-budget scenario matrices instead of"
+                            " spilling them to disk memmaps")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    _add_config_arguments(serve)
+    serve.set_defaults(handler=cmd_serve)
     return parser
 
 
-def main(argv=None) -> int:
-    """CLI entry point; returns a process exit code (0 ok, 1 infeasible, 2 error)."""
-    parser = build_parser()
-    args = parser.parse_args(argv)
-    try:
-        catalog = Catalog()
-        # --stochastic specs bind to the last --table before them; with a
-        # single table (the common case) order does not matter.
-        relations = []
-        for entry in args.table:
-            path, _, name = entry.partition(":")
-            relation = read_csv(path, name=name or None)
-            relations.append(relation)
-        if not relations:
-            raise SPQError("at least one --table is required")
+# --- shared construction ---------------------------------------------------
+
+
+def _build_catalog(args) -> Catalog:
+    """Register --table/--stochastic (and --workload) sources."""
+    catalog = Catalog()
+    # --stochastic specs bind to the last --table before them; with a
+    # single table (the common case) order does not matter.
+    relations = []
+    for entry in args.table:
+        path, _, name = entry.partition(":")
+        relation = read_csv(path, name=name or None)
+        relations.append(relation)
+    if relations:
         target = relations[-1]
-        vgs = dict(
-            parse_vg_spec(spec, target) for spec in args.stochastic
-        )
+        vgs = dict(parse_vg_spec(spec, target) for spec in args.stochastic)
         model = StochasticModel(target, vgs) if vgs else None
         for relation in relations[:-1]:
             catalog.register(relation)
         catalog.register(target, model)
+    elif args.stochastic:
+        raise SPQError("--stochastic requires a preceding --table")
+    for entry in getattr(args, "workload", []):
+        workload, _, query = entry.partition(":")
+        if not query:
+            raise SPQError(
+                f"bad --workload {entry!r}: expected NAME:QUERY, e.g."
+                " portfolio:Q1"
+            )
+        from .workloads import get_query
 
-        query = args.query
-        if query is None:
-            with open(args.query_file) as handle:
-                query = handle.read()
-
-        config = SPQConfig(
-            seed=args.seed,
-            epsilon=args.epsilon,
-            n_validation_scenarios=args.validation_scenarios,
-            n_initial_scenarios=args.initial_scenarios,
-            max_scenarios=max(args.max_scenarios, args.initial_scenarios),
-            time_limit=args.time_limit,
-            n_workers=max(args.workers, 1),
-            incremental_solves=not args.no_incremental,
+        spec = get_query(workload, query)
+        relation, model = spec.build_dataset(
+            getattr(args, "scale", None), seed=getattr(args, "data_seed", 42)
         )
-        engine = SPQEngine(catalog=catalog, config=config)
+        catalog.register(relation, model)
+    if len(catalog) == 0:
+        raise SPQError("at least one --table or --workload is required")
+    return catalog
+
+
+def _build_config(args, **extra) -> SPQConfig:
+    return SPQConfig(
+        seed=args.seed,
+        epsilon=args.epsilon,
+        n_validation_scenarios=args.validation_scenarios,
+        n_initial_scenarios=args.initial_scenarios,
+        max_scenarios=max(args.max_scenarios, args.initial_scenarios),
+        time_limit=args.time_limit,
+        n_workers=max(args.workers, 1),
+        incremental_solves=not args.no_incremental,
+        **extra,
+    )
+
+
+# --- subcommands -----------------------------------------------------------
+
+
+def cmd_run(args) -> int:
+    """``repro run``: evaluate one query and print the package."""
+    from .service.store import ScenarioStore
+
+    catalog = _build_catalog(args)
+    query = args.query
+    if query is None:
+        with open(args.query_file) as handle:
+            query = handle.read()
+    config = _build_config(args)
+    # Single-query runs share realizations within the evaluation (e.g.
+    # across SAA/CSA iterations) through the same store the serving
+    # layer uses; closed on exit so spill files never leak.
+    with ScenarioStore(
+        budget_bytes=config.scenario_store_budget,
+        spill=config.scenario_store_spill,
+    ) as store:
+        engine = SPQEngine(catalog=catalog, config=config, store=store)
         result = engine.execute(query, method=args.method)
+
+        print(result.summary())
+        if result.package is not None and not result.package.is_empty:
+            package_relation = result.package.to_relation()
+            print(package_relation.to_text(limit=20))
+            if args.output:
+                write_csv(package_relation, args.output)
+                print(f"package written to {args.output}")
+    return EXIT_OK if result.succeeded else EXIT_INFEASIBLE
+
+
+def cmd_serve(args) -> int:
+    """``repro serve``: run the HTTP serving layer until interrupted."""
+    from .service import QueryBroker, SPQService
+
+    catalog = _build_catalog(args)
+    budget = parse_bytes(args.store_budget) if args.store_budget else None
+    config = _build_config(
+        args,
+        scenario_store_budget=budget,
+        scenario_store_spill=not args.no_spill,
+        **(
+            {"service_pool_size": args.pool_size}
+            if args.pool_size is not None
+            else {}
+        ),
+        **(
+            {"service_max_pending": args.max_pending}
+            if args.max_pending is not None
+            else {}
+        ),
+    )
+    broker = QueryBroker(catalog, config=config)
+    service = SPQService(
+        broker, host=args.host, port=args.port, verbose=args.verbose,
+        own_broker=True,
+    )
+    host, port = service.address
+    print(f"repro serve: listening on http://{host}:{port}"
+          f" (pool={broker.pool_size}, tables={sorted(catalog)})",
+          flush=True)
+    try:
+        service.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        service.shutdown()
+    return EXIT_OK
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a stage-specific process exit code."""
+    argv = list(sys.argv[1:] if argv is None else argv)
+    # Legacy invocation: `python -m repro --table ...` means `run`.
+    if argv and argv[0] not in _SUBCOMMANDS and argv[0] not in (
+        "-h", "--help", "--version",
+    ):
+        argv.insert(0, "run")
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if getattr(args, "handler", None) is None:
+        parser.print_help()
+        return EXIT_PARSE
+    try:
+        return args.handler(args)
     except SPQError as error:
         print(f"error: {error}", file=sys.stderr)
-        return 2
-
-    print(result.summary())
-    if result.package is not None and not result.package.is_empty:
-        package_relation = result.package.to_relation()
-        print(package_relation.to_text(limit=20))
-        if args.output:
-            write_csv(package_relation, args.output)
-            print(f"package written to {args.output}")
-    return 0 if result.succeeded else 1
+        return exit_code_for(error)
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return EXIT_IO
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

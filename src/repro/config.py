@@ -108,6 +108,21 @@ class SPQConfig:
     #: bit-identical to sequential generation for any worker count.
     n_workers: int = 1
 
+    # --- serving (repro.service) --------------------------------------------
+    #: Byte budget for resident scenario matrices in the shared
+    #: ScenarioStore (None = unlimited).  Under pressure the store spills
+    #: LRU entries to np.memmap files (or evicts, see
+    #: ``scenario_store_spill``) without changing query results.
+    scenario_store_budget: int | None = None
+    #: Whether the store spills over-budget entries to disk-backed
+    #: memmaps (True) or evicts them outright (False).
+    scenario_store_spill: bool = True
+    #: Engine sessions (worker threads) in the QueryBroker's pool.
+    service_pool_size: int = 4
+    #: Admission-control ceiling on queued+running broker queries;
+    #: ``None`` defaults to ``4 * service_pool_size``.
+    service_max_pending: int | None = None
+
     # --- solving -----------------------------------------------------------
     solver: str = SOLVER_HIGHS
     solver_time_limit: float = 60.0
@@ -154,6 +169,12 @@ class SPQConfig:
             raise EvaluationError("time_limit must be positive")
         if self.n_workers < 1:
             raise EvaluationError("n_workers must be >= 1")
+        if self.scenario_store_budget is not None and self.scenario_store_budget < 1:
+            raise EvaluationError("scenario_store_budget must be positive or None")
+        if self.service_pool_size < 1:
+            raise EvaluationError("service_pool_size must be >= 1")
+        if self.service_max_pending is not None and self.service_max_pending < 1:
+            raise EvaluationError("service_max_pending must be positive or None")
 
     def replace(self, **changes) -> "SPQConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -32,7 +32,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..db.intervals import IntervalError, evaluate_interval
-from ..mcdb.scenarios import probe_value_bounds
 from ..silp.model import (
     ChanceConstraint,
     ExpectationObjectiveIR,
@@ -173,12 +172,10 @@ def objective_value_bounds(ctx) -> tuple[float, float, bool]:
         lo, hi = -np.inf, np.inf
     # Fallback: empirical probe (unsound but practical, as in the paper's
     # "analyzing the validation scenarios produced by the VG functions").
-    probe_lo, probe_hi = probe_value_bounds(
-        ctx.probe_generator,
-        expr,
-        ctx.config.n_probe_scenarios,
-        rows=ctx.problem.active_rows,
-    )
+    # Routed through the context's probe cache (and the shared scenario
+    # store, when attached) — bit-identical to probing the generator.
+    probe = ctx.probe_matrix(expr, ctx.config.n_probe_scenarios)
+    probe_lo, probe_hi = float(probe.min()), float(probe.max())
     lo = probe_lo if not np.isfinite(lo) else lo
     hi = probe_hi if not np.isfinite(hi) else hi
     return float(lo), float(hi), False

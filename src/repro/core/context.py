@@ -46,15 +46,24 @@ from ..solver.model import MILPBuilder
 class EvaluationContext:
     """Derived state for evaluating one compiled problem under one config."""
 
-    def __init__(self, problem: StochasticPackageProblem, config: SPQConfig):
+    def __init__(
+        self,
+        problem: StochasticPackageProblem,
+        config: SPQConfig,
+        store=None,
+    ):
         self.problem = problem
         self.config = config
         self.relation = problem.relation
         self.model = problem.model
+        #: Shared, content-keyed ScenarioStore (``repro.service``); when
+        #: supplied, optimization-stream coefficient matrices are served
+        #: from it so concurrent/repeated queries share realizations.
+        self.scenario_store = store
         self._mean_cache: dict[int, np.ndarray] = {}
 
         if self.model is not None:
-            self.estimator = ExpectationEstimator(self.model, config)
+            self.estimator = ExpectationEstimator(self.model, config, store=store)
             opt_mode = (
                 MODE_TUPLE_WISE
                 if config.summary_strategy == SUMMARY_TUPLE_WISE
@@ -77,6 +86,7 @@ class EvaluationContext:
                     self.opt_generator,
                     n_workers=config.n_workers,
                     executor=self.opt_executor,
+                    store=store,
                 )
                 if opt_mode == MODE_SCENARIO_WISE
                 else None
@@ -87,6 +97,10 @@ class EvaluationContext:
             self.probe_generator = ScenarioGenerator(
                 self.model, config.seed, STREAM_PROBE, mode=MODE_SCENARIO_WISE
             )
+            # Probe realizations (Appendix B bounds) also flow through
+            # the shared store: they are identical across queries over
+            # the same data, seed, and expression.
+            self.probe_cache = ScenarioCache(self.probe_generator, store=store)
         else:
             self.estimator = None
             self.opt_generator = None
@@ -94,6 +108,7 @@ class EvaluationContext:
             self.opt_executor = None
             self.val_generator = None
             self.probe_generator = None
+            self.probe_cache = None
 
         self.variable_ub = derive_variable_bounds(
             problem, self.mean_coefficients, config.default_multiplicity_bound
@@ -152,6 +167,18 @@ class EvaluationContext:
         return (
             self.opt_executor if self.opt_executor is not None else self.opt_generator
         )
+
+    def probe_matrix(self, expr: Expr, n_scenarios: int) -> np.ndarray:
+        """Probe-stream coefficient matrix over the active rows.
+
+        Bit-identical to realizing with the probe generator directly
+        (scenario-wise full-relation draws, rows sliced after); cached —
+        and shared across queries when a scenario store is attached.
+        """
+        if self.probe_cache is None:
+            raise EvaluationError("problem has no stochastic model")
+        full = self.probe_cache.coefficient_matrix(expr, n_scenarios)
+        return full[self.problem.active_rows, :]
 
     def optimization_scenario_vector(self, expr: Expr, scenario: int) -> np.ndarray:
         """One optimization-scenario coefficient vector (active rows)."""

@@ -40,15 +40,19 @@ def solve_unconstrained(ctx: EvaluationContext, time_limit: float) -> MILPResult
 
 
 def deterministic_evaluate(
-    problem: StochasticPackageProblem, config: SPQConfig
+    problem: StochasticPackageProblem, config: SPQConfig, store=None
 ) -> PackageResult:
-    """Evaluate a package query with no probabilistic parts."""
+    """Evaluate a package query with no probabilistic parts.
+
+    ``store`` is accepted for interface uniformity with the stochastic
+    evaluators; deterministic queries never realize scenarios.
+    """
     if problem.chance_constraints or problem.has_probability_objective:
         raise EvaluationError(
             "deterministic evaluation requires a query without probabilistic"
             " constraints or objectives; use naive or summarysearch"
         )
-    ctx = EvaluationContext(problem, config)
+    ctx = EvaluationContext(problem, config, store=store)
     stats = RunStats(METHOD_DETERMINISTIC)
     watch = Stopwatch()
     with watch:

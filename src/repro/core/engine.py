@@ -31,9 +31,20 @@ _METHODS = (METHOD_SUMMARY_SEARCH, METHOD_NAIVE, METHOD_DETERMINISTIC)
 class SPQEngine:
     """Evaluates stochastic package queries against a catalog."""
 
-    def __init__(self, catalog: Catalog | None = None, config: SPQConfig | None = None):
+    def __init__(
+        self,
+        catalog: Catalog | None = None,
+        config: SPQConfig | None = None,
+        store=None,
+    ):
         self.catalog = catalog if catalog is not None else Catalog()
         self.config = config if config is not None else DEFAULT_CONFIG
+        #: Optional shared :class:`repro.service.ScenarioStore`.  When
+        #: set, every evaluation routes scenario realization through it,
+        #: so repeated and concurrent queries over the same data reuse
+        #: one realized matrix (results stay bit-identical).  The store
+        #: is owned by its creator; the engine never closes it.
+        self.store = store
 
     # --- registration ---------------------------------------------------------
 
@@ -78,13 +89,13 @@ class SPQEngine:
             else self.compile(query)
         )
         if method == METHOD_DETERMINISTIC:
-            return deterministic_evaluate(problem, effective)
+            return deterministic_evaluate(problem, effective, store=self.store)
         has_probabilistic = bool(problem.chance_constraints) or (
             problem.has_probability_objective
         )
         if not has_probabilistic:
             # Both algorithms degenerate to the deterministic solve.
-            return deterministic_evaluate(problem, effective)
+            return deterministic_evaluate(problem, effective, store=self.store)
         if method == METHOD_NAIVE:
-            return naive_evaluate(problem, effective)
-        return summary_search_evaluate(problem, effective)
+            return naive_evaluate(problem, effective, store=self.store)
+        return summary_search_evaluate(problem, effective, store=self.store)

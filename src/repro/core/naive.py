@@ -25,10 +25,14 @@ METHOD_NAIVE = "naive"
 
 
 def naive_evaluate(
-    problem: StochasticPackageProblem, config: SPQConfig
+    problem: StochasticPackageProblem, config: SPQConfig, store=None
 ) -> PackageResult:
-    """Evaluate a stochastic package query with the Naïve algorithm."""
-    ctx = EvaluationContext(problem, config)
+    """Evaluate a stochastic package query with the Naïve algorithm.
+
+    ``store`` optionally routes scenario realization through a shared
+    :class:`repro.service.ScenarioStore` (bit-identical results).
+    """
+    ctx = EvaluationContext(problem, config, store=store)
     validator = Validator(ctx)
     stats = RunStats(METHOD_NAIVE)
     deadline = Deadline(config.time_limit)

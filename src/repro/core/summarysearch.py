@@ -36,10 +36,14 @@ METHOD_SUMMARY_SEARCH = "summarysearch"
 
 
 def summary_search_evaluate(
-    problem: StochasticPackageProblem, config: SPQConfig
+    problem: StochasticPackageProblem, config: SPQConfig, store=None
 ) -> PackageResult:
-    """Evaluate a stochastic package query with SummarySearch."""
-    ctx = EvaluationContext(problem, config)
+    """Evaluate a stochastic package query with SummarySearch.
+
+    ``store`` optionally routes scenario realization through a shared
+    :class:`repro.service.ScenarioStore` (bit-identical results).
+    """
+    ctx = EvaluationContext(problem, config, store=store)
     validator = Validator(ctx)
     stats = RunStats(METHOD_SUMMARY_SEARCH)
     deadline = Deadline(config.time_limit)

@@ -8,7 +8,9 @@ loading user data and for persisting experiment inputs/outputs.
 from __future__ import annotations
 
 import csv
+import errno
 import io
+import os
 from pathlib import Path
 from typing import Sequence
 
@@ -36,12 +38,28 @@ def read_csv(path_or_text, name: str | None = None, key: str = "id") -> Relation
 
     The first row must be a header.  A missing ``id`` key column is
     created automatically (positional), as in :class:`Relation`.
+
+    A newline-free string that looks like a file path (has a suffix or a
+    path separator) but names no existing file raises
+    :class:`FileNotFoundError` instead of being parsed as header-only
+    CSV text — a typo'd ``--table trades.csv`` should exit with the I/O
+    code, not an obscure schema error.
     """
     is_pathlike = isinstance(path_or_text, Path) or (
         isinstance(path_or_text, str)
         and "\n" not in path_or_text
         and Path(path_or_text).is_file()
     )
+    if (
+        not is_pathlike
+        and isinstance(path_or_text, str)
+        and "\n" not in path_or_text
+        and "," not in path_or_text  # header-only CSV text, not a path
+        and (Path(path_or_text).suffix or os.sep in path_or_text)
+    ):
+        raise FileNotFoundError(
+            errno.ENOENT, "no such CSV file", str(path_or_text)
+        )
     if is_pathlike:
         path = Path(path_or_text)
         text = path.read_text()

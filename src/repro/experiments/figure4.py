@@ -18,7 +18,12 @@ import argparse
 
 from ..utils.textable import TextTable
 from ..workloads import WORKLOADS
-from .report import add_common_arguments, default_scale, experiment_config
+from .report import (
+    add_common_arguments,
+    default_scale,
+    experiment_config,
+    format_store_stats,
+)
 from .runner import confidence_95, feasibility_rate, mean_time, run_seeds
 
 METHODS = ("summarysearch", "naive")
@@ -31,8 +36,18 @@ def run_figure4(
     scale: int | None,
     data_seed: int,
     queries: list[str] | None = None,
+    store_totals: dict | None = None,
 ) -> TextTable:
-    """Run the Figure 4 protocol and return its report table."""
+    """Run the Figure 4 protocol and return its report table.
+
+    Each (query, method) pair gets its *own* scenario store, scoped to
+    its ``run_seeds`` call: sharing across methods would let whichever
+    method runs second skip realization and bias the timing comparison
+    against the paper's cold-per-method protocol, and a figure-wide
+    store would hold every matrix until the figure finishes.  Pass a
+    dict as ``store_totals`` to accumulate the per-call store counters
+    for the report footer.
+    """
     table = TextTable(
         [
             "query",
@@ -61,6 +76,12 @@ def run_figure4(
                     scale=workload_scale,
                     data_seed=data_seed,
                 )
+                if store_totals is not None and outcomes:
+                    final = outcomes[-1].store_stats or {}
+                    for counter, value in final.items():
+                        store_totals[counter] = (
+                            store_totals.get(counter, 0) + value
+                        )
                 times = [o.total_time for o in outcomes]
                 table.add_row(
                     [
@@ -96,10 +117,13 @@ def main(argv=None) -> None:
     queries = [q.lower() for q in args.query] if args.query else None
     config = experiment_config(args)
     print("Figure 4: time to reach feasibility, Naive vs SummarySearch")
+    store_totals: dict = {}
     table = run_figure4(
-        workloads, config, args.runs, args.scale, args.data_seed, queries
+        workloads, config, args.runs, args.scale, args.data_seed, queries,
+        store_totals=store_totals,
     )
     print(table.render())
+    print(format_store_stats(store_totals or None))
 
 
 if __name__ == "__main__":

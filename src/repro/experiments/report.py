@@ -34,6 +34,25 @@ def experiment_config(args: argparse.Namespace) -> SPQConfig:
     )
 
 
+def format_store_stats(stats: dict | None) -> str:
+    """One-line scenario-store summary for experiment reports.
+
+    ``stats`` is a :meth:`repro.service.ScenarioStore.stats` dict (also
+    carried on :class:`repro.experiments.runner.RunOutcome.store_stats`).
+    """
+    if not stats:
+        return "scenario store: (not used)"
+    return (
+        "scenario store: "
+        f"{stats['hits']} hits, {stats['misses']} misses,"
+        f" {stats['generations']} generations"
+        f" ({stats['generated_columns']} columns),"
+        f" {stats['evictions']} evictions, {stats['spills']} spills,"
+        f" {stats['bytes_resident']} B resident,"
+        f" {stats['bytes_spilled']} B spilled"
+    )
+
+
 def add_common_arguments(parser: argparse.ArgumentParser) -> None:
     """CLI knobs shared by every experiment script."""
     parser.add_argument("--runs", type=int, default=3,

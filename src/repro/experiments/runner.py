@@ -37,6 +37,9 @@ class RunOutcome:
     final_n_summaries: int | None
     timed_out: bool
     declared_infeasible: bool
+    #: Snapshot of the shared ScenarioStore's counters at completion
+    #: (None when the run did not route through a store).
+    store_stats: dict | None = None
 
 
 def _materialize(spec: QuerySpec, scale: int | None, data_seed: int):
@@ -53,11 +56,17 @@ def run_query(
     scale: int | None = None,
     data_seed: int = 42,
     catalog: Catalog | None = None,
+    store=None,
 ) -> RunOutcome:
-    """Evaluate one workload query once and summarize the outcome."""
+    """Evaluate one workload query once and summarize the outcome.
+
+    ``store`` optionally routes scenario realization through a shared
+    :class:`repro.service.ScenarioStore`, so repeated evaluations over
+    the same dataset and seed reuse realized matrices.
+    """
     if catalog is None:
         catalog = _materialize(spec, scale, data_seed)
-    engine = SPQEngine(catalog=catalog, config=config)
+    engine = SPQEngine(catalog=catalog, config=config, store=store)
     result = engine.execute(spec.spaql, method=method)
     stats = result.stats
     return RunOutcome(
@@ -73,6 +82,7 @@ def run_query(
         final_n_summaries=stats.final_n_summaries if stats else None,
         timed_out=stats.timed_out if stats else False,
         declared_infeasible=stats.declared_infeasible if stats else False,
+        store_stats=store.stats().as_dict() if store is not None else None,
     )
 
 
@@ -83,19 +93,48 @@ def run_seeds(
     n_runs: int,
     scale: int | None = None,
     data_seed: int = 42,
+    store=None,
 ) -> list[RunOutcome]:
     """Run a query ``n_runs`` times with i.i.d. optimization seeds.
 
     The dataset is built once (fixed ``data_seed``); only the scenario
-    streams vary across runs, matching the paper's protocol.
+    streams vary across runs, matching the paper's protocol.  Each run
+    routes realization through a :class:`repro.service.ScenarioStore`.
+    Without a caller-supplied ``store``, a private store is scoped *per
+    run* and closed before the next one starts: store keys include the
+    seed, so distinct-seed runs can never share entries — a longer-lived
+    private store would only accumulate dead matrices.  Pass an explicit
+    ``store`` to share realizations across calls that genuinely overlap
+    (same data and seed).
     """
+    from ..service.store import ScenarioStore
+
     catalog = _materialize(spec, scale, data_seed)
     outcomes = []
     for run in range(n_runs):
         run_config = config.replace(seed=config.seed + 1000 * run)
-        outcomes.append(
-            run_query(spec, method, run_config, scale, data_seed, catalog=catalog)
-        )
+        if store is not None:
+            run_store = store
+        else:
+            run_store = ScenarioStore(
+                budget_bytes=config.scenario_store_budget,
+                spill=config.scenario_store_spill,
+            )
+        try:
+            outcomes.append(
+                run_query(
+                    spec,
+                    method,
+                    run_config,
+                    scale,
+                    data_seed,
+                    catalog=catalog,
+                    store=run_store,
+                )
+            )
+        finally:
+            if store is None:
+                run_store.close()
     return outcomes
 
 

@@ -35,17 +35,46 @@ _CHUNK = 256
 
 
 class ExpectationEstimator:
-    """Estimates per-tuple expectations of attributes and expressions."""
+    """Estimates per-tuple expectations of attributes and expressions.
 
-    def __init__(self, model: StochasticModel, config: SPQConfig):
+    With a shared scenario ``store`` attached, Monte-Carlo means are
+    content-keyed and reused across queries: the estimate is a pure
+    function of (relation content, VG functions, seed, scenario count),
+    so a repeated query skips the averaging loop entirely.  Analytic
+    means are never stored — they are cheaper than the lookup.
+    """
+
+    def __init__(self, model: StochasticModel, config: SPQConfig, store=None):
         self.model = model
         self.relation = model.relation
         self.config = config
+        self._store = store
         self._generator = ScenarioGenerator(
             model, config.seed, STREAM_EXPECTATION, mode=MODE_SCENARIO_WISE
         )
         self._attribute_means: dict[str, np.ndarray] = {}
         self._expression_means: dict[int, np.ndarray] = {}
+
+    def _stored_mean(self, label: str, compute) -> np.ndarray:
+        """Serve a Monte-Carlo mean vector from the shared store.
+
+        The derived vector is stored as a one-column entry; the scenario
+        count and seed are part of the key, so changing either
+        regenerates rather than reusing a stale estimate.
+        """
+        if self._store is None:
+            return compute()
+        from ..service.store import model_fingerprint
+
+        key = (
+            model_fingerprint(self.model),
+            f"mean:{label}@{self.config.n_expectation_scenarios}",
+            (self.config.seed, STREAM_EXPECTATION, 0, "mean"),
+        )
+        column = self._store.coefficient_matrix(
+            key, 1, lambda start, stop: compute()[:, None]
+        )
+        return np.asarray(column[:, 0])
 
     # --- attribute means ---------------------------------------------------------
 
@@ -56,7 +85,9 @@ class ExpectationEstimator:
         vg = self.model.vg(name)
         mean = vg.mean() if self.config.analytic_expectations else None
         if mean is None:
-            mean = self._monte_carlo_attribute_mean(name)
+            mean = self._stored_mean(
+                name, lambda: self._monte_carlo_attribute_mean(name)
+            )
         self._attribute_means[name] = np.asarray(mean, dtype=float)
         return self._attribute_means[name]
 
@@ -93,7 +124,11 @@ class ExpectationEstimator:
                 np.asarray(values, dtype=float), (self.relation.n_rows,)
             ).astype(float)
         else:
-            mean = self._monte_carlo_expression_mean(expr)
+            from ..db.expressions import render
+
+            mean = self._stored_mean(
+                render(expr), lambda: self._monte_carlo_expression_mean(expr)
+            )
         self._expression_means[key] = mean
         return mean
 

@@ -232,6 +232,13 @@ class ScenarioCache:
     With ``n_workers > 1`` the new columns are realized in parallel
     worker processes, chunked by scenario id — cache contents stay
     bit-identical to sequential generation (see ``repro.parallel``).
+
+    When a shared :class:`repro.service.ScenarioStore` is supplied, the
+    matrices live in the store under content keys instead of this
+    instance, so concurrent and repeated queries over the same data
+    reuse one realization (the store enforces the byte budget and
+    eviction policy); this cache then only contributes the generation
+    callback.  Without a store the private dict behaviour is unchanged.
     """
 
     def __init__(
@@ -239,6 +246,7 @@ class ScenarioCache:
         generator: ScenarioGenerator,
         n_workers: int = 1,
         executor=None,
+        store=None,
     ):
         if generator.mode != MODE_SCENARIO_WISE:
             raise EvaluationError(
@@ -254,6 +262,11 @@ class ScenarioCache:
         #: so one worker pool serves every consumer of this generator.
         self._executor = executor
         self._owns_executor = False
+        #: Shared ScenarioStore (owned by its creator, never closed here).
+        self._store = store
+        #: id(expr) -> (expr, content key).  The Expr is pinned so its
+        #: id cannot be recycled for a different expression.
+        self._store_keys: dict[int, tuple[Expr, tuple]] = {}
         self._cache: dict[int, tuple[Expr, np.ndarray]] = {}
 
     def _new_columns(self, expr: Expr, start: int, stop: int) -> np.ndarray:
@@ -269,7 +282,24 @@ class ScenarioCache:
             self._owns_executor = True
         return self._executor.coefficient_columns(expr, range(start, stop))
 
+    def _content_key(self, expr: Expr) -> tuple:
+        cached = self._store_keys.get(id(expr))
+        if cached is not None:
+            return cached[1]
+        # Imported lazily: repro.service builds on this module.
+        from ..service.store import store_key
+
+        key = store_key(self.generator, expr)
+        self._store_keys[id(expr)] = (expr, key)
+        return key
+
     def coefficient_matrix(self, expr: Expr, n_scenarios: int) -> np.ndarray:
+        if self._store is not None:
+            return self._store.coefficient_matrix(
+                self._content_key(expr),
+                n_scenarios,
+                lambda start, stop: self._new_columns(expr, start, stop),
+            )
         key = id(expr)
         cached = self._cache.get(key)
         if cached is not None and cached[1].shape[1] >= n_scenarios:
@@ -283,11 +313,12 @@ class ScenarioCache:
         return matrix
 
     def close(self) -> None:
-        """Shut down the worker pool, if this cache created it.
+        """Shut down the worker pool, if this cache created it.  Idempotent.
 
         A shared (injected) executor stays attached — its owner manages
-        its lifecycle.  A closed cache stays sequential: it never
-        silently resurrects a pool on the next fill.
+        its lifecycle — and so does a shared scenario store.  A closed
+        cache stays sequential: it never silently resurrects a pool on
+        the next fill.
         """
         if self._executor is not None and self._owns_executor:
             self._executor.close()
@@ -296,8 +327,14 @@ class ScenarioCache:
             self.n_workers = 1
 
     def clear(self) -> None:
-        """Drop all cached matrices (the worker pool, if any, survives)."""
+        """Drop all locally cached matrices and content keys.
+
+        The worker pool, if any, survives; a shared store's entries are
+        its owner's to manage (``ScenarioStore.clear`` releases memmap
+        handles and spill files).  Idempotent.
+        """
         self._cache.clear()
+        self._store_keys.clear()
 
     @property
     def cached_bytes(self) -> int:

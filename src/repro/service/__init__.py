@@ -1,0 +1,33 @@
+"""repro.service — concurrent package-query serving layer.
+
+Three tiers (see each module's docstring):
+
+* :class:`ScenarioStore` — shared, content-keyed, budget-bounded cache
+  of realized scenario matrices with LRU spill-to-memmap;
+* :class:`QueryBroker` — engine-session pool with admission control and
+  in-flight query deduplication;
+* :class:`SPQService` — stdlib JSON-over-HTTP front-end
+  (``POST /query``, ``GET /status``, ``GET /metrics``), exposed as the
+  ``repro serve`` CLI subcommand.
+"""
+
+from .broker import BrokerSaturatedError, QueryBroker
+from .http import SPQService
+from .store import (
+    ScenarioStore,
+    StoreStats,
+    model_fingerprint,
+    relation_fingerprint,
+    store_key,
+)
+
+__all__ = [
+    "BrokerSaturatedError",
+    "QueryBroker",
+    "SPQService",
+    "ScenarioStore",
+    "StoreStats",
+    "model_fingerprint",
+    "relation_fingerprint",
+    "store_key",
+]

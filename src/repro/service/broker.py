@@ -1,0 +1,217 @@
+"""Concurrent package-query broker over a pool of engine sessions.
+
+:class:`QueryBroker` is the serving layer's middle tier: it owns a
+shared :class:`~repro.service.store.ScenarioStore`, a pool of
+:class:`~repro.core.engine.SPQEngine` sessions over one catalog, and a
+thread pool that dispatches concurrent ``execute()`` calls.  Three
+properties make it a serving layer rather than a loop around the engine:
+
+* **Shared realizations** — every session routes scenario generation
+  through the store, so queries over the same tables and stochastic
+  attributes reuse realized matrices (each engine's own evaluation may
+  further fan generation across the ``repro.parallel`` executor via
+  ``config.n_workers``).
+* **Admission control** — at most ``pool_size`` queries run at once and
+  at most ``max_pending`` are queued or running; beyond that,
+  :class:`BrokerSaturatedError` is raised immediately (the HTTP layer
+  maps it to 503) instead of building an unbounded backlog.
+* **In-flight deduplication** — a query identical to one currently
+  running (same text, method, and overrides) attaches to the running
+  evaluation's future instead of being dispatched again.
+"""
+
+from __future__ import annotations
+
+import queue
+import threading
+import time
+from concurrent.futures import Future, ThreadPoolExecutor
+
+from ..config import DEFAULT_CONFIG, SPQConfig
+from ..core.engine import METHOD_SUMMARY_SEARCH, SPQEngine
+from ..db.catalog import Catalog
+from ..errors import SPQError
+from .store import ScenarioStore
+
+
+class BrokerSaturatedError(SPQError):
+    """Raised when the broker's pending-query ceiling is reached."""
+
+
+class QueryBroker:
+    """Admission-controlled, deduplicating dispatcher for package queries."""
+
+    def __init__(
+        self,
+        catalog: Catalog,
+        config: SPQConfig | None = None,
+        store: ScenarioStore | None = None,
+        pool_size: int | None = None,
+        max_pending: int | None = None,
+    ):
+        self.catalog = catalog
+        self.config = config if config is not None else DEFAULT_CONFIG
+        self.pool_size = (
+            pool_size if pool_size is not None else self.config.service_pool_size
+        )
+        if self.pool_size < 1:
+            raise SPQError("pool_size must be >= 1")
+        self.max_pending = (
+            max_pending
+            if max_pending is not None
+            else (self.config.service_max_pending or 4 * self.pool_size)
+        )
+        if self.max_pending < self.pool_size:
+            self.max_pending = self.pool_size
+        self._owns_store = store is None
+        self.store = (
+            store
+            if store is not None
+            else ScenarioStore(
+                budget_bytes=self.config.scenario_store_budget,
+                spill=self.config.scenario_store_spill,
+            )
+        )
+        self._pool = ThreadPoolExecutor(
+            max_workers=self.pool_size, thread_name_prefix="spq-broker"
+        )
+        # Engine sessions are checked out per evaluation, so one session
+        # never serves two queries at once.
+        self._sessions: "queue.SimpleQueue[SPQEngine]" = queue.SimpleQueue()
+        for _ in range(self.pool_size):
+            self._sessions.put(
+                SPQEngine(catalog=catalog, config=self.config, store=self.store)
+            )
+        self._lock = threading.Lock()
+        self._inflight: dict[tuple, Future] = {}
+        self._pending = 0
+        self._closed = False
+        self.started_at = time.time()
+        # Lifetime counters (read under the lock; surfaced on /metrics).
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._deduplicated = 0
+        self._rejected = 0
+
+    # --- submission ---------------------------------------------------------
+
+    @staticmethod
+    def _dedup_key(query, method: str, overrides: dict) -> tuple | None:
+        """Hashable identity of a request, or None when not dedupable."""
+        if not isinstance(query, str):
+            return None  # compiled objects dedup by identity only
+        try:
+            key = (query.strip(), method, tuple(sorted(overrides.items())))
+            hash(key)  # unhashable override values -> not dedupable
+            return key
+        except TypeError:
+            return None
+
+    def submit(
+        self,
+        query: str,
+        method: str = METHOD_SUMMARY_SEARCH,
+        **overrides,
+    ) -> Future:
+        """Dispatch ``query`` onto the pool; returns a Future of
+        :class:`~repro.core.package.PackageResult`.
+
+        Raises :class:`BrokerSaturatedError` when ``max_pending`` queries
+        are already queued or running, and :class:`SPQError` after
+        :meth:`close`.  An identical in-flight request (same text,
+        method, overrides) shares the running evaluation's future.
+        """
+        key = self._dedup_key(query, method, overrides)
+        with self._lock:
+            if self._closed:
+                raise SPQError("broker is closed")
+            if key is not None:
+                inflight = self._inflight.get(key)
+                if inflight is not None:
+                    self._deduplicated += 1
+                    return inflight
+            if self._pending >= self.max_pending:
+                self._rejected += 1
+                raise BrokerSaturatedError(
+                    f"broker saturated: {self._pending} queries pending"
+                    f" (max {self.max_pending})"
+                )
+            self._pending += 1
+            self._submitted += 1
+            future = self._pool.submit(self._run, query, method, overrides)
+            if key is not None:
+                self._inflight[key] = future
+        # Attached outside the lock: a future that failed fast runs its
+        # callbacks synchronously on this thread, and _retire needs the
+        # (non-reentrant) lock.
+        future.add_done_callback(lambda f, key=key: self._retire(key, f))
+        return future
+
+    def execute(
+        self,
+        query: str,
+        method: str = METHOD_SUMMARY_SEARCH,
+        **overrides,
+    ):
+        """Blocking :meth:`submit` — returns the PackageResult."""
+        return self.submit(query, method=method, **overrides).result()
+
+    def _run(self, query, method: str, overrides: dict):
+        engine = self._sessions.get()
+        try:
+            return engine.execute(query, method=method, **overrides)
+        finally:
+            self._sessions.put(engine)
+
+    def _retire(self, key: tuple | None, future: Future) -> None:
+        with self._lock:
+            self._pending -= 1
+            if future.cancelled() or future.exception() is not None:
+                self._failed += 1
+            else:
+                self._completed += 1
+            if key is not None and self._inflight.get(key) is future:
+                del self._inflight[key]
+
+    # --- introspection ------------------------------------------------------
+
+    def status(self) -> dict:
+        """Point-in-time serving state (the ``/status`` payload)."""
+        with self._lock:
+            state = {
+                "pool_size": self.pool_size,
+                "max_pending": self.max_pending,
+                "pending": self._pending,
+                "inflight_keys": len(self._inflight),
+                "submitted": self._submitted,
+                "completed": self._completed,
+                "failed": self._failed,
+                "deduplicated": self._deduplicated,
+                "rejected": self._rejected,
+                "uptime_s": time.time() - self.started_at,
+                "closed": self._closed,
+            }
+        state["store"] = self.store.stats().as_dict()
+        return state
+
+    # --- teardown -----------------------------------------------------------
+
+    def close(self, wait: bool = True) -> None:
+        """Stop accepting queries; drain the pool; close an owned store.
+
+        Idempotent.  A store supplied by the caller is left open.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._pool.shutdown(wait=wait)
+        if self._owns_store:
+            self.store.close()
+
+    def __enter__(self) -> "QueryBroker":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,274 @@
+"""Stdlib HTTP front-end for the query broker.
+
+A thin JSON protocol over :class:`http.server.ThreadingHTTPServer` (one
+handler thread per connection; actual evaluation concurrency is bounded
+by the broker's pool):
+
+``POST /query``
+    Request body: ``{"query": "<sPaQL>", "method": "summarysearch",
+    "overrides": {"seed": 7, ...}}`` (``method`` and ``overrides`` are
+    optional; overrides are :class:`repro.config.SPQConfig` fields).
+    Response: ``{"feasible": ..., "objective": ..., "package": {...},
+    "wall_time_s": ..., "store": {...}}``.  Errors map to status codes:
+    400 (bad request / parse / compile), 409 (solve/evaluation failure),
+    503 (broker saturated), 500 (unexpected).
+
+``GET /status``
+    Broker pool state, lifetime counters, uptime, store statistics.
+
+``GET /metrics``
+    Prometheus text exposition of the same counters
+    (``repro_store_hits_total`` etc.).
+
+Started from the CLI via ``repro serve`` or embedded via
+:class:`SPQService` (``port=0`` binds an ephemeral port for tests).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+import numpy as np
+
+from ..config import SPQConfig
+from ..errors import (
+    CompileError,
+    ParseError,
+    SchemaError,
+    SPQError,
+    VGFunctionError,
+)
+from .broker import BrokerSaturatedError, QueryBroker
+
+#: Maximum accepted request body (guards the JSON parse, not the solve).
+MAX_BODY_BYTES = 4 * 1024 * 1024
+
+
+def _json_value(value):
+    """Coerce numpy scalars to JSON-serializable python values."""
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if isinstance(value, np.ndarray):
+        return [_json_value(v) for v in value.tolist()]
+    if isinstance(value, (np.bool_,)):
+        return bool(value)
+    return value
+
+
+def result_payload(result, wall_time_s: float) -> dict:
+    """JSON document for one PackageResult."""
+    payload = {
+        "method": result.method,
+        "feasible": bool(result.feasible),
+        "succeeded": bool(result.succeeded),
+        "objective": _json_value(result.objective),
+        "epsilon_upper": _json_value(result.epsilon_upper),
+        "message": result.message,
+        "wall_time_s": wall_time_s,
+        "package": None,
+    }
+    if result.stats is not None:
+        payload["stats"] = {
+            "n_iterations": result.stats.n_iterations,
+            "final_n_scenarios": result.stats.final_n_scenarios,
+            "final_n_summaries": result.stats.final_n_summaries,
+            "total_time": result.stats.total_time,
+            "timed_out": result.stats.timed_out,
+        }
+    if result.package is not None:
+        relation = result.package.to_relation()
+        payload["package"] = {
+            "total_count": result.package.total_count,
+            "n_distinct": result.package.n_distinct,
+            "multiplicities": {
+                str(k): v for k, v in result.package.key_multiplicities().items()
+            },
+            "columns": relation.column_names,
+            "rows": [
+                {k: _json_value(v) for k, v in row.items()}
+                for row in relation.iter_rows()
+            ],
+        }
+    return payload
+
+
+def metrics_text(broker: QueryBroker) -> str:
+    """Prometheus text exposition of broker + store counters."""
+    status = broker.status()
+    store = status.pop("store")
+    lines = []
+
+    def counter(name: str, value, kind: str = "counter") -> None:
+        lines.append(f"# TYPE {name} {kind}")
+        lines.append(f"{name} {value}")
+
+    counter("repro_store_hits_total", store["hits"])
+    counter("repro_store_misses_total", store["misses"])
+    counter("repro_store_generations_total", store["generations"])
+    counter("repro_store_generated_columns_total", store["generated_columns"])
+    counter("repro_store_evictions_total", store["evictions"])
+    counter("repro_store_spills_total", store["spills"])
+    counter("repro_store_bytes_resident", store["bytes_resident"], "gauge")
+    counter("repro_store_bytes_spilled", store["bytes_spilled"], "gauge")
+    counter("repro_store_entries", store["entries"], "gauge")
+    counter("repro_broker_submitted_total", status["submitted"])
+    counter("repro_broker_completed_total", status["completed"])
+    counter("repro_broker_failed_total", status["failed"])
+    counter("repro_broker_deduplicated_total", status["deduplicated"])
+    counter("repro_broker_rejected_total", status["rejected"])
+    counter("repro_broker_pending", status["pending"], "gauge")
+    counter("repro_broker_pool_size", status["pool_size"], "gauge")
+    counter("repro_service_uptime_seconds", f"{status['uptime_s']:.3f}", "gauge")
+    return "\n".join(lines) + "\n"
+
+
+class _ServiceHandler(BaseHTTPRequestHandler):
+    """Routes /query, /status, /metrics onto the server's broker."""
+
+    server: "SPQService"
+    protocol_version = "HTTP/1.1"
+
+    # --- plumbing -----------------------------------------------------------
+
+    def log_message(self, format, *args):  # noqa: A002 - stdlib signature
+        if self.server.verbose:
+            super().log_message(format, *args)
+
+    def _respond(self, code: int, payload, content_type="application/json") -> None:
+        body = (
+            payload.encode()
+            if isinstance(payload, str)
+            else json.dumps(payload).encode()
+        )
+        self.send_response(code)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _error(self, code: int, kind: str, message: str) -> None:
+        # Error paths may leave an unread request body in the socket
+        # (e.g. an oversized POST rejected before draining); closing the
+        # connection keeps HTTP/1.1 keep-alive framing intact.
+        self.close_connection = True
+        self._respond(code, {"error": {"kind": kind, "message": message}})
+
+    # --- routes -------------------------------------------------------------
+
+    def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path == "/status":
+            self._respond(200, {"status": "ok", **self.server.broker.status()})
+        elif self.path == "/metrics":
+            self._respond(
+                200, metrics_text(self.server.broker), "text/plain; version=0.0.4"
+            )
+        else:
+            self._error(404, "not-found", f"no route {self.path!r}")
+
+    def do_POST(self) -> None:  # noqa: N802 - stdlib casing
+        if self.path != "/query":
+            self._error(404, "not-found", f"no route {self.path!r}")
+            return
+        try:
+            length = int(self.headers.get("Content-Length", 0))
+        except ValueError:
+            length = 0
+        if length <= 0 or length > MAX_BODY_BYTES:
+            self._error(400, "bad-request", "body required (JSON, <= 4 MiB)")
+            return
+        try:
+            request = json.loads(self.rfile.read(length))
+        except (ValueError, UnicodeDecodeError) as error:
+            self._error(400, "bad-request", f"invalid JSON: {error}")
+            return
+        if not isinstance(request, dict) or not isinstance(
+            request.get("query"), str
+        ):
+            self._error(400, "bad-request", 'expected {"query": "<sPaQL>", ...}')
+            return
+        method = request.get("method", "summarysearch")
+        overrides = request.get("overrides", {})
+        if not isinstance(overrides, dict):
+            self._error(400, "bad-request", '"overrides" must be an object')
+            return
+        unknown = set(overrides) - {f.name for f in dataclasses.fields(SPQConfig)}
+        if unknown:
+            self._error(
+                400, "bad-request", f"unknown override(s): {sorted(unknown)}"
+            )
+            return
+        started = time.perf_counter()
+        try:
+            result = self.server.broker.execute(
+                request["query"], method=method, **overrides
+            )
+        except BrokerSaturatedError as error:
+            self._error(503, "saturated", str(error))
+            return
+        except (ParseError, CompileError, SchemaError, VGFunctionError) as error:
+            self._error(400, "parse", str(error))
+            return
+        except SPQError as error:
+            self._error(409, "solve", str(error))
+            return
+        except Exception as error:  # noqa: BLE001 - surface as JSON 500
+            self._error(500, "internal", f"{type(error).__name__}: {error}")
+            return
+        payload = result_payload(result, time.perf_counter() - started)
+        payload["store"] = self.server.broker.store.stats().as_dict()
+        self._respond(200, payload)
+
+
+class SPQService(ThreadingHTTPServer):
+    """The package-query HTTP service: a ThreadingHTTPServer + broker.
+
+    ``port=0`` binds an ephemeral port (see :attr:`server_port`), which
+    is what the end-to-end tests and the smoke script use.  The service
+    does not own the broker unless ``own_broker=True`` (then
+    :meth:`shutdown` also closes the broker and its store).
+    """
+
+    daemon_threads = True
+
+    def __init__(
+        self,
+        broker: QueryBroker,
+        host: str = "127.0.0.1",
+        port: int = 8080,
+        verbose: bool = False,
+        own_broker: bool = False,
+    ):
+        super().__init__((host, port), _ServiceHandler)
+        self.broker = broker
+        self.verbose = verbose
+        self.own_broker = own_broker
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """The bound (host, port) — resolves ``port=0`` to the real port."""
+        return (self.server_address[0], self.server_port)
+
+    def start_background(self) -> "SPQService":
+        """Serve on a daemon thread (tests and embedded use)."""
+        self._thread = threading.Thread(
+            target=self.serve_forever, name="spq-service", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def shutdown(self) -> None:
+        """Stop serving; join the background thread; close owned broker."""
+        super().shutdown()
+        if self._thread is not None:
+            self._thread.join(timeout=10)
+            self._thread = None
+        self.server_close()
+        if self.own_broker:
+            self.broker.close()

@@ -97,3 +97,46 @@ def test_run_seeds_varies_seed_not_data(tiny_config):
     outcomes = run_seeds(spec, "summarysearch", tiny_config, n_runs=2, scale=150)
     assert len(outcomes) == 2
     assert outcomes[0].seed != outcomes[1].seed
+
+
+def test_run_seeds_routes_through_shared_store(tiny_config):
+    from repro.service import ScenarioStore
+
+    spec = get_query("galaxy", "Q1")
+    with ScenarioStore() as store:
+        outcomes = run_seeds(
+            spec, "summarysearch", tiny_config, n_runs=2, scale=150, store=store
+        )
+        # The same-method repeat at an equal seed shares realizations.
+        repeat = run_seeds(
+            spec, "summarysearch", tiny_config, n_runs=1, scale=150, store=store
+        )
+    assert outcomes[0].store_stats is not None
+    assert outcomes[0].store_stats["generations"] > 0
+    assert (
+        repeat[0].store_stats["generations"]
+        == outcomes[-1].store_stats["generations"]
+    )
+    assert repeat[0].store_stats["hits"] > outcomes[-1].store_stats["hits"]
+    assert repeat[0].feasible == outcomes[0].feasible
+    assert repeat[0].objective == outcomes[0].objective
+
+
+def test_format_store_stats_line():
+    from repro.experiments.report import format_store_stats
+
+    assert format_store_stats(None) == "scenario store: (not used)"
+    line = format_store_stats(
+        {
+            "hits": 3,
+            "misses": 2,
+            "generations": 2,
+            "generated_columns": 40,
+            "evictions": 1,
+            "spills": 0,
+            "bytes_resident": 800,
+            "bytes_spilled": 0,
+            "entries": 1,
+        }
+    )
+    assert "3 hits" in line and "2 generations" in line and "1 evictions" in line

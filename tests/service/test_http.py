@@ -1,0 +1,157 @@
+"""End-to-end ``repro serve`` protocol tests over a local socket."""
+
+from __future__ import annotations
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Catalog, Relation, SPQConfig
+from repro.mcdb import GaussianNoiseVG, StochasticModel
+from repro.service import QueryBroker, SPQService
+
+QUERY = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) <= 3 AND
+    SUM(Value) >= 6 WITH PROBABILITY >= 0.8
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+
+@pytest.fixture
+def service():
+    relation = Relation("items", {"price": [5.0, 8.0, 3.0, 6.0, 4.0]})
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 1.0)})
+    catalog = Catalog()
+    catalog.register(relation, model)
+    config = SPQConfig(
+        n_validation_scenarios=500,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=60,
+        epsilon=0.8,
+        seed=11,
+    )
+    broker = QueryBroker(catalog, config=config, pool_size=2)
+    svc = SPQService(broker, port=0, own_broker=True).start_background()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+def _url(service, path: str) -> str:
+    host, port = service.address
+    return f"http://{host}:{port}{path}"
+
+
+def _post(service, payload: dict):
+    request = urllib.request.Request(
+        _url(service, "/query"),
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(service, path: str):
+    with urllib.request.urlopen(_url(service, path), timeout=30) as response:
+        body = response.read()
+        content_type = response.headers.get("Content-Type", "")
+        if content_type.startswith("application/json"):
+            return response.status, json.loads(body)
+        return response.status, body.decode()
+
+
+def test_query_roundtrip_and_cache_hit_on_repeat(service):
+    status, first = _post(service, {"query": QUERY})
+    assert status == 200
+    assert first["feasible"] is True
+    assert first["package"]["total_count"] >= 1
+    assert first["package"]["rows"]
+    assert {"price", "id"} <= set(first["package"]["columns"])
+    assert first["store"]["generations"] > 0
+
+    status, second = _post(service, {"query": QUERY})
+    assert status == 200
+    # The repeat is served from the shared store: the generation counter
+    # is unchanged while the hit counter moved.
+    assert second["store"]["generations"] == first["store"]["generations"]
+    assert second["store"]["hits"] > first["store"]["hits"]
+    assert second["objective"] == first["objective"]
+    assert second["package"]["multiplicities"] == first["package"]["multiplicities"]
+
+
+def test_status_endpoint(service):
+    _post(service, {"query": QUERY})
+    status, body = _get(service, "/status")
+    assert status == 200
+    assert body["status"] == "ok"
+    assert body["pool_size"] == 2
+    assert body["submitted"] >= 1
+    assert body["uptime_s"] >= 0
+    assert "hits" in body["store"]
+
+
+def test_metrics_endpoint_exposes_store_counters(service):
+    _post(service, {"query": QUERY})
+    _post(service, {"query": QUERY})
+    status, text = _get(service, "/metrics")
+    assert status == 200
+    metrics = {
+        line.split()[0]: line.split()[1]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    assert int(metrics["repro_store_hits_total"]) > 0
+    assert int(metrics["repro_store_generations_total"]) >= 1
+    assert int(metrics["repro_broker_submitted_total"]) >= 2
+    assert "repro_store_evictions_total" in metrics
+    assert "repro_store_bytes_resident" in metrics
+
+
+def test_overrides_are_applied(service):
+    status, body = _post(
+        service, {"query": QUERY, "method": "naive", "overrides": {"seed": 9}}
+    )
+    assert status == 200
+    assert body["method"] == "naive"
+
+
+def _status_of(exc: urllib.error.HTTPError):
+    return exc.code, json.loads(exc.read())
+
+
+def test_error_mapping(service):
+    # Invalid JSON → 400.
+    request = urllib.request.Request(
+        _url(service, "/query"),
+        data=b"{nope",
+        headers={"Content-Type": "application/json"},
+    )
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        urllib.request.urlopen(request, timeout=30)
+    code, body = _status_of(excinfo.value)
+    assert code == 400
+    assert body["error"]["kind"] == "bad-request"
+
+    # sPaQL parse errors → 400 with kind "parse".
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(service, {"query": "SELEC PACKAGE nonsense"})
+    code, body = _status_of(excinfo.value)
+    assert code == 400
+    assert body["error"]["kind"] == "parse"
+
+    # Unknown route → 404.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _get(service, "/nope")
+    assert excinfo.value.code == 404
+
+    # Unknown config override → 400.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(service, {"query": QUERY, "overrides": {"bogus_knob": 1}})
+    code, body = _status_of(excinfo.value)
+    assert code == 400

@@ -139,3 +139,131 @@ def test_cli_infeasible_returns_one(csv_path, capsys):
         ]
     )
     assert code == 1
+
+
+# --- subcommands, version, exit codes ---------------------------------------
+
+
+def test_cli_explicit_run_subcommand(csv_path, capsys):
+    code = main(
+        [
+            "run",
+            "--table", str(csv_path),
+            "--query",
+            "SELECT PACKAGE(*) FROM items SUCH THAT SUM(price) <= 9"
+            " MAXIMIZE SUM(price)",
+        ]
+    )
+    assert code == 0
+    assert "deterministic" in capsys.readouterr().out
+
+
+def test_cli_version(capsys):
+    import repro
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert repro.__version__ in capsys.readouterr().out
+
+
+def test_cli_no_arguments_prints_help(capsys):
+    assert main([]) == 2
+    assert "usage:" in capsys.readouterr().out
+
+
+def test_cli_parse_error_exit_code(csv_path, capsys):
+    code = main(
+        ["--table", str(csv_path), "--query", "SELEC PACKAGE nonsense"]
+    )
+    assert code == 2
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_solve_error_exit_code(csv_path, capsys):
+    # Invalid evaluation parameters surface as EvaluationError -> 3.
+    code = main(
+        [
+            "--table", str(csv_path),
+            "--query",
+            "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 1"
+            " MAXIMIZE SUM(price)",
+            "--initial-scenarios", "0",
+        ]
+    )
+    assert code == 3
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_io_error_exit_code(csv_path, tmp_path, capsys):
+    code = main(
+        [
+            "--table", str(csv_path),
+            "--query-file", str(tmp_path / "does_not_exist.spaql"),
+        ]
+    )
+    assert code == 4
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_missing_table_file_is_io_error(capsys):
+    code = main(
+        [
+            "--table", "no_such_table.csv",
+            "--query", "SELECT PACKAGE(*) FROM x SUCH THAT COUNT(*) <= 1",
+        ]
+    )
+    assert code == 4
+    assert "error:" in capsys.readouterr().err
+
+
+def test_parse_bytes():
+    from repro.cli import parse_bytes
+
+    assert parse_bytes("1048576") == 1 << 20
+    assert parse_bytes("512k") == 512 * 1024
+    assert parse_bytes("2M") == 2 << 20
+    assert parse_bytes("1G") == 1 << 30
+    with pytest.raises(SPQError):
+        parse_bytes("lots")
+    with pytest.raises(SPQError):
+        parse_bytes("-1M")
+
+
+def test_serve_parser_accepts_service_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        [
+            "serve",
+            "--workload", "portfolio:Q1",
+            "--scale", "50",
+            "--port", "0",
+            "--pool-size", "2",
+            "--store-budget", "4M",
+            "--no-spill",
+        ]
+    )
+    assert args.command == "serve"
+    assert args.workload == ["portfolio:Q1"]
+    assert args.pool_size == 2
+    assert args.store_budget == "4M"
+
+
+def test_serve_catalog_from_workload():
+    from repro.cli import _build_catalog, build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--workload", "portfolio:Q1", "--scale", "12"]
+    )
+    catalog = _build_catalog(args)
+    assert "stock_investments" in catalog
+    assert catalog.model("stock_investments") is not None
+
+
+def test_serve_requires_a_data_source():
+    from repro.cli import _build_catalog, build_parser
+
+    args = build_parser().parse_args(["serve"])
+    with pytest.raises(SPQError):
+        _build_catalog(args)
