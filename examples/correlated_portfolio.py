@@ -1,0 +1,122 @@
+"""Correlation changes the optimal portfolio (VG registry showcase).
+
+The same Value-at-Risk query is solved over the same stock universe
+under two uncertainty models that share identical per-stock means and
+standard deviations and differ *only* in correlation:
+
+* independent gains (``gaussian_copula`` with ``rho = 0``) — the
+  diversification baseline;
+* sector co-movement (``rho = 0.8`` within each sector) — a
+  concentrated package's loss tail fattens, so the VaR constraint
+  forces a different, more diversified selection.
+
+Both models are built by name through the VG registry — the exact
+equivalent of the CLI declaration::
+
+    repro run --workload portfolio_correlated:Q2 --scale 120
+
+    repro run --table stocks.csv \\
+        --vg "Gain=gaussian_copula:base_column=exp_gain,scale=gain_sd,rho=0.8,group_column=sector" \\
+        --query "SELECT PACKAGE(*) FROM stock_investments SUCH THAT ..."
+
+Run:  python examples/correlated_portfolio.py [--stocks 120]
+"""
+
+import argparse
+import os
+from collections import Counter
+
+from repro import SPQConfig, SPQEngine
+from repro.datasets import CorrelatedPortfolioParams, build_correlated_portfolio
+from repro.mcdb import StochasticModel, apply_vg_overrides
+
+#: Tiny-budget mode for CI smoke checks (scripts/examples_smoke.py).
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+QUERY = """
+SELECT PACKAGE(*) FROM stock_investments SUCH THAT
+    SUM(price) <= 1000 AND
+    SUM(Gain) >= -10 WITH PROBABILITY >= 0.9
+MAXIMIZE EXPECTED SUM(Gain)
+"""
+
+
+def solve(relation, model: StochasticModel, seed: int):
+    """Evaluate the VaR query and return (result, sector histogram)."""
+    config = SPQConfig(
+        n_validation_scenarios=1_000 if SMOKE else 5_000,
+        n_initial_scenarios=25,
+        scenario_increment=25,
+        max_scenarios=200,
+        n_expectation_scenarios=500,
+        epsilon=0.4,
+        seed=seed,
+    )
+    engine = SPQEngine(config=config)
+    engine.register(relation, model)
+    result = engine.execute(QUERY)
+    sectors: Counter = Counter()
+    if result.package is not None:
+        for row, count in result.package.key_multiplicities().items():
+            sectors[relation.column("sector")[row]] += count
+    return result, sectors
+
+
+def describe(name: str, result, sectors) -> None:
+    print(f"\n=== {name} ===")
+    print(result.summary())
+    if result.package is None or result.package.is_empty:
+        return
+    spend = result.package.deterministic_total("price")
+    risk = result.validation.items[0]
+    print(f"spend ${spend:.2f} across {result.package.n_distinct} stocks"
+          f" in {len(sectors)} sectors: {dict(sectors)}")
+    print(f"validated P(loss <= $10) = {risk.satisfied_fraction:.4f}"
+          f" (target {risk.target_p})")
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--stocks", type=int, default=120)
+    parser.add_argument("--rho", type=float, default=0.8,
+                        help="within-sector gain correlation")
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args()
+
+    # The dataset ships with the independent model; the correlated one
+    # is a registry override away — no dataset rebuild, no new code.
+    relation, independent = build_correlated_portfolio(
+        CorrelatedPortfolioParams(
+            n_stocks=args.stocks, model="independent", seed=args.seed
+        )
+    )
+    correlated = apply_vg_overrides(
+        relation,
+        independent,
+        [
+            "Gain=gaussian_copula:base_column=exp_gain,scale=gain_sd,"
+            f"rho={args.rho},group_column=sector"
+        ],
+    )
+    print(f"universe: {relation.n_rows} stocks,"
+          f" {len(set(relation.column('sector')))} sectors;"
+          f" same means, correlation {0.0} vs {args.rho}")
+
+    result_ind, sectors_ind = solve(relation, independent, args.seed)
+    describe("independent gains (rho=0)", result_ind, sectors_ind)
+
+    result_cor, sectors_cor = solve(relation, correlated, args.seed)
+    describe(f"sector copula (rho={args.rho})", result_cor, sectors_cor)
+
+    same = (
+        result_ind.package is not None
+        and result_cor.package is not None
+        and result_ind.package.key_multiplicities()
+        == result_cor.package.key_multiplicities()
+    )
+    print(f"\npackages identical: {same}"
+          "  (correlation reshapes the optimum, not the means)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,23 +1,46 @@
-"""Writing a custom VG function (MCDB-style user-defined uncertainty).
+"""Writing and registering a custom VG function (MCDB-style uncertainty).
 
 The Monte Carlo data model supports arbitrary distributions via
 user-defined variable-generation functions (Section 2.2).  This example
 implements a custom VG — a regime-switching demand model where all rows
 share a market regime (bull/bear) and demand is Poisson within the
-regime — and runs a stocking query against it.
+regime — registers it in the **VG registry**, and runs a stocking query
+against a model built purely by name.
+
+Registration is one decorator::
+
+    @register_vg("regime_demand")
+    class RegimeSwitchingDemandVG(VGFunction): ...
+
+after which the family is constructible anywhere a registry name is
+accepted — ``make_vg("regime_demand", ...)`` below, a workload spec, or
+the CLI::
+
+    repro run --table products.csv \\
+        --vg "Demand=regime_demand:bull_column=bull_rate,bear_column=bear_rate,p_bull=0.6" \\
+        --query "SELECT PACKAGE(*) FROM products ..."
 
 The shared regime makes ALL rows one correlated block: the VG overrides
 ``_build_blocks`` to express that, and SummarySearch still applies
-unchanged (summaries are distribution-agnostic).
+unchanged (summaries are distribution-agnostic).  The registry also
+gives every VG a parameter fingerprint (``params_fingerprint()``), which
+the scenario store uses to keep differently-parameterized models from
+ever sharing cached scenarios — see docs/writing_a_vg.md for the full
+authoring contract.
 
 Run:  python examples/custom_vg_function.py
 """
 
+import os
+
 import numpy as np
 
 from repro import Relation, SPQConfig, SPQEngine
-from repro.mcdb import StochasticModel
+from repro.mcdb import StochasticModel, make_vg, register_vg, vg_names
 from repro.mcdb.vg import VGFunction
+
+#: Tiny-budget mode for CI smoke checks (scripts/examples_smoke.py).
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 QUERY = """
 SELECT PACKAGE(*) FROM products REPEAT 4 SUCH THAT
@@ -27,13 +50,14 @@ MAXIMIZE EXPECTED SUM(Demand)
 """
 
 
+@register_vg("regime_demand")
 class RegimeSwitchingDemandVG(VGFunction):
     """Poisson demand whose rate switches with a shared market regime.
 
     With probability ``p_bull`` a scenario is a bull market and every
-    product's demand rate is ``bull_rate``; otherwise ``bear_rate``.
-    The shared regime correlates all rows, so the whole relation is a
-    single independence block.
+    product's demand rate is ``bull_column``'s value; otherwise
+    ``bear_column``'s.  The shared regime correlates all rows, so the
+    whole relation is a single independence block.
     """
 
     def __init__(self, bull_column: str, bear_column: str, p_bull: float = 0.6):
@@ -76,14 +100,25 @@ def main() -> None:
             "bear_rate": [4.0, 3.0, 6.0, 5.0, 4.0],
         },
     )
-    model = StochasticModel(
-        relation, {"Demand": RegimeSwitchingDemandVG("bull_rate", "bear_rate")}
+    print(f"registered VG families: {', '.join(vg_names())}")
+    # Construct by registry name — exactly what --vg does on the CLI.
+    demand = make_vg(
+        "regime_demand",
+        bull_column="bull_rate",
+        bear_column="bear_rate",
+        p_bull=0.6,
     )
+    assert isinstance(demand, RegimeSwitchingDemandVG)
+    print(f"params fingerprint: {demand.params_fingerprint()[:16]}…")
+    model = StochasticModel(relation, {"Demand": demand})
     engine = SPQEngine(
-        config=SPQConfig(n_validation_scenarios=20_000, epsilon=0.3, seed=9)
+        config=SPQConfig(
+            n_validation_scenarios=2_000 if SMOKE else 20_000,
+            epsilon=0.3, seed=9,
+        )
     )
     engine.register(relation, model)
-    print("Products:")
+    print("\nProducts:")
     print(relation.to_text())
     print("\nQuery:")
     print(QUERY.strip())
@@ -95,9 +130,9 @@ def main() -> None:
             relation.column("name")[k]: v
             for k, v in result.package.key_multiplicities().items()
         })
-        demand = result.validation.items[0]
-        print(f"P(total demand >= 25) = {demand.satisfied_fraction:.4f}"
-              f" (target {demand.target_p})")
+        demand_item = result.validation.items[0]
+        print(f"P(total demand >= 25) = {demand_item.satisfied_fraction:.4f}"
+              f" (target {demand_item.target_p})")
 
 
 if __name__ == "__main__":

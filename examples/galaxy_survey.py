@@ -17,6 +17,10 @@ Run:  python examples/galaxy_survey.py [--rows 2000]
 """
 
 import argparse
+import os
+
+#: Tiny-budget mode for CI smoke checks (scripts/examples_smoke.py).
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 from repro import SPQConfig, SPQEngine
 from repro.datasets import GalaxyParams, build_galaxy
@@ -44,7 +48,7 @@ def run(name, query, noise, rows, seed) -> None:
                      noise == NOISE_GAUSSIAN else 1.0, seed=seed)
     )
     config = SPQConfig(
-        n_validation_scenarios=10_000,
+        n_validation_scenarios=1_000 if SMOKE else 10_000,
         n_initial_scenarios=25,
         scenario_increment=25,
         max_scenarios=200,

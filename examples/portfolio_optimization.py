@@ -13,6 +13,10 @@ Run:  python examples/portfolio_optimization.py [--stocks 300]
 """
 
 import argparse
+import os
+
+#: Tiny-budget mode for CI smoke checks (scripts/examples_smoke.py).
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 from repro import SPQConfig, SPQEngine
 from repro.datasets import PortfolioParams, build_portfolio
@@ -58,16 +62,19 @@ def run(name: str, query: str, volatile: bool, n_stocks: int, seed: int) -> None
     print(f"universe: {relation.n_rows} trades"
           f" ({'volatile 30%' if volatile else 'all stocks'})")
     config = SPQConfig(
-        n_validation_scenarios=10_000,
-        n_initial_scenarios=30,
-        scenario_increment=30,
-        max_scenarios=240,
+        n_validation_scenarios=1_000 if SMOKE else 10_000,
+        n_initial_scenarios=20 if SMOKE else 30,
+        scenario_increment=20 if SMOKE else 30,
+        max_scenarios=60 if SMOKE else 240,
         epsilon=0.35,
         seed=seed,
     )
     engine = SPQEngine(config=config)
     engine.register(relation, model)
-    for method in ("summarysearch", "naive"):
+    # The naive SAA baseline is the expensive half of the comparison;
+    # smoke mode keeps the SummarySearch path only.
+    methods = ("summarysearch",) if SMOKE else ("summarysearch", "naive")
+    for method in methods:
         print(f"\n--- {method} ---")
         describe(engine.execute(query, method=method))
 

@@ -11,6 +11,11 @@ Run:  python examples/quickstart.py
 
 import numpy as np
 
+import os
+
+#: Tiny-budget mode for CI smoke checks (scripts/examples_smoke.py).
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
 from repro import Relation, SPQConfig, SPQEngine
 from repro.mcdb import GeometricBrownianMotionVG, StochasticModel
 
@@ -50,7 +55,10 @@ def main() -> None:
     print(relation.to_text())
 
     engine = SPQEngine(
-        config=SPQConfig(n_validation_scenarios=20_000, epsilon=0.3, seed=1)
+        config=SPQConfig(
+            n_validation_scenarios=2_000 if SMOKE else 20_000,
+            epsilon=0.3, seed=1,
+        )
     )
     engine.register(relation, model)
 

@@ -11,6 +11,10 @@ Run:  python examples/tpch_data_integration.py [--rows 2000] [--sources 3]
 """
 
 import argparse
+import os
+
+#: Tiny-budget mode for CI smoke checks (scripts/examples_smoke.py).
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 from repro import SPQConfig, SPQEngine
 from repro.datasets import TpchParams, build_tpch
@@ -45,10 +49,10 @@ def main() -> None:
           f" D={args.sources} sources, {args.family} perturbations")
 
     config = SPQConfig(
-        n_validation_scenarios=10_000,
-        n_initial_scenarios=25,
-        scenario_increment=25,
-        max_scenarios=200,
+        n_validation_scenarios=1_000 if SMOKE else 10_000,
+        n_initial_scenarios=20 if SMOKE else 25,
+        scenario_increment=20 if SMOKE else 25,
+        max_scenarios=60 if SMOKE else 200,
         epsilon=0.25,
         seed=args.seed,
     )

@@ -1,0 +1,91 @@
+"""Markdown link checker for README.md and docs/ (stdlib only).
+
+CI's docs job runs this to keep the documentation tree coherent:
+
+* every relative link target must exist on disk (files or directories);
+* every in-document anchor (``#section``) must match a heading in the
+  target file, using GitHub's slug rules (lowercase, spaces to dashes,
+  punctuation stripped);
+* external ``http(s)://`` links are reported but not fetched (CI must
+  not depend on third-party uptime).
+
+Usage:  python scripts/check_docs.py [extra.md ...]
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+
+#: ``[text](target)`` — good enough for our hand-written markdown; code
+#: spans are stripped first so sample code cannot produce false links.
+LINK_RE = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$", re.MULTILINE)
+CODE_SPAN_RE = re.compile(r"```.*?```|`[^`]*`", re.DOTALL)
+
+
+def github_slug(heading: str) -> str:
+    """GitHub's anchor slug for a heading text."""
+    slug = heading.strip().lower()
+    slug = re.sub(r"[`*_]", "", slug)
+    slug = re.sub(r"[^\w\- ]", "", slug)
+    return slug.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set[str]:
+    text = path.read_text(encoding="utf-8")
+    return {github_slug(m.group(1)) for m in HEADING_RE.finditer(text)}
+
+
+def check_file(path: Path) -> tuple[list[str], int]:
+    """(broken links, total links checked) for one markdown file."""
+    errors = []
+    n_links = 0
+    text = CODE_SPAN_RE.sub("", path.read_text(encoding="utf-8"))
+    for match in LINK_RE.finditer(text):
+        n_links += 1
+        target = match.group(1)
+        if target.startswith(("http://", "https://", "mailto:")):
+            continue
+        file_part, _, anchor = target.partition("#")
+        resolved = (
+            path if not file_part else (path.parent / file_part).resolve()
+        )
+        if not resolved.exists():
+            errors.append(f"{path}: broken link target {target!r}")
+            continue
+        if anchor and resolved.suffix == ".md":
+            if github_slug(anchor) not in heading_slugs(resolved):
+                errors.append(
+                    f"{path}: anchor {target!r} matches no heading in"
+                    f" {resolved.name}"
+                )
+    return errors, n_links
+
+
+def main(argv: list[str]) -> int:
+    files = [ROOT / "README.md", *sorted((ROOT / "docs").glob("**/*.md"))]
+    files += [Path(arg) for arg in argv]
+    missing = [f for f in files if not f.exists()]
+    if missing:
+        raise SystemExit(f"missing markdown files: {missing}")
+    errors: list[str] = []
+    checked_links = 0
+    for path in files:
+        file_errors, n_links = check_file(path)
+        errors.extend(file_errors)
+        checked_links += n_links
+    for error in errors:
+        print(f"error: {error}", file=sys.stderr)
+    print(
+        f"checked {len(files)} files, {checked_links} links,"
+        f" {len(errors)} broken"
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,85 @@
+"""Run every example under a tiny scenario budget; fail on any exception.
+
+CI's docs job executes this so examples can never rot silently: each
+``examples/*.py`` must run to completion with exit code 0.  Budgets are
+shrunk two ways:
+
+* ``REPRO_SMOKE=1`` in the environment — the examples switch to small
+  Monte Carlo sizes;
+* small ``--rows``/``--stocks`` arguments where the example takes them.
+
+Any example added without an entry in ``EXTRA_ARGS`` still runs (with no
+extra arguments), so new examples are covered by default.
+
+Usage:  python scripts/examples_smoke.py [example-name ...]
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+EXAMPLES = ROOT / "examples"
+
+#: Per-example downscaling arguments (applied on top of REPRO_SMOKE=1).
+EXTRA_ARGS = {
+    "galaxy_survey.py": ["--rows", "300"],
+    "portfolio_optimization.py": ["--stocks", "40"],
+    "tpch_data_integration.py": ["--rows", "300"],
+    "correlated_portfolio.py": ["--stocks", "60"],
+}
+
+#: Per-example wall-clock ceiling; an example that hangs is a failure.
+TIMEOUT_S = 300
+
+
+def run_example(path: Path) -> float:
+    """Run one example; return its wall time, raising on failure."""
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    env["PYTHONPATH"] = str(ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    command = [sys.executable, str(path), *EXTRA_ARGS.get(path.name, [])]
+    started = time.perf_counter()
+    result = subprocess.run(
+        command,
+        cwd=ROOT,
+        env=env,
+        capture_output=True,
+        text=True,
+        timeout=TIMEOUT_S,
+    )
+    elapsed = time.perf_counter() - started
+    if result.returncode != 0:
+        sys.stderr.write(result.stdout[-4000:])
+        sys.stderr.write(result.stderr[-4000:])
+        raise SystemExit(
+            f"FAIL {path.name}: exit code {result.returncode}"
+            f" after {elapsed:.1f}s"
+        )
+    return elapsed
+
+
+def main(argv: list[str]) -> int:
+    wanted = set(argv)
+    examples = sorted(
+        path
+        for path in EXAMPLES.glob("*.py")
+        if not wanted or path.name in wanted or path.stem in wanted
+    )
+    if not examples:
+        raise SystemExit(f"no examples matched {sorted(wanted)!r}")
+    for path in examples:
+        elapsed = run_example(path)
+        print(f"ok {path.name} ({elapsed:.1f}s)", flush=True)
+    print(f"all {len(examples)} examples passed")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -25,12 +25,25 @@ numeric literal:
 * ``exponential(base, rate)``
 * ``student_t(base, dof[, scale])``
 * ``gbm(price, drift, volatility, horizon, group)``
+
+Any registered VG family whose parameters are expressible as text —
+including the correlated ``gaussian_copula`` and
+``empirical_bootstrap`` — is reachable through the keyword-style
+``--vg`` flag instead::
+
+    --vg "Gain=gaussian_copula:base_column=exp_gain,scale=gain_sd,rho=0.6,group_column=sector"
+
+(``mixture`` composes VGFunction *instances* and is therefore
+API/workload-level only.)  ``--vg`` applies to the last registered data
+source; ``--workload`` datasets register after ``--table`` files.  See
+``docs/writing_a_vg.md`` for the registry and authoring guide.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import traceback
 
 from . import __version__
 from .config import SPQConfig
@@ -161,6 +174,36 @@ def parse_bytes(text: str) -> int:
 # --- argument wiring -------------------------------------------------------
 
 
+def _vg_epilog() -> str:
+    """Shared ``--help`` epilog: the ``--vg`` spec language + exit codes."""
+    from .mcdb import vg_names
+
+    return (
+        "stochastic attribute declaration:\n"
+        "  --stochastic 'Name=kind(arg,...)' — positional spec for the noise\n"
+        "      families (gaussian, pareto, uniform, exponential, student_t,\n"
+        "      gbm); arguments are column names or numeric literals.\n"
+        "  --vg 'Attr=kind:param=value,...' — keyword spec for any registered\n"
+        f"      VG family ({', '.join(vg_names())}).\n"
+        "      Values parse as int, float, true/false, none; '+' joins list\n"
+        "      values; anything else is a column name resolved at bind time.\n"
+        "      ('mixture' composes VG instances and is API/workload-level\n"
+        "      only — its components cannot be written as text.)\n"
+        "      Example:\n"
+        "      --vg 'Gain=gaussian_copula:base_column=exp_gain,scale=gain_sd,"
+        "rho=0.6,group_column=sector'\n"
+        "      --vg replaces/extends the model of the last registered data\n"
+        "      source; --workload datasets register after --table files.\n"
+        "\n"
+        "exit codes:\n"
+        "  0  success (a validated package was found)\n"
+        "  1  query proven infeasible within the scenario budget\n"
+        "  2  parse/compile/spec error (bad sPaQL, bad --stochastic/--vg)\n"
+        "  3  solve/evaluation error or time limit exceeded\n"
+        "  4  I/O error (missing or unreadable files)\n"
+    )
+
+
 def _add_data_arguments(parser: argparse.ArgumentParser, required: bool) -> None:
     parser.add_argument("--table", action="append", required=required,
                         default=[], metavar="PATH[:NAME]",
@@ -169,6 +212,20 @@ def _add_data_arguments(parser: argparse.ArgumentParser, required: bool) -> None
                         metavar="SPEC",
                         help="stochastic attribute, e.g. Value=gaussian(price,2.0);"
                              " applies to the most recent --table")
+    parser.add_argument("--vg", action="append", default=[], metavar="SPEC",
+                        help="registry-style stochastic attribute,"
+                             " e.g. Gain=gaussian_copula:base_column=exp_gain,"
+                             "rho=0.6,group_column=sector (see epilog);"
+                             " applies to the last --table/--workload")
+    parser.add_argument("--workload", action="append", default=[],
+                        metavar="NAME:QUERY",
+                        help="register a built-in workload dataset, e.g."
+                             " portfolio:Q1 or portfolio_correlated:Q2"
+                             " (repeatable)")
+    parser.add_argument("--scale", type=int, default=None,
+                        help="workload dataset scale (rows/stocks)")
+    parser.add_argument("--data-seed", type=int, default=42,
+                        help="seed for workload dataset construction")
 
 
 def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
@@ -201,9 +258,11 @@ def build_parser() -> argparse.ArgumentParser:
 
     run = subparsers.add_parser(
         "run", help="evaluate one sPaQL query and print the package",
+        epilog=_vg_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
-    _add_data_arguments(run, required=True)
-    query_group = run.add_mutually_exclusive_group(required=True)
+    _add_data_arguments(run, required=False)
+    query_group = run.add_mutually_exclusive_group()
     query_group.add_argument("--query", help="sPaQL text")
     query_group.add_argument("--query-file", help="file containing sPaQL text")
     run.add_argument("--method", default="summarysearch",
@@ -214,16 +273,10 @@ def build_parser() -> argparse.ArgumentParser:
 
     serve = subparsers.add_parser(
         "serve", help="serve package queries over HTTP (POST /query)",
+        epilog=_vg_epilog(),
+        formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     _add_data_arguments(serve, required=False)
-    serve.add_argument("--workload", action="append", default=[],
-                       metavar="NAME:QUERY",
-                       help="register a built-in workload dataset, e.g."
-                            " portfolio:Q1 (repeatable)")
-    serve.add_argument("--scale", type=int, default=None,
-                       help="workload dataset scale (rows/stocks)")
-    serve.add_argument("--data-seed", type=int, default=42,
-                       help="seed for workload dataset construction")
     serve.add_argument("--host", default="127.0.0.1")
     serve.add_argument("--port", type=int, default=8080,
                        help="listen port (0 = ephemeral, printed on start)")
@@ -248,11 +301,18 @@ def build_parser() -> argparse.ArgumentParser:
 # --- shared construction ---------------------------------------------------
 
 
-def _build_catalog(args) -> Catalog:
-    """Register --table/--stochastic (and --workload) sources."""
-    catalog = Catalog()
+def _build_catalog(args, config: SPQConfig | None = None) -> Catalog:
+    """Register --table/--stochastic/--workload sources, applying --vg.
+
+    ``config.vg_overrides`` (populated from ``--vg``) replace or add
+    stochastic attributes on the *last registered* data source.
+    Registration order is tables first, then workloads (argparse
+    collects the two flags separately), so with both kinds present the
+    overrides land on the final ``--workload`` entry.
+    """
     # --stochastic specs bind to the last --table before them; with a
     # single table (the common case) order does not matter.
+    entries: list[tuple] = []
     relations = []
     for entry in args.table:
         path, _, name = entry.partition(":")
@@ -263,8 +323,8 @@ def _build_catalog(args) -> Catalog:
         vgs = dict(parse_vg_spec(spec, target) for spec in args.stochastic)
         model = StochasticModel(target, vgs) if vgs else None
         for relation in relations[:-1]:
-            catalog.register(relation)
-        catalog.register(target, model)
+            entries.append((relation, None))
+        entries.append((target, model))
     elif args.stochastic:
         raise SPQError("--stochastic requires a preceding --table")
     for entry in getattr(args, "workload", []):
@@ -280,10 +340,36 @@ def _build_catalog(args) -> Catalog:
         relation, model = spec.build_dataset(
             getattr(args, "scale", None), seed=getattr(args, "data_seed", 42)
         )
-        catalog.register(relation, model)
-    if len(catalog) == 0:
+        entries.append((relation, model))
+    if not entries:
         raise SPQError("at least one --table or --workload is required")
+    overrides = tuple(getattr(config, "vg_overrides", ()) or ())
+    if overrides:
+        from .mcdb import apply_vg_overrides
+
+        relation, model = entries[-1]
+        entries[-1] = (relation, apply_vg_overrides(relation, model, overrides))
+    catalog = Catalog()
+    for relation, model in entries:
+        catalog.register(relation, model)
     return catalog
+
+
+def _workload_specs(args):
+    """The QuerySpec objects named by ``--workload`` (order-stable).
+
+    Only called after :func:`_build_catalog` has validated the entries,
+    so the malformed-entry skip below is unreachable in practice — it
+    just keeps this helper total.
+    """
+    from .workloads import get_query
+
+    specs = []
+    for entry in getattr(args, "workload", []):
+        workload, _, query = entry.partition(":")
+        if query:
+            specs.append(get_query(workload, query))
+    return specs
 
 
 def _build_config(args, **extra) -> SPQConfig:
@@ -296,6 +382,7 @@ def _build_config(args, **extra) -> SPQConfig:
         time_limit=args.time_limit,
         n_workers=max(args.workers, 1),
         incremental_solves=not args.no_incremental,
+        vg_overrides=tuple(getattr(args, "vg", []) or ()),
         **extra,
     )
 
@@ -307,12 +394,22 @@ def cmd_run(args) -> int:
     """``repro run``: evaluate one query and print the package."""
     from .service.store import ScenarioStore
 
-    catalog = _build_catalog(args)
+    config = _build_config(args)
+    catalog = _build_catalog(args, config)
     query = args.query
-    if query is None:
+    if query is None and args.query_file is not None:
         with open(args.query_file) as handle:
             query = handle.read()
-    config = _build_config(args)
+    if query is None:
+        # A single --workload carries its own sPaQL text (Table 3).
+        specs = _workload_specs(args)
+        if len(specs) != 1:
+            raise SPQError(
+                "give --query/--query-file, or exactly one --workload"
+                " whose built-in query text should run"
+            )
+        query = specs[0].spaql
+        print(f"query ({specs[0].qualified_name}):\n{query}\n")
     # Single-query runs share realizations within the evaluation (e.g.
     # across SAA/CSA iterations) through the same store the serving
     # layer uses; closed on exit so spill files never leak.
@@ -337,7 +434,6 @@ def cmd_serve(args) -> int:
     """``repro serve``: run the HTTP serving layer until interrupted."""
     from .service import QueryBroker, SPQService
 
-    catalog = _build_catalog(args)
     budget = parse_bytes(args.store_budget) if args.store_budget else None
     config = _build_config(
         args,
@@ -354,6 +450,7 @@ def cmd_serve(args) -> int:
             else {}
         ),
     )
+    catalog = _build_catalog(args, config)
     broker = QueryBroker(catalog, config=config)
     service = SPQService(
         broker, host=args.host, port=args.port, verbose=args.verbose,
@@ -393,6 +490,13 @@ def main(argv=None) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return EXIT_IO
+    except Exception:
+        # The exit-code contract holds even for unexpected failures: keep
+        # the traceback for debuggability, but exit with the solve-stage
+        # code instead of the interpreter's generic 1, which a caller
+        # would misread as "query proven infeasible".
+        traceback.print_exc()
+        return EXIT_SOLVE
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via __main__

@@ -108,6 +108,17 @@ class SPQConfig:
     #: bit-identical to sequential generation for any worker count.
     n_workers: int = 1
 
+    # --- stochastic model construction ---------------------------------------
+    #: VG-registry overrides ``("Attr=kind:param=value,...", ...)`` applied
+    #: wherever a catalog is assembled from this config — the CLI's
+    #: ``--table``/``--workload`` registration and
+    #: ``QuerySpec.build_dataset`` both route through
+    #: :func:`repro.mcdb.apply_vg_overrides`.  Each entry replaces (or
+    #: adds) one stochastic attribute with a VG built by name from the
+    #: registry (see :func:`repro.mcdb.vg_names`), e.g.
+    #: ``"Gain=gaussian_copula:base_column=exp_gain,rho=0.6,group_column=sector"``.
+    vg_overrides: tuple = ()
+
     # --- serving (repro.service) --------------------------------------------
     #: Byte budget for resident scenario matrices in the shared
     #: ScenarioStore (None = unlimited).  Under pressure the store spills
@@ -169,6 +180,16 @@ class SPQConfig:
             raise EvaluationError("time_limit must be positive")
         if self.n_workers < 1:
             raise EvaluationError("n_workers must be >= 1")
+        if isinstance(self.vg_overrides, str):
+            raise EvaluationError(
+                "vg_overrides must be a sequence of specs, not a bare string"
+            )
+        for spec in self.vg_overrides:
+            # Fail fast on malformed specs/unknown families; construction
+            # is relation-free so this is safe at validation time.
+            from .mcdb.stochastic import parse_attribute_vg
+
+            parse_attribute_vg(spec)
         if self.scenario_store_budget is not None and self.scenario_store_budget < 1:
             raise EvaluationError("scenario_store_budget must be positive or None")
         if self.service_pool_size < 1:

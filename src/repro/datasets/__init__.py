@@ -11,7 +11,12 @@ deterministic given its seed.
 """
 
 from .galaxy import build_galaxy, GalaxyParams
-from .portfolio import build_portfolio, PortfolioParams
+from .portfolio import (
+    build_portfolio,
+    PortfolioParams,
+    build_correlated_portfolio,
+    CorrelatedPortfolioParams,
+)
 from .tpch import build_tpch, TpchParams
 
 __all__ = [
@@ -19,6 +24,8 @@ __all__ = [
     "GalaxyParams",
     "build_portfolio",
     "PortfolioParams",
+    "build_correlated_portfolio",
+    "CorrelatedPortfolioParams",
     "build_tpch",
     "TpchParams",
 ]

@@ -95,3 +95,184 @@ def build_portfolio(params: PortfolioParams) -> tuple[Relation, StochasticModel]
     )
     model = StochasticModel(relation, {"Gain": vg})
     return relation, model
+
+
+# --- correlated universe (sector co-movement) ---------------------------------
+
+#: Uncertainty models the correlated builder can attach (see
+#: :func:`build_correlated_portfolio`).
+CORRELATED_MODELS = (
+    "independent",
+    "copula",
+    "copula-historical",
+    "regime",
+    "bootstrap",
+)
+
+
+@dataclass(frozen=True)
+class CorrelatedPortfolioParams:
+    """Configuration for one sector-correlated Stock_Investments table.
+
+    Attributes
+    ----------
+    n_stocks:
+        Universe size; one 1-day trade (row) per stock.
+    n_sectors:
+        Number of sectors; stocks are assigned round-robin so sector
+        blocks are balanced.
+    rho:
+        Within-sector equicorrelation of daily gains (also drives the
+        synthetic gain history the ``copula-historical`` and
+        ``bootstrap`` models estimate from).
+    model:
+        Which uncertainty model to attach — one of
+        :data:`CORRELATED_MODELS`:
+
+        * ``"independent"`` — Gaussian copula with ``rho = 0`` (the
+          diversification baseline);
+        * ``"copula"`` — :class:`~repro.mcdb.GaussianCopulaVG` with the
+          given ``rho`` grouped by sector;
+        * ``"copula-historical"`` — the same copula but with the
+          correlation matrix *estimated* from the history columns;
+        * ``"regime"`` — a :class:`~repro.mcdb.MixtureVG` of a calm
+          (low-correlation, optimistic) and a crisis (high-correlation,
+          pessimistic) copula, the classic "correlations spike in a
+          crash" market;
+        * ``"bootstrap"`` — :class:`~repro.mcdb.EmpiricalBootstrapVG`
+          jointly resampling the historical gain residuals.
+    history_days:
+        Number of synthetic past trading days materialized as columns
+        ``h0..h{history_days-1}`` (per-stock realized daily gains).
+    seed:
+        Dataset-construction seed (independent of scenario streams).
+    name:
+        Relation name registered in the catalog.
+    """
+
+    n_stocks: int = 500
+    n_sectors: int = 8
+    rho: float = 0.6
+    model: str = "copula"
+    history_days: int = 120
+    seed: int = 42
+    name: str = "stock_investments"
+
+
+def build_correlated_portfolio(
+    params: CorrelatedPortfolioParams,
+) -> tuple[Relation, StochasticModel]:
+    """Build a sector-correlated Stock_Investments relation and model.
+
+    Every stock is a single 1-day trade with an expected gain
+    (``exp_gain``), a gain standard deviation (``gain_sd``), a sector,
+    and ``history_days`` columns of realized past daily gains drawn with
+    the same sector co-movement the scenario models assume.  The
+    stochastic ``Gain`` attribute is built through the VG registry
+    (:func:`repro.mcdb.make_vg`), so the returned model is exactly what
+    a ``--vg`` declaration would produce.
+    """
+    if params.n_stocks < 1:
+        raise EvaluationError("correlated portfolio needs at least one stock")
+    if not 1 <= params.n_sectors <= params.n_stocks:
+        raise EvaluationError("n_sectors must be in [1, n_stocks]")
+    if not 0.0 <= params.rho <= 1.0:
+        raise EvaluationError("sector correlation rho must be in [0, 1]")
+    if params.model not in CORRELATED_MODELS:
+        raise EvaluationError(
+            f"unknown correlated model {params.model!r};"
+            f" expected one of {CORRELATED_MODELS}"
+        )
+    if params.history_days < 2:
+        raise EvaluationError("history_days must be >= 2")
+    from ..mcdb import make_vg
+    from ..mcdb.mixture import MixtureVG
+
+    rng = spawn_dataset_rng(
+        params.seed, f"{params.name}:corr:{params.n_stocks}:{params.n_sectors}"
+    )
+    n = params.n_stocks
+    prices = np.clip(np.exp(rng.normal(3.6, 0.9, size=n)), 5.0, 500.0)
+    annual_vol = np.clip(np.exp(rng.normal(np.log(0.35), 0.45, size=n)), 0.10, 1.50)
+    daily_vol = annual_vol / np.sqrt(_TRADING_DAYS)
+    daily_drift = rng.normal(0.0004, 0.0012, size=n)
+    sector_ids = np.arange(n) % params.n_sectors
+
+    exp_gain = prices * daily_drift
+    gain_sd = prices * daily_vol
+
+    # Synthetic realized history: one-factor sector co-movement matching
+    # the rho the parametric models assume, so the estimated-correlation
+    # and bootstrap variants are fit to consistent data.
+    shared = rng.normal(size=(params.n_sectors, params.history_days))
+    own = rng.normal(size=(n, params.history_days))
+    z = np.sqrt(params.rho) * shared[sector_ids] + np.sqrt(1.0 - params.rho) * own
+    history = exp_gain[:, None] + gain_sd[:, None] * z
+
+    columns = {
+        "stock": np.array([f"S{i:05d}" for i in range(n)], dtype=object),
+        "sector": np.array(
+            [f"SEC{int(s):02d}" for s in sector_ids], dtype=object
+        ),
+        "price": np.round(prices, 2),
+        "exp_gain": exp_gain,
+        "gain_sd": gain_sd,
+        # Regime anchors: optimistic calm-market and pessimistic
+        # crisis-market expected gains (the mixture mean stays exp_gain).
+        "calm_gain": exp_gain + 0.5 * gain_sd,
+        "crisis_gain": exp_gain - 2.0 * gain_sd,
+    }
+    for d in range(params.history_days):
+        columns[f"h{d}"] = history[:, d]
+    relation = Relation(params.name, columns)
+
+    history_columns = [f"h{d}" for d in range(params.history_days)]
+    if params.model == "independent":
+        vg = make_vg(
+            "gaussian_copula",
+            base_column="exp_gain",
+            scale="gain_sd",
+            rho=0.0,
+            group_column="sector",
+        )
+    elif params.model == "copula":
+        vg = make_vg(
+            "gaussian_copula",
+            base_column="exp_gain",
+            scale="gain_sd",
+            rho=params.rho,
+            group_column="sector",
+        )
+    elif params.model == "copula-historical":
+        vg = make_vg(
+            "gaussian_copula",
+            base_column="exp_gain",
+            scale="gain_sd",
+            history_columns=history_columns,
+            group_column="sector",
+        )
+    elif params.model == "regime":
+        calm = make_vg(
+            "gaussian_copula",
+            base_column="calm_gain",
+            scale="gain_sd",
+            rho=min(params.rho, 0.2),
+            group_column="sector",
+        )
+        crisis = make_vg(
+            "gaussian_copula",
+            base_column="crisis_gain",
+            scale="gain_sd",
+            rho=min(0.95, params.rho + 0.3),
+            group_column="sector",
+        )
+        vg = MixtureVG([calm, crisis], weights=[0.8, 0.2])
+    else:  # bootstrap
+        vg = make_vg(
+            "empirical_bootstrap",
+            base_column="exp_gain",
+            observation_columns=history_columns,
+            joint=True,
+        )
+    model = StochasticModel(relation, {"Gain": vg})
+    return relation, model

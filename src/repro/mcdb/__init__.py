@@ -9,7 +9,7 @@ validation, and expectation-estimation use disjoint streams (Sections
 seeding strategies of Section 5.5.
 """
 
-from .vg import VGFunction
+from .vg import VGFunction, make_vg, parse_vg_expr, register_vg, vg_names
 from .distributions import (
     GaussianNoiseVG,
     ParetoNoiseVG,
@@ -19,13 +19,19 @@ from .distributions import (
 )
 from .gbm import GeometricBrownianMotionVG
 from .integration import DiscreteVariantsVG, build_integration_variants
-from .bootstrap import BootstrapVG
-from .stochastic import StochasticModel
+from .bootstrap import BootstrapVG, EmpiricalBootstrapVG
+from .copula import GaussianCopulaVG
+from .mixture import MixtureVG
+from .stochastic import StochasticModel, apply_vg_overrides
 from .scenarios import ScenarioGenerator, MODE_SCENARIO_WISE, MODE_TUPLE_WISE
 from .expectation import ExpectationEstimator
 
 __all__ = [
     "VGFunction",
+    "register_vg",
+    "make_vg",
+    "parse_vg_expr",
+    "vg_names",
     "GaussianNoiseVG",
     "ParetoNoiseVG",
     "UniformNoiseVG",
@@ -35,7 +41,11 @@ __all__ = [
     "DiscreteVariantsVG",
     "build_integration_variants",
     "BootstrapVG",
+    "EmpiricalBootstrapVG",
+    "GaussianCopulaVG",
+    "MixtureVG",
     "StochasticModel",
+    "apply_vg_overrides",
     "ScenarioGenerator",
     "MODE_SCENARIO_WISE",
     "MODE_TUPLE_WISE",

@@ -1,10 +1,14 @@
-"""Bootstrap VG function: resample historical observations.
+"""Bootstrap VG functions: resample historical observations.
 
 A common alternative to parametric models (Section 1 mentions forecasts
 built directly from historical data): each scenario draws from an
-empirical sample matrix of past observations.
+empirical sample matrix of past observations.  :class:`BootstrapVG`
+resamples raw observations given as a matrix; :class:`EmpiricalBootstrapVG`
+reads the observations from relation columns, re-centers them as
+residuals around a fitted base column, and resamples those — the
+standard residual bootstrap.
 
-Two resampling modes:
+Two resampling modes (both classes):
 
 * ``joint=True`` (default) — one historical *observation* (column) is
   drawn per scenario and applied to every tuple, preserving the
@@ -22,9 +26,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import VGFunctionError
-from .vg import VGFunction
+from .vg import VGFunction, register_vg
 
 
+@register_vg("bootstrap")
 class BootstrapVG(VGFunction):
     """Empirical resampling over an ``(n_rows, n_observations)`` matrix."""
 
@@ -39,6 +44,7 @@ class BootstrapVG(VGFunction):
 
     @property
     def n_observations(self) -> int:
+        """Number of historical observations (columns) per row."""
         return self.observations.shape[1]
 
     def _build_blocks(self, relation):
@@ -63,6 +69,7 @@ class BootstrapVG(VGFunction):
         return self.observations[rows[:, None], choices]
 
     def sample_all(self, rng):
+        """One scenario: a shared (joint) or per-row observation draw."""
         if self.joint:
             choice = int(rng.integers(0, self.n_observations))
             return self.observations[:, choice].copy()
@@ -70,7 +77,79 @@ class BootstrapVG(VGFunction):
         return self.observations[np.arange(self.n_rows), choices]
 
     def mean(self):
+        """Per-row empirical mean of the observation matrix."""
         return self.observations.mean(axis=1)
 
     def support(self):
+        """Per-row (min, max) of the observation matrix (exact, finite)."""
         return self.observations.min(axis=1), self.observations.max(axis=1)
+
+
+@register_vg("empirical_bootstrap")
+class EmpiricalBootstrapVG(BootstrapVG):
+    """Residual bootstrap around a fitted column, fed by relation columns.
+
+    The fitted value of each row comes from ``base_column``; its
+    residuals are the row's values in ``observation_columns`` minus
+    their own mean.  Each scenario resamples one residual (jointly
+    across rows by default — see :class:`BootstrapVG`) and adds it to
+    the fitted value::
+
+        value_i = base_i + (obs_i[d] - mean_d(obs_i))     for a drawn d
+
+    Unlike :class:`BootstrapVG`, all inputs are resolved from the bound
+    relation, so the VG is declarable from the registry surface (the
+    CLI ``--vg`` flag, ``SPQConfig.vg_overrides``, workload specs)::
+
+        empirical_bootstrap:base_column=exp_gain,observation_columns=h0+h1+h2
+
+    Parameters
+    ----------
+    base_column:
+        Column holding the fitted per-row value the residuals recenter on.
+    observation_columns:
+        Names of columns holding historical observations (at least two);
+        one column per past period.
+    joint:
+        Resampling mode, as in :class:`BootstrapVG` (default ``True``,
+        preserving cross-row dependence present in the history).
+    """
+
+    def __init__(self, base_column: str, observation_columns, joint: bool = True):
+        VGFunction.__init__(self)
+        observation_columns = (
+            [observation_columns]
+            if isinstance(observation_columns, str)
+            else list(observation_columns)
+        )
+        if len(observation_columns) < 2:
+            raise VGFunctionError(
+                "empirical_bootstrap needs at least two observation columns"
+            )
+        self.base_column = base_column
+        self.observation_columns = tuple(observation_columns)
+        self.joint = bool(joint)
+        #: Built at bind time: fitted base + recentered residuals.
+        self.observations = np.empty((0, 0))
+
+    def _after_bind(self, relation) -> None:
+        base = np.asarray(relation.column(self.base_column), dtype=float)
+        history = np.stack(
+            [
+                np.asarray(relation.column(name), dtype=float)
+                for name in self.observation_columns
+            ],
+            axis=1,
+        )
+        residuals = history - history.mean(axis=1, keepdims=True)
+        self.observations = base[:, None] + residuals
+
+    def mean(self):
+        """Exactly the fitted base column (residuals are recentered)."""
+        self._require_bound()
+        return super().mean()
+
+    def support(self):
+        """Per-row (min, max) of the rebuilt observation matrix."""
+        self._require_bound()
+        return super().support()

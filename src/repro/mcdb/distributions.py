@@ -17,7 +17,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import VGFunctionError
-from .vg import VGFunction
+from .vg import VGFunction, register_vg
 
 
 def _per_row(param, n: int, name: str) -> np.ndarray:
@@ -47,6 +47,7 @@ class _NoiseVG(VGFunction):
 
     @property
     def base(self) -> np.ndarray:
+        """The resolved per-row base-column values."""
         self._require_bound()
         assert self._base is not None
         return self._base
@@ -59,10 +60,12 @@ class _NoiseVG(VGFunction):
         return self.base[rows, None] + self._noise(rows, rng, size)
 
     def sample_all(self, rng):
+        """One scenario: base values plus one vectorized noise draw."""
         rows = np.arange(self.n_rows)
         return self.base + self._noise(rows, rng, 1)[:, 0]
 
 
+@register_vg("gaussian")
 class GaussianNoiseVG(_NoiseVG):
     """``base + Normal(0, σ_i)`` — Galaxy Q1–Q4.
 
@@ -86,11 +89,13 @@ class GaussianNoiseVG(_NoiseVG):
         return rng.normal(0.0, 1.0, size=(len(rows), size)) * self._sigma[rows, None]
 
     def mean(self):
+        """``E[value_i] = base_i`` (the noise is centered)."""
         return self.base.copy()
 
     # Gaussian noise is unbounded: keep default infinite support.
 
 
+@register_vg("pareto")
 class ParetoNoiseVG(_NoiseVG):
     """``base + Pareto(scale m_i, shape a_i)`` — Galaxy Q5–Q8.
 
@@ -119,17 +124,20 @@ class ParetoNoiseVG(_NoiseVG):
         return (raw + 1.0) * self._scale[rows, None]
 
     def mean(self):
+        """``base + a·m/(a−1)`` for shape ``a > 1``; ``None`` otherwise."""
         assert self._scale is not None and self._shape is not None
         if np.any(self._shape <= 1.0):
             return None
         return self.base + self._shape * self._scale / (self._shape - 1.0)
 
     def support(self):
+        """Noise is at least the scale ``m``: support ``[base+m, ∞)``."""
         assert self._scale is not None
         lo = self.base + self._scale
         return lo, np.full(self.n_rows, np.inf)
 
 
+@register_vg("uniform")
 class UniformNoiseVG(_NoiseVG):
     """``base + Uniform(lo, hi)`` with per-row or scalar bounds."""
 
@@ -154,14 +162,17 @@ class UniformNoiseVG(_NoiseVG):
         return lo + u * (hi - lo)
 
     def mean(self):
+        """``base + (low + high) / 2``."""
         assert self._low is not None and self._high is not None
         return self.base + 0.5 * (self._low + self._high)
 
     def support(self):
+        """Exact finite support ``[base+low, base+high]``."""
         assert self._low is not None and self._high is not None
         return self.base + self._low, self.base + self._high
 
 
+@register_vg("exponential")
 class ExponentialNoiseVG(_NoiseVG):
     """``base + (Exponential(rate) − 1/rate)`` — zero-mean exponential noise."""
 
@@ -185,17 +196,20 @@ class ExponentialNoiseVG(_NoiseVG):
         return noise
 
     def mean(self):
+        """``base`` when centered, else ``base + 1/rate``."""
         assert self._rate is not None
         if self.centered:
             return self.base.copy()
         return self.base + 1.0 / self._rate
 
     def support(self):
+        """Lower-bounded: ``[base − 1/rate, ∞)`` centered, ``[base, ∞)`` raw."""
         assert self._rate is not None
         shift = -1.0 / self._rate if self.centered else np.zeros(self.n_rows)
         return self.base + shift, np.full(self.n_rows, np.inf)
 
 
+@register_vg("student_t")
 class StudentTNoiseVG(_NoiseVG):
     """``base + scale · t(ν)`` — heavy-tailed symmetric noise.
 
@@ -223,6 +237,7 @@ class StudentTNoiseVG(_NoiseVG):
         return raw * self._scale[rows, None]
 
     def mean(self):
+        """``base`` for ``ν > 1``; ``None`` otherwise (undefined mean)."""
         assert self._dof is not None
         if np.any(self._dof <= 1.0):
             return None

@@ -20,9 +20,10 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import VGFunctionError
-from .vg import VGFunction, grouped_blocks
+from .vg import VGFunction, grouped_blocks, register_vg
 
 
+@register_vg("gbm")
 class GeometricBrownianMotionVG(VGFunction):
     """Per-stock correlated GBM gains.
 
@@ -139,6 +140,7 @@ class GeometricBrownianMotionVG(VGFunction):
         return self._gains_from_w(rows, w)
 
     def sample_all(self, rng):
+        """One scenario; vectorized when all blocks share a horizon grid."""
         if self._uniform is None:
             return super().sample_all(rng)
         u = self._uniform

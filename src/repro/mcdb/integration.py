@@ -14,7 +14,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..errors import VGFunctionError
-from .vg import VGFunction
+from .vg import VGFunction, register_vg
 
 #: Perturbation families supported by :func:`build_integration_variants`.
 INTEGRATION_FAMILIES = ("exponential", "poisson", "uniform", "student-t")
@@ -72,6 +72,7 @@ def build_integration_variants(
     return variants
 
 
+@register_vg("discrete")
 class DiscreteVariantsVG(VGFunction):
     """Uniform draw over ``D`` per-tuple variants.
 
@@ -89,6 +90,7 @@ class DiscreteVariantsVG(VGFunction):
 
     @property
     def n_sources(self) -> int:
+        """Number of integrated sources ``D`` (variant columns)."""
         return self.variants.shape[1]
 
     def _after_bind(self, relation) -> None:
@@ -104,11 +106,14 @@ class DiscreteVariantsVG(VGFunction):
         return self.variants[rows[:, None], choices]
 
     def sample_all(self, rng):
+        """One scenario: an independent variant pick per row."""
         choices = rng.integers(0, self.n_sources, size=self.n_rows)
         return self.variants[np.arange(self.n_rows), choices]
 
     def mean(self):
+        """Per-row mean of the ``D`` variants (exact)."""
         return self.variants.mean(axis=1)
 
     def support(self):
+        """Per-row (min, max) over the ``D`` variants (exact, finite)."""
         return self.variants.min(axis=1), self.variants.max(axis=1)

@@ -1,0 +1,154 @@
+"""Mixture VG function: weighted composition of registered VG families.
+
+Composability is what lets new workloads be expressed without touching
+the engine: a regime-switching market, for instance, is a two-component
+mixture of Gaussian copulas — calm (low correlation, positive drift) and
+crisis (high correlation, negative drift) — with the *same* query
+machinery running unchanged on top.
+
+Two composition modes:
+
+* ``shared=True`` (default) — one component is chosen per *scenario* and
+  realizes the whole relation.  The shared choice correlates every row
+  (a regime), so the mixture is a single independence block.
+* ``shared=False`` — each row independently chooses a component per
+  scenario.  All components must then be per-row independent (singleton
+  blocks), and so is the mixture.
+
+Components can be any bound-compatible :class:`VGFunction` instances,
+including other mixtures.  Means compose by linearity when every
+component has a closed form; supports compose as the envelope.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..errors import VGFunctionError
+from .vg import VGFunction, register_vg
+
+
+@register_vg("mixture")
+class MixtureVG(VGFunction):
+    """Weighted mixture over component VG functions (see module docstring).
+
+    Parameters
+    ----------
+    components:
+        Sequence of :class:`VGFunction` instances (at least one).  They
+        are bound to the mixture's relation when the mixture binds.
+    weights:
+        Per-component selection probabilities; nonnegative, normalized
+        internally.  Defaults to uniform.
+    shared:
+        Whether one component choice per scenario applies to every row
+        (``True``) or each row chooses independently (``False``).
+    """
+
+    def __init__(self, components, weights=None, shared: bool = True):
+        super().__init__()
+        components = list(components)
+        if not components:
+            raise VGFunctionError("a mixture needs at least one component")
+        for component in components:
+            if not isinstance(component, VGFunction):
+                raise VGFunctionError(
+                    "mixture components must be VGFunction instances"
+                )
+        if weights is None:
+            weights = [1.0] * len(components)
+        weights = np.asarray(weights, dtype=float)
+        if weights.shape != (len(components),):
+            raise VGFunctionError("weights must match the number of components")
+        if np.any(weights < 0) or weights.sum() <= 0:
+            raise VGFunctionError("weights must be nonnegative with positive sum")
+        self.components = components
+        self.weights = weights / weights.sum()
+        self.shared = bool(shared)
+        self._cum_weights: np.ndarray | None = None
+
+    # --- binding -------------------------------------------------------------
+
+    def bind(self, relation) -> "MixtureVG":
+        """Bind the components first, then the mixture itself."""
+        for component in self.components:
+            if component.bound:
+                if component._relation is not relation:
+                    raise VGFunctionError(
+                        "mixture component is already bound to a different"
+                        " relation"
+                    )
+            else:
+                component.bind(relation)
+        return super().bind(relation)
+
+    def _build_blocks(self, relation):
+        if self.shared:
+            # The scenario-level regime choice correlates every row.
+            return [np.arange(relation.n_rows)]
+        for component in self.components:
+            if component.n_blocks != relation.n_rows:
+                raise VGFunctionError(
+                    "shared=False requires per-row independent components"
+                    f" ({type(component).__name__} has correlated blocks)"
+                )
+        return super()._build_blocks(relation)
+
+    def _after_bind(self, relation) -> None:
+        self._cum_weights = np.cumsum(self.weights)
+
+    def _choose(self, rng: np.random.Generator, size) -> np.ndarray:
+        """Component index draws via the inverse-CDF of the weights."""
+        return np.searchsorted(
+            self._cum_weights, rng.random(size=size), side="right"
+        ).clip(max=len(self.components) - 1)
+
+    # --- sampling ------------------------------------------------------------
+
+    def _sample_block(self, block_index, rng, size):
+        if self.shared:
+            choices = self._choose(rng, size)
+            out = np.empty((self.n_rows, size), dtype=float)
+            # One draw per scenario from the chosen component; sequential
+            # in scenario order so the stream is reproducible.
+            for j in range(size):
+                out[:, j] = self.components[int(choices[j])].sample_all(rng)
+            return out
+        # Per-row: the block is a single row; every component draws its
+        # candidate values and the chosen one is kept per scenario (all
+        # components consume the stream, keeping draw order fixed).
+        row = int(self.blocks[block_index][0])
+        choices = self._choose(rng, size)
+        candidates = [
+            component.sample_block(
+                int(component.block_of_rows(np.array([row]))[0]), rng, size
+            )[0]
+            for component in self.components
+        ]
+        out = np.choose(choices, candidates)
+        return out[None, :]
+
+    def sample_all(self, rng):
+        """One scenario: one regime draw (shared) or per-row choices."""
+        if self.shared:
+            choice = int(self._choose(rng, None))
+            return self.components[choice].sample_all(rng)
+        choices = self._choose(rng, self.n_rows)
+        candidates = np.stack(
+            [component.sample_all(rng) for component in self.components]
+        )
+        return candidates[choices, np.arange(self.n_rows)]
+
+    # --- analytic structure ----------------------------------------------------
+
+    def mean(self):
+        """Weighted component means, when every component has one."""
+        means = [component.mean() for component in self.components]
+        if any(m is None for m in means):
+            return None
+        return np.einsum("c,cr->r", self.weights, np.stack(means))
+
+    def support(self):
+        """Envelope of the component supports."""
+        los, his = zip(*(component.support() for component in self.components))
+        return np.min(np.stack(los), axis=0), np.max(np.stack(his), axis=0)

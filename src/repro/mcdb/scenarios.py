@@ -294,6 +294,11 @@ class ScenarioCache:
         return key
 
     def coefficient_matrix(self, expr: Expr, n_scenarios: int) -> np.ndarray:
+        """The first ``n_scenarios`` coefficient columns of ``expr``.
+
+        Grow-only: asking for a larger ``n_scenarios`` generates only
+        the new suffix (delegated to the shared store when attached).
+        """
         if self._store is not None:
             return self._store.coefficient_matrix(
                 self._content_key(expr),
@@ -338,6 +343,7 @@ class ScenarioCache:
 
     @property
     def cached_bytes(self) -> int:
+        """Total bytes of locally (non-store) cached matrices."""
         return sum(m.nbytes for _, m in self._cache.values())
 
 

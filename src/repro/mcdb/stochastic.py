@@ -14,7 +14,7 @@ from typing import Iterable, Mapping
 import numpy as np
 
 from ..errors import SchemaError, VGFunctionError
-from .vg import VGFunction
+from .vg import VGFunction, parse_vg_expr
 
 
 class StochasticModel:
@@ -39,6 +39,7 @@ class StochasticModel:
 
     @property
     def attribute_names(self) -> list[str]:
+        """Sorted names of the stochastic attributes."""
         return sorted(self._vgs)
 
     def is_stochastic(self, name: str) -> bool:
@@ -85,3 +86,45 @@ class StochasticModel:
     def support(self, name: str) -> tuple[np.ndarray, np.ndarray]:
         """Per-row support interval of ``name``."""
         return self.vg(name).support()
+
+
+def parse_attribute_vg(spec: str) -> tuple[str, VGFunction]:
+    """Split one ``Attr=kind:param=value,...`` override into (name, VG).
+
+    The right-hand side is a registry expression (see
+    :func:`repro.mcdb.vg.parse_vg_expr`); the VG comes back unbound.
+    """
+    name, eq, expr = spec.partition("=")
+    name = name.strip()
+    if not eq or not name:
+        raise VGFunctionError(
+            f"bad VG override {spec!r}: expected Attr=kind:param=value,..."
+        )
+    return name, parse_vg_expr(expr)
+
+
+def apply_vg_overrides(relation, model, specs) -> "StochasticModel | None":
+    """Apply ``Attr=kind:param=value,...`` overrides to a relation's model.
+
+    Each spec in ``specs`` replaces (or adds) one stochastic attribute of
+    ``model`` with a registry-built VG bound to ``relation``.  ``model``
+    may be ``None`` (a purely deterministic relation); the result is then
+    a fresh model holding only the overrides.  Returns ``model``
+    unchanged when ``specs`` is empty.
+
+    This is the single implementation behind ``SPQConfig.vg_overrides``,
+    the CLI ``--vg`` flag, and ``QuerySpec.build_dataset``'s override
+    hook.
+    """
+    specs = list(specs or ())
+    if not specs:
+        return model
+    attributes: dict[str, VGFunction] = (
+        {name: model.vg(name) for name in model.attribute_names}
+        if model is not None
+        else {}
+    )
+    for spec in specs:
+        name, vg = parse_attribute_vg(spec)
+        attributes[name] = vg
+    return StochasticModel(relation, attributes)

@@ -1,4 +1,4 @@
-"""VG-function framework.
+"""VG-function framework and the pluggable VG registry.
 
 A VG ("variable generation") function produces realizations of one
 stochastic attribute for every tuple of a relation.  Independence
@@ -16,15 +16,33 @@ strategies (Section 5.5) possible:
 Subclasses implement :meth:`_sample_block`; a vectorized
 :meth:`sample_all` fast path may be overridden when the block loop is a
 bottleneck (all built-in VG functions do).
+
+The **registry** makes VG families constructible by name: decorate a
+class with :func:`register_vg` and it becomes reachable from
+:func:`make_vg`, the workload specs, ``SPQConfig.vg_overrides``, and the
+CLI's ``--vg`` flag without the caller importing the class.  Every
+:class:`VGFunction` also exposes :meth:`~VGFunction.params_fingerprint`,
+a stable hash of its constructor parameters that feeds the shared
+:class:`repro.service.ScenarioStore` content keys — two VGs differing
+only in a parameter can never share cached scenario matrices.
 """
 
 from __future__ import annotations
 
+import hashlib
+import pickle
 from abc import ABC, abstractmethod
 
 import numpy as np
 
 from ..errors import VGFunctionError
+
+#: Instance attributes written by :meth:`VGFunction.bind` (and the
+#: fingerprint cache itself); everything else in ``__dict__`` is treated
+#: as a constructor parameter by :meth:`VGFunction.params_fingerprint`.
+_BINDING_FIELDS = frozenset(
+    {"_relation", "_blocks", "_block_of_row", "_params_fp"}
+)
 
 
 class VGFunction(ABC):
@@ -40,11 +58,15 @@ class VGFunction(ABC):
         self._relation = None
         self._blocks: list[np.ndarray] | None = None
         self._block_of_row: np.ndarray | None = None
+        self._params_fp: str | None = None
 
     # --- binding -------------------------------------------------------------
 
     def bind(self, relation) -> "VGFunction":
         """Resolve columns against ``relation`` and build the block partition."""
+        # Snapshot the constructor-parameter fingerprint before any bound
+        # state lands in __dict__, so it is identical pre- and post-bind.
+        self.params_fingerprint()
         self._relation = relation
         self._blocks = self._build_blocks(relation)
         n = relation.n_rows
@@ -68,6 +90,7 @@ class VGFunction(ABC):
 
     @property
     def bound(self) -> bool:
+        """Whether :meth:`bind` has attached a relation."""
         return self._relation is not None
 
     def _require_bound(self):
@@ -79,16 +102,19 @@ class VGFunction(ABC):
 
     @property
     def n_rows(self) -> int:
+        """Row count of the bound relation."""
         return self._require_bound().n_rows
 
     @property
     def blocks(self) -> list[np.ndarray]:
+        """The independence partition: row positions of each block."""
         self._require_bound()
         assert self._blocks is not None
         return self._blocks
 
     @property
     def n_blocks(self) -> int:
+        """Number of independence blocks."""
         return len(self.blocks)
 
     def block_of_rows(self, rows: np.ndarray) -> np.ndarray:
@@ -152,6 +178,199 @@ class VGFunction(ABC):
         """
         n = self.n_rows
         return np.full(n, -np.inf), np.full(n, np.inf)
+
+    # --- identity ---------------------------------------------------------------
+
+    def params_fingerprint(self) -> str:
+        """Stable SHA-256 hex digest of this VG's type and parameters.
+
+        The digest covers the class identity plus every constructor
+        parameter (everything in ``__dict__`` except bound state), so two
+        instances of the same family with different parameters always
+        fingerprint differently, while binding a VG never changes its
+        fingerprint.  :func:`repro.service.store.model_fingerprint` folds
+        it into the :class:`~repro.service.ScenarioStore` content keys,
+        which is what rules out false cache hits between VG
+        configurations.  The value is computed once (on first call or at
+        :meth:`bind`, whichever comes first) and cached.
+        """
+        if self._params_fp is None:
+            digest = hashlib.sha256()
+            digest.update(type(self).__module__.encode())
+            digest.update(b"\x00")
+            digest.update(type(self).__qualname__.encode())
+            for name in sorted(self.__dict__):
+                if name in _BINDING_FIELDS:
+                    continue
+                digest.update(b"\x00")
+                digest.update(name.encode())
+                digest.update(b"=")
+                digest.update(_canonical_param(self.__dict__[name]))
+            self._params_fp = digest.hexdigest()
+        return self._params_fp
+
+
+def _canonical_param(value) -> bytes:
+    """A stable byte rendering of one constructor parameter.
+
+    Handles the parameter kinds the built-in families use — scalars,
+    strings, arrays, nested VG functions, and containers of those — and
+    falls back to a pickle digest for anything else.
+    """
+    if isinstance(value, VGFunction):
+        return b"vg:" + value.params_fingerprint().encode()
+    if isinstance(value, np.ndarray):
+        body = hashlib.sha256(np.ascontiguousarray(value).tobytes()).hexdigest()
+        return f"nd:{value.shape}:{value.dtype}:{body}".encode()
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return repr(value).encode()
+    if isinstance(value, (list, tuple)):
+        return b"seq:[" + b",".join(_canonical_param(v) for v in value) + b"]"
+    if isinstance(value, dict):
+        return b"map:{" + b",".join(
+            _canonical_param(k) + b":" + _canonical_param(value[k])
+            for k in sorted(value, key=repr)
+        ) + b"}"
+    try:
+        return b"pkl:" + hashlib.sha256(
+            pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        ).digest()
+    except Exception:  # pragma: no cover - unpicklable custom params
+        return b"repr:" + repr(value).encode()
+
+
+# --- registry -----------------------------------------------------------------
+
+#: Global name → VGFunction subclass registry (see :func:`register_vg`).
+_VG_REGISTRY: dict[str, type] = {}
+
+
+def register_vg(name: str):
+    """Class decorator registering a :class:`VGFunction` under ``name``.
+
+    Registered families are constructible by :func:`make_vg` (and hence
+    from workload specs, ``SPQConfig.vg_overrides``, and the CLI's
+    ``--vg`` flag).  Names are case-insensitive and must be unique; a
+    *different* class may not claim a taken name.  Re-registering the
+    same class — or a same-named class from the same module, which is
+    what ``importlib.reload`` produces — replaces the entry, so module
+    reloads are safe.
+
+    Usage::
+
+        @register_vg("my_noise")
+        class MyNoiseVG(VGFunction): ...
+    """
+    key = name.strip().lower()
+    if not key:
+        raise VGFunctionError("VG registry names must be non-empty")
+
+    def decorate(cls: type) -> type:
+        existing = _VG_REGISTRY.get(key)
+        if (
+            existing is not None
+            and existing is not cls
+            and (existing.__module__, existing.__qualname__)
+            != (cls.__module__, cls.__qualname__)
+        ):
+            raise VGFunctionError(
+                f"VG name {key!r} is already registered to"
+                f" {existing.__qualname__}"
+            )
+        _VG_REGISTRY[key] = cls
+        return cls
+
+    return decorate
+
+
+def vg_names() -> list[str]:
+    """Sorted names of all registered VG families."""
+    return sorted(_VG_REGISTRY)
+
+
+def make_vg(name: str, **params) -> VGFunction:
+    """Construct a registered VG family by name.
+
+    ``params`` are passed to the family's constructor as keyword
+    arguments; a wrong or missing parameter raises
+    :class:`VGFunctionError` naming the family (rather than a bare
+    ``TypeError``), so registry-driven callers (CLI, workload specs) get
+    actionable messages.
+    """
+    key = name.strip().lower()
+    cls = _VG_REGISTRY.get(key)
+    if cls is None:
+        raise VGFunctionError(
+            f"unknown VG family {name!r}; registered: {vg_names()}"
+        )
+    try:
+        return cls(**params)
+    except VGFunctionError:
+        raise
+    except (TypeError, ValueError) as error:
+        # Wrong keyword names, and constructor-level coercion failures
+        # (e.g. float("abc")), both surface as actionable registry errors.
+        raise VGFunctionError(
+            f"bad parameters for VG family {key!r}: {error}"
+        ) from None
+
+
+def parse_vg_expr(text: str) -> VGFunction:
+    """Build a VG from a ``kind:param=value,...`` registry expression.
+
+    This is the textual surface shared by the CLI ``--vg`` flag,
+    ``SPQConfig.vg_overrides``, and :meth:`QuerySpec.build_dataset
+    <repro.workloads.spec.QuerySpec.build_dataset>`:
+
+    * ``kind`` is a registered family name (see :func:`vg_names`);
+    * each ``param=value`` becomes a constructor keyword argument;
+    * values parse as ``int``, then ``float``, then the literals
+      ``true``/``false``/``none``; anything else stays a string (column
+      names resolve at bind time);
+    * ``+`` inside a value builds a list (e.g. ``cols=h0+h1+h2``).
+
+    Example: ``gaussian_copula:base=exp_gain,scale=gain_sd,rho=0.6,group=sector``.
+    """
+    kind, _, params_text = text.strip().partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise VGFunctionError(
+            f"bad VG expression {text!r}: expected kind:param=value,..."
+        )
+    params = {}
+    for part in filter(None, (p.strip() for p in params_text.split(","))):
+        key, eq, raw = part.partition("=")
+        if not eq or not key.strip():
+            raise VGFunctionError(
+                f"bad VG parameter {part!r} in {text!r}: expected param=value"
+            )
+        params[key.strip()] = _parse_param_value(raw.strip())
+    return make_vg(kind, **params)
+
+
+def _parse_param_value(raw: str):
+    """Parse one textual parameter value (int/float/bool/None/str/list).
+
+    Numeric parsing is attempted before list-splitting so scientific
+    notation (``1e+3``) stays a single number; ``+`` only builds a list
+    when the whole token is not a number.
+    """
+    lowered = raw.lower()
+    if lowered in ("true", "false"):
+        return lowered == "true"
+    if lowered == "none":
+        return None
+    try:
+        return int(raw)
+    except ValueError:
+        pass
+    try:
+        return float(raw)
+    except ValueError:
+        pass
+    if "+" in raw:
+        return [_parse_param_value(v) for v in raw.split("+")]
+    return raw
 
 
 def grouped_blocks(values: np.ndarray) -> list[np.ndarray]:

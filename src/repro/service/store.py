@@ -71,10 +71,19 @@ def relation_fingerprint(relation) -> str:
 def _vg_state(vg) -> tuple:
     """A VG function's identity minus its bound relation reference.
 
-    The relation's *content* is hashed separately (name-free), so two
-    models over identically-valued relations with different names share
+    VGs descending from :class:`repro.mcdb.VGFunction` contribute their
+    :meth:`~repro.mcdb.VGFunction.params_fingerprint` — a stable hash of
+    the class plus every constructor parameter — so two configurations
+    of the same family (e.g. copulas differing only in ``rho``) can
+    never share store entries.  Exotic VG-like objects without the
+    method fall back to their pickled state.  The relation's *content*
+    is hashed separately (name-free), so two models over
+    identically-valued relations with different names share
     fingerprints.
     """
+    fingerprint = getattr(vg, "params_fingerprint", None)
+    if callable(fingerprint):
+        return (type(vg).__module__, type(vg).__qualname__, fingerprint())
     state = dict(vg.__dict__)
     state.pop("_relation", None)
     return (type(vg).__module__, type(vg).__qualname__, sorted(state.items()))
@@ -83,11 +92,11 @@ def _vg_state(vg) -> tuple:
 def model_fingerprint(model) -> str:
     """SHA-256 over a stochastic model's relation content and VG functions.
 
-    VG functions are hashed through their pickled bound state (they are
-    already required to be picklable for the parallel executor).  If a VG
-    cannot be pickled, the model gets a unique fallback fingerprint —
-    still internally consistent, just never shared with another model.
-    The result is cached on the model instance.
+    VG functions are hashed through :func:`_vg_state` (parameter
+    fingerprints, or pickled bound state for legacy objects).  If a VG's
+    state cannot be serialized, the model gets a unique fallback
+    fingerprint — still internally consistent, just never shared with
+    another model.  The result is cached on the model instance.
     """
     cached = getattr(model, _FINGERPRINT_ATTR, None)
     if cached is not None:

@@ -1,20 +1,26 @@
-"""The paper's experimental workloads: 24 sPaQL queries over 3 datasets.
+"""The experimental workloads: the paper's 24 queries plus extensions.
 
 Each query of Table 3 (Appendix C) is encoded as a :class:`QuerySpec`
 bundling the sPaQL text, the dataset recipe (noise family, parameters,
 subsets), the probability threshold ``p`` and bound ``v``, the
 objective/constraint interaction class, and whether the query is
-feasible.  ``WORKLOADS`` maps workload name → list of eight specs.
+feasible.  ``WORKLOADS`` maps workload name → list of specs.
+
+Beyond the paper's three workloads, ``portfolio_correlated`` exercises
+the registry-built correlated VG families (Gaussian copulas, regime
+mixtures, joint bootstrap) on a sector-structured stock universe.
 """
 
 from .spec import QuerySpec, workload_names, get_workload, get_query
 from .galaxy import GALAXY_QUERIES
 from .portfolio import PORTFOLIO_QUERIES
+from .portfolio_correlated import PORTFOLIO_CORRELATED_QUERIES
 from .tpch import TPCH_QUERIES
 
 WORKLOADS = {
     "galaxy": GALAXY_QUERIES,
     "portfolio": PORTFOLIO_QUERIES,
+    "portfolio_correlated": PORTFOLIO_CORRELATED_QUERIES,
     "tpch": TPCH_QUERIES,
 }
 
@@ -23,6 +29,7 @@ __all__ = [
     "WORKLOADS",
     "GALAXY_QUERIES",
     "PORTFOLIO_QUERIES",
+    "PORTFOLIO_CORRELATED_QUERIES",
     "TPCH_QUERIES",
     "workload_names",
     "get_workload",

@@ -21,7 +21,10 @@ class QuerySpec:
     ``scale`` is workload-specific (rows for Galaxy/TPC-H, stocks for
     Portfolio) and ``None`` selects the paper's full size.
     ``default_summaries`` is the per-workload ``Z`` used in Figure 4
-    (1 for Galaxy and Portfolio, 2 for TPC-H).
+    (1 for Galaxy and Portfolio, 2 for TPC-H).  ``vg`` documents the
+    VG-registry expression behind the spec's stochastic model (empty
+    for the paper's original workloads, whose models predate the
+    registry); see :meth:`build_dataset` for overriding it.
     """
 
     workload: str
@@ -35,14 +38,33 @@ class QuerySpec:
     default_summaries: int = 1
     uncertainty: str = ""
     notes: str = ""
+    #: Registry expression (``"kind:param=value,..."``) describing the
+    #: spec's headline stochastic attribute, when registry-built.
+    vg: str = ""
 
     @property
     def qualified_name(self) -> str:
+        """``workload/query`` identifier, e.g. ``portfolio/Q3``."""
         return f"{self.workload}/{self.name}"
 
-    def build_dataset(self, scale: int | None = None, seed: int = 42):
-        """Materialize the dataset for this query."""
-        return self.dataset_factory(scale, seed)
+    def build_dataset(
+        self, scale: int | None = None, seed: int = 42, vg_overrides=()
+    ):
+        """Materialize the dataset for this query.
+
+        ``vg_overrides`` — ``"Attr=kind:param=value,..."`` registry
+        specs (see :func:`repro.mcdb.apply_vg_overrides`) — replace or
+        add stochastic attributes on top of the factory's model, so any
+        workload can be re-run under a different uncertainty model
+        (e.g. swapping the portfolio's GBM for a Gaussian copula)
+        without a new dataset recipe.
+        """
+        relation, model = self.dataset_factory(scale, seed)
+        if vg_overrides:
+            from ..mcdb import apply_vg_overrides
+
+            model = apply_vg_overrides(relation, model, vg_overrides)
+        return relation, model
 
 
 def workload_names() -> list[str]:
@@ -53,7 +75,7 @@ def workload_names() -> list[str]:
 
 
 def get_workload(name: str) -> list[QuerySpec]:
-    """The eight query specs of one workload."""
+    """The query specs of one workload (eight for the paper's three)."""
     from . import WORKLOADS
 
     try:

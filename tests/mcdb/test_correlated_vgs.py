@@ -1,0 +1,289 @@
+"""Behavior of the correlated VG families: copula, mixture, bootstrap."""
+
+import numpy as np
+import pytest
+
+from repro.config import STREAM_OPTIMIZATION
+from repro.db.relation import Relation
+from repro.errors import VGFunctionError
+from repro.mcdb import (
+    EmpiricalBootstrapVG,
+    GaussianCopulaVG,
+    GaussianNoiseVG,
+    MixtureVG,
+    ScenarioGenerator,
+    StochasticModel,
+)
+from repro.mcdb.copula import cholesky_correlation, equicorrelation_matrix
+from repro.mcdb.scenarios import MODE_TUPLE_WISE
+
+
+@pytest.fixture
+def sectors() -> Relation:
+    """Eight rows in two sectors with per-row scales and a history."""
+    rng = np.random.default_rng(5)
+    n, n_obs = 8, 40
+    base = np.linspace(1.0, 8.0, n)
+    sd = np.linspace(0.5, 1.2, n)
+    sector = np.array(["a", "b"] * 4, dtype=object)
+    # History with strong within-sector co-movement.
+    shared = rng.normal(size=(2, n_obs))
+    own = rng.normal(size=(n, n_obs))
+    z = 0.9 * shared[(sector == "b").astype(int)] + np.sqrt(1 - 0.81) * own
+    columns = {
+        "sector": sector,
+        "exp_gain": base,
+        "gain_sd": sd,
+    }
+    for d in range(n_obs):
+        columns[f"h{d}"] = base + sd * z[:, d]
+    return Relation("t", columns)
+
+
+def _matrix(relation, vg, n=4000, seed=3, mode="scenario"):
+    model = StochasticModel(relation, {"X": vg})
+    generator = ScenarioGenerator(model, seed, STREAM_OPTIMIZATION, mode=mode)
+    return generator.matrix("X", n)
+
+
+# --- GaussianCopulaVG --------------------------------------------------------
+
+
+def test_copula_equicorrelation_structure(sectors):
+    vg = GaussianCopulaVG(
+        "exp_gain", scale="gain_sd", rho=0.8, group_column="sector"
+    )
+    matrix = _matrix(sectors, vg)
+    same = np.corrcoef(matrix[0], matrix[2])[0, 1]  # both sector a
+    cross = np.corrcoef(matrix[0], matrix[1])[0, 1]  # a vs b
+    assert same == pytest.approx(0.8, abs=0.1)
+    assert cross == pytest.approx(0.0, abs=0.1)
+    # Marginals: mean ~ base, sd ~ scale.
+    assert matrix.mean(axis=1) == pytest.approx(
+        sectors.column("exp_gain"), abs=0.1
+    )
+    assert matrix.std(axis=1) == pytest.approx(
+        np.asarray(sectors.column("gain_sd"), dtype=float), rel=0.15
+    )
+
+
+def test_copula_rho_zero_is_independent(sectors):
+    vg = GaussianCopulaVG(
+        "exp_gain", scale="gain_sd", rho=0.0, group_column="sector"
+    )
+    matrix = _matrix(sectors, vg)
+    assert abs(np.corrcoef(matrix[0], matrix[2])[0, 1]) < 0.1
+
+
+def test_copula_negative_rho_via_cholesky(sectors):
+    vg = GaussianCopulaVG(
+        "exp_gain", scale="gain_sd", rho=-0.2, group_column="sector"
+    )
+    matrix = _matrix(sectors, vg)
+    assert np.corrcoef(matrix[0], matrix[2])[0, 1] == pytest.approx(-0.2, abs=0.1)
+
+
+def test_copula_negative_rho_infeasible_for_block_size(sectors):
+    # rho < -1/(k-1) with k=4 is not a valid correlation structure.
+    vg = GaussianCopulaVG("exp_gain", rho=-0.9, group_column="sector")
+    with pytest.raises(VGFunctionError, match="positive semi-definite"):
+        StochasticModel(sectors, {"X": vg})
+
+
+def test_copula_explicit_matrix_and_size_mismatch(sectors):
+    matrix_corr = equicorrelation_matrix(4, 0.6)
+    vg = GaussianCopulaVG(
+        "exp_gain", scale=1.0, correlation=matrix_corr, group_column="sector"
+    )
+    realized = _matrix(sectors, vg)
+    assert np.corrcoef(realized[0], realized[2])[0, 1] == pytest.approx(
+        0.6, abs=0.1
+    )
+    wrong = GaussianCopulaVG(
+        "exp_gain", correlation=equicorrelation_matrix(3, 0.6),
+        group_column="sector",
+    )
+    with pytest.raises(VGFunctionError, match="3x3"):
+        StochasticModel(sectors, {"Y": wrong})
+
+
+def test_copula_history_estimated_correlation(sectors):
+    history = [f"h{d}" for d in range(40)]
+    vg = GaussianCopulaVG(
+        "exp_gain", scale="gain_sd", history_columns=history,
+        group_column="sector",
+    )
+    matrix = _matrix(sectors, vg)
+    # The history was generated with within-sector corr ~0.81.
+    assert np.corrcoef(matrix[0], matrix[2])[0, 1] > 0.5
+    assert abs(np.corrcoef(matrix[0], matrix[1])[0, 1]) < 0.25
+
+
+def test_copula_whole_relation_block_and_mean(sectors):
+    vg = GaussianCopulaVG("exp_gain", scale=0.5, rho=0.9)
+    model = StochasticModel(sectors, {"X": vg})
+    assert model.vg("X").n_blocks == 1
+    assert model.mean("X") == pytest.approx(sectors.column("exp_gain"))
+
+
+def test_copula_parameter_validation(sectors):
+    with pytest.raises(VGFunctionError, match="exactly one"):
+        GaussianCopulaVG("exp_gain", rho=0.5, correlation=np.eye(2))
+    with pytest.raises(VGFunctionError, match=r"\[-1, 1\]"):
+        GaussianCopulaVG("exp_gain", rho=1.5)
+    with pytest.raises(VGFunctionError, match="nonnegative"):
+        StochasticModel(
+            sectors, {"X": GaussianCopulaVG("exp_gain", scale=-1.0)}
+        )
+
+
+def test_cholesky_correlation_rejects_garbage():
+    with pytest.raises(VGFunctionError, match="unit diagonal"):
+        cholesky_correlation(2.0 * np.eye(3), "test matrix")
+    with pytest.raises(VGFunctionError, match="square"):
+        cholesky_correlation(np.ones((2, 3)), "test matrix")
+    # A singular-but-valid PSD matrix factors via the jitter ladder.
+    singular = np.ones((3, 3))
+    factor = cholesky_correlation(singular, "test matrix")
+    assert np.allclose(factor @ factor.T, singular, atol=1e-4)
+
+
+# --- MixtureVG ---------------------------------------------------------------
+
+
+def test_shared_mixture_is_one_block_with_composed_mean(sectors):
+    components = [
+        GaussianNoiseVG("exp_gain", 0.1),
+        GaussianNoiseVG("gain_sd", 0.1),
+    ]
+    mix = MixtureVG(components, weights=[0.25, 0.75])
+    model = StochasticModel(sectors, {"X": mix})
+    assert model.vg("X").n_blocks == 1
+    expected = 0.25 * np.asarray(sectors.column("exp_gain")) + 0.75 * np.asarray(
+        sectors.column("gain_sd")
+    )
+    assert model.mean("X") == pytest.approx(expected)
+    matrix = _matrix(sectors, mix, n=3000)
+    assert matrix.mean(axis=1) == pytest.approx(expected, abs=0.15)
+
+
+def test_shared_mixture_regime_correlates_rows(sectors):
+    # Two constant-ish regimes far apart: all rows move together.
+    mix = MixtureVG(
+        [
+            GaussianNoiseVG("exp_gain", 0.01),
+            GaussianNoiseVG("gain_sd", 0.01),
+        ],
+        weights=[0.5, 0.5],
+    )
+    matrix = _matrix(sectors, mix, n=2000)
+    assert np.corrcoef(matrix[0], matrix[5])[0, 1] > 0.9
+
+
+def test_per_row_mixture_requires_independent_components(sectors):
+    correlated = GaussianCopulaVG("exp_gain", rho=0.5, group_column="sector")
+    mix = MixtureVG([GaussianNoiseVG("exp_gain", 1.0), correlated], shared=False)
+    with pytest.raises(VGFunctionError, match="per-row independent"):
+        StochasticModel(sectors, {"X": mix})
+
+
+def test_per_row_mixture_blocks_and_distribution(sectors):
+    mix = MixtureVG(
+        [GaussianNoiseVG("exp_gain", 0.05), GaussianNoiseVG("exp_gain", 3.0)],
+        weights=[0.9, 0.1],
+        shared=False,
+    )
+    model = StochasticModel(sectors, {"X": mix})
+    assert model.vg("X").n_blocks == sectors.n_rows
+    matrix = _matrix(sectors, mix, n=4000, mode=MODE_TUPLE_WISE)
+    # Rows are independent: regime draws do not co-move across rows.
+    assert abs(np.corrcoef(matrix[0], matrix[1])[0, 1]) < 0.1
+    assert matrix.mean(axis=1) == pytest.approx(
+        sectors.column("exp_gain"), abs=0.2
+    )
+
+
+def test_mixture_support_envelope(sectors):
+    mix = MixtureVG(
+        [
+            EmpiricalBootstrapVG("exp_gain", ["h0", "h1", "h2"]),
+            EmpiricalBootstrapVG("exp_gain", ["h3", "h4"]),
+        ]
+    )
+    model = StochasticModel(sectors, {"X": mix})
+    lo, hi = model.support("X")
+    los = [c.support()[0] for c in mix.components]
+    his = [c.support()[1] for c in mix.components]
+    assert lo == pytest.approx(np.minimum(*los))
+    assert hi == pytest.approx(np.maximum(*his))
+
+
+def test_mixture_validation():
+    with pytest.raises(VGFunctionError, match="at least one"):
+        MixtureVG([])
+    with pytest.raises(VGFunctionError, match="VGFunction"):
+        MixtureVG(["not a vg"])
+    with pytest.raises(VGFunctionError, match="match"):
+        MixtureVG([GaussianNoiseVG("a", 1.0)], weights=[0.5, 0.5])
+    with pytest.raises(VGFunctionError, match="nonnegative"):
+        MixtureVG(
+            [GaussianNoiseVG("a", 1.0), GaussianNoiseVG("a", 2.0)],
+            weights=[1.0, -1.0],
+        )
+
+
+# --- EmpiricalBootstrapVG ----------------------------------------------------
+
+
+def test_empirical_bootstrap_resamples_recentred_residuals(sectors):
+    history = [f"h{d}" for d in range(40)]
+    vg = EmpiricalBootstrapVG("exp_gain", history, joint=True)
+    model = StochasticModel(sectors, {"X": vg})
+    # Residuals recenter on the base column exactly.
+    assert model.mean("X") == pytest.approx(sectors.column("exp_gain"))
+    bound = model.vg("X")
+    assert bound.observations.shape == (sectors.n_rows, 40)
+    # Every realized scenario is one of the historical residual columns.
+    matrix = _matrix(sectors, vg, n=50)
+    for j in range(matrix.shape[1]):
+        assert any(
+            np.allclose(matrix[:, j], bound.observations[:, d])
+            for d in range(40)
+        )
+
+
+def test_empirical_bootstrap_joint_preserves_comovement(sectors):
+    history = [f"h{d}" for d in range(40)]
+    joint = _matrix(
+        sectors, EmpiricalBootstrapVG("exp_gain", history, joint=True), n=3000
+    )
+    marginal = _matrix(
+        sectors, EmpiricalBootstrapVG("exp_gain", history, joint=False), n=3000
+    )
+    # The history co-moves within sectors; joint resampling keeps that,
+    # per-row resampling destroys it.
+    assert np.corrcoef(joint[0], joint[2])[0, 1] > 0.5
+    assert abs(np.corrcoef(marginal[0], marginal[2])[0, 1]) < 0.15
+
+
+def test_empirical_bootstrap_needs_two_columns():
+    with pytest.raises(VGFunctionError, match="at least two"):
+        EmpiricalBootstrapVG("exp_gain", ["h0"])
+
+
+def test_copula_bare_string_history_column_is_one_column(sectors):
+    """A bare string is one column name, not an iterable of characters;
+    one observation column is too few to estimate a correlation."""
+    vg = GaussianCopulaVG("exp_gain", history_columns="h0")
+    assert vg.history_columns == ("h0",)
+    with pytest.raises(VGFunctionError, match="at least two"):
+        StochasticModel(sectors, {"X": vg})
+
+
+def test_new_vgs_unbound_mean_raises_vg_error(sectors):
+    with pytest.raises(VGFunctionError, match="bound"):
+        GaussianCopulaVG("exp_gain", rho=0.5).mean()
+    with pytest.raises(VGFunctionError, match="bound"):
+        EmpiricalBootstrapVG("exp_gain", ["h0", "h1"]).mean()
+    with pytest.raises(VGFunctionError, match="bound"):
+        EmpiricalBootstrapVG("exp_gain", ["h0", "h1"]).support()

@@ -1,0 +1,283 @@
+"""VG registry: named construction, textual specs, parameter fingerprints."""
+
+import numpy as np
+import pytest
+
+from repro.config import STREAM_OPTIMIZATION
+from repro.db.relation import Relation
+from repro.errors import VGFunctionError
+from repro.mcdb import (
+    GaussianCopulaVG,
+    GaussianNoiseVG,
+    MixtureVG,
+    ScenarioGenerator,
+    StochasticModel,
+    apply_vg_overrides,
+    make_vg,
+    parse_vg_expr,
+    register_vg,
+    vg_names,
+)
+from repro.mcdb.vg import VGFunction, _parse_param_value
+from repro.service.store import ScenarioStore, model_fingerprint, store_key
+from repro.silp.compile import compile_query
+
+
+@pytest.fixture
+def relation():
+    return Relation(
+        "t",
+        {
+            "sector": ["a", "a", "b", "b"],
+            "exp_gain": [1.0, 2.0, 3.0, 4.0],
+            "gain_sd": [0.5, 0.5, 1.0, 1.0],
+        },
+    )
+
+
+# --- registry mechanics ------------------------------------------------------
+
+
+def test_builtin_families_are_registered():
+    names = vg_names()
+    assert {
+        "gaussian", "pareto", "uniform", "exponential", "student_t", "gbm",
+        "bootstrap", "discrete", "empirical_bootstrap", "gaussian_copula",
+        "mixture",
+    } <= set(names)
+    assert names == sorted(names)
+
+
+def test_make_vg_constructs_by_name(relation):
+    vg = make_vg("gaussian", base_column="exp_gain", sigma=2.0)
+    assert isinstance(vg, GaussianNoiseVG)
+    model = StochasticModel(relation, {"V": vg})
+    assert model.is_stochastic("V")
+
+
+def test_make_vg_unknown_family():
+    with pytest.raises(VGFunctionError, match="unknown VG family"):
+        make_vg("not_a_family")
+
+
+def test_make_vg_bad_parameters_name_the_family():
+    with pytest.raises(VGFunctionError, match="gaussian"):
+        make_vg("gaussian", bogus_param=1.0)
+
+
+def test_duplicate_registration_rejected():
+    with pytest.raises(VGFunctionError, match="already registered"):
+
+        @register_vg("gaussian")
+        class Impostor(VGFunction):  # pragma: no cover - never constructed
+            def _sample_block(self, block_index, rng, size):
+                raise NotImplementedError
+
+    # Re-decorating the same class is a no-op (module reload safety).
+    from repro.mcdb.distributions import GaussianNoiseVG as Original
+
+    assert register_vg("gaussian")(Original) is Original
+
+
+def test_reload_style_reregistration_replaces_entry():
+    """A fresh same-named class from the same module — what
+    ``importlib.reload`` produces — replaces the entry instead of
+    raising."""
+    from repro.mcdb import distributions
+    from repro.mcdb.vg import _VG_REGISTRY
+
+    original = distributions.GaussianNoiseVG
+
+    class Reloaded(original):  # pragma: no cover - never sampled
+        pass
+
+    Reloaded.__module__ = original.__module__
+    Reloaded.__qualname__ = original.__qualname__
+    try:
+        assert register_vg("gaussian")(Reloaded) is Reloaded
+        assert _VG_REGISTRY["gaussian"] is Reloaded
+    finally:
+        register_vg("gaussian")(original)
+        assert _VG_REGISTRY["gaussian"] is original
+
+
+# --- textual specs -----------------------------------------------------------
+
+
+def test_parse_vg_expr_types_and_lists(relation):
+    vg = parse_vg_expr(
+        "gaussian_copula:base_column=exp_gain,scale=gain_sd,rho=0.5,"
+        "group_column=sector"
+    )
+    assert isinstance(vg, GaussianCopulaVG)
+    assert vg.rho == 0.5 and vg.scale == "gain_sd"
+    vg.bind(relation)
+    assert vg.n_blocks == 2  # grouped by sector
+
+
+@pytest.mark.parametrize(
+    "raw,expected",
+    [
+        ("3", 3),
+        ("0.25", 0.25),
+        ("true", True),
+        ("false", False),
+        ("none", None),
+        ("price", "price"),
+        ("a+b+c", ["a", "b", "c"]),
+        ("1e+3", 1000.0),  # scientific notation is a number, not a list
+        ("+5", 5),
+    ],
+)
+def test_param_value_parsing(raw, expected):
+    assert _parse_param_value(raw) == expected
+
+
+def test_make_vg_wraps_constructor_value_errors():
+    with pytest.raises(VGFunctionError, match="gaussian_copula"):
+        make_vg("gaussian_copula", base_column="exp_gain", rho="abc")
+
+
+@pytest.mark.parametrize(
+    "text", ["", ":", "gaussian:sigma", "gaussian:=2", "nope:x=1"]
+)
+def test_parse_vg_expr_rejects_malformed(text):
+    with pytest.raises(VGFunctionError):
+        parse_vg_expr(text)
+
+
+def test_apply_vg_overrides_replaces_and_adds(relation):
+    base = StochasticModel(
+        relation, {"Gain": make_vg("gaussian", base_column="exp_gain", sigma=1.0)}
+    )
+    updated = apply_vg_overrides(
+        relation,
+        base,
+        [
+            "Gain=gaussian_copula:base_column=exp_gain,scale=gain_sd,"
+            "rho=0.7,group_column=sector",
+            "Extra=gaussian:base_column=gain_sd,sigma=0.1",
+        ],
+    )
+    assert isinstance(updated.vg("Gain"), GaussianCopulaVG)
+    assert updated.attribute_names == ["Extra", "Gain"]
+    # Empty overrides hand back the original model object.
+    assert apply_vg_overrides(relation, base, ()) is base
+
+
+# --- parameter fingerprints --------------------------------------------------
+
+
+def test_fingerprint_stable_across_binding(relation):
+    vg = GaussianCopulaVG(
+        "exp_gain", scale="gain_sd", rho=0.4, group_column="sector"
+    )
+    before = vg.params_fingerprint()
+    vg.bind(relation)
+    assert vg.params_fingerprint() == before
+    # A fresh identically-parameterized instance fingerprints the same.
+    twin = GaussianCopulaVG(
+        "exp_gain", scale="gain_sd", rho=0.4, group_column="sector"
+    )
+    assert twin.params_fingerprint() == before
+
+
+def test_fingerprint_distinguishes_params(relation):
+    a = GaussianCopulaVG("exp_gain", rho=0.3, group_column="sector")
+    b = GaussianCopulaVG("exp_gain", rho=0.5, group_column="sector")
+    c = GaussianNoiseVG("exp_gain", 0.3)
+    fingerprints = {v.params_fingerprint() for v in (a, b, c)}
+    assert len(fingerprints) == 3
+
+
+def test_fingerprint_covers_nested_components(relation):
+    def mix(w):
+        return MixtureVG(
+            [
+                GaussianCopulaVG("exp_gain", rho=0.1, group_column="sector"),
+                GaussianCopulaVG("exp_gain", rho=0.9, group_column="sector"),
+            ],
+            weights=[w, 1 - w],
+        )
+
+    assert mix(0.8).params_fingerprint() == mix(0.8).params_fingerprint()
+    assert mix(0.8).params_fingerprint() != mix(0.7).params_fingerprint()
+    # A parameter change inside a component propagates to the mixture.
+    deep = MixtureVG(
+        [
+            GaussianCopulaVG("exp_gain", rho=0.2, group_column="sector"),
+            GaussianCopulaVG("exp_gain", rho=0.9, group_column="sector"),
+        ],
+        weights=[0.8, 0.2],
+    )
+    assert deep.params_fingerprint() != mix(0.8).params_fingerprint()
+
+
+# --- store keys --------------------------------------------------------------
+
+
+def _problem_expr(relation, model):
+    from repro.db.catalog import Catalog
+
+    catalog = Catalog()
+    catalog.register(relation, model)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) <= 2 AND"
+        " SUM(Gain) >= 1 WITH PROBABILITY >= 0.7",
+        catalog,
+    )
+    return problem.chance_constraints[0].expr
+
+
+def test_store_keys_distinct_for_param_changes(relation):
+    """Two VGs differing only in a parameter never share store entries."""
+    models = [
+        StochasticModel(
+            relation,
+            {
+                "Gain": GaussianCopulaVG(
+                    "exp_gain", scale="gain_sd", rho=rho, group_column="sector"
+                )
+            },
+        )
+        for rho in (0.3, 0.5)
+    ]
+    assert model_fingerprint(models[0]) != model_fingerprint(models[1])
+    keys = []
+    with ScenarioStore() as store:
+        for model in models:
+            expr = _problem_expr(relation, model)
+            generator = ScenarioGenerator(model, 11, STREAM_OPTIMIZATION)
+            key = store_key(generator, expr)
+            keys.append(key)
+            store.coefficient_matrix(
+                key, 4, lambda s, e, g=generator, x=expr: np.column_stack(
+                    [g.coefficient_scenario(x, j) for j in range(s, e)]
+                )
+            )
+        assert keys[0] != keys[1]
+        stats = store.stats()
+        # No false cache hit: both configurations generated their own entry.
+        assert stats.entries == 2
+        assert stats.misses == 2 and stats.hits == 0
+
+
+def test_store_keys_shared_for_identical_params(relation):
+    """Identical configurations (fresh instances) do share an entry."""
+
+    def build():
+        model = StochasticModel(
+            relation,
+            {
+                "Gain": GaussianCopulaVG(
+                    "exp_gain", scale="gain_sd", rho=0.4, group_column="sector"
+                )
+            },
+        )
+        return model, ScenarioGenerator(model, 11, STREAM_OPTIMIZATION)
+
+    model_a, gen_a = build()
+    model_b, gen_b = build()
+    expr_a = _problem_expr(relation, model_a)
+    expr_b = _problem_expr(relation, model_b)
+    assert store_key(gen_a, expr_a) == store_key(gen_b, expr_b)

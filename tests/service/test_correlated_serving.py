@@ -1,0 +1,113 @@
+"""The correlated-portfolio workload served end-to-end over HTTP.
+
+Acceptance slice for the VG registry subsystem: a registry-built
+correlated model (sector Gaussian copula) flows through catalog →
+broker → ScenarioStore → HTTP untouched, repeated queries are store
+hits, and the copula's parameters are part of the store identity (two
+sessions over different rho never share realizations).
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+
+import pytest
+
+from repro import Catalog, SPQConfig
+from repro.service import QueryBroker, SPQService
+from repro.workloads import get_query
+
+SCALE = 30
+
+
+def _serve(queries=("Q2",), seed=5):
+    catalog = Catalog()
+    for query in queries:
+        spec = get_query("portfolio_correlated", query)
+        relation, model = spec.build_dataset(SCALE, seed=seed)
+        catalog.register(relation, model)
+    config = SPQConfig(
+        n_validation_scenarios=600,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=60,
+        n_expectation_scenarios=200,
+        n_probe_scenarios=8,
+        epsilon=0.8,
+        seed=11,
+    )
+    broker = QueryBroker(catalog, config=config, pool_size=2)
+    return SPQService(broker, port=0, own_broker=True).start_background()
+
+
+def _post(service, payload: dict):
+    host, port = service.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def test_correlated_workload_served_with_store_reuse():
+    spec = get_query("portfolio_correlated", "Q2")
+    service = _serve()
+    try:
+        status, first = _post(service, {"query": spec.spaql})
+        assert status == 200
+        assert first["feasible"] is True
+        assert first["package"]["total_count"] >= 1
+        generations_after_first = first["store"]["generations"]
+        assert generations_after_first > 0
+
+        status, second = _post(service, {"query": spec.spaql})
+        assert status == 200
+        assert second["package"] == first["package"]
+        # The repeat is pure store reuse: no new realizations.
+        assert second["store"]["generations"] == generations_after_first
+        assert second["store"]["hits"] > first["store"]["hits"]
+    finally:
+        service.shutdown()
+
+
+def test_copula_params_partition_the_store():
+    """Q1 (rho=0) and Q3 (rho=0.9) share the relation name and query
+    shape; their store entries must still be disjoint."""
+    q1 = get_query("portfolio_correlated", "Q1")
+    q3 = get_query("portfolio_correlated", "Q3")
+    # Same relation content except the model: register under two names.
+    catalog = Catalog()
+    r1, m1 = q1.build_dataset(SCALE, seed=5)
+    r3, m3 = q3.build_dataset(SCALE, seed=5)
+    catalog.register(r1, m1, name="invest_independent")
+    catalog.register(r3, m3, name="invest_correlated")
+    config = SPQConfig(
+        n_validation_scenarios=400,
+        n_initial_scenarios=16,
+        scenario_increment=16,
+        max_scenarios=48,
+        n_expectation_scenarios=200,
+        n_probe_scenarios=8,
+        epsilon=0.8,
+        seed=11,
+    )
+    broker = QueryBroker(catalog, config=config, pool_size=2)
+    try:
+        template = (
+            "SELECT PACKAGE(*) FROM {table} SUCH THAT"
+            " SUM(price) <= 1000 AND"
+            " SUM(Gain) >= -10 WITH PROBABILITY >= 0.9"
+            " MAXIMIZE EXPECTED SUM(Gain)"
+        )
+        first = broker.execute(template.format(table="invest_independent"))
+        generations = broker.store.stats().generations
+        assert generations > 0
+        second = broker.execute(template.format(table="invest_correlated"))
+        # Different copula parameters -> different store keys -> the
+        # second query had to realize its own scenarios.
+        assert broker.store.stats().generations > generations
+    finally:
+        broker.close()

@@ -267,3 +267,133 @@ def test_serve_requires_a_data_source():
     args = build_parser().parse_args(["serve"])
     with pytest.raises(SPQError):
         _build_catalog(args)
+
+
+# --- the --vg registry flag and correlated workloads -------------------------
+
+
+@pytest.fixture
+def sector_csv_path(tmp_path):
+    path = tmp_path / "stocks.csv"
+    path.write_text(
+        "sector,price,exp_gain,gain_sd\n"
+        "a,10.0,0.5,0.4\na,12.0,0.6,0.5\nb,9.0,0.4,0.3\n"
+        "b,11.0,0.5,0.4\na,8.0,0.3,0.3\nb,10.0,0.4,0.4\n"
+    )
+    return path
+
+
+VAR_QUERY = (
+    "SELECT PACKAGE(*) FROM stocks SUCH THAT COUNT(*) <= 3 AND"
+    " SUM(Gain) >= -1 WITH PROBABILITY >= 0.8"
+    " MAXIMIZE EXPECTED SUM(Gain)"
+)
+
+
+def test_cli_vg_flag_builds_registry_model(sector_csv_path, capsys):
+    code = main(
+        [
+            "run",
+            "--table", str(sector_csv_path),
+            "--vg", "Gain=gaussian_copula:base_column=exp_gain,"
+                    "scale=gain_sd,rho=0.7,group_column=sector",
+            "--query", VAR_QUERY,
+            "--validation-scenarios", "800",
+            "--initial-scenarios", "20",
+            "--max-scenarios", "60",
+            "--epsilon", "0.8",
+        ]
+    )
+    assert code == 0
+    assert "feasible=True" in capsys.readouterr().out
+
+
+def test_cli_vg_flag_unknown_family_is_parse_error(sector_csv_path, capsys):
+    code = main(
+        [
+            "run",
+            "--table", str(sector_csv_path),
+            "--vg", "Gain=mystery:base_column=exp_gain",
+            "--query", VAR_QUERY,
+        ]
+    )
+    assert code == 2
+    assert "unknown VG family" in capsys.readouterr().err
+
+
+def test_cli_run_workload_uses_builtin_query(capsys):
+    code = main(
+        [
+            "run",
+            "--workload", "portfolio_correlated:Q2",
+            "--scale", "30",
+            "--validation-scenarios", "800",
+            "--initial-scenarios", "20",
+            "--max-scenarios", "60",
+            "--epsilon", "0.8",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "portfolio_correlated/Q2" in out
+    assert "feasible=True" in out
+
+
+def test_cli_run_workload_with_vg_override(capsys):
+    code = main(
+        [
+            "run",
+            "--workload", "portfolio_correlated:Q1",
+            "--scale", "30",
+            "--vg", "Gain=gaussian_copula:base_column=exp_gain,"
+                    "scale=gain_sd,rho=0.9,group_column=sector",
+            "--validation-scenarios", "800",
+            "--initial-scenarios", "20",
+            "--max-scenarios", "60",
+            "--epsilon", "0.8",
+        ]
+    )
+    assert code == 0
+    assert "feasible=True" in capsys.readouterr().out
+
+
+def test_cli_run_without_query_or_workload_is_parse_error(csv_path, capsys):
+    # A valid table but no --query/--query-file and no single --workload
+    # to borrow the query from: the missing-query branch, exit 2.
+    code = main(["run", "--table", str(csv_path)])
+    assert code == 2
+    err = capsys.readouterr().err
+    assert "--query" in err and "--workload" in err
+
+
+def test_cli_unexpected_error_maps_to_solve_exit_code(csv_path, capsys):
+    """Exceptions outside the SPQError taxonomy must not leak the
+    interpreter's exit code 1 (which the contract reserves for
+    'infeasible'); they map to the solve-stage code 3."""
+    # A list where a scalar/column is expected crashes at bind time with
+    # a raw ValueError deep inside numpy — representative of unexpected
+    # failures.
+    code = main(
+        [
+            "run",
+            "--table", str(csv_path),
+            "--vg", "V=gaussian_copula:base_column=price,scale=a+b",
+            "--query", "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 1",
+        ]
+    )
+    assert code == 3
+    assert "Traceback" in capsys.readouterr().err
+
+
+def test_cli_help_epilog_documents_vg_and_exit_codes(capsys):
+    with pytest.raises(SystemExit) as excinfo:
+        main(["run", "--help"])
+    assert excinfo.value.code == 0
+    out = capsys.readouterr().out
+    assert "--vg" in out
+    assert "gaussian_copula" in out
+    assert "exit codes:" in out
+    for line in ("0  success", "1  query proven infeasible",
+                 "2  parse/compile/spec error", "3  solve/evaluation error",
+                 "4  I/O error"):
+        assert line in out

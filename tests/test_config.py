@@ -49,3 +49,21 @@ def test_paper_scale_config():
     assert config.n_validation_scenarios == 1_000_000
     assert config.time_limit == 4 * 3600.0
     assert config.max_scenarios == 1_000
+
+
+def test_vg_overrides_validated_at_construction():
+    good = SPQConfig(
+        vg_overrides=(
+            "Gain=gaussian_copula:base_column=exp_gain,rho=0.5,"
+            "group_column=sector",
+        )
+    )
+    assert len(good.vg_overrides) == 1
+    from repro.errors import VGFunctionError
+
+    with pytest.raises(VGFunctionError):
+        SPQConfig(vg_overrides=("Gain=mystery_family:x=1",))
+    with pytest.raises(VGFunctionError):
+        SPQConfig(vg_overrides=("not-a-spec",))
+    with pytest.raises(EvaluationError):
+        SPQConfig(vg_overrides="Gain=gaussian:base_column=a,sigma=1")

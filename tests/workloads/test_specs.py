@@ -9,11 +9,16 @@ from repro.spaql.parser import parse_query
 from repro.workloads import WORKLOADS, get_query, get_workload, workload_names
 
 
-def test_three_workloads_of_eight():
-    assert workload_names() == ["galaxy", "portfolio", "tpch"]
+def test_workload_catalog_shape():
+    assert workload_names() == [
+        "galaxy", "portfolio", "portfolio_correlated", "tpch",
+    ]
     for name, specs in WORKLOADS.items():
-        assert len(specs) == 8
-        assert [s.name for s in specs] == [f"Q{i}" for i in range(1, 9)]
+        expected = 6 if name == "portfolio_correlated" else 8
+        assert len(specs) == expected
+        assert [s.name for s in specs] == [
+            f"Q{i}" for i in range(1, expected + 1)
+        ]
 
 
 def test_lookup_helpers():
@@ -73,10 +78,12 @@ def test_default_summaries_per_workload():
     assert all(s.default_summaries == 2 for s in WORKLOADS["tpch"])
 
 
-@pytest.mark.parametrize("workload", ["galaxy", "portfolio", "tpch"])
+@pytest.mark.parametrize(
+    "workload", ["galaxy", "portfolio", "portfolio_correlated", "tpch"]
+)
 def test_queries_compile_against_their_datasets(workload):
     """Every spec's sPaQL text must compile against its own dataset."""
-    scale = 60 if workload != "portfolio" else 30
+    scale = 60 if workload not in ("portfolio", "portfolio_correlated") else 30
     for spec in WORKLOADS[workload]:
         relation, model = spec.build_dataset(scale, seed=1)
         catalog = Catalog()
@@ -105,3 +112,51 @@ def test_week_queries_have_seven_horizons():
     import numpy as np
 
     assert len(np.unique(relation.column("sell_in_days"))) == 7
+
+
+def test_correlated_workload_vg_descriptors_and_models():
+    """Each portfolio_correlated spec records its registry expression and
+    materializes the intended VG family."""
+    from repro.mcdb import EmpiricalBootstrapVG, GaussianCopulaVG, MixtureVG
+
+    expected_types = {
+        "Q1": GaussianCopulaVG,
+        "Q2": GaussianCopulaVG,
+        "Q3": GaussianCopulaVG,
+        "Q4": GaussianCopulaVG,
+        "Q5": MixtureVG,
+        "Q6": EmpiricalBootstrapVG,
+    }
+    for spec in WORKLOADS["portfolio_correlated"]:
+        assert spec.vg  # the registry expression is documented
+        relation, model = spec.build_dataset(24, seed=2)
+        assert relation.n_rows == 24
+        assert isinstance(model.vg("Gain"), expected_types[spec.name])
+
+
+def test_build_dataset_vg_overrides_swap_the_model():
+    """Any workload can re-run under a registry-built uncertainty model."""
+    from repro.mcdb import GaussianCopulaVG, GeometricBrownianMotionVG
+
+    spec = get_query("portfolio_correlated", "Q1")
+    relation, base = spec.build_dataset(16, seed=3)
+    assert base.vg("Gain").rho == 0.0
+    _, overridden = spec.build_dataset(
+        16,
+        seed=3,
+        vg_overrides=(
+            "Gain=gaussian_copula:base_column=exp_gain,scale=gain_sd,"
+            "rho=0.9,group_column=sector",
+        ),
+    )
+    assert isinstance(overridden.vg("Gain"), GaussianCopulaVG)
+    assert overridden.vg("Gain").rho == 0.9
+    # The paper's portfolio workload accepts overrides too.
+    _, gbm_model = get_query("portfolio", "Q1").build_dataset(10, seed=3)
+    assert isinstance(gbm_model.vg("Gain"), GeometricBrownianMotionVG)
+    _, swapped = get_query("portfolio", "Q1").build_dataset(
+        10,
+        seed=3,
+        vg_overrides=("Gain=gaussian:base_column=price,sigma=2.0",),
+    )
+    assert type(swapped.vg("Gain")).__name__ == "GaussianNoiseVG"
