@@ -1,0 +1,187 @@
+#!/usr/bin/env python
+"""Soak smoke: boot ``repro serve --backend process``, fire 32 mixed clients.
+
+Boots the HTTP serving layer on the process backend (solve farm) over
+the portfolio workload, then drives **32 concurrent clients** with a
+mixed load — repeated identical queries (store/dedup path), distinct
+seeds (parallel solves), a parse error (400 path), and status/metrics
+polls — and asserts:
+
+* every response lands in its expected status class (200 / 400 / 503);
+* at least one solve succeeded per distinct-seed client group;
+* ``/metrics`` exposes the farm's per-worker gauges and no worker
+  crashed;
+* the server shuts down cleanly.
+
+Budgeted well under the CI job's 2-minute window.  Also runnable
+locally::
+
+    PYTHONPATH=src python scripts/service_soak.py
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+import subprocess
+import sys
+import threading
+import time
+import urllib.error
+import urllib.request
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+SRC = os.path.join(REPO_ROOT, "src")
+
+N_CLIENTS = 32
+DEADLINE_S = 110.0  # stay inside the CI job's 2-minute budget
+
+SERVE_ARGS = [
+    sys.executable, "-m", "repro", "serve",
+    "--workload", "portfolio:Q1",
+    "--scale", "40",
+    "--port", "0",
+    "--backend", "process",
+    "--pool-size", "2",
+    "--recycle-after", "8",
+    "--max-pending", "64",
+    "--validation-scenarios", "800",
+    "--initial-scenarios", "16",
+    "--max-scenarios", "48",
+    "--epsilon", "0.9",
+]
+
+QUERY = (
+    "SELECT PACKAGE(*) FROM stock_investments SUCH THAT\n"
+    "    SUM(price) <= 1000 AND\n"
+    "    SUM(Gain) >= -10.0 WITH PROBABILITY >= 0.9\n"
+    "MAXIMIZE EXPECTED SUM(Gain)"
+)
+
+
+def wait_for_listen_line(process, timeout: float = 90.0) -> str:
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line:
+            raise SystemExit("server exited before announcing its address")
+        sys.stdout.write(line)
+        match = re.search(r"listening on (http://[\d.]+:\d+)", line)
+        if match:
+            return match.group(1)
+    raise SystemExit("timed out waiting for the server to start")
+
+
+def post_query(base: str, payload: dict, timeout: float = 120.0):
+    request = urllib.request.Request(
+        f"{base}/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    try:
+        with urllib.request.urlopen(request, timeout=timeout) as response:
+            return response.status, json.loads(response.read())
+    except urllib.error.HTTPError as error:
+        return error.code, json.loads(error.read())
+
+
+def get(base: str, path: str, timeout: float = 30.0) -> tuple[int, str]:
+    with urllib.request.urlopen(f"{base}{path}", timeout=timeout) as response:
+        return response.status, response.read().decode()
+
+
+def client(base: str, client_id: int, outcomes: list, lock: threading.Lock):
+    """One of the 32 concurrent clients; records (client_id, kind, code)."""
+    kind = ("repeat", "seeded", "status", "bad")[client_id % 4]
+    if kind == "repeat":
+        code, _ = post_query(base, {"query": QUERY})
+        expect = {200, 503}
+    elif kind == "seeded":
+        code, _ = post_query(
+            base, {"query": QUERY, "overrides": {"seed": client_id}}
+        )
+        expect = {200, 503}
+    elif kind == "status":
+        code, _ = get(base, "/status" if client_id % 8 == 2 else "/metrics")
+        expect = {200}
+    else:
+        code, body = post_query(base, {"query": "SELEC nonsense"})
+        expect = {400}
+        assert body["error"]["kind"] == "parse", body
+    with lock:
+        outcomes.append((client_id, kind, code, code in expect))
+
+
+def main() -> int:
+    started = time.time()
+    env = dict(os.environ)
+    env["PYTHONPATH"] = SRC + os.pathsep * bool(env.get("PYTHONPATH")) + env.get(
+        "PYTHONPATH", ""
+    )
+    env["PYTHONUNBUFFERED"] = "1"
+    process = subprocess.Popen(
+        SERVE_ARGS,
+        stdout=subprocess.PIPE,
+        stderr=subprocess.STDOUT,
+        text=True,
+        env=env,
+        cwd=REPO_ROOT,
+    )
+    try:
+        base = wait_for_listen_line(process)
+        # Warm the farm (workers forked, first realization done) so the
+        # 32-way burst measures serving, not startup.
+        code, first = post_query(base, {"query": QUERY})
+        assert code == 200 and first["feasible"], (code, first)
+
+        outcomes: list = []
+        lock = threading.Lock()
+        threads = [
+            threading.Thread(target=client, args=(base, i, outcomes, lock))
+            for i in range(N_CLIENTS)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(max(5.0, DEADLINE_S - (time.time() - started)))
+            assert not thread.is_alive(), "client wedged past the deadline"
+
+        assert len(outcomes) == N_CLIENTS
+        bad = [o for o in outcomes if not o[3]]
+        assert not bad, f"unexpected status codes: {bad}"
+        solved = [o for o in outcomes if o[1] in ("repeat", "seeded") and o[2] == 200]
+        assert solved, "no concurrent query was served"
+
+        _, metrics = get(base, "/metrics")
+        worker_gauges = re.findall(r'^repro_farm_worker_busy\{worker="\d+"\} \d$',
+                                   metrics, re.M)
+        assert worker_gauges, "metrics missing per-worker farm gauges"
+        crashed = re.search(r"^repro_farm_crashed_total (\d+)$", metrics, re.M)
+        assert crashed and int(crashed.group(1)) == 0, "a farm worker crashed"
+        completed = re.search(r"^repro_broker_completed_total (\d+)$", metrics, re.M)
+        dedup = re.search(r"^repro_broker_deduplicated_total (\d+)$", metrics, re.M)
+        # Identical in-flight requests share one evaluation, so solves
+        # served can exceed evaluations completed by the dedup count.
+        assert completed and dedup
+        assert int(completed.group(1)) + int(dedup.group(1)) >= len(solved)
+
+        _, status_text = get(base, "/status")
+        status = json.loads(status_text)
+        assert status["backend"] == "process"
+        assert status["farm"]["idle"] + status["farm"]["busy"] >= 1
+
+        print(f"service soak: OK — {len(solved)} solves, "
+              f"{len(outcomes)} clients, "
+              f"{time.time() - started:.1f}s total")
+        return 0
+    finally:
+        process.terminate()
+        try:
+            process.wait(timeout=20)
+        except subprocess.TimeoutExpired:
+            process.kill()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -282,6 +282,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="listen port (0 = ephemeral, printed on start)")
     serve.add_argument("--pool-size", type=int, default=None,
                        help="concurrent engine sessions (default: config)")
+    serve.add_argument("--backend", choices=["thread", "process"],
+                       default=None,
+                       help="dispatch backend: 'thread' (sessions on a"
+                            " thread pool; solves contend on the GIL) or"
+                            " 'process' (a solve farm of worker processes:"
+                            " true parallel solves, memmap scenario"
+                            " handoff, crash recovery)")
+    serve.add_argument("--recycle-after", type=int, default=None,
+                       metavar="N",
+                       help="process backend: gracefully restart a worker"
+                            " after N completed queries (default: never)")
     serve.add_argument("--max-pending", type=int, default=None,
                        help="admission-control ceiling on queued+running"
                             " queries (default: 4x pool size)")
@@ -449,6 +460,16 @@ def cmd_serve(args) -> int:
             if args.max_pending is not None
             else {}
         ),
+        **(
+            {"service_backend": args.backend}
+            if args.backend is not None
+            else {}
+        ),
+        **(
+            {"worker_recycle_after": args.recycle_after}
+            if args.recycle_after is not None
+            else {}
+        ),
     )
     catalog = _build_catalog(args, config)
     broker = QueryBroker(catalog, config=config)
@@ -458,7 +479,8 @@ def cmd_serve(args) -> int:
     )
     host, port = service.address
     print(f"repro serve: listening on http://{host}:{port}"
-          f" (pool={broker.pool_size}, tables={sorted(catalog)})",
+          f" (backend={broker.backend}, pool={broker.pool_size},"
+          f" tables={sorted(catalog)})",
           flush=True)
     try:
         service.serve_forever()

@@ -41,6 +41,12 @@ SOLVER_BRANCH_BOUND = "branch-bound"
 
 _SOLVER_BACKENDS = (SOLVER_HIGHS, SOLVER_BRANCH_BOUND)
 
+#: Serving-layer dispatch backends (``repro.service.broker``).
+BACKEND_THREAD = "thread"
+BACKEND_PROCESS = "process"
+
+_SERVICE_BACKENDS = (BACKEND_THREAD, BACKEND_PROCESS)
+
 
 @dataclass
 class SPQConfig:
@@ -133,6 +139,15 @@ class SPQConfig:
     #: Admission-control ceiling on queued+running broker queries;
     #: ``None`` defaults to ``4 * service_pool_size``.
     service_max_pending: int | None = None
+    #: Dispatch backend for concurrent queries: ``"thread"`` (engine
+    #: sessions on a thread pool — solves contend on the GIL) or
+    #: ``"process"`` (a SolveFarm of persistent worker processes with
+    #: memmap scenario handoff, worker recycling, and crash recovery).
+    service_backend: str = BACKEND_THREAD
+    #: Gracefully restart a farm worker after this many completed
+    #: queries (bounds per-process memory growth); ``None`` never
+    #: recycles.  Process backend only.
+    worker_recycle_after: int | None = None
 
     # --- solving -----------------------------------------------------------
     solver: str = SOLVER_HIGHS
@@ -196,6 +211,13 @@ class SPQConfig:
             raise EvaluationError("service_pool_size must be >= 1")
         if self.service_max_pending is not None and self.service_max_pending < 1:
             raise EvaluationError("service_max_pending must be positive or None")
+        if self.service_backend not in _SERVICE_BACKENDS:
+            raise EvaluationError(
+                f"unknown service_backend {self.service_backend!r};"
+                f" expected one of {_SERVICE_BACKENDS}"
+            )
+        if self.worker_recycle_after is not None and self.worker_recycle_after < 1:
+            raise EvaluationError("worker_recycle_after must be >= 1 or None")
 
     def replace(self, **changes) -> "SPQConfig":
         """Return a copy of this config with ``changes`` applied."""

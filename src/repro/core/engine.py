@@ -5,9 +5,16 @@ stochastic models) in a catalog, then execute sPaQL text with the method
 of your choice.  The engine mirrors the paper's system architecture —
 data stays "in the database" (the catalog) and the optimization layers
 pull scenario realizations on demand.
+
+Engines are *warm sessions*: compiled problems are cached per query
+text, so the serving layer's long-lived sessions (thread-pool engines
+and solve-farm workers alike) pay parse + compile once per distinct
+query.  Registering new data invalidates the cache.
 """
 
 from __future__ import annotations
+
+import threading
 
 from ..config import DEFAULT_CONFIG, SPQConfig
 from ..db.catalog import Catalog
@@ -27,6 +34,9 @@ METHOD_DETERMINISTIC = "deterministic"
 
 _METHODS = (METHOD_SUMMARY_SEARCH, METHOD_NAIVE, METHOD_DETERMINISTIC)
 
+#: Compiled problems cached per engine session (distinct query texts).
+_COMPILE_CACHE_LIMIT = 256
+
 
 class SPQEngine:
     """Evaluates stochastic package queries against a catalog."""
@@ -45,12 +55,25 @@ class SPQEngine:
         #: one realized matrix (results stay bit-identical).  The store
         #: is owned by its creator; the engine never closes it.
         self.store = store
+        # Compiled-problem cache keyed by query text.  Compilation is a
+        # pure function of (text, catalog contents); the cache is bound
+        # to the catalog's version counter, so a registration through
+        # ANY session sharing this catalog (or on the catalog directly)
+        # invalidates it — a hit is always current.
+        self._compiled: dict[str, StochasticPackageProblem] = {}
+        self._compiled_version = getattr(self.catalog, "version", 0)
+        self._compiled_lock = threading.Lock()
 
     # --- registration ---------------------------------------------------------
 
     def register(self, relation, model=None, name: str | None = None) -> None:
         """Register a relation (and optional stochastic model)."""
         self.catalog.register(relation, model=model, name=name)
+
+    def clear_compile_cache(self) -> None:
+        """Drop cached compiled problems (catalog contents changed)."""
+        with self._compiled_lock:
+            self._compiled.clear()
 
     # --- pipeline stages ----------------------------------------------------------
 
@@ -59,8 +82,31 @@ class SPQEngine:
         return parse_query(text)
 
     def compile(self, query: str | PackageQuery) -> StochasticPackageProblem:
-        """Compile a query against this engine's catalog."""
-        return compile_query(query, self.catalog)
+        """Compile a query against this engine's catalog.
+
+        Results for textual queries are cached on the session: repeated
+        and concurrent executions of the same text (the serving layer's
+        hot path) parse and compile once.
+        """
+        if not isinstance(query, str):
+            return compile_query(query, self.catalog)
+        text = query.strip()
+        version = getattr(self.catalog, "version", 0)
+        with self._compiled_lock:
+            if self._compiled_version != version:
+                self._compiled.clear()
+                self._compiled_version = version
+            cached = self._compiled.get(text)
+        if cached is not None:
+            return cached
+        problem = compile_query(query, self.catalog)
+        with self._compiled_lock:
+            if (
+                self._compiled_version == version
+                and len(self._compiled) < _COMPILE_CACHE_LIMIT
+            ):
+                self._compiled[text] = problem
+        return problem
 
     # --- evaluation ------------------------------------------------------------------
 

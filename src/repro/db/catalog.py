@@ -22,6 +22,11 @@ class Catalog:
 
     def __init__(self) -> None:
         self._tables: dict[str, tuple[Relation, "StochasticModel | None"]] = {}
+        #: Bumped on every mutation.  Engine sessions sharing this
+        #: catalog key their compiled-problem caches on it, so a
+        #: registration through *any* session (or directly on the
+        #: catalog) invalidates every session's cache.
+        self.version = 0
 
     @staticmethod
     def _norm(name: str) -> str:
@@ -42,6 +47,7 @@ class Catalog:
         if model is not None:
             model.check_against(relation)
         self._tables[table_name] = (relation, model)
+        self.version += 1
 
     def relation(self, name: str) -> Relation:
         """The relation registered under ``name``."""
@@ -74,3 +80,4 @@ class Catalog:
         if key not in self._tables:
             raise SchemaError(f"unknown table {name!r}")
         del self._tables[key]
+        self.version += 1

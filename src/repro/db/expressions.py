@@ -307,7 +307,10 @@ def render(expr: Expr) -> str:
 
 def _paren(expr: Expr) -> str:
     text = render(expr)
-    if isinstance(expr, (BinOp, BoolOp, Compare)):
+    # UnaryOp must parenthesize too: "-x ^ 2" parses as "-(x ^ 2)" (the
+    # exponent binds tighter than unary minus) and "--x" does not parse
+    # at all, so "(-x) ^ 2" / "-(-x)" are the round-trippable forms.
+    if isinstance(expr, (BinOp, BoolOp, Compare, UnaryOp)):
         return f"({text})"
     return text
 

@@ -9,6 +9,6 @@ whose results are *bit-identical* no matter which process computes them.
 out across worker processes and reassembles them in canonical order.
 """
 
-from .executor import ParallelScenarioExecutor, scenario_chunks
+from .executor import ParallelScenarioExecutor, mp_context, scenario_chunks
 
-__all__ = ["ParallelScenarioExecutor", "scenario_chunks"]
+__all__ = ["ParallelScenarioExecutor", "mp_context", "scenario_chunks"]

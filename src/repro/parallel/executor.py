@@ -33,6 +33,22 @@ import numpy as np
 _WORKER_GENERATOR = None
 
 
+def mp_context():
+    """The multiprocessing context for this library's worker processes.
+
+    Fork is preferred: workers inherit relations, catalogs, and
+    generators without pickling, and replacement workers (the solve
+    farm's recycling and crash recovery) can be spawned at any point in
+    the parent's lifetime.  Platforms without fork fall back to the
+    default context, where process arguments must be picklable — which
+    every payload shipped by this library is.
+    """
+    try:
+        return multiprocessing.get_context("fork")
+    except ValueError:  # pragma: no cover - non-POSIX fallback
+        return multiprocessing.get_context()
+
+
 def _init_worker(generator) -> None:
     global _WORKER_GENERATOR
     _WORKER_GENERATOR = generator
@@ -104,13 +120,9 @@ class ParallelScenarioExecutor:
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            try:
-                mp_context = multiprocessing.get_context("fork")
-            except ValueError:  # pragma: no cover - non-POSIX fallback
-                mp_context = multiprocessing.get_context()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers,
-                mp_context=mp_context,
+                mp_context=mp_context(),
                 initializer=_init_worker,
                 initargs=(self.generator,),
             )

@@ -3,15 +3,21 @@
 Three tiers (see each module's docstring):
 
 * :class:`ScenarioStore` — shared, content-keyed, budget-bounded cache
-  of realized scenario matrices with LRU spill-to-memmap;
+  of realized scenario matrices with LRU spill-to-memmap and
+  cross-process ``handoff()``/``adopt()`` descriptors;
 * :class:`QueryBroker` — engine-session pool with admission control and
-  in-flight query deduplication;
+  in-flight query deduplication, dispatching onto a thread pool or a
+  :class:`SolveFarm`;
+* :class:`SolveFarm` — persistent worker processes (warm engines,
+  zero-copy memmap scenario handoff, graceful recycling, crash
+  recovery) behind the broker's ``"process"`` backend;
 * :class:`SPQService` — stdlib JSON-over-HTTP front-end
   (``POST /query``, ``GET /status``, ``GET /metrics``), exposed as the
   ``repro serve`` CLI subcommand.
 """
 
 from .broker import BrokerSaturatedError, QueryBroker
+from .farm import SolveFarm, WorkerCrashError
 from .http import SPQService
 from .store import (
     ScenarioStore,
@@ -26,7 +32,9 @@ __all__ = [
     "QueryBroker",
     "SPQService",
     "ScenarioStore",
+    "SolveFarm",
     "StoreStats",
+    "WorkerCrashError",
     "model_fingerprint",
     "relation_fingerprint",
     "store_key",

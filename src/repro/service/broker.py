@@ -3,8 +3,8 @@
 :class:`QueryBroker` is the serving layer's middle tier: it owns a
 shared :class:`~repro.service.store.ScenarioStore`, a pool of
 :class:`~repro.core.engine.SPQEngine` sessions over one catalog, and a
-thread pool that dispatches concurrent ``execute()`` calls.  Three
-properties make it a serving layer rather than a loop around the engine:
+dispatch backend for concurrent ``execute()`` calls.  Three properties
+make it a serving layer rather than a loop around the engine:
 
 * **Shared realizations** — every session routes scenario generation
   through the store, so queries over the same tables and stochastic
@@ -18,6 +18,17 @@ properties make it a serving layer rather than a loop around the engine:
 * **In-flight deduplication** — a query identical to one currently
   running (same text, method, and overrides) attaches to the running
   evaluation's future instead of being dispatched again.
+
+Two dispatch backends (``config.service_backend`` / ``backend=``):
+
+* ``"thread"`` — engine sessions on a :class:`ThreadPoolExecutor`.
+  Zero-copy store sharing within the process, but concurrent MILP
+  solves contend on the GIL.
+* ``"process"`` — a :class:`~repro.service.farm.SolveFarm` of
+  persistent worker processes, each hosting one warm engine; solves
+  run truly in parallel, scenario matrices travel between workers as
+  read-only memmap handoffs, and crashed workers are replaced with
+  their in-flight request retried once.
 """
 
 from __future__ import annotations
@@ -27,10 +38,11 @@ import threading
 import time
 from concurrent.futures import Future, ThreadPoolExecutor
 
-from ..config import DEFAULT_CONFIG, SPQConfig
+from ..config import BACKEND_PROCESS, BACKEND_THREAD, DEFAULT_CONFIG, SPQConfig
 from ..core.engine import METHOD_SUMMARY_SEARCH, SPQEngine
 from ..db.catalog import Catalog
 from ..errors import SPQError
+from .farm import SolveFarm
 from .store import ScenarioStore
 
 
@@ -48,6 +60,8 @@ class QueryBroker:
         store: ScenarioStore | None = None,
         pool_size: int | None = None,
         max_pending: int | None = None,
+        backend: str | None = None,
+        recycle_after: int | None = None,
     ):
         self.catalog = catalog
         self.config = config if config is not None else DEFAULT_CONFIG
@@ -56,6 +70,19 @@ class QueryBroker:
         )
         if self.pool_size < 1:
             raise SPQError("pool_size must be >= 1")
+        self.backend = (
+            backend if backend is not None else self.config.service_backend
+        )
+        if self.backend not in (BACKEND_THREAD, BACKEND_PROCESS):
+            raise SPQError(
+                f"unknown service backend {self.backend!r}; expected"
+                f" {BACKEND_THREAD!r} or {BACKEND_PROCESS!r}"
+            )
+        self.recycle_after = (
+            recycle_after
+            if recycle_after is not None
+            else self.config.worker_recycle_after
+        )
         self.max_pending = (
             max_pending
             if max_pending is not None
@@ -72,16 +99,28 @@ class QueryBroker:
                 spill=self.config.scenario_store_spill,
             )
         )
-        self._pool = ThreadPoolExecutor(
-            max_workers=self.pool_size, thread_name_prefix="spq-broker"
-        )
-        # Engine sessions are checked out per evaluation, so one session
-        # never serves two queries at once.
+        self._farm: SolveFarm | None = None
+        self._pool: ThreadPoolExecutor | None = None
         self._sessions: "queue.SimpleQueue[SPQEngine]" = queue.SimpleQueue()
-        for _ in range(self.pool_size):
-            self._sessions.put(
-                SPQEngine(catalog=catalog, config=self.config, store=self.store)
+        if self.backend == BACKEND_PROCESS:
+            self._farm = SolveFarm(
+                catalog,
+                self.config,
+                n_workers=self.pool_size,
+                recycle_after=self.recycle_after,
             )
+        else:
+            self._pool = ThreadPoolExecutor(
+                max_workers=self.pool_size, thread_name_prefix="spq-broker"
+            )
+            # Engine sessions are checked out per evaluation, so one
+            # session never serves two queries at once.
+            for _ in range(self.pool_size):
+                self._sessions.put(
+                    SPQEngine(
+                        catalog=catalog, config=self.config, store=self.store
+                    )
+                )
         self._lock = threading.Lock()
         self._inflight: dict[tuple, Future] = {}
         self._pending = 0
@@ -139,7 +178,17 @@ class QueryBroker:
                 )
             self._pending += 1
             self._submitted += 1
-            future = self._pool.submit(self._run, query, method, overrides)
+            try:
+                if self._farm is not None:
+                    future = self._farm.submit(query, method, overrides)
+                else:
+                    future = self._pool.submit(self._run, query, method, overrides)
+            except BaseException:
+                # No future, no done-callback: give the admission slot
+                # back or the broker saturates permanently.
+                self._pending -= 1
+                self._submitted -= 1
+                raise
             if key is not None:
                 self._inflight[key] = future
         # Attached outside the lock: a future that failed fast runs its
@@ -180,6 +229,7 @@ class QueryBroker:
         """Point-in-time serving state (the ``/status`` payload)."""
         with self._lock:
             state = {
+                "backend": self.backend,
                 "pool_size": self.pool_size,
                 "max_pending": self.max_pending,
                 "pending": self._pending,
@@ -189,10 +239,15 @@ class QueryBroker:
                 "failed": self._failed,
                 "deduplicated": self._deduplicated,
                 "rejected": self._rejected,
+                # Saturation events, under the name monitoring dashboards
+                # expect (mirrors repro_broker_rejected_total on /metrics).
+                "rejected_total": self._rejected,
                 "uptime_s": time.time() - self.started_at,
                 "closed": self._closed,
             }
         state["store"] = self.store.stats().as_dict()
+        if self._farm is not None:
+            state["farm"] = self._farm.status()
         return state
 
     # --- teardown -----------------------------------------------------------
@@ -206,7 +261,10 @@ class QueryBroker:
             if self._closed:
                 return
             self._closed = True
-        self._pool.shutdown(wait=wait)
+        if self._farm is not None:
+            self._farm.close(wait=wait)
+        if self._pool is not None:
+            self._pool.shutdown(wait=wait)
         if self._owns_store:
             self.store.close()
 

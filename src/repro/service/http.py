@@ -99,9 +99,10 @@ def result_payload(result, wall_time_s: float) -> dict:
 
 
 def metrics_text(broker: QueryBroker) -> str:
-    """Prometheus text exposition of broker + store counters."""
+    """Prometheus text exposition of broker + store + farm counters."""
     status = broker.status()
     store = status.pop("store")
+    farm = status.pop("farm", None)
     lines = []
 
     def counter(name: str, value, kind: str = "counter") -> None:
@@ -114,6 +115,7 @@ def metrics_text(broker: QueryBroker) -> str:
     counter("repro_store_generated_columns_total", store["generated_columns"])
     counter("repro_store_evictions_total", store["evictions"])
     counter("repro_store_spills_total", store["spills"])
+    counter("repro_store_adopted_total", store["adopted"])
     counter("repro_store_bytes_resident", store["bytes_resident"], "gauge")
     counter("repro_store_bytes_spilled", store["bytes_spilled"], "gauge")
     counter("repro_store_entries", store["entries"], "gauge")
@@ -121,10 +123,31 @@ def metrics_text(broker: QueryBroker) -> str:
     counter("repro_broker_completed_total", status["completed"])
     counter("repro_broker_failed_total", status["failed"])
     counter("repro_broker_deduplicated_total", status["deduplicated"])
-    counter("repro_broker_rejected_total", status["rejected"])
+    counter("repro_broker_rejected_total", status["rejected_total"])
     counter("repro_broker_pending", status["pending"], "gauge")
     counter("repro_broker_pool_size", status["pool_size"], "gauge")
     counter("repro_service_uptime_seconds", f"{status['uptime_s']:.3f}", "gauge")
+    if farm is not None:
+        counter("repro_farm_workers_busy", farm["busy"], "gauge")
+        counter("repro_farm_workers_idle", farm["idle"], "gauge")
+        counter("repro_farm_queued", farm["queued"], "gauge")
+        counter("repro_farm_handoff_entries", farm["handoff_entries"], "gauge")
+        counter("repro_farm_recycled_total", farm["recycled_total"])
+        counter("repro_farm_crashed_total", farm["crashed_total"])
+        counter("repro_farm_retried_total", farm["retried_total"])
+        # Per-worker gauges: one labeled time series per live worker.
+        lines.append("# TYPE repro_farm_worker_busy gauge")
+        for worker in farm["workers"]:
+            busy = 1 if worker["state"] == "busy" else 0
+            lines.append(
+                f'repro_farm_worker_busy{{worker="{worker["id"]}"}} {busy}'
+            )
+        lines.append("# TYPE repro_farm_worker_tasks_total counter")
+        for worker in farm["workers"]:
+            lines.append(
+                f'repro_farm_worker_tasks_total{{worker="{worker["id"]}"}}'
+                f' {worker["tasks_completed"]}'
+            )
     return "\n".join(lines) + "\n"
 
 

@@ -72,3 +72,30 @@ def test_default_config_engine():
     engine = SPQEngine()
     assert engine.catalog is not None
     assert len(engine.catalog) == 0
+
+
+def test_compile_cache_hits_on_repeated_text(engine):
+    first = engine.compile(QUERY)
+    assert engine.compile(QUERY) is first  # warm session: one compile
+    assert engine.compile("  " + QUERY + "\n") is first  # whitespace-insensitive
+
+
+def test_compile_cache_invalidated_by_any_sessions_registration(fast_config):
+    # Two sessions over one shared catalog (the serving layer's shape):
+    # a registration through EITHER session — or the catalog directly —
+    # must invalidate BOTH sessions' compiled-problem caches.
+    catalog = Catalog()
+    catalog.register(Relation("t", {"cost": [1.0, 2.0, 3.0]}))
+    a = SPQEngine(catalog=catalog, config=fast_config)
+    b = SPQEngine(catalog=catalog, config=fast_config)
+    query = "SELECT PACKAGE(*) FROM t SUCH THAT SUM(cost) <= 3 MAXIMIZE SUM(cost)"
+    assert a.execute(query).objective == pytest.approx(3.0)
+    assert b.execute(query).objective == pytest.approx(3.0)
+    # Replace the data through session a; session b must not serve the
+    # stale compiled problem.
+    a.register(Relation("t", {"cost": [10.0, 20.0, 30.0]}))
+    assert b.execute(query).objective == pytest.approx(0.0)
+    assert a.execute(query).objective == pytest.approx(0.0)
+    # And a direct catalog mutation invalidates as well.
+    catalog.register(Relation("t", {"cost": [1.0, 1.5, 2.0]}))
+    assert b.execute(query).objective == pytest.approx(3.0)

@@ -1,0 +1,160 @@
+"""Property-based round-trip of the VG registry expression grammar.
+
+``parse_vg_expr`` is the textual surface shared by the CLI ``--vg``
+flag, ``SPQConfig.vg_overrides``, and workload specs.  The property:
+for any constructor-parameter dictionary expressible in the grammar,
+rendering it to ``kind:param=value,...`` text and parsing it back
+builds a VG with the *same parameters* — verified both structurally
+(type-aware value comparison; ``1`` vs ``1.0`` vs ``"1x"`` must not
+blur) and through ``params_fingerprint()``, the hash that partitions
+the shared scenario store.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.mcdb import make_vg, parse_vg_expr, register_vg
+from repro.mcdb.vg import VGFunction, _parse_param_value
+
+# --- a family that echoes arbitrary constructor parameters -------------------
+
+
+@register_vg("test_echo")
+class EchoVG(VGFunction):
+    """Test-only family: stores whatever keyword parameters it is given."""
+
+    def __init__(self, **params):
+        super().__init__()
+        for name, value in params.items():
+            setattr(self, name, value)
+
+    def _sample_block(self, block_index, rng, size):  # pragma: no cover
+        return np.zeros((1, size))
+
+
+def constructor_params(vg: VGFunction) -> dict:
+    """Everything in ``__dict__`` except bound/cache state."""
+    from repro.mcdb.vg import _BINDING_FIELDS
+
+    return {
+        name: value
+        for name, value in vg.__dict__.items()
+        if name not in _BINDING_FIELDS
+    }
+
+
+# --- rendering the grammar ---------------------------------------------------
+
+
+def render_value(value) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if value is None:
+        return "none"
+    if isinstance(value, (int, float)):
+        return repr(value)
+    if isinstance(value, list):
+        return "+".join(render_value(item) for item in value)
+    return value  # column-name string
+
+
+def render_spec(kind: str, params: dict) -> str:
+    body = ",".join(f"{name}={render_value(v)}" for name, v in params.items())
+    return f"{kind}:{body}" if body else kind
+
+
+def equal_typed(a, b) -> bool:
+    """Equality that distinguishes 1 / 1.0 / True / "1" and recurses lists."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, list):
+        return len(a) == len(b) and all(map(equal_typed, a, b))
+    return a == b
+
+
+# --- strategies --------------------------------------------------------------
+
+names = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+#: Strings that must stay strings: no reserved literals, nothing that
+#: parses as a number, none of the grammar's separators (, = + :).
+safe_strings = st.from_regex(r"[a-z][a-z0-9_.]{0,8}", fullmatch=True).filter(
+    lambda s: s not in ("true", "false", "none", "inf", "nan", "infinity")
+)
+
+ints = st.integers(-10**6, 10**6)
+#: Floats whose repr survives the grammar (no "+" — it is the list
+#: separator — and no integral repr that would parse back as int).
+floats = (
+    st.floats(allow_nan=False, allow_infinity=False, width=32)
+    .filter(lambda x: "+" not in repr(float(x)))
+    .map(float)
+)
+
+#: List items: "+"-joined, so no floats in scientific notation and at
+#: least two items (a one-item list renders as its bare scalar).
+list_items = st.one_of(ints, safe_strings)
+lists = st.lists(list_items, min_size=2, max_size=4)
+
+values = st.one_of(
+    st.booleans(), st.none(), ints, floats, safe_strings, lists
+)
+
+param_dicts = st.dictionaries(names, values, max_size=5)
+
+
+# --- properties --------------------------------------------------------------
+
+
+@settings(max_examples=300, deadline=None)
+@given(value=values)
+def test_value_grammar_round_trips(value):
+    assert equal_typed(_parse_param_value(render_value(value)), value)
+
+
+@settings(max_examples=200, deadline=None)
+@given(params=param_dicts)
+def test_registry_spec_round_trips_params_and_fingerprint(params):
+    expected = make_vg("test_echo", **params)
+    parsed = parse_vg_expr(render_spec("test_echo", params))
+    assert isinstance(parsed, EchoVG)
+    got = constructor_params(parsed)
+    want = constructor_params(expected)
+    assert set(got) == set(want)
+    for name in want:
+        assert equal_typed(got[name], want[name]), name
+    # The store-partitioning hash agrees with the directly-built VG.
+    assert parsed.params_fingerprint() == expected.params_fingerprint()
+
+
+@settings(max_examples=100, deadline=None)
+@given(
+    rho=st.floats(0.0, 0.95).map(lambda x: round(x, 6)),
+    scale=st.floats(0.1, 10.0).map(lambda x: round(x, 6)),
+    base=safe_strings,
+)
+def test_real_family_specs_round_trip(rho, scale, base):
+    spec = f"gaussian_copula:base_column={base},scale={render_value(scale)},rho={render_value(rho)}"
+    parsed = parse_vg_expr(spec)
+    direct = make_vg("gaussian_copula", base_column=base, scale=scale, rho=rho)
+    assert parsed.params_fingerprint() == direct.params_fingerprint()
+
+
+def test_distinct_specs_fingerprint_differently():
+    base = parse_vg_expr("test_echo:a=1,b=x")
+    assert (
+        parse_vg_expr("test_echo:a=1,b=x").params_fingerprint()
+        == base.params_fingerprint()
+    )
+    for other in (
+        "test_echo:a=1.0,b=x",  # float vs int
+        "test_echo:a=1,b=y",
+        "test_echo:a=1",
+        "test_echo:a=1,b=x,c=none",
+    ):
+        assert (
+            parse_vg_expr(other).params_fingerprint()
+            != base.params_fingerprint()
+        ), other

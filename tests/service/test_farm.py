@@ -1,0 +1,224 @@
+"""SolveFarm: process backend, memmap handoff, recycling, crash recovery."""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Relation, SPQConfig
+from repro.errors import SPQError
+from repro.mcdb import GaussianNoiseVG, StochasticModel
+from repro.service import QueryBroker, WorkerCrashError
+
+QUERY = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) <= 3 AND
+    SUM(Value) >= 6 WITH PROBABILITY >= 0.8
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+
+def _catalog(n_rows: int = 5) -> Catalog:
+    if n_rows == 5:
+        prices = [5.0, 8.0, 3.0, 6.0, 4.0]
+    else:
+        prices = np.random.default_rng(0).uniform(1.0, 10.0, n_rows)
+    relation = Relation("items", {"price": prices})
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 1.0)})
+    out = Catalog()
+    out.register(relation, model)
+    return out
+
+
+def _config(**overrides) -> SPQConfig:
+    defaults = dict(
+        n_validation_scenarios=500,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=60,
+        epsilon=0.8,
+        seed=11,
+    )
+    defaults.update(overrides)
+    return SPQConfig(**defaults)
+
+
+def _busy_worker(broker: QueryBroker, exclude=(), timeout: float = 60.0) -> dict:
+    """Poll /status until a busy worker (not in ``exclude``) appears."""
+    deadline = time.time() + timeout
+    while time.time() < deadline:
+        for worker in broker.status()["farm"]["workers"]:
+            if worker["state"] == "busy" and worker["pid"] not in exclude:
+                return worker
+        time.sleep(0.01)
+    raise AssertionError("no busy worker observed before the deadline")
+
+
+def test_process_backend_matches_thread_backend_bit_identically():
+    catalog = _catalog()
+    config = _config()
+    with QueryBroker(catalog, config=config, pool_size=2, backend="thread") as b:
+        reference = b.execute(QUERY)
+    with QueryBroker(catalog, config=config, pool_size=2, backend="process") as b:
+        result = b.execute(QUERY)
+        status = b.status()
+    assert status["backend"] == "process"
+    assert status["farm"]["n_workers"] == 2
+    assert result.feasible == reference.feasible
+    assert result.objective == reference.objective
+    assert np.array_equal(
+        result.package.multiplicities, reference.package.multiplicities
+    )
+
+
+def test_farm_serves_concurrent_queries_and_reports_workers():
+    catalog = _catalog()
+    config = _config()
+    with QueryBroker(catalog, config=config, pool_size=2, backend="process") as b:
+        futures = [b.submit(QUERY, seed=s) for s in (1, 2, 3, 4)]
+        results = [f.result(timeout=120) for f in futures]
+        status = b.status()
+    assert all(r is not None for r in results)
+    assert status["completed"] == 4
+    assert status["failed"] == 0
+    farm = status["farm"]
+    assert farm["crashed_total"] == 0
+    assert {w["state"] for w in farm["workers"]} <= {"idle", "busy", "starting"}
+    assert sum(w["tasks_completed"] for w in farm["workers"]) == 4
+
+
+def test_handoff_descriptors_flow_between_workers():
+    # Worker A realizes the matrices; the same query (different worker,
+    # same content keys) must adopt them instead of regenerating.
+    catalog = _catalog()
+    config = _config()
+    with QueryBroker(catalog, config=config, pool_size=2, backend="process") as b:
+        first = b.execute(QUERY)
+        assert b.status()["farm"]["handoff_entries"] > 0
+        # Drive every worker through the same query; at least one run
+        # lands on the worker that did not realize the matrices.
+        results = [b.execute(QUERY, epsilon=0.79) for _ in range(3)]
+        farm = b.status()["farm"]
+    assert farm["handoff_entries"] > 0
+    for result in results:
+        assert result.feasible == first.feasible
+
+
+def test_errors_cross_the_process_boundary():
+    catalog = _catalog()
+    with QueryBroker(
+        catalog, config=_config(), pool_size=1, backend="process"
+    ) as b:
+        with pytest.raises(SPQError):
+            b.execute("SELECT PACKAGE(*) FROM nowhere SUCH THAT COUNT(*) <= 1")
+        # The worker survives a failed evaluation.
+        assert b.execute(QUERY).feasible
+        status = b.status()
+    assert status["failed"] == 1
+    assert status["completed"] == 1
+
+
+def test_worker_recycling_replaces_workers_without_dropping_requests():
+    catalog = _catalog()
+    with QueryBroker(
+        catalog,
+        config=_config(),
+        pool_size=1,
+        backend="process",
+        recycle_after=2,
+    ) as b:
+        results = [b.execute(QUERY, seed=s) for s in range(5)]
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            farm = b.status()["farm"]
+            if farm["recycled_total"] >= 2 and farm["idle"] + farm["busy"] >= 1:
+                break
+            time.sleep(0.05)
+        farm = b.status()["farm"]
+    assert all(r.feasible for r in results)
+    assert farm["recycled_total"] >= 2
+    assert farm["crashed_total"] == 0
+
+
+@pytest.mark.parametrize("kills", [1, 2])
+def test_killed_worker_requeues_once_then_surfaces_crash(kills):
+    # A solver-bound request large enough to give the kill a wide
+    # window (hundreds of ms of realization + validation per solve).
+    catalog = _catalog(n_rows=400)
+    config = _config(
+        n_validation_scenarios=300_000,
+        n_initial_scenarios=50,
+        scenario_increment=50,
+        max_scenarios=100,
+        epsilon=0.9,
+    )
+    slow_query = """
+    SELECT PACKAGE(*) FROM items SUCH THAT
+        COUNT(*) <= 5 AND
+        SUM(Value) >= 20 WITH PROBABILITY >= 0.8
+    MINIMIZE EXPECTED SUM(Value)
+    """
+    with QueryBroker(
+        catalog, config=config, pool_size=2, backend="process"
+    ) as broker:
+        future = broker.submit(slow_query)
+        killed = []
+        for _ in range(kills):
+            worker = _busy_worker(broker, exclude=killed)
+            killed.append(worker["pid"])
+            os.kill(worker["pid"], signal.SIGKILL)
+        if kills == 1:
+            # Retried once on another worker; the request still succeeds.
+            result = future.result(timeout=180)
+            assert result.feasible
+        else:
+            # Second death of the same request: exit-code-3 semantics.
+            with pytest.raises(WorkerCrashError):
+                future.result(timeout=180)
+        farm = broker.status()["farm"]
+        assert farm["crashed_total"] >= kills
+        assert farm["retried_total"] >= 1
+        # The farm replaced the dead workers and keeps serving.
+        follow_up = broker.execute(QUERY)
+        assert follow_up.feasible
+        farm = broker.status()["farm"]
+        assert farm["idle"] + farm["busy"] >= 1
+
+
+def test_broker_returns_admission_slot_when_farm_submit_fails():
+    # A farm that refuses work (here: closed out from under the broker)
+    # must not leak _pending slots — otherwise the broker saturates
+    # permanently and turns every real error into a 503.
+    catalog = _catalog()
+    broker = QueryBroker(
+        catalog, config=_config(), pool_size=1, max_pending=2, backend="process"
+    )
+    try:
+        broker._farm.close()
+        for _ in range(5):  # more attempts than max_pending
+            with pytest.raises(SPQError):
+                broker.submit(QUERY)
+        assert broker.status()["pending"] == 0
+        assert broker.status()["rejected_total"] == 0  # errors, not 503s
+    finally:
+        broker.close()
+
+
+def test_farm_close_is_idempotent_and_rejects_new_work():
+    catalog = _catalog()
+    broker = QueryBroker(
+        catalog, config=_config(), pool_size=1, backend="process"
+    )
+    assert broker.execute(QUERY).feasible
+    spill_dir = broker._farm._spill_dir
+    assert os.path.isdir(spill_dir)
+    broker.close()
+    broker.close()  # idempotent
+    with pytest.raises(SPQError):
+        broker.submit(QUERY)
+    # The shared spill directory (handoff memmaps) is removed.
+    assert not os.path.exists(spill_dir)

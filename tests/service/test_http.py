@@ -125,6 +125,67 @@ def _status_of(exc: urllib.error.HTTPError):
     return exc.code, json.loads(exc.read())
 
 
+def test_saturation_is_counted_and_exposed_as_rejected_total():
+    # A broker with no headroom: one session, one pending slot, and the
+    # evaluation gated so the slot stays occupied while we overflow it.
+    import threading
+
+    relation = Relation("items", {"price": [5.0, 8.0, 3.0, 6.0, 4.0]})
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 1.0)})
+    catalog = Catalog()
+    catalog.register(relation, model)
+    broker = QueryBroker(
+        catalog,
+        config=SPQConfig(
+            n_validation_scenarios=200,
+            n_initial_scenarios=10,
+            scenario_increment=10,
+            max_scenarios=30,
+            epsilon=0.9,
+        ),
+        pool_size=1,
+        max_pending=1,
+    )
+    gate = threading.Event()
+    original = broker._run
+
+    def gated(query, method, overrides):
+        gate.wait(60)
+        return original(query, method, overrides)
+
+    broker._run = gated
+    svc = SPQService(broker, port=0, own_broker=True).start_background()
+    try:
+        first = threading.Thread(target=lambda: _post(svc, {"query": QUERY}))
+        first.start()
+        deadline = 60
+        import time
+
+        start = time.time()
+        while broker.status()["pending"] < 1 and time.time() - start < deadline:
+            time.sleep(0.01)
+
+        # The overflow request is rejected with 503 ...
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(svc, {"query": QUERY, "overrides": {"seed": 99}})
+        code, body = _status_of(excinfo.value)
+        assert code == 503
+        assert body["error"]["kind"] == "saturated"
+
+        # ... and the event is visible on /status and /metrics.
+        _, status_body = _get(svc, "/status")
+        assert status_body["rejected_total"] == 1
+        assert status_body["rejected"] == 1  # backwards-compatible alias
+        _, metrics = _get(svc, "/metrics")
+        assert "repro_broker_rejected_total 1" in metrics.splitlines()
+
+        gate.set()
+        first.join(120)
+    finally:
+        gate.set()
+        svc.shutdown()
+
+
 def test_error_mapping(service):
     # Invalid JSON → 400.
     request = urllib.request.Request(

@@ -256,6 +256,96 @@ def test_failed_generation_releases_the_key():
     store.close()
 
 
+# --- cross-process handoff --------------------------------------------------
+
+
+def test_handoff_exports_descriptors_and_adopt_round_trips(tmp_path):
+    exporter = ScenarioStore(spill_dir=str(tmp_path / "exp"))
+    reference = np.array(exporter.coefficient_matrix(("a",), 4, fill_for(1)))
+    exporter.coefficient_matrix(("b",), 3, fill_for(2))
+    descriptors = exporter.handoff()
+    assert set(descriptors) == {("a",), ("b",)}
+    for descriptor in descriptors.values():
+        assert descriptor["path"]
+        assert len(descriptor["sha256"]) == 64
+    # Exported entries still serve (now memmap-backed, bit-identical).
+    assert np.array_equal(
+        exporter.coefficient_matrix(("a",), 4, fill_for(1)), reference
+    )
+
+    adopter = ScenarioStore()
+    assert adopter.adopt(descriptors) == 2
+    calls = []
+    got = adopter.coefficient_matrix(("a",), 4, fill_for(1, calls))
+    assert calls == [], "adopted entry must not regenerate"
+    assert np.array_equal(np.asarray(got), reference)
+    assert adopter.stats().adopted == 2
+
+    # Neither store owns the files: closing both leaves them on disk
+    # (the farm removes its shared spill directory as a whole).
+    adopter.close()
+    exporter.close()
+    assert list((tmp_path / "exp").iterdir())
+
+
+def test_adopt_rejects_corrupt_files(tmp_path):
+    exporter = ScenarioStore(spill_dir=str(tmp_path))
+    exporter.coefficient_matrix(("k",), 3, fill_for(5))
+    descriptors = exporter.handoff()
+    path = descriptors[("k",)]["path"]
+    data = np.memmap(path, dtype=np.float64, mode="r+")
+    data[0] = -999.0  # torn write / bit rot
+    data.flush()
+    del data
+
+    adopter = ScenarioStore()
+    assert adopter.adopt(descriptors) == 0  # hash mismatch: skipped
+    # The key regenerates correctly on demand.
+    got = adopter.coefficient_matrix(("k",), 3, fill_for(5))
+    assert np.array_equal(got, expected(5, 3))
+    adopter.close()
+    exporter.close()
+
+
+def test_adopt_skips_missing_files_and_existing_keys(tmp_path):
+    exporter = ScenarioStore(spill_dir=str(tmp_path))
+    exporter.coefficient_matrix(("k",), 3, fill_for(1))
+    descriptors = exporter.handoff()
+
+    adopter = ScenarioStore()
+    adopter.coefficient_matrix(("k",), 5, fill_for(1))  # wider local entry
+    assert adopter.adopt(descriptors) == 0  # key already present
+    assert np.array_equal(
+        adopter.coefficient_matrix(("k",), 5, fill_for(1)), expected(1, 5)
+    )
+    adopter.clear()
+    bogus = {("k",): dict(descriptors[("k",)], path=str(tmp_path / "gone"))}
+    assert adopter.adopt(bogus) == 0  # missing file: skipped
+    adopter.close()
+    exporter.close()
+
+
+def test_adopted_entry_grows_without_touching_the_shared_file(tmp_path):
+    exporter = ScenarioStore(spill_dir=str(tmp_path))
+    exporter.coefficient_matrix(("k",), 3, fill_for(1))
+    descriptors = exporter.handoff()
+    path = descriptors[("k",)]["path"]
+
+    adopter = ScenarioStore()
+    adopter.adopt(descriptors)
+    calls = []
+    grown = adopter.coefficient_matrix(("k",), 6, fill_for(1, calls))
+    assert calls == [(3, 6)], "growth must reuse the adopted prefix"
+    assert np.array_equal(grown, expected(1, 6))
+    adopter.close()
+    # The shared file is intact for other adopters.
+    assert np.array_equal(
+        np.memmap(path, dtype=np.float64, mode="r", shape=(N_ROWS, 3)),
+        expected(1, 3),
+    )
+    exporter.close()
+
+
 # --- content keys ----------------------------------------------------------
 
 

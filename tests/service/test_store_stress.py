@@ -1,0 +1,134 @@
+"""Stress/soak: threads hammering overlapping store keys under pressure.
+
+The store's hardest regime at once: many threads, few (overlapping)
+keys, growth requests racing prefix hits, a byte budget far below the
+working set so every insert triggers LRU spilling.  Three invariants:
+
+* **No corruption** — every returned matrix hashes exactly to the
+  deterministic content its key implies (content-hash check, not just
+  shape/dtype).
+* **No handle leaks** — after ``close()`` no ``np.memmap`` over a spill
+  file remains reachable.
+* **No file leaks** — after ``close()`` the spill directory is empty.
+"""
+
+from __future__ import annotations
+
+import gc
+import hashlib
+import threading
+
+import numpy as np
+
+from repro.service.store import ScenarioStore
+
+N_ROWS = 16
+N_THREADS = 8
+N_KEYS = 5
+ITERATIONS = 40
+MAX_WIDTH = 24
+
+
+def _content(key_id: int, start: int, stop: int) -> np.ndarray:
+    """Deterministic fill: column j of key k holds k*1000 + j."""
+    cols = np.arange(start, stop, dtype=float)[None, :] + 1000.0 * key_id
+    return np.broadcast_to(cols, (N_ROWS, stop - start)).copy()
+
+
+def _expected_hash(key_id: int, width: int) -> str:
+    return hashlib.sha256(
+        np.ascontiguousarray(_content(key_id, 0, width)).tobytes()
+    ).hexdigest()
+
+
+def test_concurrent_overlapping_keys_under_tiny_budget_never_corrupt(tmp_path):
+    # Budget fits roughly one mid-sized entry: every generation forces
+    # spills, and growth constantly races hits on the same keys.
+    store = ScenarioStore(
+        budget_bytes=N_ROWS * 8 * 8, spill=True, spill_dir=str(tmp_path)
+    )
+    expected = {
+        (key_id, width): _expected_hash(key_id, width)
+        for key_id in range(N_KEYS)
+        for width in range(1, MAX_WIDTH + 1)
+    }
+    failures: list[str] = []
+    barrier = threading.Barrier(N_THREADS)
+
+    def hammer(thread_id: int) -> None:
+        rng = np.random.default_rng(thread_id)
+        barrier.wait(30)
+        for i in range(ITERATIONS):
+            key_id = int(rng.integers(N_KEYS))
+            width = int(rng.integers(1, MAX_WIDTH + 1))
+            if i % 11 == 0:
+                store.clear()  # races growth: the retry path must hold
+            got = store.coefficient_matrix(
+                (key_id,), width, lambda a, b, k=key_id: _content(k, a, b)
+            )
+            digest = hashlib.sha256(
+                np.ascontiguousarray(got).tobytes()
+            ).hexdigest()
+            if digest != expected[(key_id, width)]:
+                failures.append(
+                    f"thread {thread_id}: key {key_id} width {width}"
+                    f" returned corrupt content"
+                )
+
+    threads = [
+        threading.Thread(target=hammer, args=(t,)) for t in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+        assert not thread.is_alive(), "stress thread wedged"
+    assert not failures, failures[:5]
+
+    stats = store.stats()
+    assert stats.spills > 0, "budget pressure never spilled — test is inert"
+    assert stats.generations > 0
+
+    store.close()
+    # File-leak check: close() must have removed every owned spill file.
+    assert not list(tmp_path.iterdir()), "spill files leaked after close()"
+    # Handle-leak check: no memmap over the spill dir stays reachable.
+    gc.collect()
+    leaked = [
+        obj
+        for obj in gc.get_objects()
+        if isinstance(obj, np.memmap)
+        and str(getattr(obj, "filename", "")).startswith(str(tmp_path))
+    ]
+    assert not leaked, f"{len(leaked)} memmap handles leaked after close()"
+
+
+def test_soak_with_eviction_and_growth_is_exact(tmp_path):
+    # Spill disabled: pressure evicts outright, so regenerated entries
+    # must reproduce identical bytes every time.
+    store = ScenarioStore(budget_bytes=N_ROWS * 8 * 6, spill=False)
+    errors: list[str] = []
+
+    def worker(thread_id: int) -> None:
+        rng = np.random.default_rng(100 + thread_id)
+        for _ in range(ITERATIONS):
+            key_id = int(rng.integers(N_KEYS))
+            width = int(rng.integers(1, MAX_WIDTH + 1))
+            got = store.coefficient_matrix(
+                (key_id,), width, lambda a, b, k=key_id: _content(k, a, b)
+            )
+            if not np.array_equal(got, _content(key_id, 0, width)):
+                errors.append(f"key {key_id} width {width} mismatch")
+
+    threads = [
+        threading.Thread(target=worker, args=(t,)) for t in range(N_THREADS)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(120)
+        assert not thread.is_alive()
+    assert not errors, errors[:5]
+    assert store.stats().evictions > 0
+    store.close()
+    assert store.stats().entries == 0

@@ -1,0 +1,155 @@
+"""Property-based sPaQL round-trip: parse(format(q)) == q, full surface.
+
+Extends the basic round-trip suite (``test_pretty.py``) to the parts of
+the grammar it leaves out: WHERE predicates (comparisons, AND/OR/NOT,
+string literals), scalar function calls, division and exponentiation,
+and unary minus — the full expression sub-language behind ``SUM(f)``.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings, strategies as st
+
+from repro.db.expressions import (
+    Attr,
+    BinOp,
+    BoolOp,
+    Compare,
+    Const,
+    FuncCall,
+    Not,
+    UnaryOp,
+)
+from repro.spaql.nodes import (
+    CountConstraint,
+    PackageQuery,
+    ProbabilisticConstraint,
+    SumConstraint,
+    SumObjective,
+)
+from repro.spaql.parser import parse_query
+from repro.spaql.pretty import format_query
+
+KEYWORDS = {
+    "SELECT", "PACKAGE", "AS", "FROM", "REPEAT", "WHERE", "SUCH", "THAT",
+    "AND", "OR", "NOT", "BETWEEN", "SUM", "COUNT", "EXPECTED", "WITH",
+    "PROBABILITY", "OF", "MAXIMIZE", "MINIMIZE",
+    # Function names parse as FuncCall heads, not attributes.
+    "ABS", "SQRT", "EXP", "LN", "LOG", "FLOOR", "CEIL",
+}
+
+identifiers = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True).filter(
+    lambda s: s.upper() not in KEYWORDS
+)
+
+# Nonnegative literals only: a leading "-" parses as UnaryOp, so a
+# negative Const leaf cannot round-trip verbatim.
+numbers = st.one_of(
+    st.integers(0, 1000),
+    st.floats(0, 1000, allow_nan=False, allow_infinity=False).map(
+        lambda x: round(x, 6)
+    ),
+)
+
+FUNCTIONS = ("abs", "sqrt", "exp", "ln", "log", "floor", "ceil")
+
+
+def arith_exprs():
+    """Arithmetic expressions over the full operator/function surface."""
+    leaves = st.one_of(identifiers.map(Attr), numbers.map(Const))
+
+    def extend(children):
+        return st.one_of(
+            st.builds(
+                BinOp,
+                st.sampled_from(["+", "-", "*", "/", "^"]),
+                children,
+                children,
+            ),
+            st.builds(UnaryOp, st.just("-"), children),
+            st.builds(
+                lambda name, arg: FuncCall(name, (arg,)),
+                st.sampled_from(FUNCTIONS),
+                children,
+            ),
+        )
+
+    return st.recursive(leaves, extend, max_leaves=5)
+
+
+def predicates():
+    """Boolean WHERE predicates: comparisons composed with AND/OR/NOT."""
+    operands = st.one_of(
+        identifiers.map(Attr),
+        numbers.map(Const),
+        st.from_regex(r"[a-z0-9 ]{0,6}", fullmatch=True).map(Const),
+    )
+    comparisons = st.builds(
+        Compare,
+        st.sampled_from(["<=", "<", ">=", ">", "=", "<>"]),
+        operands,
+        operands,
+    )
+
+    def extend(children):
+        return st.one_of(
+            st.builds(BoolOp, st.sampled_from(["AND", "OR"]), children, children),
+            st.builds(Not, children),
+        )
+
+    return st.recursive(comparisons, extend, max_leaves=4)
+
+
+ops = st.sampled_from(["<=", ">="])
+probabilities = st.floats(0.01, 0.99).map(lambda p: round(p, 3))
+
+
+def constraints():
+    count = st.one_of(
+        st.builds(
+            lambda lo, width: CountConstraint(low=lo, high=lo + width),
+            st.integers(0, 5),
+            st.integers(0, 5),
+        ),
+        st.builds(CountConstraint, st.none(), st.none(), ops, numbers),
+    )
+    linear = st.builds(SumConstraint, arith_exprs(), ops, numbers, st.booleans())
+    chance = st.builds(
+        ProbabilisticConstraint, arith_exprs(), ops, numbers, ops, probabilities
+    )
+    return st.one_of(count, linear, chance)
+
+
+queries = st.builds(
+    PackageQuery,
+    table=identifiers,
+    alias=st.one_of(st.none(), identifiers),
+    repeat=st.one_of(st.none(), st.integers(0, 10)),
+    where=st.one_of(st.none(), predicates()),
+    constraints=st.lists(constraints(), min_size=1, max_size=4).map(tuple),
+    objective=st.one_of(
+        st.none(),
+        st.builds(
+            SumObjective,
+            st.sampled_from(["minimize", "maximize"]),
+            arith_exprs(),
+            st.booleans(),
+        ),
+    ),
+)
+
+
+@settings(max_examples=300, deadline=None)
+@given(query=queries)
+def test_full_surface_round_trip(query):
+    text = format_query(query)
+    assert parse_query(text) == query
+
+
+@settings(max_examples=300, deadline=None)
+@given(query=queries)
+def test_formatting_is_a_fixed_point(query):
+    # format ∘ parse ∘ format == format: the canonical rendering is
+    # stable, so store keys built from rendered text never oscillate.
+    text = format_query(query)
+    assert format_query(parse_query(text)) == text

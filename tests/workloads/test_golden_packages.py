@@ -1,0 +1,65 @@
+"""Golden regression tests: pinned optimal packages per workload.
+
+Each case fixes the dataset seed, evaluation seed, and budget, and pins
+the exact answer — tuple ids with multiplicities, plus the objective —
+so a refactor anywhere in the pipeline (parser, compiler, scenario
+generation, store, solver) cannot *silently* change what a query
+returns.  Evaluation is deterministic end to end (counter-based RNG
+keys, deterministic solves), so these equalities are exact on any one
+platform; the objective uses a tight relative tolerance only to absorb
+float-summation differences across BLAS builds.
+
+If a deliberate behavior change moves an answer, re-pin the values in
+the same commit and say why in its message.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, SPQConfig, SPQEngine
+from repro.workloads import get_query
+
+CONFIG = dict(
+    n_validation_scenarios=1_000,
+    n_initial_scenarios=24,
+    scenario_increment=24,
+    max_scenarios=72,
+    n_expectation_scenarios=800,
+    epsilon=0.6,
+    seed=1234,
+)
+DATA_SEED = 7
+
+#: (workload, query, scale) -> (objective, {tuple_key: multiplicity}).
+GOLDEN = {
+    ("portfolio", "Q1", 60): (
+        4.335948665450461,
+        {5: 5, 65: 1},
+    ),
+    ("galaxy", "Q1", 300): (
+        50.3305,
+        {11: 1, 29: 1, 39: 1, 137: 1, 240: 1},
+    ),
+    ("portfolio_correlated", "Q2", 60): (
+        2.607069116104891,
+        {39: 10, 51: 7},
+    ),
+}
+
+
+@pytest.mark.parametrize(
+    "workload,query,scale", sorted(GOLDEN), ids=lambda v: str(v)
+)
+def test_golden_package(workload, query, scale):
+    objective, multiplicities = GOLDEN[(workload, query, scale)]
+    spec = get_query(workload, query)
+    relation, model = spec.build_dataset(scale, seed=DATA_SEED)
+    catalog = Catalog()
+    catalog.register(relation, model)
+    engine = SPQEngine(catalog=catalog, config=SPQConfig(**CONFIG))
+    result = engine.execute(spec.spaql)
+    assert result.feasible
+    got = {int(k): int(v) for k, v in result.package.key_multiplicities().items()}
+    assert got == multiplicities
+    assert result.objective == pytest.approx(objective, rel=1e-9)
