@@ -94,21 +94,28 @@ def get(base: str, path: str, timeout: float = 30.0) -> tuple[int, str]:
 def client(base: str, client_id: int, outcomes: list, lock: threading.Lock):
     """One of the 32 concurrent clients; records (client_id, kind, code)."""
     kind = ("repeat", "seeded", "status", "bad")[client_id % 4]
-    if kind == "repeat":
-        code, _ = post_query(base, {"query": QUERY})
-        expect = {200, 503}
-    elif kind == "seeded":
-        code, _ = post_query(
-            base, {"query": QUERY, "overrides": {"seed": client_id}}
-        )
-        expect = {200, 503}
-    elif kind == "status":
-        code, _ = get(base, "/status" if client_id % 8 == 2 else "/metrics")
-        expect = {200}
-    else:
-        code, body = post_query(base, {"query": "SELEC nonsense"})
-        expect = {400}
-        assert body["error"]["kind"] == "parse", body
+    try:
+        if kind == "repeat":
+            code, _ = post_query(base, {"query": QUERY})
+            expect = {200, 503}
+        elif kind == "seeded":
+            code, _ = post_query(
+                base, {"query": QUERY, "overrides": {"seed": client_id}}
+            )
+            expect = {200, 503}
+        elif kind == "status":
+            code, _ = get(base, "/status" if client_id % 8 == 2 else "/metrics")
+            expect = {200}
+        else:
+            code, body = post_query(base, {"query": "SELEC nonsense"})
+            expect = {400}
+            assert body["error"]["kind"] == "parse", body
+    except Exception as error:  # timeout/URLError: record, don't die silently
+        with lock:
+            outcomes.append(
+                (client_id, kind, f"{type(error).__name__}: {error}", False)
+            )
+        return
     with lock:
         outcomes.append((client_id, kind, code, code in expect))
 

@@ -15,6 +15,7 @@ query.  Registering new data invalidates the cache.
 from __future__ import annotations
 
 import threading
+from collections import OrderedDict
 
 from ..config import DEFAULT_CONFIG, SPQConfig
 from ..db.catalog import Catalog
@@ -34,7 +35,10 @@ METHOD_DETERMINISTIC = "deterministic"
 
 _METHODS = (METHOD_SUMMARY_SEARCH, METHOD_NAIVE, METHOD_DETERMINISTIC)
 
-#: Compiled problems cached per engine session (distinct query texts).
+#: Compiled problems cached per engine session (distinct query texts);
+#: least-recently-used entries are evicted beyond this, so a long-lived
+#: session keeps caching its *hot* queries no matter how many distinct
+#: texts it has seen.
 _COMPILE_CACHE_LIMIT = 256
 
 
@@ -60,7 +64,7 @@ class SPQEngine:
         # to the catalog's version counter, so a registration through
         # ANY session sharing this catalog (or on the catalog directly)
         # invalidates it — a hit is always current.
-        self._compiled: dict[str, StochasticPackageProblem] = {}
+        self._compiled: "OrderedDict[str, StochasticPackageProblem]" = OrderedDict()
         self._compiled_version = getattr(self.catalog, "version", 0)
         self._compiled_lock = threading.Lock()
 
@@ -97,15 +101,17 @@ class SPQEngine:
                 self._compiled.clear()
                 self._compiled_version = version
             cached = self._compiled.get(text)
+            if cached is not None:
+                self._compiled.move_to_end(text)
         if cached is not None:
             return cached
         problem = compile_query(query, self.catalog)
         with self._compiled_lock:
-            if (
-                self._compiled_version == version
-                and len(self._compiled) < _COMPILE_CACHE_LIMIT
-            ):
+            if self._compiled_version == version:
                 self._compiled[text] = problem
+                self._compiled.move_to_end(text)
+                while len(self._compiled) > _COMPILE_CACHE_LIMIT:
+                    self._compiled.popitem(last=False)
         return problem
 
     # --- evaluation ------------------------------------------------------------------

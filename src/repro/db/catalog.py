@@ -8,6 +8,7 @@ without a model are fully deterministic (plain PaQL behaviour).
 
 from __future__ import annotations
 
+import threading
 from typing import TYPE_CHECKING, Iterator
 
 from ..errors import SchemaError
@@ -25,8 +26,25 @@ class Catalog:
         #: Bumped on every mutation.  Engine sessions sharing this
         #: catalog key their compiled-problem caches on it, so a
         #: registration through *any* session (or directly on the
-        #: catalog) invalidates every session's cache.
+        #: catalog) invalidates every session's cache.  Mutations are
+        #: serialized under a lock: concurrent registrations losing an
+        #: increment to each other would leave the counter unchanged
+        #: after the second one landed, letting stale compiled problems
+        #: read as current.
         self.version = 0
+        self._mutate_lock = threading.Lock()
+
+    def __getstate__(self) -> dict:
+        # Catalogs cross process boundaries (solve-farm workers receive
+        # one pickled at spawn); locks don't pickle and each process
+        # needs its own anyway.
+        state = dict(self.__dict__)
+        del state["_mutate_lock"]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        self.__dict__.update(state)
+        self._mutate_lock = threading.Lock()
 
     @staticmethod
     def _norm(name: str) -> str:
@@ -46,8 +64,9 @@ class Catalog:
         table_name = self._norm(name or relation.name)
         if model is not None:
             model.check_against(relation)
-        self._tables[table_name] = (relation, model)
-        self.version += 1
+        with self._mutate_lock:
+            self._tables[table_name] = (relation, model)
+            self.version += 1
 
     def relation(self, name: str) -> Relation:
         """The relation registered under ``name``."""

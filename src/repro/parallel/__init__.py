@@ -9,6 +9,16 @@ whose results are *bit-identical* no matter which process computes them.
 out across worker processes and reassembles them in canonical order.
 """
 
-from .executor import ParallelScenarioExecutor, mp_context, scenario_chunks
+from .executor import (
+    ParallelScenarioExecutor,
+    farm_context,
+    mp_context,
+    scenario_chunks,
+)
 
-__all__ = ["ParallelScenarioExecutor", "mp_context", "scenario_chunks"]
+__all__ = [
+    "ParallelScenarioExecutor",
+    "farm_context",
+    "mp_context",
+    "scenario_chunks",
+]

@@ -1,13 +1,17 @@
 """Concurrent package-query broker over a pool of engine sessions.
 
 :class:`QueryBroker` is the serving layer's middle tier: it owns a
-shared :class:`~repro.service.store.ScenarioStore`, a pool of
-:class:`~repro.core.engine.SPQEngine` sessions over one catalog, and a
-dispatch backend for concurrent ``execute()`` calls.  Three properties
-make it a serving layer rather than a loop around the engine:
+dispatch backend for concurrent ``execute()`` calls over one catalog —
+a pool of :class:`~repro.core.engine.SPQEngine` sessions sharing a
+:class:`~repro.service.store.ScenarioStore` (thread backend), or a
+:class:`~repro.service.farm.SolveFarm` of worker processes with
+private stores (process backend, where ``broker.store`` is ``None``
+unless the caller supplied one).  Three properties make it a serving
+layer rather than a loop around the engine:
 
-* **Shared realizations** — every session routes scenario generation
-  through the store, so queries over the same tables and stochastic
+* **Shared realizations** — scenario generation routes through a store
+  (the broker's shared one, or each farm worker's private one fed by
+  memmap handoffs), so queries over the same tables and stochastic
   attributes reuse realized matrices (each engine's own evaluation may
   further fan generation across the ``repro.parallel`` executor via
   ``config.n_workers``).
@@ -28,7 +32,9 @@ Two dispatch backends (``config.service_backend`` / ``backend=``):
   persistent worker processes, each hosting one warm engine; solves
   run truly in parallel, scenario matrices travel between workers as
   read-only memmap handoffs, and crashed workers are replaced with
-  their in-flight request retried once.
+  their in-flight request retried once.  Workers host *private* stores
+  (no broker-side store exists); :meth:`QueryBroker.store_stats`
+  reports their farm-wide aggregate.
 """
 
 from __future__ import annotations
@@ -90,15 +96,29 @@ class QueryBroker:
         )
         if self.max_pending < self.pool_size:
             self.max_pending = self.pool_size
-        self._owns_store = store is None
-        self.store = (
-            store
-            if store is not None
-            else ScenarioStore(
+        # The broker-side store only exists on the thread backend: farm
+        # workers host private stores (aggregated via the farm), and a
+        # parent-side store would sit unused, reporting permanently-zero
+        # stats to operators.  A caller-supplied store is rejected there
+        # rather than silently ignored — its budget/spill settings would
+        # not be enforced (workers configure theirs from
+        # ``scenario_store_budget`` / ``scenario_store_spill``).
+        if store is not None and self.backend == BACKEND_PROCESS:
+            raise SPQError(
+                "the process backend does not take a shared store: farm"
+                " workers host private scenario stores, configured via"
+                " config.scenario_store_budget / scenario_store_spill"
+            )
+        self._owns_store = store is None and self.backend == BACKEND_THREAD
+        if store is not None:
+            self.store = store
+        elif self.backend == BACKEND_THREAD:
+            self.store = ScenarioStore(
                 budget_bytes=self.config.scenario_store_budget,
                 spill=self.config.scenario_store_spill,
             )
-        )
+        else:
+            self.store = None
         self._farm: SolveFarm | None = None
         self._pool: ThreadPoolExecutor | None = None
         self._sessions: "queue.SimpleQueue[SPQEngine]" = queue.SimpleQueue()
@@ -225,6 +245,14 @@ class QueryBroker:
 
     # --- introspection ------------------------------------------------------
 
+    def store_stats(self) -> dict:
+        """Scenario-store counters as actually served: the shared store
+        on the thread backend, the aggregate over farm workers' private
+        stores on the process backend."""
+        if self._farm is not None:
+            return self._farm.store_stats()
+        return self.store.stats().as_dict()
+
     def status(self) -> dict:
         """Point-in-time serving state (the ``/status`` payload)."""
         with self._lock:
@@ -245,7 +273,7 @@ class QueryBroker:
                 "uptime_s": time.time() - self.started_at,
                 "closed": self._closed,
             }
-        state["store"] = self.store.stats().as_dict()
+        state["store"] = self.store_stats()
         if self._farm is not None:
             state["farm"] = self._farm.status()
         return state

@@ -244,7 +244,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._error(500, "internal", f"{type(error).__name__}: {error}")
             return
         payload = result_payload(result, time.perf_counter() - started)
-        payload["store"] = self.server.broker.store.stats().as_dict()
+        payload["store"] = self.server.broker.store_stats()
         self._respond(200, payload)
 
 
@@ -258,6 +258,12 @@ class SPQService(ThreadingHTTPServer):
     """
 
     daemon_threads = True
+    #: Listen backlog.  The stdlib default of 5 resets connections under
+    #: a concurrent-client burst on a loaded host (the accept loop
+    #: competes with handler threads for the GIL while handshakes queue);
+    #: admission control — not the TCP backlog — is the intended place
+    #: to shed load.
+    request_queue_size = 128
 
     def __init__(
         self,

@@ -183,6 +183,12 @@ class _Entry:
     #: :meth:`ScenarioStore.adopt` (the file belongs to the exporting
     #: store) are not owned.
     owned: bool = True
+    #: Whether this entry was installed by :meth:`ScenarioStore.adopt`.
+    #: Adopted entries are never re-exported by :meth:`handoff` — the
+    #: exporting store may have superseded the file since (e.g. after
+    #: growing the matrix), and re-announcing the stale path would let
+    #: it clobber the newer descriptor downstream.
+    adopted: bool = False
     #: SHA-256 of the matrix bytes, computed when the entry is written
     #: to disk; lets adopting stores verify the file they open.
     content_hash: str | None = None
@@ -403,7 +409,7 @@ class ScenarioStore:
     # --- cross-process handoff ------------------------------------------------
 
     def handoff(self) -> dict[tuple, dict]:
-        """Export every entry as a content-keyed memmap descriptor.
+        """Export not-yet-exported entries as content-keyed memmap descriptors.
 
         Resident entries are first written to spill files (reads stay
         bit-identical; the store keeps serving them through the memmap).
@@ -416,6 +422,13 @@ class ScenarioStore:
         files (the solve farm deletes its shared spill directory on
         shutdown).  Keys being grown at call time are skipped — they are
         exported by a later handoff.
+
+        Each entry is announced **once**: repeated calls return only
+        entries realized (or grown — growth creates a fresh entry) since
+        the previous call.  Re-announcing would let a path the caller
+        has since discarded clobber a newer descriptor for the same key.
+        For the same reason entries installed by :meth:`adopt` are never
+        exported — only the store that realized a matrix announces it.
         """
         with self._cond:
             if self._closed:
@@ -434,7 +447,9 @@ class ScenarioStore:
         descriptors: dict[tuple, dict] = {}
         with self._cond:
             for key, entry in self._entries.items():
-                if not entry.spilled or entry.content_hash is None:
+                # ``owned`` doubles as the exported-yet marker: handoff
+                # clears it, and adopt() installs entries without it.
+                if not entry.owned or not entry.spilled or entry.content_hash is None:
                     continue
                 entry.owned = False
                 descriptors[key] = {
@@ -487,6 +502,7 @@ class ScenarioStore:
                     data=data,
                     path=descriptor["path"],
                     owned=False,
+                    adopted=True,
                     content_hash=digest,
                 )
                 self._stats.adopted += 1

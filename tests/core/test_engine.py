@@ -99,3 +99,56 @@ def test_compile_cache_invalidated_by_any_sessions_registration(fast_config):
     # And a direct catalog mutation invalidates as well.
     catalog.register(Relation("t", {"cost": [1.0, 1.5, 2.0]}))
     assert b.execute(query).objective == pytest.approx(3.0)
+
+
+def test_concurrent_registrations_never_lose_a_version_bump():
+    # The compile cache's "a hit is always current" guarantee rests on
+    # the version counter changing for every mutation; two racing
+    # registrations losing an increment to each other would leave the
+    # counter unchanged after the second landed.
+    import threading
+
+    catalog = Catalog()
+    n_threads, per_thread = 8, 50
+    barrier = threading.Barrier(n_threads)
+
+    def register_many(thread_id: int) -> None:
+        barrier.wait()
+        for i in range(per_thread):
+            catalog.register(Relation(f"t{thread_id}", {"cost": [float(i)]}))
+
+    threads = [
+        threading.Thread(target=register_many, args=(t,))
+        for t in range(n_threads)
+    ]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join(timeout=60)
+    assert catalog.version == n_threads * per_thread
+
+
+def test_compile_cache_evicts_lru_not_newest(fast_config, monkeypatch):
+    # A long-lived serving session must keep caching its *hot* queries
+    # after seeing many distinct texts — a full cache that stops
+    # admitting new entries pins whatever arrived first, forever.
+    from repro.core import engine as engine_module
+
+    monkeypatch.setattr(engine_module, "_COMPILE_CACHE_LIMIT", 2)
+    catalog = Catalog()
+    catalog.register(Relation("t", {"cost": [1.0, 2.0, 3.0]}))
+    session = SPQEngine(catalog=catalog, config=fast_config)
+
+    def q(bound: int) -> str:
+        return (
+            f"SELECT PACKAGE(*) FROM t SUCH THAT SUM(cost) <= {bound}"
+            f" MAXIMIZE SUM(cost)"
+        )
+
+    first = session.compile(q(1))
+    second = session.compile(q(2))
+    assert session.compile(q(1)) is first  # refreshes q(1)'s recency
+    session.compile(q(3))  # at capacity: evicts q(2), the LRU entry
+    assert session.compile(q(1)) is first  # hot entry survived
+    assert session.compile(q(2)) is not second  # evicted: recompiled
+    assert len(session._compiled) == 2

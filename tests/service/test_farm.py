@@ -4,7 +4,9 @@ from __future__ import annotations
 
 import os
 import signal
+import threading
 import time
+from collections import OrderedDict
 
 import numpy as np
 import pytest
@@ -13,6 +15,8 @@ from repro import Catalog, Relation, SPQConfig
 from repro.errors import SPQError
 from repro.mcdb import GaussianNoiseVG, StochasticModel
 from repro.service import QueryBroker, WorkerCrashError
+from repro.service import farm as farm_module
+from repro.service.farm import SolveFarm, _Worker
 
 QUERY = """
 SELECT PACKAGE(*) FROM items SUCH THAT
@@ -187,6 +191,184 @@ def test_killed_worker_requeues_once_then_surfaces_crash(kills):
         assert follow_up.feasible
         farm = broker.status()["farm"]
         assert farm["idle"] + farm["busy"] >= 1
+
+
+def test_future_callbacks_run_outside_the_farm_lock():
+    # Done-callbacks run synchronously on the thread resolving the
+    # future.  The broker's callback takes the broker lock, which other
+    # threads hold while calling farm.submit() — so the manager must
+    # never resolve a future while holding the farm lock, or the two
+    # locks deadlock (the callback here would then wedge taking the farm
+    # lock a second time on the same thread).
+    catalog = _catalog()
+    farm = SolveFarm(catalog, _config(), n_workers=1)
+    seen = []
+    done = threading.Event()
+
+    def callback(_future):
+        seen.append(farm.status()["backend"])  # needs the farm lock
+        done.set()
+
+    future = farm.submit(QUERY, "summarysearch", {})
+    future.add_done_callback(callback)
+    assert future.result(timeout=120).feasible
+    assert done.wait(timeout=30), "callback wedged on the farm lock"
+    assert seen == ["process"]
+    # close() on a daemon thread: on a regression the manager is wedged
+    # holding the farm lock and close() would hang the suite forever.
+    closer = threading.Thread(target=farm.close, daemon=True)
+    closer.start()
+    closer.join(timeout=60)
+    assert not closer.is_alive()
+
+
+def test_concurrent_submits_and_completions_do_not_deadlock():
+    # Submitting threads (broker lock -> farm submit) race the manager
+    # thread completing earlier requests (farm lock -> broker callback);
+    # with pool_size 2 completions overlap fresh submissions constantly.
+    catalog = _catalog()
+    with QueryBroker(
+        catalog, config=_config(), pool_size=2, max_pending=32, backend="process"
+    ) as broker:
+        futures = []
+        futures_lock = threading.Lock()
+
+        def client(seed: int) -> None:
+            for i in range(2):
+                future = broker.submit(QUERY, seed=100 * seed + i)
+                with futures_lock:
+                    futures.append(future)
+
+        threads = [
+            threading.Thread(target=client, args=(s,), daemon=True)
+            for s in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+            assert not thread.is_alive()
+        results = [future.result(timeout=180) for future in futures]
+    assert len(results) == 8
+    assert all(result.feasible for result in results)
+
+
+def test_process_backend_rejects_a_caller_supplied_store():
+    # Farm workers host private stores; silently ignoring a supplied
+    # store would skip its budget/spill settings and report zero stats.
+    from repro.service import ScenarioStore
+
+    catalog = _catalog()
+    store = ScenarioStore()
+    try:
+        with pytest.raises(SPQError, match="process backend"):
+            QueryBroker(
+                catalog, config=_config(), store=store, backend="process"
+            )
+    finally:
+        store.close()
+
+
+def test_process_backend_aggregates_worker_store_stats():
+    # The broker has no store of its own on the process backend; the
+    # stats it reports must come from the farm workers' private stores
+    # rather than reading permanently zero.
+    catalog = _catalog()
+    with QueryBroker(
+        catalog, config=_config(), pool_size=1, backend="process"
+    ) as broker:
+        assert broker.store is None
+        broker.execute(QUERY)
+        stats = broker.status()["store"]
+        assert stats["generations"] > 0
+        assert stats["entries"] > 0
+        # Repeating the query hits the worker's warm store.
+        broker.execute(QUERY)
+        assert broker.status()["store"]["hits"] > stats["hits"]
+
+
+def test_stale_done_after_requeue_still_frees_the_retry_worker():
+    # Ordering race: worker W completes task T, flushes its result, then
+    # dies; the reap (which can run before the queued result drains)
+    # requeues T onto worker V.  W's stale result settles T first — when
+    # V's own completion for T arrives, V must still return to the idle
+    # pool, or it stays BUSY forever and a pool_size=1 farm stops
+    # dispatching entirely.
+    import pickle
+    from collections import deque
+
+    farm = SolveFarm.__new__(SolveFarm)  # no processes: message logic only
+    farm._crash_streak = 0
+    farm._descriptors = OrderedDict()
+    farm._tasks = {}
+    farm._pending = deque()
+    farm._closed = False
+    farm.recycle_after = None
+    retry_worker = _Worker(2, process=None, inbox=None)
+    retry_worker.state = farm_module.STATE_BUSY
+    retry_worker.task = farm_module._Task(7, "q", "summarysearch", {})
+    retry_worker.task.retries = 1
+    farm._workers = {2: retry_worker}
+
+    # T was already settled by the dead worker's flushed result, so it
+    # is gone from _tasks when V's completion drains.
+    settle: list = []
+    blob = pickle.dumps((True, "result"))
+    farm._handle_message_locked(("done", 7, 2, blob, {}, {}), settle)
+    assert settle == []  # nothing to settle twice
+    assert retry_worker.task is None
+    assert retry_worker.state == farm_module.STATE_IDLE
+    assert retry_worker.tasks_done == 1
+
+
+def test_stale_done_removes_requeued_task_from_pending():
+    # Same race, other interleaving: the dead worker's flushed result
+    # drains while the requeued task still waits in _pending — it must
+    # be dropped there, not dispatched a second time after settling.
+    import pickle
+    from collections import deque
+
+    farm = SolveFarm.__new__(SolveFarm)
+    farm._crash_streak = 0
+    farm._descriptors = OrderedDict()
+    farm._workers = {}
+    farm._closed = False
+    farm.recycle_after = None
+    task = farm_module._Task(7, "q", "summarysearch", {})
+    task.retries = 1
+    farm._tasks = {7: task}
+    farm._pending = deque([task])
+
+    settle: list = []
+    blob = pickle.dumps((True, "result"))
+    farm._handle_message_locked(("done", 7, 1, blob, {}, {}), settle)
+    assert [(f, ok) for f, ok, _ in settle] == [(task.future, True)]
+    assert not farm._pending
+    assert not farm._tasks
+
+
+def test_descriptor_prune_drops_worker_known_entries(tmp_path, monkeypatch):
+    # When the handoff registry evicts past its ceiling, every worker's
+    # `known` map must drop the pruned keys too, or long-running farms
+    # leak one entry per distinct content key per worker.
+    monkeypatch.setattr(farm_module, "_MAX_HANDOFF_KEYS", 2)
+    farm = SolveFarm.__new__(SolveFarm)  # no processes: merge logic only
+    farm._descriptors = OrderedDict()
+    farm._workers = {}
+    worker = _Worker(1, process=None, inbox=None)
+    farm._workers[worker.id] = worker
+    paths = []
+    for i in range(3):
+        path = tmp_path / f"m{i}.f64"
+        path.write_bytes(b"\0" * 8)
+        paths.append(path)
+        farm._merge_descriptors_locked(
+            {("key", i): {"path": str(path), "shape": (1, 1)}}, worker
+        )
+    assert set(farm._descriptors) == {("key", 1), ("key", 2)}
+    assert set(worker.known) == {("key", 1), ("key", 2)}
+    assert not paths[0].exists()  # pruned descriptor's file unlinked
+    assert paths[1].exists() and paths[2].exists()
 
 
 def test_broker_returns_admission_slot_when_farm_submit_fails():

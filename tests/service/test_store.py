@@ -346,6 +346,49 @@ def test_adopted_entry_grows_without_touching_the_shared_file(tmp_path):
     exporter.close()
 
 
+def test_handoff_announces_each_entry_once(tmp_path):
+    # Re-announcing an already-exported entry would let a path the farm
+    # has since pruned (and unlinked) reinstall itself as a permanently
+    # broken registry descriptor.
+    exporter = ScenarioStore(spill_dir=str(tmp_path))
+    exporter.coefficient_matrix(("a",), 3, fill_for(1))
+    first = exporter.handoff()
+    assert set(first) == {("a",)}
+    assert exporter.handoff() == {}
+    # New realizations and growth (a fresh entry) export; ("a",) stays
+    # announced-once.
+    exporter.coefficient_matrix(("b",), 3, fill_for(2))
+    exporter.coefficient_matrix(("a",), 6, fill_for(1))
+    second = exporter.handoff()
+    assert set(second) == {("a",), ("b",)}
+    assert second[("a",)]["path"] != first[("a",)]["path"]
+    assert exporter.handoff() == {}
+    exporter.close()
+
+
+def test_handoff_never_reexports_adopted_entries(tmp_path):
+    # Only the store that realized a matrix may announce it: a worker
+    # re-exporting an adopted (possibly superseded) path would let the
+    # farm registry regress to a stale file and unlink the newer one.
+    exporter = ScenarioStore(spill_dir=str(tmp_path / "exp"))
+    exporter.coefficient_matrix(("k",), 3, fill_for(1))
+    descriptors = exporter.handoff()
+
+    adopter = ScenarioStore(spill_dir=str(tmp_path / "adp"))
+    assert adopter.adopt(descriptors) == 1
+    assert adopter.handoff() == {}
+
+    # Entries the adopter realized itself still export — and growing an
+    # adopted entry makes it the realizer of the grown matrix.
+    adopter.coefficient_matrix(("own",), 2, fill_for(2))
+    adopter.coefficient_matrix(("k",), 6, fill_for(1))
+    exported = adopter.handoff()
+    assert set(exported) == {("own",), ("k",)}
+    assert exported[("k",)]["path"] != descriptors[("k",)]["path"]
+    adopter.close()
+    exporter.close()
+
+
 # --- content keys ----------------------------------------------------------
 
 
