@@ -39,7 +39,7 @@ from .errors import (
     EvaluationError,
 )
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "SPQConfig",

@@ -42,6 +42,7 @@ source; ``--workload`` datasets register after ``--table`` files.  See
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 import traceback
 
@@ -207,7 +208,10 @@ def _vg_epilog() -> str:
 def _add_data_arguments(parser: argparse.ArgumentParser, required: bool) -> None:
     parser.add_argument("--table", action="append", required=required,
                         default=[], metavar="PATH[:NAME]",
-                        help="CSV file to register (optionally as NAME)")
+                        help="CSV file — or on-disk column-store directory"
+                             " written by Relation.to_disk /"
+                             " read_csv_to_store — to register (optionally"
+                             " as NAME)")
     parser.add_argument("--stochastic", action="append", default=[],
                         metavar="SPEC",
                         help="stochastic attribute, e.g. Value=gaussian(price,2.0);"
@@ -242,6 +246,22 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
                         help="rebuild and cold-solve every solver iteration"
                              " instead of reusing the model skeleton and"
                              " warm-starting from the previous solution")
+    parser.add_argument("--scale-out", action="store_true",
+                        help="route oversized stochastic queries (>="
+                             " --scale-threshold active tuples) through the"
+                             " out-of-core stochastic SketchRefine driver"
+                             " (repro.scale)")
+    parser.add_argument("--scale-threshold", type=int, default=200_000,
+                        metavar="ROWS",
+                        help="active-tuple count at which --scale-out"
+                             " reroutes summarysearch (default: 200000)")
+    parser.add_argument("--partitions", type=int, default=None, metavar="K",
+                        help="partition count for the sketchrefine method"
+                             " (default: config)")
+    parser.add_argument("--scale-budget", default=None, metavar="BYTES",
+                        help="resident chunk-cache byte budget for on-disk"
+                             " column stores registered via --table, e.g."
+                             " 256M (default: unbounded)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -266,7 +286,8 @@ def build_parser() -> argparse.ArgumentParser:
     query_group.add_argument("--query", help="sPaQL text")
     query_group.add_argument("--query-file", help="file containing sPaQL text")
     run.add_argument("--method", default="summarysearch",
-                     choices=["summarysearch", "naive", "deterministic"])
+                     choices=["summarysearch", "naive", "deterministic",
+                              "sketchrefine"])
     _add_config_arguments(run)
     run.add_argument("--output", help="write the package relation as CSV")
     run.set_defaults(handler=cmd_run)
@@ -327,7 +348,21 @@ def _build_catalog(args, config: SPQConfig | None = None) -> Catalog:
     relations = []
     for entry in args.table:
         path, _, name = entry.partition(":")
-        relation = read_csv(path, name=name or None)
+        if os.path.isdir(path):
+            # An on-disk column store (repro.scale): opened lazily with
+            # the configured resident chunk-cache budget, never loaded
+            # wholesale.  A directory without a manifest raises
+            # FileNotFoundError — the I/O exit code, like a missing CSV.
+            from .scale.columnar import ColumnStore
+
+            relation = ColumnStore(
+                path,
+                resident_budget=getattr(config, "scale_resident_budget", None),
+            )
+            if name:
+                relation.name = name
+        else:
+            relation = read_csv(path, name=name or None)
         relations.append(relation)
     if relations:
         target = relations[-1]
@@ -384,6 +419,13 @@ def _workload_specs(args):
 
 
 def _build_config(args, **extra) -> SPQConfig:
+    scale_kwargs = {}
+    if getattr(args, "scale_out", False):
+        scale_kwargs["scale_threshold_rows"] = args.scale_threshold
+    if getattr(args, "partitions", None) is not None:
+        scale_kwargs["scale_n_partitions"] = args.partitions
+    if getattr(args, "scale_budget", None):
+        scale_kwargs["scale_resident_budget"] = parse_bytes(args.scale_budget)
     return SPQConfig(
         seed=args.seed,
         epsilon=args.epsilon,
@@ -394,6 +436,7 @@ def _build_config(args, **extra) -> SPQConfig:
         n_workers=max(args.workers, 1),
         incremental_solves=not args.no_incremental,
         vg_overrides=tuple(getattr(args, "vg", []) or ()),
+        **scale_kwargs,
         **extra,
     )
 

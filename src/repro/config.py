@@ -149,6 +149,32 @@ class SPQConfig:
     #: recycles.  Process backend only.
     worker_recycle_after: int | None = None
 
+    # --- out-of-core scale tier (repro.scale) --------------------------------
+    #: Partition count for the stochastic SketchRefine driver (method
+    #: ``"sketchrefine"``): active tuples are quantile-cut into this many
+    #: groups of similar pilot behaviour, one sketch representative each.
+    #: Clamped to the number of active tuples.
+    scale_n_partitions: int = 16
+    #: Pilot scenarios realized (stream ``STREAM_PARTITION``, cached in
+    #: the shared scenario store) to estimate per-tuple mean/variance for
+    #: partitioning and the sketch representatives' parameters.
+    scale_pilot_scenarios: int = 16
+    #: Rows per on-disk chunk when relations are written to columnar
+    #: storage (``Relation.to_disk``, ``read_csv_to_store``, the chunked
+    #: dataset builders).
+    scale_chunk_rows: int = 65_536
+    #: Byte budget for a ColumnStore's resident chunk cache (None =
+    #: unbounded).  Applies to stores opened through this config (the
+    #: CLI's ``--scale-out`` path); peak usage is surfaced as the
+    #: ``repro_scale_resident_peak_bytes`` gauge.
+    scale_resident_budget: int | None = None
+    #: Auto-route threshold: a stochastic query whose active-tuple count
+    #: reaches this routes from ``summarysearch`` to the scale driver
+    #: (``None`` disables auto-routing; the CLI's ``--scale-out`` sets
+    #: it).  Explicit ``method="sketchrefine"`` requests always use the
+    #: driver regardless.
+    scale_threshold_rows: int | None = None
+
     # --- solving -----------------------------------------------------------
     solver: str = SOLVER_HIGHS
     solver_time_limit: float = 60.0
@@ -218,6 +244,18 @@ class SPQConfig:
             )
         if self.worker_recycle_after is not None and self.worker_recycle_after < 1:
             raise EvaluationError("worker_recycle_after must be >= 1 or None")
+        if self.scale_n_partitions < 1:
+            raise EvaluationError("scale_n_partitions must be >= 1")
+        if self.scale_pilot_scenarios < 2:
+            raise EvaluationError(
+                "scale_pilot_scenarios must be >= 2 (variance needs two draws)"
+            )
+        if self.scale_chunk_rows < 1:
+            raise EvaluationError("scale_chunk_rows must be >= 1")
+        if self.scale_resident_budget is not None and self.scale_resident_budget < 1:
+            raise EvaluationError("scale_resident_budget must be positive or None")
+        if self.scale_threshold_rows is not None and self.scale_threshold_rows < 1:
+            raise EvaluationError("scale_threshold_rows must be >= 1 or None")
 
     def replace(self, **changes) -> "SPQConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -32,8 +32,14 @@ from .summarysearch import summary_search_evaluate
 METHOD_SUMMARY_SEARCH = "summarysearch"
 METHOD_NAIVE = "naive"
 METHOD_DETERMINISTIC = "deterministic"
+METHOD_SKETCH_REFINE = "sketchrefine"
 
-_METHODS = (METHOD_SUMMARY_SEARCH, METHOD_NAIVE, METHOD_DETERMINISTIC)
+_METHODS = (
+    METHOD_SUMMARY_SEARCH,
+    METHOD_NAIVE,
+    METHOD_DETERMINISTIC,
+    METHOD_SKETCH_REFINE,
+)
 
 #: Compiled problems cached per engine session (distinct query texts);
 #: least-recently-used entries are evicted beyond this, so a long-lived
@@ -145,9 +151,37 @@ class SPQEngine:
         has_probabilistic = bool(problem.chance_constraints) or (
             problem.has_probability_objective
         )
+        if method == METHOD_SKETCH_REFINE:
+            if has_probabilistic:
+                # The out-of-core tier: partition-by-partition
+                # SummarySearch (imported lazily; repro.scale builds on
+                # this module's evaluators).
+                from ..scale.driver import scale_sketch_refine_evaluate
+
+                return scale_sketch_refine_evaluate(
+                    problem, effective, store=self.store
+                )
+            from .sketchrefine import sketch_refine_evaluate
+
+            return sketch_refine_evaluate(
+                problem, effective, n_partitions=effective.scale_n_partitions
+            )
         if not has_probabilistic:
             # Both algorithms degenerate to the deterministic solve.
             return deterministic_evaluate(problem, effective, store=self.store)
         if method == METHOD_NAIVE:
             return naive_evaluate(problem, effective, store=self.store)
+        if (
+            effective.scale_threshold_rows is not None
+            and problem.n_vars >= effective.scale_threshold_rows
+            and problem.chance_constraints
+            and not problem.has_probability_objective
+        ):
+            # Oversized relation: route summarysearch through the scale
+            # driver (``--scale-out`` / config.scale_threshold_rows).
+            from ..scale.driver import scale_sketch_refine_evaluate
+
+            return scale_sketch_refine_evaluate(
+                problem, effective, store=self.store
+            )
         return summary_search_evaluate(problem, effective, store=self.store)

@@ -145,9 +145,17 @@ def sketch_refine_evaluate(
     if problem.chance_constraints or problem.has_probability_objective:
         raise EvaluationError(
             "sketchrefine handles deterministic package queries only"
+            " (stochastic queries take the repro.scale driver)"
         )
     if n_partitions < 1:
         raise EvaluationError("n_partitions must be >= 1")
+    if problem.n_vars == 0:
+        # Compiled queries cannot reach here (compile_query rejects an
+        # all-filtering WHERE), but directly-constructed problems must
+        # hit the evaluation-error contract, not a raw solver crash.
+        raise EvaluationError(
+            "no active tuples: the WHERE clause filtered out every row"
+        )
     ctx = EvaluationContext(problem, config)
     stats = RunStats(METHOD_SKETCH_REFINE)
     watch = Stopwatch()

@@ -97,6 +97,96 @@ def build_portfolio(params: PortfolioParams) -> tuple[Relation, StochasticModel]
     return relation, model
 
 
+# --- out-of-core builder -------------------------------------------------------
+
+
+def build_portfolio_store(
+    params: PortfolioParams,
+    path,
+    chunk_rows: int | None = None,
+    resident_budget: int | None = None,
+):
+    """Synthesize a Stock_Investments table straight onto disk.
+
+    Bit-identical to :func:`build_portfolio` followed by
+    ``Relation.to_disk`` — the per-stock parameter draws use the same
+    RNG calls in the same order — but the expanded per-trade rows are
+    streamed to the column store in chunks, so resident memory is
+    ``O(n_stocks)`` parameter vectors plus one chunk, never the full
+    ``n_stocks x len(horizons)`` relation.  Returns ``(store, model)``
+    with the GBM model bound to the store (``resident_budget`` bounds
+    the store's chunk cache).
+    """
+    from ..scale.columnar import (
+        ColumnStore,
+        ColumnStoreWriter,
+        DEFAULT_CHUNK_ROWS,
+    )
+
+    if params.n_stocks < 1:
+        raise EvaluationError("portfolio dataset needs at least one stock")
+    if not params.horizons or any(h <= 0 for h in params.horizons):
+        raise EvaluationError("sell horizons must be positive")
+    rng = spawn_dataset_rng(params.seed, f"{params.name}:{params.n_stocks}")
+    n = params.n_stocks
+    prices = np.clip(np.exp(rng.normal(3.6, 0.9, size=n)), 5.0, 500.0)
+    annual_vol = np.clip(np.exp(rng.normal(np.log(0.35), 0.45, size=n)), 0.10, 1.50)
+    daily_vol = annual_vol / np.sqrt(_TRADING_DAYS)
+    daily_drift = rng.normal(0.0004, 0.0012, size=n)
+
+    if params.volatile_only:
+        cutoff = np.quantile(daily_vol, 1.0 - params.volatile_fraction)
+        keep = np.nonzero(daily_vol >= cutoff)[0]
+        prices, daily_vol, daily_drift = (
+            prices[keep],
+            daily_vol[keep],
+            daily_drift[keep],
+        )
+        n = len(keep)
+        stock_ids = keep
+    else:
+        stock_ids = np.arange(n)
+
+    horizons = np.asarray(params.horizons, dtype=float)
+    n_h = len(horizons)
+    chunk_rows = chunk_rows or DEFAULT_CHUNK_ROWS
+    rounded_prices = np.round(prices, 2)
+    writer = ColumnStoreWriter(
+        path, name=params.name, key="id", chunk_rows=chunk_rows
+    )
+    stocks_per_batch = max(1, chunk_rows // n_h)
+    for start in range(0, n, stocks_per_batch):
+        stop = min(start + stocks_per_batch, n)
+        batch = slice(start, stop)
+        count = stop - start
+        writer.append(
+            {
+                "stock": np.repeat(
+                    np.array(
+                        [f"S{int(s):05d}" for s in stock_ids[batch]],
+                        dtype=object,
+                    ),
+                    n_h,
+                ),
+                "price": np.repeat(rounded_prices[batch], n_h),
+                "drift": np.repeat(daily_drift[batch], n_h),
+                "volatility": np.repeat(daily_vol[batch], n_h),
+                "sell_in_days": np.tile(horizons, count),
+            }
+        )
+    writer.close()
+    store = ColumnStore(str(path), resident_budget=resident_budget)
+    vg = GeometricBrownianMotionVG(
+        price_column="price",
+        drift_column="drift",
+        volatility_column="volatility",
+        horizon_column="sell_in_days",
+        group_column="stock",
+    )
+    model = StochasticModel(store, {"Gain": vg})
+    return store, model
+
+
 # --- correlated universe (sector co-movement) ---------------------------------
 
 #: Uncertainty models the correlated builder can attach (see

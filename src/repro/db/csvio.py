@@ -1,8 +1,23 @@
 """CSV import/export for relations.
 
-Keeps the library usable without pandas: a small reader that infers
-int/float/text column types, and a symmetric writer.  Intended for
-loading user data and for persisting experiment inputs/outputs.
+Keeps the library usable without pandas: a chunked, streaming reader
+that infers int -> float -> text column types, and a symmetric writer.
+Intended for loading user data and for persisting experiment
+inputs/outputs.
+
+The reader never materializes the file as Python row lists: rows stream
+through fixed-size chunks that are parsed straight into typed numpy
+arrays.  :func:`read_csv` concatenates the chunks into an in-memory
+:class:`~repro.db.relation.Relation`; :func:`read_csv_to_store` appends
+them to an on-disk :class:`~repro.scale.ColumnStore` instead, so
+multi-gigabyte CSVs import under chunk-sized memory.
+
+Type inference is chunk-local with whole-column reconciliation: an
+``int`` column widens to ``float`` losslessly when a later chunk needs
+it, and a column that turns out to be text is re-read from the source in
+a second streaming pass (sources — paths and raw text — are re-readable
+by construction), so the raw strings are preserved exactly as the
+row-at-a-time reader did.
 """
 
 from __future__ import annotations
@@ -12,32 +27,19 @@ import errno
 import io
 import os
 from pathlib import Path
-from typing import Sequence
+from typing import Callable, Iterator, Sequence
 
 import numpy as np
 
 from ..errors import SchemaError
 from .relation import Relation
 
-
-def _parse_column(raw: list[str], name: str) -> np.ndarray:
-    """Infer the tightest type (int -> float -> text) for a raw column."""
-    try:
-        return np.array([int(v) for v in raw], dtype=np.int64)
-    except ValueError:
-        pass
-    try:
-        return np.array([float(v) for v in raw], dtype=np.float64)
-    except ValueError:
-        pass
-    return np.array(raw, dtype=object)
+#: Rows parsed per streaming chunk.
+CSV_CHUNK_ROWS = 8_192
 
 
-def read_csv(path_or_text, name: str | None = None, key: str = "id") -> Relation:
-    """Read a relation from a CSV file path or raw CSV text.
-
-    The first row must be a header.  A missing ``id`` key column is
-    created automatically (positional), as in :class:`Relation`.
+def _resolve_source(path_or_text) -> tuple[Callable[[], io.TextIOBase], str]:
+    """Classify the input; returns (re-readable opener, default name).
 
     A newline-free string that looks like a file path (has a suffix or a
     path separator) but names no existing file raises
@@ -62,27 +64,216 @@ def read_csv(path_or_text, name: str | None = None, key: str = "id") -> Relation
         )
     if is_pathlike:
         path = Path(path_or_text)
-        text = path.read_text()
-        default_name = path.stem
-    else:
-        text = str(path_or_text)
-        default_name = "relation"
-    reader = csv.reader(io.StringIO(text))
-    rows = [row for row in reader if row]
-    if not rows:
-        raise SchemaError("CSV input is empty")
-    header, *data = rows
-    if not data:
+        return (lambda: open(path, newline="")), path.stem
+    text = str(path_or_text)
+    return (lambda: io.StringIO(text)), "relation"
+
+
+def _iter_chunks(
+    handle, chunk_rows: int
+) -> Iterator[tuple[int, list[list[str]]]]:
+    """Yield (start_row, rows) chunks of non-empty CSV rows after the header.
+
+    The header is consumed by the caller via :func:`_read_header`.
+    """
+    reader = csv.reader(handle)
+    header_len: int | None = None
+    buffer: list[list[str]] = []
+    start = 0
+    row_number = 0
+    for row in reader:
+        if not row:
+            continue
+        if header_len is None:  # the header row
+            header_len = len(row)
+            continue
+        if len(row) != header_len:
+            raise SchemaError(
+                f"CSV row {row_number + 1} has {len(row)} fields,"
+                f" expected {header_len}"
+            )
+        buffer.append(row)
+        row_number += 1
+        if len(buffer) >= chunk_rows:
+            yield start, buffer
+            start = row_number
+            buffer = []
+    if buffer:
+        yield start, buffer
+
+
+def _read_header(opener) -> list[str]:
+    with opener() as handle:
+        for row in csv.reader(handle):
+            if row:
+                return row
+    raise SchemaError("CSV input is empty")
+
+
+#: Chunk parser per settled column kind — the single definition of how
+#: raw CSV strings become arrays (both readers route through it).
+_PARSE_BY_KIND = {
+    "int": lambda raw: np.array([int(v) for v in raw], dtype=np.int64),
+    "float": lambda raw: np.array([float(v) for v in raw], dtype=np.float64),
+    "text": lambda raw: np.array(raw, dtype=object),
+}
+
+
+class _ColumnState:
+    """Per-column accumulation across streaming chunks.
+
+    ``kind`` walks the promotion lattice int -> float -> text.  Numeric
+    widening casts the already-parsed chunks in place (lossless); a
+    promotion to text records the column for the second pass and drops
+    the numeric chunks (their raw strings are gone).  With
+    ``retain=False`` parsed chunks are discarded immediately — type
+    settlement only, which is what :func:`read_csv_to_store`'s first
+    pass needs.
+    """
+
+    __slots__ = ("name", "kind", "chunks", "retain")
+
+    def __init__(self, name: str, retain: bool = True):
+        self.name = name
+        self.kind = "int"
+        self.retain = retain
+        self.chunks: list[np.ndarray] | None = []
+
+    def absorb(self, raw: list[str]) -> None:
+        while True:
+            try:
+                parsed = _PARSE_BY_KIND[self.kind](raw)
+                break
+            except ValueError:
+                if self.kind == "int":
+                    self.kind = "float"
+                    if self.chunks:
+                        self.chunks = [
+                            chunk.astype(np.float64) for chunk in self.chunks
+                        ]
+                else:
+                    self.kind = "text"
+                    self.chunks = None  # raw strings lost: second pass
+        if self.chunks is not None:
+            if self.retain:
+                self.chunks.append(parsed)
+
+    @property
+    def needs_second_pass(self) -> bool:
+        return self.kind == "text" and self.chunks is None
+
+    def concatenate(self) -> np.ndarray:
+        assert self.chunks is not None
+        if len(self.chunks) == 1:
+            return self.chunks[0]
+        return np.concatenate(self.chunks)
+
+
+def _stream_columns(
+    opener, header: list[str], chunk_rows: int
+) -> list[_ColumnState]:
+    """First streaming pass: typed chunks per column, plus a text
+    backfill pass for columns whose numeric prefix proved wrong."""
+    states = [_ColumnState(name) for name in header]
+    n_rows = 0
+    with opener() as handle:
+        for _, rows in _iter_chunks(handle, chunk_rows):
+            n_rows += len(rows)
+            for j, state in enumerate(states):
+                state.absorb([row[j] for row in rows])
+    if n_rows == 0:
         raise SchemaError("CSV input has a header but no data rows")
-    columns = {}
-    for j, col_name in enumerate(header):
-        raw = [row[j] for row in data]
-        columns[col_name] = _parse_column(raw, col_name)
+    backfill = [j for j, state in enumerate(states) if state.needs_second_pass]
+    if backfill:
+        for state in (states[j] for j in backfill):
+            state.chunks = []
+        with opener() as handle:
+            for _, rows in _iter_chunks(handle, chunk_rows):
+                for j in backfill:
+                    states[j].chunks.append(
+                        np.array([row[j] for row in rows], dtype=object)
+                    )
+    return states
+
+
+def read_csv(
+    path_or_text,
+    name: str | None = None,
+    key: str = "id",
+    chunk_rows: int = CSV_CHUNK_ROWS,
+) -> Relation:
+    """Read a relation from a CSV file path or raw CSV text.
+
+    The first row must be a header.  A missing ``id`` key column is
+    created automatically (positional), as in :class:`Relation`.  Rows
+    stream through ``chunk_rows``-sized typed chunks — the file is never
+    held as Python row lists.
+    """
+    opener, default_name = _resolve_source(path_or_text)
+    header = _read_header(opener)
+    states = _stream_columns(opener, header, chunk_rows)
+    columns = {state.name: state.concatenate() for state in states}
     return Relation(name or default_name, columns, key=key)
 
 
-def write_csv(relation: Relation, path, columns: Sequence[str] | None = None) -> None:
-    """Write ``relation`` to ``path`` as CSV (header + rows)."""
+def read_csv_to_store(
+    path_or_text,
+    store_path,
+    name: str | None = None,
+    key: str = "id",
+    chunk_rows: int | None = None,
+    resident_budget: int | None = None,
+):
+    """Stream a CSV straight into an on-disk column store.
+
+    Two streaming passes — one to settle each column's type, one to
+    write — so peak memory is one chunk regardless of file size.
+    Returns the opened :class:`~repro.scale.ColumnStore` (chunk cache
+    bounded by ``resident_budget``).  The missing-file contract matches
+    :func:`read_csv` (``FileNotFoundError`` -> the CLI's I/O exit code).
+    """
+    from ..scale.columnar import (
+        DEFAULT_CHUNK_ROWS,
+        ColumnStore,
+        ColumnStoreWriter,
+    )
+
+    chunk_rows = chunk_rows or DEFAULT_CHUNK_ROWS
+    opener, default_name = _resolve_source(path_or_text)
+    header = _read_header(opener)
+    # Pass 1: settle each column's final kind (no data retained).
+    probe = [_ColumnState(col, retain=False) for col in header]
+    n_rows = 0
+    with opener() as handle:
+        for _, rows in _iter_chunks(handle, chunk_rows):
+            n_rows += len(rows)
+            for j, state in enumerate(probe):
+                state.absorb([row[j] for row in rows])
+    if n_rows == 0:
+        raise SchemaError("CSV input has a header but no data rows")
+    kinds = {state.name: state.kind for state in probe}
+    # Pass 2: parse with the settled kinds and append to the writer.
+    writer = ColumnStoreWriter(
+        store_path, name=name or default_name, key=key, chunk_rows=chunk_rows
+    )
+    with opener() as handle:
+        for _, rows in _iter_chunks(handle, chunk_rows):
+            writer.append(
+                {
+                    col: _PARSE_BY_KIND[kinds[col]]([row[j] for row in rows])
+                    for j, col in enumerate(header)
+                }
+            )
+    writer.close()
+    return ColumnStore(str(store_path), resident_budget=resident_budget)
+
+
+def write_csv(relation, path, columns: Sequence[str] | None = None) -> None:
+    """Write ``relation`` to ``path`` as CSV (header + rows).
+
+    Accepts anything implementing the relation column protocol —
+    in-memory relations and on-disk column stores alike.
+    """
     names = list(columns) if columns is not None else relation.column_names
     arrays = [relation.column(n) for n in names]
     with open(path, "w", newline="") as handle:

@@ -148,6 +148,33 @@ class Relation:
         """The first ``n`` rows."""
         return self.take(np.arange(min(n, self._n_rows)))
 
+    # --- out-of-core bridge ---------------------------------------------------
+
+    def to_disk(self, path, chunk_rows: int | None = None):
+        """Write this relation as an on-disk column store and open it.
+
+        The returned :class:`repro.scale.ColumnStore` implements this
+        class's column protocol with lazy, budget-bounded chunk loads —
+        the bridge into the out-of-core tier (``repro.scale``).  Rows
+        are streamed in chunks, so peak memory beyond the source
+        relation is one chunk.
+        """
+        from ..scale.columnar import DEFAULT_CHUNK_ROWS, write_store
+
+        return write_store(
+            self, path, chunk_rows=chunk_rows or DEFAULT_CHUNK_ROWS
+        )
+
+    @staticmethod
+    def from_disk(path, resident_budget: int | None = None):
+        """Open an on-disk column store written by :meth:`to_disk`.
+
+        ``resident_budget`` bounds the store's chunk cache in bytes.
+        """
+        from ..scale.columnar import ColumnStore
+
+        return ColumnStore(path, resident_budget=resident_budget)
+
     # --- convenience ----------------------------------------------------------
 
     def key_values(self) -> np.ndarray:

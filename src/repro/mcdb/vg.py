@@ -29,6 +29,7 @@ only in a parameter can never share cached scenario matrices.
 
 from __future__ import annotations
 
+import copy
 import hashlib
 import pickle
 from abc import ABC, abstractmethod
@@ -179,6 +180,38 @@ class VGFunction(ABC):
         n = self.n_rows
         return np.full(n, -np.inf), np.full(n, np.inf)
 
+    # --- cloning ----------------------------------------------------------------
+
+    def unbound_copy(self) -> "VGFunction":
+        """A fresh, bindable instance with the same constructor parameters.
+
+        The out-of-core tier (``repro.scale``) evaluates partitions of a
+        relation as standalone sub-relations, which needs the original
+        model's VG families re-bound to each partition.  The copy shares
+        parameter objects with the original (parameters are treated as
+        immutable) but carries no binding, and nested VG parameters —
+        e.g. a mixture's components — are recursively copied, so binding
+        the copy can never mutate the original's bound state.  Stale
+        subclass bound state (resolved column arrays and the like) is
+        intentionally left in place: :meth:`bind` recomputes all of it
+        via ``_after_bind``.
+
+        Per-row *array* parameters resolved against the original
+        relation (e.g. a per-row ``sigma``) keep their full length and
+        will fail their shape check when re-bound to a shorter
+        partition; families parameterized by column names re-resolve
+        cleanly.
+        """
+        clone = copy.copy(self)
+        clone._relation = None
+        clone._blocks = None
+        clone._block_of_row = None
+        for name, value in list(clone.__dict__.items()):
+            if name in _BINDING_FIELDS:
+                continue
+            clone.__dict__[name] = _copy_nested_vgs(value)
+        return clone
+
     # --- identity ---------------------------------------------------------------
 
     def params_fingerprint(self) -> str:
@@ -208,6 +241,17 @@ class VGFunction(ABC):
                 digest.update(_canonical_param(self.__dict__[name]))
             self._params_fp = digest.hexdigest()
         return self._params_fp
+
+
+def _copy_nested_vgs(value):
+    """Replace VG functions inside a parameter value with unbound copies."""
+    if isinstance(value, VGFunction):
+        return value.unbound_copy()
+    if isinstance(value, list):
+        return [_copy_nested_vgs(v) for v in value]
+    if isinstance(value, tuple):
+        return tuple(_copy_nested_vgs(v) for v in value)
+    return value
 
 
 def _canonical_param(value) -> bytes:

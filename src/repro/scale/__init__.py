@@ -1,0 +1,44 @@
+"""Out-of-core data tier: columnar storage + stochastic SketchRefine.
+
+``repro.scale`` is the data-scale tier of the system.  The core
+algorithms (``repro.core``) assume a fully-resident numpy relation and a
+solver that can hold every active tuple as a decision variable; both
+assumptions break long before the paper's "very large datasets" (Section
+8 names scaling SummarySearch up via divide-and-conquer approaches like
+SketchRefine as future work).  This package supplies the missing layers:
+
+* :mod:`repro.scale.columnar` — a chunked, disk-backed
+  :class:`ColumnStore` implementing the ``Relation`` column protocol
+  with lazy chunk loads under a resident-byte budget, dictionary-encoded
+  text columns, and chunk-at-a-time predicate evaluation (WHERE
+  pushdown);
+* :mod:`repro.scale.partition` — deterministic, seed-stable partitioning
+  of the active tuples into groups of similar stochastic behaviour
+  (quantile cuts over per-tuple pilot statistics), with a persisted
+  partition index so repeated queries skip repartitioning;
+* :mod:`repro.scale.driver` — the *stochastic* SketchRefine driver:
+  sketch = SummarySearch over one representative per partition, refine =
+  per-partition SummarySearch against allocated constraint shares, final
+  out-of-sample validation of the combined package through
+  :mod:`repro.core.validator`;
+* :mod:`repro.scale.metrics` — process-wide ``repro_scale_*`` counters
+  surfaced on the serving layer's ``/status`` and ``/metrics``.
+"""
+
+from .columnar import ColumnStore, ColumnStoreWriter, open_store, write_store
+from .driver import METHOD_SKETCH_REFINE, scale_sketch_refine_evaluate
+from .metrics import scale_metrics
+from .partition import PartitionIndex, partition_labels, pilot_statistics
+
+__all__ = [
+    "ColumnStore",
+    "ColumnStoreWriter",
+    "METHOD_SKETCH_REFINE",
+    "PartitionIndex",
+    "open_store",
+    "partition_labels",
+    "pilot_statistics",
+    "scale_metrics",
+    "scale_sketch_refine_evaluate",
+    "write_store",
+]

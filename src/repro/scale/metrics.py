@@ -1,0 +1,102 @@
+"""Process-wide counters for the out-of-core tier.
+
+The serving layer surfaces these on ``/status`` (as the ``"scale"``
+section) and ``/metrics`` (as ``repro_scale_*`` time series).  Counters
+are lifetime-monotonic within one process; on the process backend each
+solve-farm worker ships its snapshot with every completed task and the
+farm aggregates them exactly like the scenario-store counters (dead and
+recycled workers' last reports are absorbed into farm totals).
+
+Gauges track the resident bytes of every live :class:`ColumnStore` chunk
+cache in the process — ``resident_bytes`` is the current total,
+``resident_peak_bytes`` the high-water mark — which is what the scale
+smoke test asserts stays under the configured budget.
+"""
+
+from __future__ import annotations
+
+import threading
+
+#: Lifetime-monotonic counter fields (farm-aggregated by summation, with
+#: departed workers' last snapshots absorbed into totals).
+COUNTER_FIELDS = (
+    "runs",
+    "partitions",
+    "refines",
+    "sketch_seconds",
+    "refine_seconds",
+    "index_hits",
+    "index_misses",
+)
+
+#: Point-in-time gauges (farm-aggregated over live workers only).
+GAUGE_FIELDS = ("resident_bytes", "resident_peak_bytes")
+
+
+class ScaleMetrics:
+    """Thread-safe counter/gauge registry for one process."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters = {name: 0.0 for name in COUNTER_FIELDS}
+        self._resident = 0
+        self._resident_peak = 0
+
+    # --- driver counters -----------------------------------------------------
+
+    def record_run(
+        self,
+        n_partitions: int,
+        n_refines: int,
+        sketch_seconds: float,
+        refine_seconds: float,
+    ) -> None:
+        """Record one completed stochastic SketchRefine evaluation."""
+        with self._lock:
+            self._counters["runs"] += 1
+            self._counters["partitions"] += int(n_partitions)
+            self._counters["refines"] += int(n_refines)
+            self._counters["sketch_seconds"] += float(sketch_seconds)
+            self._counters["refine_seconds"] += float(refine_seconds)
+
+    def record_index_lookup(self, hit: bool) -> None:
+        """Record one partition-index lookup outcome."""
+        with self._lock:
+            self._counters["index_hits" if hit else "index_misses"] += 1
+
+    # --- resident-byte gauges ------------------------------------------------
+
+    def add_resident(self, delta: int) -> None:
+        """Adjust the live ColumnStore resident-byte gauge by ``delta``."""
+        with self._lock:
+            self._resident = max(0, self._resident + int(delta))
+            if self._resident > self._resident_peak:
+                self._resident_peak = self._resident
+
+    # --- snapshots ------------------------------------------------------------
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter and gauge."""
+        with self._lock:
+            out = {
+                name: (
+                    int(value)
+                    if float(value).is_integer() and "seconds" not in name
+                    else float(value)
+                )
+                for name, value in self._counters.items()
+            }
+            out["resident_bytes"] = self._resident
+            out["resident_peak_bytes"] = self._resident_peak
+        return out
+
+    def reset(self) -> None:
+        """Zero every counter and gauge (tests only)."""
+        with self._lock:
+            self._counters = {name: 0.0 for name in COUNTER_FIELDS}
+            self._resident = 0
+            self._resident_peak = 0
+
+
+#: The process-wide registry every ColumnStore and driver reports into.
+scale_metrics = ScaleMetrics()

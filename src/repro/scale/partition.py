@@ -1,0 +1,361 @@
+"""Seed-stable partitioning of active tuples by stochastic behaviour.
+
+Stochastic SketchRefine needs groups whose members behave alike *as
+random variables*, not just in their deterministic attributes — a
+partition representative must stand in for its members in both the
+expectation and the tail of the constraint scores.  The partitioner
+therefore works from **pilot statistics**: a small batch of pilot
+scenarios (its own RNG stream, ``STREAM_PARTITION``) is realized for
+every stochastic attribute referenced by the query's probabilistic
+parts, and each active tuple is summarized by the mean and standard
+deviation of its pilot coefficients.  Tuples are then cut into quantile
+groups on (mean, std) — a deterministic two-level quantile scheme, so
+partitioning is a pure function of (data content, query, seed): the same
+labels come back for any worker count, any service backend, and either
+storage representation of the same relation.
+
+Pilot realization routes through the shared
+:class:`repro.service.ScenarioStore` when one is attached, so pilots are
+cached across queries and travel between solve-farm workers as memmap
+handoffs like every other realized matrix.
+
+The resulting labels are persisted in a **partition index** keyed by
+(relation/model fingerprint, predicate, seed, partition count, pilot
+size): repeated queries — and sibling processes working on the same
+on-disk relation — skip repartitioning entirely.  For
+:class:`~repro.scale.columnar.ColumnStore`-backed relations the index
+lives next to the data (``<store>/partition-index/``); in-memory
+relations fall back to a bounded in-process cache.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import tempfile
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..config import STREAM_PARTITION, SPQConfig
+from ..db.expressions import Attr, attributes_of, render
+from ..errors import EvaluationError
+from ..mcdb.scenarios import MODE_SCENARIO_WISE, ScenarioCache, ScenarioGenerator
+from ..silp.model import StochasticPackageProblem
+from .metrics import scale_metrics
+
+#: In-process fallback index entries kept for relations without a disk home.
+_MEMORY_INDEX_LIMIT = 64
+
+#: Ceiling on a pilot coefficient matrix (n_rows x pilot scenarios x 8B)
+#: going through the ScenarioStore.  Past it, pilot statistics stream
+#: scenario-by-scenario instead — one full-row vector resident at a
+#: time — so pilot memory stays O(n_rows), not O(n_rows x pilot).  The
+#: path choice is a pure function of (n_rows, pilot size), so every
+#: representation/worker/backend of the same relation picks the same
+#: path and the statistics stay bit-identical across them.
+_PILOT_MATRIX_BYTES_CAP = 256 * 1024**2
+
+#: On-disk partition-index entries kept per store (oldest pruned), the
+#: same bounded-registry discipline as the solve farm's handoff table.
+_DISK_INDEX_LIMIT = 64
+
+
+@dataclass
+class PilotStats:
+    """Per-active-tuple pilot summaries driving the partition cut.
+
+    ``mean``/``std`` are the composite partition keys (summed over the
+    probed stochastic attributes); ``per_attr`` maps each attribute name
+    to its own per-tuple ``(mean, std)`` pair — the driver builds the
+    sketch representatives' VG parameters from these.
+    """
+
+    mean: np.ndarray
+    std: np.ndarray
+    per_attr: dict[str, tuple[np.ndarray, np.ndarray]]
+    n_pilot: int
+
+
+def probed_attributes(problem: StochasticPackageProblem) -> list[str]:
+    """Stochastic attributes referenced by constraints or the objective.
+
+    All of them are probed — expectation constraints over a stochastic
+    attribute need sketch representatives for it just as chance
+    constraints do.
+    """
+    if problem.model is None:
+        return []
+    names: set[str] = set()
+    for constraint in problem.constraints:
+        names |= attributes_of(constraint.expr)
+    objective = problem.objective
+    expr = getattr(objective, "expr", None)
+    if expr is not None:
+        names |= attributes_of(expr)
+    return sorted(n for n in names if problem.model.is_stochastic(n))
+
+
+def pilot_statistics(
+    problem: StochasticPackageProblem,
+    config: SPQConfig,
+    store=None,
+) -> PilotStats:
+    """Realize the pilot batch and summarize each active tuple.
+
+    Pilot scenarios come from their own stream (``STREAM_PARTITION``) so
+    they never collide with optimization, validation, or probe draws;
+    realization is scenario-wise (prefix-stable) and store-backed, so a
+    repeated query reuses the cached matrix — including across farm
+    workers via ``handoff()``/``adopt()``.
+    """
+    attrs = probed_attributes(problem)
+    if not attrs:
+        raise EvaluationError(
+            "stochastic sketchrefine needs at least one stochastic"
+            " attribute in the probabilistic query parts"
+        )
+    n_pilot = int(config.scale_pilot_scenarios)
+    generator = ScenarioGenerator(
+        problem.model, config.seed, STREAM_PARTITION, mode=MODE_SCENARIO_WISE
+    )
+    matrix_bytes = problem.relation.n_rows * n_pilot * 8
+    total_mean: np.ndarray | None = None
+    total_var: np.ndarray | None = None
+    per_attr: dict[str, tuple[np.ndarray, np.ndarray]] = {}
+    if matrix_bytes <= _PILOT_MATRIX_BYTES_CAP:
+        cache = ScenarioCache(generator, store=store)
+        try:
+            for attr in attrs:
+                matrix = cache.coefficient_matrix(Attr(attr), n_pilot)
+                restricted = matrix[problem.active_rows, :]
+                per_attr[attr] = (
+                    restricted.mean(axis=1),
+                    restricted.std(axis=1),
+                )
+        finally:
+            cache.close()
+    else:
+        # Out-of-core sizes: the full pilot matrix would dwarf any
+        # resident budget, so accumulate per-scenario instead (one
+        # full-row coefficient vector at a time).
+        for attr in attrs:
+            total = np.zeros(problem.n_vars)
+            total_sq = np.zeros(problem.n_vars)
+            for j in range(n_pilot):
+                vector = generator.coefficient_scenario(Attr(attr), j)[
+                    problem.active_rows
+                ]
+                total += vector
+                total_sq += vector * vector
+            mean = total / n_pilot
+            variance = np.maximum(total_sq / n_pilot - mean * mean, 0.0)
+            per_attr[attr] = (mean, np.sqrt(variance))
+    for mean, std in per_attr.values():
+        total_mean = mean if total_mean is None else total_mean + mean
+        total_var = std**2 if total_var is None else total_var + std**2
+    assert total_mean is not None and total_var is not None
+    return PilotStats(
+        mean=total_mean,
+        std=np.sqrt(total_var),
+        per_attr=per_attr,
+        n_pilot=n_pilot,
+    )
+
+
+def partition_labels(stats: PilotStats, n_partitions: int) -> np.ndarray:
+    """Quantile-cut active tuples into groups of similar pilot behaviour.
+
+    A two-level scheme: tuples are first cut into quantile bands by
+    pilot *mean*, then each band is cut by pilot *std*, yielding at most
+    ``n_partitions`` compactly-labeled groups.  Both cuts use stable
+    argsorts over the pilot arrays, so labels are a deterministic
+    function of the statistics alone.
+    """
+    n = len(stats.mean)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    k = max(1, min(int(n_partitions), n))
+    # Band counts: ~sqrt split between the two levels, biased toward the
+    # mean axis (the constraint scores are linear in the means).
+    mean_bands = max(1, int(np.ceil(np.sqrt(k))))
+    std_bands = max(1, k // mean_bands)
+    mean_bands = max(1, k // std_bands)
+    labels = np.empty(n, dtype=np.int64)
+    order = np.argsort(stats.mean, kind="stable")
+    next_label = 0
+    for band in np.array_split(order, mean_bands):
+        if not len(band):
+            continue
+        sub_order = band[np.argsort(stats.std[band], kind="stable")]
+        for group in np.array_split(sub_order, min(std_bands, len(band))):
+            if not len(group):
+                continue
+            labels[group] = next_label
+            next_label += 1
+    return labels
+
+
+# --- persisted partition index ---------------------------------------------------
+
+
+def partition_index_key(
+    problem: StochasticPackageProblem, config: SPQConfig, n_partitions: int
+) -> str:
+    """Digest identifying one partitioning decision.
+
+    Covers the relation *content* and stochastic model (via the store's
+    model fingerprint), the probed attribute set (two queries over the
+    same relation constraining different stochastic attributes must
+    never share pilot statistics), the WHERE predicate (canonical text
+    when the compiled query is available, the exact active-row set
+    otherwise), the seed, the pilot size, and the partition count —
+    everything the labels are a function of.
+    """
+    from ..service.store import model_fingerprint
+
+    digest = hashlib.sha256()
+    digest.update(model_fingerprint(problem.model).encode())
+    digest.update(("attrs:" + ",".join(probed_attributes(problem))).encode())
+    where = getattr(problem.source_query, "where", None)
+    if where is not None:
+        digest.update(b"where:" + render(where).encode())
+    else:
+        digest.update(b"rows:")
+        digest.update(np.ascontiguousarray(problem.active_rows).tobytes())
+    digest.update(f":{config.seed}:{config.scale_pilot_scenarios}".encode())
+    digest.update(f":{n_partitions}".encode())
+    return digest.hexdigest()
+
+
+class PartitionIndex:
+    """Label cache keyed by :func:`partition_index_key`.
+
+    Disk-backed when the relation supplies a home directory (a
+    :class:`~repro.scale.columnar.ColumnStore`'s path), so repeated
+    queries — including from other processes — skip the pilot batch and
+    the cut; otherwise a bounded in-process dictionary.
+    """
+
+    _memory: "OrderedDict[str, dict]" = OrderedDict()
+    _lock = threading.Lock()
+
+    def __init__(self, relation):
+        base = getattr(relation, "path", None)
+        self._dir = (
+            os.path.join(str(base), "partition-index")
+            if base is not None and os.path.isdir(str(base))
+            else None
+        )
+
+    def _file(self, key: str) -> str:
+        assert self._dir is not None
+        return os.path.join(self._dir, f"{key}.npz")
+
+    @staticmethod
+    def _pack(labels: np.ndarray, pilot: PilotStats) -> dict[str, np.ndarray]:
+        payload = {
+            "labels": np.asarray(labels, dtype=np.int64),
+            "key_mean": pilot.mean,
+            "key_std": pilot.std,
+            "n_pilot": np.asarray([pilot.n_pilot], dtype=np.int64),
+        }
+        for attr, (mean, std) in pilot.per_attr.items():
+            payload[f"mean:{attr}"] = mean
+            payload[f"std:{attr}"] = std
+        return payload
+
+    @staticmethod
+    def _unpack(payload) -> tuple[np.ndarray, PilotStats]:
+        per_attr = {}
+        for name in payload:
+            if name.startswith("mean:"):
+                attr = name[len("mean:"):]
+                per_attr[attr] = (payload[name], payload[f"std:{attr}"])
+        pilot = PilotStats(
+            mean=payload["key_mean"],
+            std=payload["key_std"],
+            per_attr=per_attr,
+            n_pilot=int(payload["n_pilot"][0]),
+        )
+        return np.asarray(payload["labels"], dtype=np.int64), pilot
+
+    def get(self, key: str) -> tuple[np.ndarray, PilotStats] | None:
+        """Cached ``(labels, pilot)`` for ``key``, or None.
+
+        A hit skips both the pilot batch and the quantile cut; misses
+        and hits are recorded on the ``repro_scale_index_*`` counters.
+        """
+        found: tuple[np.ndarray, PilotStats] | None = None
+        if self._dir is not None:
+            try:
+                with np.load(self._file(key)) as payload:
+                    found = self._unpack(payload)
+            except (OSError, ValueError, KeyError):
+                found = None
+        if found is None:
+            with self._lock:
+                payload = self._memory.get(key)
+                if payload is not None:
+                    self._memory.move_to_end(key)
+            if payload is not None:
+                found = self._unpack(payload)
+        scale_metrics.record_index_lookup(hit=found is not None)
+        return found
+
+    def put(self, key: str, labels: np.ndarray, pilot: PilotStats) -> None:
+        """Persist one partitioning decision (best-effort on disk)."""
+        payload = self._pack(labels, pilot)
+        if self._dir is not None:
+            try:
+                os.makedirs(self._dir, exist_ok=True)
+                # Atomic publish: concurrent writers race benignly.
+                fd, tmp = tempfile.mkstemp(dir=self._dir, suffix=".tmp")
+                with os.fdopen(fd, "wb") as handle:
+                    np.savez(handle, **payload)
+                os.replace(tmp, self._file(key))
+                self._prune_disk()
+                return
+            except OSError:  # fall through to the in-process cache
+                pass
+        with self._lock:
+            self._memory[key] = payload
+            self._memory.move_to_end(key)
+            while len(self._memory) > _MEMORY_INDEX_LIMIT:
+                self._memory.popitem(last=False)
+
+    def _prune_disk(self) -> None:
+        """Keep the newest ``_DISK_INDEX_LIMIT`` entries on disk.
+
+        Each entry is O(active rows); without a bound a long-running
+        server answering queries with varying predicates/seeds would
+        fill the disk (the same failure mode the solve farm's handoff
+        registry is LRU-bounded against).  Races with concurrent
+        writers/readers are benign: a pruned file simply misses and the
+        cut re-runs.
+        """
+        assert self._dir is not None
+        try:
+            entries = [
+                os.path.join(self._dir, name)
+                for name in os.listdir(self._dir)
+                if name.endswith(".npz")
+            ]
+            if len(entries) <= _DISK_INDEX_LIMIT:
+                return
+            entries.sort(key=lambda path: os.path.getmtime(path))
+            for path in entries[: len(entries) - _DISK_INDEX_LIMIT]:
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+        except OSError:  # pragma: no cover - listing raced a removal
+            pass
+
+    @classmethod
+    def clear_memory(cls) -> None:
+        """Drop the in-process fallback cache (tests only)."""
+        with cls._lock:
+            cls._memory.clear()

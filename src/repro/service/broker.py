@@ -253,6 +253,16 @@ class QueryBroker:
             return self._farm.store_stats()
         return self.store.stats().as_dict()
 
+    def scale_stats(self) -> dict:
+        """Out-of-core tier (``repro.scale``) counters as actually
+        served: this process's registry on the thread backend, the
+        aggregate over worker processes on the process backend."""
+        if self._farm is not None:
+            return self._farm.scale_stats()
+        from ..scale.metrics import scale_metrics
+
+        return scale_metrics.snapshot()
+
     def status(self) -> dict:
         """Point-in-time serving state (the ``/status`` payload)."""
         with self._lock:
@@ -274,6 +284,7 @@ class QueryBroker:
                 "closed": self._closed,
             }
         state["store"] = self.store_stats()
+        state["scale"] = self.scale_stats()
         if self._farm is not None:
             state["farm"] = self._farm.status()
         return state

@@ -102,6 +102,7 @@ def metrics_text(broker: QueryBroker) -> str:
     """Prometheus text exposition of broker + store + farm counters."""
     status = broker.status()
     store = status.pop("store")
+    scale = status.pop("scale")
     farm = status.pop("farm", None)
     lines = []
 
@@ -119,6 +120,21 @@ def metrics_text(broker: QueryBroker) -> str:
     counter("repro_store_bytes_resident", store["bytes_resident"], "gauge")
     counter("repro_store_bytes_spilled", store["bytes_spilled"], "gauge")
     counter("repro_store_entries", store["entries"], "gauge")
+    # Out-of-core tier (repro.scale): stochastic SketchRefine activity
+    # and the ColumnStore chunk caches' resident bytes.
+    counter("repro_scale_runs_total", scale["runs"])
+    counter("repro_scale_partitions", scale["partitions"])
+    counter("repro_scale_refines_total", scale["refines"])
+    counter("repro_scale_sketch_seconds", scale["sketch_seconds"])
+    counter("repro_scale_refine_seconds", scale["refine_seconds"])
+    counter("repro_scale_index_hits_total", scale["index_hits"])
+    counter("repro_scale_index_misses_total", scale["index_misses"])
+    counter("repro_scale_resident_bytes", scale["resident_bytes"], "gauge")
+    counter(
+        "repro_scale_resident_peak_bytes",
+        scale["resident_peak_bytes"],
+        "gauge",
+    )
     counter("repro_broker_submitted_total", status["submitted"])
     counter("repro_broker_completed_total", status["completed"])
     counter("repro_broker_failed_total", status["failed"])

@@ -56,23 +56,49 @@ from ..db.expressions import Expr, render
 _FINGERPRINT_ATTR = "_spq_content_fingerprint"
 
 
+def _column_parts(relation, name):
+    """Yield a column's content in pieces.
+
+    Relations exposing the chunk protocol (``repro.scale.ColumnStore``)
+    are read chunk-at-a-time so fingerprinting never materializes a
+    full column; in-memory relations yield the column whole.  The
+    hashed byte stream is identical either way.
+    """
+    if hasattr(relation, "column_chunk") and hasattr(relation, "n_chunks"):
+        # max(..., 1): a zero-row store still yields one (empty) part so
+        # the column dtype is hashed exactly like the in-memory path.
+        for chunk in range(max(relation.n_chunks, 1)):
+            yield relation.column_chunk(name, chunk)
+        return
+    yield relation.column(name)
+
+
 def relation_fingerprint(relation) -> str:
     """SHA-256 over a relation's column names, dtypes, and content.
 
     The relation *name* is deliberately excluded: the store is
     content-keyed, so the same data registered under two names shares
-    scenario matrices.
+    scenario matrices.  Content is hashed in chunk-composable form
+    (numeric columns as raw bytes, object columns element-wise), so
+    disk-backed and in-memory representations of the same data — and
+    chunked versus whole reads — produce one fingerprint.
     """
     digest = hashlib.sha256()
     digest.update(repr(relation.key).encode())
     for name in sorted(relation.column_names):
-        arr = relation.column(name)
         digest.update(name.encode())
-        digest.update(str(arr.dtype).encode())
-        if arr.dtype.kind == "O":
-            digest.update(repr(arr.tolist()).encode())
-        else:
-            digest.update(np.ascontiguousarray(arr).tobytes())
+        first = True
+        for part in _column_parts(relation, name):
+            part = np.asarray(part)
+            if first:
+                digest.update(str(part.dtype).encode())
+                first = False
+            if part.dtype.kind == "O":
+                for value in part:
+                    digest.update(repr(value).encode())
+                    digest.update(b"\x1f")
+            else:
+                digest.update(np.ascontiguousarray(part).tobytes())
     return digest.hexdigest()
 
 

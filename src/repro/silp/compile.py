@@ -54,6 +54,12 @@ def _apply_where(query: PackageQuery, relation, model) -> np.ndarray:
                 "WHERE predicates over stochastic attributes are not"
                 f" supported: {sorted(stochastic)}"
             )
+    pushdown = getattr(relation, "filter_positions", None)
+    if callable(pushdown):
+        # Out-of-core relations (repro.scale.ColumnStore) evaluate the
+        # predicate chunk-at-a-time instead of materializing every
+        # referenced column; the result is identical by construction.
+        return np.asarray(pushdown(query.where), dtype=np.int64)
     mask = evaluate(query.where, relation.columns_mapping())
     mask = np.asarray(mask, dtype=bool)
     if mask.shape != (relation.n_rows,):

@@ -115,3 +115,53 @@ def test_more_partitions_do_not_break_feasibility(fast_config):
     for n_partitions in (2, 16, 60):
         result = sketch_refine_evaluate(problem, fast_config, n_partitions)
         assert result.feasible
+
+
+def test_more_partitions_than_active_tuples(fast_config):
+    """k > n clamps to one tuple per group and still refines cleanly."""
+    catalog = _random_catalog(n_rows=12, seed=2)
+    problem = compile_query(QUERY, catalog)
+    exact = deterministic_evaluate(problem, fast_config)
+    approx = sketch_refine_evaluate(problem, fast_config, n_partitions=500)
+    assert approx.feasible
+    assert approx.package.deterministic_total("cost") <= 50 + 1e-6
+    # Singleton groups: centroids are exact, so refine recovers the
+    # exact optimum.
+    assert approx.objective == pytest.approx(exact.objective, rel=1e-6)
+
+
+def test_where_restricted_partition_count_clamps(fast_config):
+    catalog = _random_catalog(n_rows=40, seed=7)
+    problem = compile_query(
+        "SELECT PACKAGE(*) FROM inventory WHERE cost <= 5 SUCH THAT"
+        " SUM(cost) <= 20 AND COUNT(*) <= 4 MAXIMIZE SUM(value)",
+        catalog,
+    )
+    assert problem.n_vars < 40
+    result = sketch_refine_evaluate(
+        problem, fast_config, n_partitions=problem.n_vars + 10
+    )
+    assert result.feasible
+    assert result.package.total_count <= 4
+
+
+def test_empty_after_where_raises_evaluation_error(fast_config):
+    """A tuple-less problem hits the evaluation contract, not the solver.
+
+    ``compile_query`` rejects an all-filtering WHERE clause itself, so
+    this constructs the degenerate problem directly, as embedding
+    callers can.
+    """
+    from repro.silp.model import StochasticPackageProblem
+
+    catalog = _random_catalog()
+    template = compile_query(QUERY, catalog)
+    empty = StochasticPackageProblem(
+        relation=template.relation,
+        model=None,
+        active_rows=np.empty(0, dtype=np.int64),
+        objective=template.objective,
+        constraints=template.constraints,
+    )
+    with pytest.raises(EvaluationError, match="no active tuples"):
+        sketch_refine_evaluate(empty, fast_config, n_partitions=4)

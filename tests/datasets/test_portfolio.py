@@ -76,3 +76,41 @@ def test_invalid_params():
         build_portfolio(PortfolioParams(n_stocks=0))
     with pytest.raises(EvaluationError):
         build_portfolio(PortfolioParams(n_stocks=5, horizons=(0.0,)))
+
+
+def test_chunked_store_builder_bit_identical(tmp_path):
+    """build_portfolio_store == build_portfolio + to_disk, bit for bit."""
+    from repro.datasets.portfolio import build_portfolio_store
+    from repro.service.store import model_fingerprint, relation_fingerprint
+
+    for volatile in (False, True):
+        params = PortfolioParams(
+            n_stocks=120, seed=11, volatile_only=volatile
+        )
+        relation, model = build_portfolio(params)
+        store, store_model = build_portfolio_store(
+            params, tmp_path / f"p{volatile}", chunk_rows=32
+        )
+        assert store.n_rows == relation.n_rows
+        assert store.column_names == relation.column_names
+        for name in relation.column_names:
+            assert np.array_equal(store.column(name), relation.column(name))
+        assert relation_fingerprint(store) == relation_fingerprint(relation)
+        assert model_fingerprint(store_model) == model_fingerprint(model)
+        store.close()
+
+
+def test_chunked_store_builder_respects_budget(tmp_path):
+    from repro.datasets.portfolio import build_portfolio_store
+
+    store, model = build_portfolio_store(
+        PortfolioParams(n_stocks=200, seed=3),
+        tmp_path / "p",
+        chunk_rows=64,
+        resident_budget=8_192,
+    )
+    for chunk in range(store.n_chunks):
+        store.column_chunk("price", chunk)
+        assert store.resident_bytes <= 8_192
+    assert store.peak_resident_bytes <= 8_192
+    store.close()

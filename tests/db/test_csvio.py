@@ -46,3 +46,66 @@ def test_empty_csv_rejected():
 def test_mixed_column_falls_back_to_text():
     relation = read_csv("v\n1\nx\n")
     assert relation.column("v").dtype.kind == "O"
+
+
+# --- chunked streaming (out-of-core import) ----------------------------------
+
+
+def test_multi_chunk_file_parses_identically(tmp_path):
+    """A file spanning many chunks equals a one-chunk parse exactly."""
+    path = tmp_path / "big.csv"
+    with open(path, "w") as handle:
+        handle.write("x,qty,label\n")
+        for i in range(1_000):
+            handle.write(f"{i * 1.5},{i},L{i % 5}\n")
+    chunked = read_csv(path, chunk_rows=64)
+    whole = read_csv(path, chunk_rows=10_000)
+    assert chunked.n_rows == 1_000
+    for name in whole.column_names:
+        assert np.array_equal(chunked.column(name), whole.column(name)), name
+    assert chunked.column("x").dtype == np.float64
+    assert chunked.column("qty").dtype == np.int64
+    assert chunked.column("label").dtype.kind == "O"
+
+
+def test_int_column_widens_to_float_across_chunks():
+    relation = read_csv("a\n1\n2\n3\n4.5\n", chunk_rows=2)
+    assert relation.column("a").dtype == np.float64
+    assert relation.column("a").tolist() == [1.0, 2.0, 3.0, 4.5]
+
+
+def test_late_text_value_preserves_raw_numeric_strings():
+    """Promotion to text re-reads the source: '01' stays '01'."""
+    relation = read_csv("v\n01\n02\nxy\n", chunk_rows=2)
+    assert relation.column("v").tolist() == ["01", "02", "xy"]
+
+
+def test_ragged_row_raises_schema_error():
+    with pytest.raises(SchemaError):
+        read_csv("a,b\n1,2\n3\n")
+
+
+def test_read_csv_to_store_streams_multi_chunk_file(tmp_path):
+    from repro.db.csvio import read_csv_to_store
+
+    path = tmp_path / "big.csv"
+    with open(path, "w") as handle:
+        handle.write("x,label\n")
+        for i in range(500):
+            handle.write(f"{i * 0.5},L{i % 3}\n")
+    store = read_csv_to_store(path, tmp_path / "big-store", chunk_rows=64)
+    try:
+        assert store.n_rows == 500
+        assert store.n_chunks == 8
+        reference = read_csv(path)
+        for name in reference.column_names:
+            assert np.array_equal(store.column(name), reference.column(name))
+    finally:
+        store.close()
+
+
+def test_read_csv_to_store_missing_file_contract(tmp_path):
+    from repro.db.csvio import read_csv_to_store
+
+    with pytest.raises(FileNotFoundError):
+        read_csv_to_store("no_such_file.csv", tmp_path / "s")

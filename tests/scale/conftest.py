@@ -1,0 +1,48 @@
+"""Shared fixtures for the out-of-core tier tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Catalog, SPQConfig
+from repro.datasets.portfolio import PortfolioParams, build_portfolio
+from repro.scale.partition import PartitionIndex
+from repro.silp.compile import compile_query
+from repro.workloads import get_query
+
+
+@pytest.fixture(autouse=True)
+def _clear_partition_memory():
+    """Isolate tests from the in-process partition-index cache."""
+    PartitionIndex.clear_memory()
+    yield
+    PartitionIndex.clear_memory()
+
+
+@pytest.fixture
+def scale_config() -> SPQConfig:
+    """Small everything: quick but meaningful scale-driver runs."""
+    return SPQConfig(
+        seed=1234,
+        n_validation_scenarios=800,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=60,
+        n_expectation_scenarios=400,
+        n_probe_scenarios=16,
+        epsilon=0.5,
+        solver_time_limit=15.0,
+        time_limit=120.0,
+        scale_n_partitions=5,
+        scale_pilot_scenarios=8,
+    )
+
+
+@pytest.fixture
+def portfolio_problem():
+    """Portfolio Q1 compiled over a 150-stock universe (300 trades)."""
+    spec = get_query("portfolio", "Q1")
+    relation, model = build_portfolio(PortfolioParams(n_stocks=150, seed=7))
+    catalog = Catalog()
+    catalog.register(relation, model)
+    return compile_query(spec.spaql, catalog), relation, model

@@ -1,0 +1,193 @@
+"""Pilot statistics, quantile partitioning, and the partition index."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.scale.partition import (
+    PartitionIndex,
+    PilotStats,
+    partition_index_key,
+    partition_labels,
+    pilot_statistics,
+)
+
+
+def test_pilot_statistics_cover_active_rows(portfolio_problem, scale_config):
+    problem, _, _ = portfolio_problem
+    pilot = pilot_statistics(problem, scale_config)
+    assert pilot.mean.shape == (problem.n_vars,)
+    assert pilot.std.shape == (problem.n_vars,)
+    assert set(pilot.per_attr) == {"Gain"}
+    assert np.all(pilot.std >= 0)
+    assert pilot.n_pilot == scale_config.scale_pilot_scenarios
+
+
+def test_pilot_statistics_deterministic(portfolio_problem, scale_config):
+    problem, _, _ = portfolio_problem
+    a = pilot_statistics(problem, scale_config)
+    b = pilot_statistics(problem, scale_config)
+    assert np.array_equal(a.mean, b.mean)
+    assert np.array_equal(a.std, b.std)
+
+
+def _stats(mean, std):
+    mean = np.asarray(mean, dtype=float)
+    std = np.asarray(std, dtype=float)
+    return PilotStats(mean=mean, std=std, per_attr={}, n_pilot=8)
+
+
+def test_labels_partition_every_tuple_exactly_once():
+    rng = np.random.default_rng(0)
+    stats = _stats(rng.normal(size=200), np.abs(rng.normal(size=200)))
+    labels = partition_labels(stats, 12)
+    assert labels.shape == (200,)
+    assert labels.min() == 0
+    assert labels.max() + 1 <= 12
+    # Every label used; groups are balanced within one quantile band.
+    counts = np.bincount(labels)
+    assert np.all(counts > 0)
+
+
+def test_labels_group_similar_means_together():
+    stats = _stats(np.arange(100, dtype=float), np.zeros(100))
+    labels = partition_labels(stats, 4)
+    # Tuples sorted by mean must have monotonically grouped labels.
+    means_by_label = [
+        (stats.mean[labels == g].min(), stats.mean[labels == g].max())
+        for g in range(labels.max() + 1)
+    ]
+    means_by_label.sort()
+    for (_, hi), (lo, _) in zip(means_by_label, means_by_label[1:]):
+        assert hi <= lo
+
+
+def test_labels_clamp_to_population():
+    stats = _stats([1.0, 2.0, 3.0], [0.1, 0.2, 0.3])
+    labels = partition_labels(stats, 50)
+    assert labels.max() + 1 <= 3
+
+
+def test_index_key_sensitive_to_seed_and_partitions(
+    portfolio_problem, scale_config
+):
+    problem, _, _ = portfolio_problem
+    base = partition_index_key(problem, scale_config, 5)
+    assert base == partition_index_key(problem, scale_config, 5)
+    assert base != partition_index_key(problem, scale_config, 6)
+    assert base != partition_index_key(
+        problem, scale_config.replace(seed=99), 5
+    )
+    assert base != partition_index_key(
+        problem, scale_config.replace(scale_pilot_scenarios=4), 5
+    )
+
+
+def test_memory_index_round_trip(portfolio_problem, scale_config):
+    problem, relation, _ = portfolio_problem
+    pilot = pilot_statistics(problem, scale_config)
+    labels = partition_labels(pilot, 5)
+    index = PartitionIndex(relation)  # in-memory relation: no disk home
+    key = partition_index_key(problem, scale_config, 5)
+    assert index.get(key) is None
+    index.put(key, labels, pilot)
+    cached = index.get(key)
+    assert cached is not None
+    got_labels, got_pilot = cached
+    assert np.array_equal(got_labels, labels)
+    assert np.array_equal(got_pilot.mean, pilot.mean)
+    assert np.array_equal(got_pilot.per_attr["Gain"][1], pilot.per_attr["Gain"][1])
+    assert got_pilot.n_pilot == pilot.n_pilot
+
+
+def test_disk_index_round_trip(portfolio_problem, scale_config, tmp_path):
+    problem, relation, _ = portfolio_problem
+    store = relation.to_disk(tmp_path / "p", chunk_rows=64)
+    pilot = pilot_statistics(problem, scale_config)
+    labels = partition_labels(pilot, 5)
+    index = PartitionIndex(store)
+    key = partition_index_key(problem, scale_config, 5)
+    index.put(key, labels, pilot)
+    PartitionIndex.clear_memory()  # must come back from disk alone
+    fresh = PartitionIndex(store)
+    cached = fresh.get(key)
+    assert cached is not None
+    assert np.array_equal(cached[0], labels)
+    assert (tmp_path / "p" / "partition-index").is_dir()
+    store.close()
+
+
+def test_index_key_sensitive_to_probed_attributes(scale_config):
+    """Queries constraining different stochastic attrs never share keys."""
+    from repro import Catalog, Relation
+    from repro.mcdb import GaussianNoiseVG
+    from repro.mcdb.stochastic import StochasticModel
+    from repro.silp.compile import compile_query
+
+    relation = Relation("t", {"price": [5.0, 8.0, 3.0, 6.0]})
+    model = StochasticModel(
+        relation,
+        {
+            "A": GaussianNoiseVG("price", 1.0),
+            "B": GaussianNoiseVG("price", 2.0),
+        },
+    )
+    catalog = Catalog()
+    catalog.register(relation, model)
+    template = (
+        "SELECT PACKAGE(*) FROM t SUCH THAT COUNT(*) <= 2 AND"
+        " SUM({attr}) >= 1 WITH PROBABILITY >= 0.8"
+        " MINIMIZE EXPECTED SUM({attr})"
+    )
+    over_a = compile_query(template.format(attr="A"), catalog)
+    over_b = compile_query(template.format(attr="B"), catalog)
+    assert partition_index_key(over_a, scale_config, 2) != partition_index_key(
+        over_b, scale_config, 2
+    )
+
+
+def test_streaming_pilot_path_matches_matrix_path(
+    portfolio_problem, scale_config, monkeypatch
+):
+    """Past the matrix cap, per-scenario accumulation gives the same
+    statistics (up to accumulation-order float noise)."""
+    from repro.scale import partition as partition_module
+
+    problem, _, _ = portfolio_problem
+    via_matrix = pilot_statistics(problem, scale_config)
+    monkeypatch.setattr(partition_module, "_PILOT_MATRIX_BYTES_CAP", 0)
+    via_stream = pilot_statistics(problem, scale_config)
+    assert np.allclose(via_stream.mean, via_matrix.mean, rtol=1e-10)
+    assert np.allclose(via_stream.std, via_matrix.std, rtol=1e-9, atol=1e-12)
+    assert set(via_stream.per_attr) == set(via_matrix.per_attr)
+
+
+def test_disk_index_prunes_oldest_entries(
+    portfolio_problem, scale_config, tmp_path, monkeypatch
+):
+    from repro.scale import partition as partition_module
+
+    monkeypatch.setattr(partition_module, "_DISK_INDEX_LIMIT", 3)
+    problem, relation, _ = portfolio_problem
+    store = relation.to_disk(tmp_path / "p", chunk_rows=64)
+    pilot = pilot_statistics(problem, scale_config)
+    labels = partition_labels(pilot, 5)
+    index = PartitionIndex(store)
+    import os
+    import time
+
+    base = time.time() - 1_000  # backdated: deterministic prune order
+    for i in range(6):
+        index.put(f"key-{i}", labels, pilot)
+        stamp = base + i
+        path = tmp_path / "p" / "partition-index" / f"key-{i}.npz"
+        if path.exists():  # earlier keys may already be pruned
+            os.utime(path, (stamp, stamp))
+    files = sorted(
+        f.name for f in (tmp_path / "p" / "partition-index").iterdir()
+    )
+    assert len(files) == 3
+    assert index.get("key-5") is not None
+    assert index.get("key-0") is None
+    store.close()

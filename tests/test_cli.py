@@ -433,3 +433,71 @@ def test_cli_help_epilog_documents_vg_and_exit_codes(capsys):
                  "2  parse/compile/spec error", "3  solve/evaluation error",
                  "4  I/O error"):
         assert line in out
+
+
+# --- out-of-core tier (repro.scale) --------------------------------------------
+
+
+def test_cli_scale_flags_wire_into_config():
+    from repro.cli import _build_config, build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(
+        ["run", "--table", "x.csv", "--query", "q",
+         "--scale-out", "--scale-threshold", "5000",
+         "--partitions", "12", "--scale-budget", "64M"]
+    )
+    config = _build_config(args)
+    assert config.scale_threshold_rows == 5_000
+    assert config.scale_n_partitions == 12
+    assert config.scale_resident_budget == 64 * 1024 * 1024
+
+
+def test_cli_scale_flags_default_off():
+    from repro.cli import _build_config, build_parser
+
+    parser = build_parser()
+    args = parser.parse_args(["run", "--table", "x.csv", "--query", "q"])
+    config = _build_config(args)
+    assert config.scale_threshold_rows is None
+
+
+def test_cli_method_accepts_sketchrefine(csv_path, capsys):
+    code = main([
+        "run",
+        "--table", str(csv_path),
+        "--query", "SELECT PACKAGE(*) FROM items SUCH THAT SUM(price) <= 12"
+                   " MINIMIZE SUM(weight)",
+        "--method", "sketchrefine",
+    ])
+    assert code == 0
+    assert "sketchrefine" in capsys.readouterr().out
+
+
+def test_cli_registers_column_store_directory(tmp_path, capsys):
+    from repro.db.csvio import read_csv_to_store
+
+    csv = tmp_path / "items.csv"
+    csv.write_text("price,weight\n5.0,2\n8.0,1\n3.0,4\n6.0,3\n4.0,2\n")
+    store = read_csv_to_store(csv, tmp_path / "items-store", chunk_rows=2)
+    store.close()
+    code = main([
+        "run",
+        "--table", str(tmp_path / "items-store") + ":items",
+        "--query", "SELECT PACKAGE(*) FROM items WHERE price <= 6 SUCH THAT"
+                   " SUM(price) <= 12 MINIMIZE SUM(weight)",
+    ])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "package" in out
+
+
+def test_cli_store_directory_without_manifest_is_io_error(tmp_path, capsys):
+    (tmp_path / "not-a-store").mkdir()
+    code = main([
+        "run",
+        "--table", str(tmp_path / "not-a-store"),
+        "--query", "SELECT PACKAGE(*) FROM x SUCH THAT COUNT(*) <= 1"
+                   " MINIMIZE SUM(a)",
+    ])
+    assert code == 4
