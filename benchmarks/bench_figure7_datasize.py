@@ -148,6 +148,10 @@ def _run_scale_sweep(
             "scale_feasible": bool(scale_result.succeeded),
             "n_refined": scale_result.meta.get("n_refined"),
             "peak_resident_bytes": store.peak_resident_bytes,
+            # sketch/refine/validate wall seconds from the driver — the
+            # same keys BENCH_service.json's breakdowns use, so a
+            # regression at any size is attributable to a stage.
+            "stage_seconds": scale_result.meta.get("stage_seconds"),
         }
         record["sizes"].append(entry)
         assert scale_result.succeeded, scale_result.message

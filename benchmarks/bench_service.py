@@ -40,6 +40,44 @@ REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 BENCH_RESULTS_PATH = os.path.join(REPO_ROOT, "BENCH_service.json")
 
 
+def _update_bench_record(name: str, record: dict) -> None:
+    """Merge one benchmark's record into ``BENCH_service.json``.
+
+    The file is a ``{"benchmarks": {name: record, ...}}`` document so
+    each test updates its own entry without clobbering the others.  (It
+    used to hold a single flat record; that legacy shape is migrated on
+    first read.)
+    """
+    try:
+        with open(BENCH_RESULTS_PATH) as handle:
+            data = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        data = {}
+    if not isinstance(data, dict) or "benchmarks" not in data:
+        legacy = data.get("benchmark") if isinstance(data, dict) else None
+        data = {"benchmarks": {legacy: data} if legacy else {}}
+    data["benchmarks"][name] = record
+    with open(BENCH_RESULTS_PATH, "w") as handle:
+        json.dump(data, handle, indent=2)
+        handle.write("\n")
+
+
+def _stage_breakdown(broker, future) -> dict | None:
+    """Per-stage self seconds for one traced broker query, or None."""
+    from repro.obs import aggregate_self_times
+
+    trace_id = getattr(future, "trace_id", None)
+    if trace_id is None or broker.trace_ring is None:
+        return None
+    doc = broker.trace_ring.tree(trace_id, wait_s=5.0)
+    if doc is None or doc.get("root") is None:
+        return None
+    return {
+        name: round(entry["self_s"], 6)
+        for name, entry in sorted(aggregate_self_times(doc["root"]).items())
+    }
+
+
 def _service_config(**overrides):
     defaults = dict(
         n_initial_scenarios=64,
@@ -60,8 +98,10 @@ def test_second_identical_query_is_served_from_store(benchmark):
 
     cold_times, warm_times = [], []
     results = []
+    stage_seconds: dict | None = None
 
     def one_round():
+        nonlocal stage_seconds
         with QueryBroker(catalog, config=config, pool_size=2) as broker:
             started = time.perf_counter()
             first = broker.execute(spec.spaql)
@@ -72,9 +112,11 @@ def test_second_identical_query_is_served_from_store(benchmark):
             best_warm, second = float("inf"), None
             for _ in range(WARM_REPEATS):
                 started = time.perf_counter()
-                second = broker.execute(spec.spaql)
+                future = broker.submit(spec.spaql)
+                second = future.result()
                 best_warm = min(best_warm, time.perf_counter() - started)
             after_warm = broker.store.stats()
+            stage_seconds = _stage_breakdown(broker, future) or stage_seconds
 
             # Zero scenario regeneration on the identical repeats.
             assert after_warm.generations == after_first.generations
@@ -104,6 +146,17 @@ def test_second_identical_query_is_served_from_store(benchmark):
     benchmark.extra_info["warm_min_s"] = min(warm_times)
     benchmark.extra_info["speedup"] = min(cold_times) / max(min(warm_times), 1e-12)
     benchmark.extra_info["scale"] = SCALE
+    _update_bench_record("warm_store_hits", {
+        "workload": "galaxy/Q5",
+        "scale": SCALE,
+        "cold_min_s": round(min(cold_times), 4),
+        "warm_min_s": round(min(warm_times), 4),
+        "speedup": round(min(cold_times) / max(min(warm_times), 1e-12), 4),
+        # Self seconds per traced stage on a warm query — the profile
+        # the speedup/regression is attributed against ("validate" is
+        # the key shared with BENCH_scale.json's breakdown).
+        "stage_seconds": stage_seconds,
+    })
 
 
 def test_store_budget_pressure_is_result_invariant(benchmark):
@@ -159,7 +212,11 @@ def _throughput_config():
 
 
 def _drive_backend(backend: str, catalog, config):
-    """Serve the client mix on one backend; returns (wall_s, results)."""
+    """Serve the client mix on one backend.
+
+    Returns ``(wall_s, results, stage_seconds)`` where the last is one
+    sampled client's per-stage self-time breakdown (None if untraced).
+    """
     with QueryBroker(
         catalog, config=config, pool_size=FARM_POOL, backend=backend
     ) as broker:
@@ -173,7 +230,8 @@ def _drive_backend(backend: str, catalog, config):
         }
         results = {seed: f.result(timeout=600) for seed, f in futures.items()}
         wall = time.perf_counter() - started
-    return wall, results
+        stages = _stage_breakdown(broker, futures[CLIENT_SEEDS[0]])
+    return wall, results, stages
 
 
 def test_concurrent_clients_process_backend_beats_threads(benchmark):
@@ -187,12 +245,12 @@ def test_concurrent_clients_process_backend_beats_threads(benchmark):
     catalog = cached_catalog("portfolio", "Q1", scale=60)
     config = _throughput_config()
 
-    thread_wall, thread_results = _drive_backend("thread", catalog, config)
+    thread_wall, thread_results, _ = _drive_backend("thread", catalog, config)
 
     def process_round():
         return _drive_backend("process", catalog, config)
 
-    process_wall, process_results = benchmark.pedantic(
+    process_wall, process_results, process_stages = benchmark.pedantic(
         process_round, rounds=1, iterations=1
     )
 
@@ -209,7 +267,6 @@ def test_concurrent_clients_process_backend_beats_threads(benchmark):
 
     speedup = thread_wall / max(process_wall, 1e-12)
     record = {
-        "benchmark": "concurrent_clients_thread_vs_process",
         "workload": "portfolio/Q1",
         "scale": 60,
         "solver": "branch-bound",
@@ -222,14 +279,95 @@ def test_concurrent_clients_process_backend_beats_threads(benchmark):
         "process_qps": round(N_CLIENTS / process_wall, 4),
         "speedup": round(speedup, 4),
         "identical_packages": True,
+        # One sampled process-backend client's per-stage self seconds —
+        # attributes the speedup (or its absence) to solve vs overhead.
+        "stage_seconds": process_stages,
     }
-    with open(BENCH_RESULTS_PATH, "w") as handle:
-        json.dump(record, handle, indent=2)
-        handle.write("\n")
-    benchmark.extra_info.update(record)
+    _update_bench_record("concurrent_clients_thread_vs_process", record)
+    benchmark.extra_info.update(
+        {k: v for k, v in record.items() if k != "stage_seconds"}
+    )
 
     if (os.cpu_count() or 1) >= 4:
         assert speedup >= 1.5, (
             f"process backend must beat threads by >= 1.5x on >= 4 cores"
             f" (got {speedup:.2f}x)"
         )
+
+
+# --- tracing overhead --------------------------------------------------------
+
+#: Stage-enter/exit iterations for the per-span cost measurement.
+_OVERHEAD_ITERS = 20_000
+
+
+def test_trace_overhead_disabled_noop_enabled_under_2pct():
+    """Tracing must be a no-op when off and <2% of a warm query when on.
+
+    Wall-clock A/B runs of a whole query cannot resolve a sub-2% delta
+    above solver noise, so the bound is established structurally: the
+    per-span cost of ``stage()`` (measured over 20k enter/exit cycles)
+    times the span count of a real traced warm query must stay under 2%
+    of that query's untraced wall time.  Disabled, ``stage()`` must
+    return the shared no-op singleton — no allocation, no span.
+    """
+    from repro.obs import TraceSession, activate, new_trace_id, stage
+    from repro.obs.trace import _NULL_STAGE, current_session
+    from repro.service import ScenarioStore
+    from repro.core.engine import SPQEngine
+
+    # Disabled path: the no-op check.  With no active session every
+    # stage() call returns the same singleton.
+    assert current_session() is None
+    assert stage("bench.noop", attr=1) is _NULL_STAGE
+    assert stage("bench.other") is _NULL_STAGE
+
+    def per_span_cost() -> float:
+        started = time.perf_counter()
+        for _ in range(_OVERHEAD_ITERS):
+            with stage("bench.noop"):
+                pass
+        return (time.perf_counter() - started) / _OVERHEAD_ITERS
+
+    disabled_cost = min(per_span_cost() for _ in range(3))
+    session = TraceSession(
+        new_trace_id(), max_spans=3 * _OVERHEAD_ITERS + 16
+    )
+    with activate(session):
+        enabled_cost = min(per_span_cost() for _ in range(3))
+    assert session.dropped == 0
+
+    # The real span count of a traced warm query, and its untraced wall.
+    spec = get_query("galaxy", "Q5")
+    catalog = cached_catalog("galaxy", "Q5", scale=400)
+    config = _service_config(n_expectation_scenarios=1_000)
+    with ScenarioStore() as store:
+        engine = SPQEngine(catalog=catalog, config=config, store=store)
+        engine.execute(spec.spaql)  # cold: realize + cache scenarios
+        traced = TraceSession(new_trace_id(), max_spans=100_000)
+        with activate(traced):
+            engine.execute(spec.spaql)
+        n_spans = len(traced.spans)
+        started = time.perf_counter()
+        engine.execute(spec.spaql, trace_enabled=False, profile_stages=False)
+        warm_wall = time.perf_counter() - started
+    assert n_spans > 0
+
+    disabled_overhead = n_spans * disabled_cost / warm_wall
+    enabled_overhead = n_spans * enabled_cost / warm_wall
+    _update_bench_record("trace_overhead", {
+        "disabled_ns_per_span": round(disabled_cost * 1e9, 1),
+        "enabled_ns_per_span": round(enabled_cost * 1e9, 1),
+        "spans_per_warm_query": n_spans,
+        "warm_query_s": round(warm_wall, 4),
+        "disabled_overhead_pct": round(disabled_overhead * 100.0, 4),
+        "enabled_overhead_pct": round(enabled_overhead * 100.0, 4),
+    })
+    assert disabled_overhead < 0.02, (
+        f"disabled tracing costs {disabled_overhead:.2%} of a warm query"
+    )
+    assert enabled_overhead < 0.02, (
+        f"enabled tracing costs {enabled_overhead:.2%} of a warm query"
+        f" ({n_spans} spans x {enabled_cost * 1e6:.1f}us"
+        f" vs {warm_wall:.3f}s)"
+    )

@@ -11,6 +11,11 @@ polls — and asserts:
 * at least one solve succeeded per distinct-seed client group;
 * ``/metrics`` exposes the farm's per-worker gauges and no worker
   crashed;
+* a ``"trace": true`` query returns its span tree inline and via
+  ``GET /trace/<id>``, with worker-side stages re-parented under the
+  broker's root span;
+* the ``repro_stage_seconds`` histogram's ``stage="query"`` count
+  equals the number of completed queries;
 * the server shuts down cleanly.
 
 Budgeted well under the CI job's 2-minute window.  Also runnable
@@ -91,6 +96,13 @@ def get(base: str, path: str, timeout: float = 30.0) -> tuple[int, str]:
         return response.status, response.read().decode()
 
 
+def iter_spans(node):
+    """Depth-first iteration over a span-tree node and its children."""
+    yield node
+    for child in node.get("children", ()):
+        yield from iter_spans(child)
+
+
 def client(base: str, client_id: int, outcomes: list, lock: threading.Lock):
     """One of the 32 concurrent clients; records (client_id, kind, code)."""
     kind = ("repeat", "seeded", "status", "bad")[client_id % 4]
@@ -138,9 +150,18 @@ def main() -> int:
     try:
         base = wait_for_listen_line(process)
         # Warm the farm (workers forked, first realization done) so the
-        # 32-way burst measures serving, not startup.
-        code, first = post_query(base, {"query": QUERY})
+        # 32-way burst measures serving, not startup.  Traced, so the
+        # warm-up doubles as the cross-process span-tree check.
+        code, first = post_query(base, {"query": QUERY, "trace": True})
         assert code == 200 and first["feasible"], (code, first)
+        trace_id = first.get("trace_id")
+        assert trace_id, "traced query response missing trace_id"
+        root = (first.get("trace") or {}).get("root")
+        assert root and root["name"] == "query", first.get("trace")
+        stages = {s["name"] for s in iter_spans(root)}
+        assert {"query", "worker", "execute", "solve"} <= stages, stages
+        code, body = get(base, f"/trace/{trace_id}")
+        assert code == 200 and json.loads(body)["trace_id"] == trace_id
 
         outcomes: list = []
         lock = threading.Lock()
@@ -172,6 +193,36 @@ def main() -> int:
         # served can exceed evaluations completed by the dedup count.
         assert completed and dedup
         assert int(completed.group(1)) + int(dedup.group(1)) >= len(solved)
+        # Every served query was traced: the stage="query" histogram
+        # count on /metrics must equal completed + failed (the parse
+        # errors retire as failures but are still traced evaluations).
+        # The observation happens in the future's done-callback, which
+        # can trail the client's result() by a beat — poll briefly.
+        def served_counts(text):
+            hist = re.search(
+                r'^repro_stage_seconds_count\{stage="query"\} (\d+)$',
+                text, re.M,
+            )
+            done = re.search(r"^repro_broker_completed_total (\d+)$",
+                             text, re.M)
+            failed = re.search(r"^repro_broker_failed_total (\d+)$",
+                               text, re.M)
+            assert hist and done and failed, (
+                "metrics missing the query histogram or broker counters"
+            )
+            return int(hist.group(1)), int(done.group(1)) + int(failed.group(1))
+
+        for _ in range(50):
+            hist_queries, retired = served_counts(metrics)
+            if hist_queries == retired:
+                break
+            time.sleep(0.1)
+            _, metrics = get(base, "/metrics")
+        assert hist_queries == retired, (hist_queries, retired)
+        assert re.search(r'^repro_stage_seconds_bucket\{stage="worker",'
+                         r'le="\+Inf"\} \d+$', metrics, re.M), (
+            "metrics missing the farm worker stage histogram"
+        )
 
         _, status_text = get(base, "/status")
         status = json.loads(status_text)

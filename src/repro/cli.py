@@ -1,6 +1,6 @@
 """Command-line interface: run sPaQL against CSV data, or serve queries.
 
-Two subcommands::
+Three subcommands::
 
     python -m repro run --table trades.csv \\
         --stochastic "Gain=gbm(price,drift,volatility,sell_in_days,stock)" \\
@@ -8,6 +8,13 @@ Two subcommands::
         --method summarysearch --seed 7 --output package.csv
 
     python -m repro serve --workload portfolio:Q1 --scale 200 --port 8080
+
+    python -m repro trace package.trace.json
+
+``trace`` renders a saved trace document — a ``GET /trace/<id>`` body,
+a ``POST /query`` response with ``"trace": true``, or a
+``repro run --trace-out`` file — as an offset-scaled waterfall plus a
+top-N self-time table.
 
 The legacy invocation (no subcommand, straight ``--table ...``) keeps
 working and means ``run``.
@@ -42,6 +49,7 @@ source; ``--workload`` datasets register after ``--table`` files.  See
 from __future__ import annotations
 
 import argparse
+import json
 import os
 import sys
 import traceback
@@ -78,7 +86,7 @@ EXIT_PARSE = 2
 EXIT_SOLVE = 3
 EXIT_IO = 4
 
-_SUBCOMMANDS = ("run", "serve")
+_SUBCOMMANDS = ("run", "serve", "trace")
 
 
 def exit_code_for(error: BaseException) -> int:
@@ -290,6 +298,12 @@ def build_parser() -> argparse.ArgumentParser:
                               "sketchrefine"])
     _add_config_arguments(run)
     run.add_argument("--output", help="write the package relation as CSV")
+    run.add_argument("--profile-stages", action="store_true",
+                     help="aggregate per-stage self times across the run and"
+                          " print a flat profile table at the end")
+    run.add_argument("--trace-out", metavar="PATH",
+                     help="write the evaluation's span tree as JSON"
+                          " (render it with 'repro trace PATH')")
     run.set_defaults(handler=cmd_run)
 
     serve = subparsers.add_parser(
@@ -325,8 +339,39 @@ def build_parser() -> argparse.ArgumentParser:
                             " spilling them to disk memmaps")
     serve.add_argument("--verbose", action="store_true",
                        help="log each HTTP request to stderr")
+    serve.add_argument("--no-trace", action="store_true",
+                       help="disable query tracing (GET /trace returns 404;"
+                            " per-stage histograms stay empty)")
+    serve.add_argument("--slow-query-log", metavar="PATH",
+                       help="append a JSONL record (trace id + per-stage"
+                            " breakdown) for each query slower than"
+                            " --slow-query-threshold")
+    serve.add_argument("--slow-query-threshold", type=float, default=None,
+                       metavar="SECONDS",
+                       help="wall-time threshold for --slow-query-log"
+                            " (default: 1.0)")
     _add_config_arguments(serve)
     serve.set_defaults(handler=cmd_serve)
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="render a saved trace JSON as a waterfall and self-time table",
+        description="Render a trace document — a GET /trace/<id> body, a"
+                    " POST /query response saved with \"trace\": true, or a"
+                    " 'repro run --trace-out' file — as an offset-scaled"
+                    " waterfall plus a ranked per-stage self-time table.",
+    )
+    trace.add_argument("file",
+                       help="trace JSON file ('-' reads standard input)")
+    trace.add_argument("--width", type=int, default=48, metavar="COLS",
+                       help="waterfall bar width in columns (default: 48)")
+    trace.add_argument("--top", type=int, default=10, metavar="N",
+                       help="rows in the self-time table (default: 10;"
+                            " 0 = all)")
+    trace.add_argument("--max-spans", type=int, default=60, metavar="N",
+                       help="waterfall row budget before truncation"
+                            " (default: 60)")
+    trace.set_defaults(handler=cmd_trace)
     return parser
 
 
@@ -448,7 +493,10 @@ def cmd_run(args) -> int:
     """``repro run``: evaluate one query and print the package."""
     from .service.store import ScenarioStore
 
-    config = _build_config(args)
+    config = _build_config(
+        args,
+        **({"profile_stages": True} if args.profile_stages else {}),
+    )
     catalog = _build_catalog(args, config)
     query = args.query
     if query is None and args.query_file is not None:
@@ -481,6 +529,22 @@ def cmd_run(args) -> int:
             if args.output:
                 write_csv(package_relation, args.output)
                 print(f"package written to {args.output}")
+        if args.trace_out:
+            if engine.last_trace is None:
+                raise SPQError(
+                    "--trace-out: no trace was recorded"
+                    " (is tracing disabled in the config?)"
+                )
+            with open(args.trace_out, "w", encoding="utf-8") as handle:
+                json.dump(engine.last_trace, handle, indent=2, default=str)
+                handle.write("\n")
+            print(f"trace written to {args.trace_out}"
+                  f" (render: repro trace {args.trace_out})")
+    if args.profile_stages:
+        from .obs import stage_profile
+
+        print("\nper-stage self time:")
+        print(stage_profile.table())
     return EXIT_OK if result.succeeded else EXIT_INFEASIBLE
 
 
@@ -513,6 +577,17 @@ def cmd_serve(args) -> int:
             if args.recycle_after is not None
             else {}
         ),
+        **({"trace_enabled": False} if args.no_trace else {}),
+        **(
+            {"slow_query_log": args.slow_query_log}
+            if args.slow_query_log
+            else {}
+        ),
+        **(
+            {"slow_query_threshold_s": args.slow_query_threshold}
+            if args.slow_query_threshold is not None
+            else {}
+        ),
     )
     catalog = _build_catalog(args, config)
     broker = QueryBroker(catalog, config=config)
@@ -531,6 +606,43 @@ def cmd_serve(args) -> int:
         pass
     finally:
         service.shutdown()
+    return EXIT_OK
+
+
+def cmd_trace(args) -> int:
+    """``repro trace``: render a saved trace JSON document."""
+    from .obs import (
+        aggregate_self_times,
+        format_top_table,
+        format_waterfall,
+        trace_document,
+    )
+
+    if args.file == "-":
+        raw = sys.stdin.read()
+        source = "<stdin>"
+    else:
+        # A missing/unreadable file raises OSError → EXIT_IO in main().
+        with open(args.file, encoding="utf-8") as handle:
+            raw = handle.read()
+        source = args.file
+    try:
+        doc = json.loads(raw)
+    except json.JSONDecodeError as error:
+        # JSONDecodeError is a ValueError, not an OSError: wrap it so the
+        # exit-code contract reports a parse failure, not a solve one.
+        raise SPQError(f"{source}: not valid JSON: {error}") from error
+    try:
+        trace_id, root = trace_document(doc)
+    except ValueError as error:
+        raise SPQError(f"{source}: {error}") from error
+    if trace_id:
+        print(f"trace {trace_id}")
+    print(format_waterfall(root, width=max(args.width, 8),
+                           max_spans=max(args.max_spans, 1)))
+    print()
+    top = args.top if args.top > 0 else None
+    print(format_top_table(aggregate_self_times(root), top=top))
     return EXIT_OK
 
 

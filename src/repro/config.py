@@ -175,6 +175,27 @@ class SPQConfig:
     #: driver regardless.
     scale_threshold_rows: int | None = None
 
+    # --- observability (repro.obs) ------------------------------------------
+    #: Record trace spans for every evaluation (parse/compile/solve/
+    #: validate stages, plus broker/worker spans when serving).  The
+    #: disabled path reduces every instrumentation point to a shared
+    #: no-op object; enabled overhead is bounded by the warm-query
+    #: benchmark (<2%, ``benchmarks/bench_service.py``).
+    trace_enabled: bool = True
+    #: Completed traces kept in the broker's in-memory ring for
+    #: ``GET /trace/<id>`` (oldest evicted beyond this).
+    trace_ring_size: int = 256
+    #: Aggregate per-stage *self* time (wall minus children) into the
+    #: process-wide flat profile (``repro.obs.profile.stage_profile``;
+    #: printed by ``repro run --profile-stages``).
+    profile_stages: bool = False
+    #: Broker queries slower than this are appended to the slow-query
+    #: JSONL log; ``None`` uses the log's default (1s) when a log path
+    #: is set.
+    slow_query_threshold_s: float | None = None
+    #: Path of the slow-query JSONL log; ``None`` disables it.
+    slow_query_log: str | None = None
+
     # --- solving -----------------------------------------------------------
     solver: str = SOLVER_HIGHS
     solver_time_limit: float = 60.0
@@ -256,6 +277,10 @@ class SPQConfig:
             raise EvaluationError("scale_resident_budget must be positive or None")
         if self.scale_threshold_rows is not None and self.scale_threshold_rows < 1:
             raise EvaluationError("scale_threshold_rows must be >= 1 or None")
+        if self.trace_ring_size < 1:
+            raise EvaluationError("trace_ring_size must be >= 1")
+        if self.slow_query_threshold_s is not None and self.slow_query_threshold_s < 0:
+            raise EvaluationError("slow_query_threshold_s must be >= 0 or None")
 
     def replace(self, **changes) -> "SPQConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from ..obs import stage
 from ..silp.canonical import flip_chance_constraint
 from ..silp.model import SENSE_MAX, SENSE_MIN
 from ..solver.model import MILPBuilder
@@ -259,7 +260,7 @@ def csa_solve(
             alphas[k] = new_alpha
 
         summary_watch = Stopwatch()
-        with summary_watch:
+        with summary_watch, stage("summaries", Z=n_summaries):
             item_summaries: dict[int, SummarySet | None] = {}
             for k, item in enumerate(items):
                 summary_item = _objective_item_for_summaries(item)
@@ -268,16 +269,19 @@ def csa_solve(
                 )
         # The incumbent the summaries were built around doubles as the
         # MIP start for the re-solve (Algorithm 3's iterate q).
-        formulation = formulate_csa(ctx, item_summaries, n_scenarios, warm_x=x)
+        with stage("milp.build"):
+            formulation = formulate_csa(ctx, item_summaries, n_scenarios, warm_x=x)
 
         time_limit = ctx.config.solver_time_limit
         if deadline is not None:
             time_limit = min(time_limit, max(deadline.remaining(), 0.01))
-        result = formulation.builder.solve(
-            backend=ctx.config.solver,
-            time_limit=time_limit,
-            mip_gap=ctx.config.mip_gap,
-        )
+        with stage("solve", q=q) as solve_span:
+            result = formulation.builder.solve(
+                backend=ctx.config.solver,
+                time_limit=time_limit,
+                mip_gap=ctx.config.mip_gap,
+            )
+            solve_span.set("status", result.status)
         record.solver_status = result.status
         record.solve_time = result.solve_time
         record.summary_time = summary_watch.elapsed

@@ -20,6 +20,14 @@ from collections import OrderedDict
 from ..config import DEFAULT_CONFIG, SPQConfig
 from ..db.catalog import Catalog
 from ..errors import EvaluationError
+from ..obs import (
+    TraceSession,
+    activate,
+    current_session,
+    new_trace_id,
+    span_tree,
+    stage,
+)
 from ..silp.compile import compile_query
 from ..silp.model import StochasticPackageProblem
 from ..spaql.nodes import PackageQuery
@@ -73,6 +81,10 @@ class SPQEngine:
         self._compiled: "OrderedDict[str, StochasticPackageProblem]" = OrderedDict()
         self._compiled_version = getattr(self.catalog, "version", 0)
         self._compiled_lock = threading.Lock()
+        #: Span tree of the last *self-rooted* traced execution (CLI and
+        #: library use; broker-rooted traces land in the trace ring
+        #: instead).  None until the first traced ``execute()``.
+        self.last_trace: dict | None = None
 
     # --- registration ---------------------------------------------------------
 
@@ -98,27 +110,33 @@ class SPQEngine:
         and concurrent executions of the same text (the serving layer's
         hot path) parse and compile once.
         """
-        if not isinstance(query, str):
-            return compile_query(query, self.catalog)
-        text = query.strip()
-        version = getattr(self.catalog, "version", 0)
-        with self._compiled_lock:
-            if self._compiled_version != version:
-                self._compiled.clear()
-                self._compiled_version = version
-            cached = self._compiled.get(text)
+        with stage("compile") as span:
+            if not isinstance(query, str):
+                span.set("cache_hit", False)
+                return compile_query(query, self.catalog)
+            text = query.strip()
+            version = getattr(self.catalog, "version", 0)
+            with self._compiled_lock:
+                if self._compiled_version != version:
+                    self._compiled.clear()
+                    self._compiled_version = version
+                cached = self._compiled.get(text)
+                if cached is not None:
+                    self._compiled.move_to_end(text)
             if cached is not None:
-                self._compiled.move_to_end(text)
-        if cached is not None:
-            return cached
-        problem = compile_query(query, self.catalog)
-        with self._compiled_lock:
-            if self._compiled_version == version:
-                self._compiled[text] = problem
-                self._compiled.move_to_end(text)
-                while len(self._compiled) > _COMPILE_CACHE_LIMIT:
-                    self._compiled.popitem(last=False)
-        return problem
+                span.set("cache_hit", True)
+                return cached
+            span.set("cache_hit", False)
+            with stage("parse"):
+                ast = parse_query(text)
+            problem = compile_query(ast, self.catalog)
+            with self._compiled_lock:
+                if self._compiled_version == version:
+                    self._compiled[text] = problem
+                    self._compiled.move_to_end(text)
+                    while len(self._compiled) > _COMPILE_CACHE_LIMIT:
+                        self._compiled.popitem(last=False)
+            return problem
 
     # --- evaluation ------------------------------------------------------------------
 
@@ -141,6 +159,35 @@ class SPQEngine:
         effective = config if config is not None else self.config
         if overrides:
             effective = effective.replace(**overrides)
+        if current_session() is not None:
+            # Already under an active trace (broker thread or farm
+            # worker activated it); just nest.
+            return self._execute_traced(query, method, effective)
+        if not (effective.trace_enabled or effective.profile_stages):
+            return self._execute_traced(query, method, effective)
+        # Self-rooted trace: CLI / library use without a broker above.
+        own = TraceSession(trace_id=new_trace_id(), profile=effective.profile_stages)
+        try:
+            with activate(own):
+                return self._execute_traced(query, method, effective)
+        finally:
+            self.last_trace = span_tree(own.spans, own.trace_id, dropped=own.dropped)
+
+    def _execute_traced(
+        self,
+        query: str | PackageQuery | StochasticPackageProblem,
+        method: str,
+        effective: SPQConfig,
+    ) -> PackageResult:
+        with stage("execute", method=method):
+            return self._dispatch(query, method, effective)
+
+    def _dispatch(
+        self,
+        query: str | PackageQuery | StochasticPackageProblem,
+        method: str,
+        effective: SPQConfig,
+    ) -> PackageResult:
         problem = (
             query
             if isinstance(query, StochasticPackageProblem)

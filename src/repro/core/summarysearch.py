@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..config import SPQConfig
+from ..obs import stage
 from ..silp.model import (
     ExpectationObjectiveIR,
     SENSE_MAX,
@@ -50,7 +51,7 @@ def summary_search_evaluate(
 
     # --- Step 1: x(0) = Solve(SAA(Q0, M̂)) ------------------------------------
     q0_watch = Stopwatch()
-    with q0_watch:
+    with q0_watch, stage("solve.q0"):
         q0_result = solve_unconstrained(
             ctx, min(config.solver_time_limit, config.time_limit)
         )
@@ -100,16 +101,22 @@ def summary_search_evaluate(
     quality_rounds = 0
     while True:
         iteration += 1
-        result = csa_solve(
-            ctx,
-            validator,
-            bounds,
-            x0,
-            n_scenarios,
-            min(n_summaries, n_scenarios),
-            epsilon,
-            deadline=deadline,
-        )
+        with stage(
+            "csa",
+            iteration=iteration,
+            M=n_scenarios,
+            Z=min(n_summaries, n_scenarios),
+        ):
+            result = csa_solve(
+                ctx,
+                validator,
+                bounds,
+                x0,
+                n_scenarios,
+                min(n_summaries, n_scenarios),
+                epsilon,
+                deadline=deadline,
+            )
         record = IterationRecord(
             method=METHOD_SUMMARY_SEARCH,
             iteration=iteration,

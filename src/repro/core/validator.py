@@ -23,6 +23,7 @@ import numpy as np
 
 from ..config import STREAM_VALIDATION
 from ..mcdb.scenarios import MODE_TUPLE_WISE, ScenarioGenerator
+from ..obs import stage
 from ..silp.model import OP_GE, ProbabilityObjectiveIR
 
 #: Scenarios generated per chunk; fixed so that chunked generation is
@@ -116,30 +117,32 @@ class Validator:
         self, x: np.ndarray, claimed_objective: float | None = None
     ) -> ValidationReport:
         """Validate multiplicities ``x`` (length ``n_vars``)."""
-        x = np.asarray(x)
-        items = []
-        feasible = True
-        objective_value = self.ctx.mean_objective_value(x)
-        for item in self.ctx.chance_items():
-            fraction = self.satisfied_count(x, item) / self.n_scenarios
-            record = ChanceValidation(
-                satisfied_fraction=fraction,
-                target_p=item["p"],
-                is_objective=item["is_objective"],
+        with stage("validate", n_scenarios=self.n_scenarios) as span:
+            x = np.asarray(x)
+            items = []
+            feasible = True
+            objective_value = self.ctx.mean_objective_value(x)
+            for item in self.ctx.chance_items():
+                fraction = self.satisfied_count(x, item) / self.n_scenarios
+                record = ChanceValidation(
+                    satisfied_fraction=fraction,
+                    target_p=item["p"],
+                    is_objective=item["is_objective"],
+                )
+                items.append(record)
+                if not record.feasible:
+                    feasible = False
+                if item["is_objective"]:
+                    objective = self.ctx.problem.objective
+                    assert isinstance(objective, ProbabilityObjectiveIR)
+                    objective_value = fraction
+            span.set("feasible", feasible)
+            return ValidationReport(
+                feasible=feasible,
+                items=items,
+                objective=objective_value,
+                claimed_objective=claimed_objective,
             )
-            items.append(record)
-            if not record.feasible:
-                feasible = False
-            if item["is_objective"]:
-                objective = self.ctx.problem.objective
-                assert isinstance(objective, ProbabilityObjectiveIR)
-                objective_value = fraction
-        return ValidationReport(
-            feasible=feasible,
-            items=items,
-            objective=objective_value,
-            claimed_objective=claimed_objective,
-        )
 
 
 def _inner_holds(scores: np.ndarray, inner_op: str, rhs: float) -> np.ndarray:

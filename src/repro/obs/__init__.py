@@ -1,0 +1,73 @@
+"""Observability for the query pipeline (``repro.obs``).
+
+Three cooperating pieces, all dependency-free and cheap when unused:
+
+* :mod:`repro.obs.trace` — lightweight trace spans recorded through
+  ``with stage("solve"):`` context managers woven through the engine,
+  the scale driver, and the serving layer; a bounded
+  :class:`~repro.obs.trace.TraceRing` keeps recent span trees for
+  ``GET /trace/<id>``.
+* :mod:`repro.obs.metrics` — the shared :class:`LockedCounters`
+  atomic-increment helper and per-stage latency histograms exported on
+  ``/metrics`` as ``repro_stage_seconds_bucket{stage=...}``.
+* :mod:`repro.obs.profile` — flat per-stage self-time aggregation
+  (``SPQConfig.profile_stages``) plus the waterfall / top-N renderers
+  behind the ``repro trace`` CLI.
+
+Trace context propagates across the solve farm's forkserver boundary
+the same way store-stats snapshots do: the broker ships
+``(trace_id, parent_span_id)`` in the task payload, the worker records
+spans under that parent, and ships them back with the done message.
+"""
+
+from .metrics import (
+    DEFAULT_BUCKETS,
+    LockedCounters,
+    StageHistograms,
+    histogram_exposition,
+    merge_histogram_snapshots,
+    stage_histograms,
+)
+from .profile import (
+    StageProfile,
+    aggregate_self_times,
+    format_top_table,
+    format_waterfall,
+    stage_profile,
+    trace_document,
+)
+from .slowlog import SlowQueryLog
+from .trace import (
+    TraceRing,
+    TraceSession,
+    activate,
+    current_session,
+    new_span_id,
+    new_trace_id,
+    span_tree,
+    stage,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LockedCounters",
+    "SlowQueryLog",
+    "StageHistograms",
+    "StageProfile",
+    "TraceRing",
+    "TraceSession",
+    "activate",
+    "aggregate_self_times",
+    "current_session",
+    "format_top_table",
+    "format_waterfall",
+    "histogram_exposition",
+    "merge_histogram_snapshots",
+    "new_span_id",
+    "new_trace_id",
+    "span_tree",
+    "stage",
+    "stage_histograms",
+    "stage_profile",
+    "trace_document",
+]

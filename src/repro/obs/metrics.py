@@ -1,0 +1,158 @@
+"""Shared counters and per-stage latency histograms.
+
+:class:`LockedCounters` is the atomic-increment helper every
+process-wide registry builds on (``repro.scale.metrics`` and the trace
+layer alike): a plain dict behind one lock, because CPython's ``+=`` on
+instance attributes is *not* atomic under the broker's thread pool
+(LOAD / BINARY_ADD / STORE interleave across threads and lose updates).
+
+:class:`StageHistograms` aggregates observed stage durations into
+fixed-bucket histograms, exported on ``/metrics`` in the Prometheus
+text format as::
+
+    repro_stage_seconds_bucket{stage="solve",le="0.1"} 12
+    repro_stage_seconds_sum{stage="solve"} 3.41
+    repro_stage_seconds_count{stage="solve"} 17
+
+Snapshots are plain dicts so farm workers can ship them across the
+forkserver boundary with every done message; the farm merges them with
+:func:`merge_histogram_snapshots` exactly like store-stats snapshots
+(departed workers' last reports absorbed into totals).
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+
+#: Histogram bucket upper bounds, in seconds.  Sub-millisecond buckets
+#: catch cache-hit parse/compile stages; the top buckets cover long
+#: MILP solves (the paper's four-hour budgets land in ``+Inf``).
+DEFAULT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5,
+    1.0, 2.5, 5.0, 10.0, 30.0, 60.0,
+)
+
+
+class LockedCounters:
+    """Named float counters guarded by one lock (thread-safe ``+=``)."""
+
+    def __init__(self, names: tuple = ()):
+        self._lock = threading.Lock()
+        self._values = {name: 0.0 for name in names}
+
+    def add(self, name: str, delta: float = 1.0) -> None:
+        """Atomically increment ``name`` by ``delta`` (creating it at 0)."""
+        with self._lock:
+            self._values[name] = self._values.get(name, 0.0) + delta
+
+    def add_many(self, deltas: dict) -> None:
+        """Apply several increments under one lock acquisition."""
+        with self._lock:
+            for name, delta in deltas.items():
+                self._values[name] = self._values.get(name, 0.0) + delta
+
+    def get(self, name: str) -> float:
+        with self._lock:
+            return self._values.get(name, 0.0)
+
+    def snapshot(self) -> dict:
+        """Point-in-time copy of every counter."""
+        with self._lock:
+            return dict(self._values)
+
+    def reset(self) -> None:
+        """Zero every counter, keeping the key set."""
+        with self._lock:
+            self._values = {name: 0.0 for name in self._values}
+
+
+class StageHistograms:
+    """Per-stage duration histograms with fixed bucket bounds."""
+
+    def __init__(self, buckets: tuple = DEFAULT_BUCKETS):
+        self.buckets = tuple(buckets)
+        self._lock = threading.Lock()
+        self._stages: dict[str, dict] = {}
+
+    def observe(self, stage: str, seconds: float) -> None:
+        """Record one duration for ``stage``."""
+        seconds = float(seconds)
+        with self._lock:
+            entry = self._stages.get(stage)
+            if entry is None:
+                entry = self._stages[stage] = {
+                    "counts": [0] * (len(self.buckets) + 1),
+                    "sum": 0.0,
+                    "count": 0,
+                }
+            # bisect_left: the first bucket whose bound >= seconds, so an
+            # observation exactly on a bound counts toward it (``le``).
+            entry["counts"][bisect_left(self.buckets, seconds)] += 1
+            entry["sum"] += seconds
+            entry["count"] += 1
+
+    def snapshot(self) -> dict:
+        """Deep-copied ``{stage: {"counts", "sum", "count"}}``."""
+        with self._lock:
+            return {
+                stage: {
+                    "counts": list(entry["counts"]),
+                    "sum": entry["sum"],
+                    "count": entry["count"],
+                }
+                for stage, entry in self._stages.items()
+            }
+
+    def reset(self) -> None:
+        """Drop every stage (tests only)."""
+        with self._lock:
+            self._stages = {}
+
+
+def merge_histogram_snapshots(snapshots) -> dict:
+    """Element-wise sum of histogram snapshots (farm aggregation)."""
+    merged: dict[str, dict] = {}
+    for snap in snapshots:
+        if not snap:
+            continue
+        for stage, entry in snap.items():
+            agg = merged.get(stage)
+            if agg is None:
+                merged[stage] = {
+                    "counts": list(entry["counts"]),
+                    "sum": float(entry["sum"]),
+                    "count": int(entry["count"]),
+                }
+                continue
+            counts = agg["counts"]
+            for i, value in enumerate(entry["counts"]):
+                counts[i] += value
+            agg["sum"] += float(entry["sum"])
+            agg["count"] += int(entry["count"])
+    return merged
+
+
+def histogram_exposition(
+    name: str, help_text: str, snapshot: dict, buckets: tuple = DEFAULT_BUCKETS
+) -> list[str]:
+    """Prometheus text-format lines for one labeled histogram family."""
+    lines = [f"# HELP {name} {help_text}", f"# TYPE {name} histogram"]
+    for stage in sorted(snapshot):
+        entry = snapshot[stage]
+        cumulative = 0
+        for bound, count in zip(buckets, entry["counts"]):
+            cumulative += count
+            lines.append(
+                f'{name}_bucket{{stage="{stage}",le="{bound:g}"}} {cumulative}'
+            )
+        cumulative += entry["counts"][len(buckets)]
+        lines.append(f'{name}_bucket{{stage="{stage}",le="+Inf"}} {cumulative}')
+        lines.append(f'{name}_sum{{stage="{stage}"}} {entry["sum"]}')
+        lines.append(f'{name}_count{{stage="{stage}"}} {entry["count"]}')
+    return lines
+
+
+#: The process-wide histogram registry every finished span reports into;
+#: farm workers ship snapshots of theirs back with each done message.
+stage_histograms = StageHistograms()

@@ -1,0 +1,51 @@
+"""Slow-query JSONL log.
+
+One JSON object per line for every broker query whose wall time crosses
+the configured threshold (``SPQConfig.slow_query_log`` /
+``slow_query_threshold_s``, or ``repro serve --slow-query-log``).  Each
+entry carries the trace id (so a slow line can be chased into
+``GET /trace/<id>`` while the ring still holds it) and the per-stage
+wall-time breakdown summed from the trace's spans.
+
+Appends are serialized under one lock; the file is opened per record —
+slow queries are rare by definition, and an always-open handle would
+complicate log rotation.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+
+#: Threshold applied when a log path is configured without one.
+DEFAULT_THRESHOLD_S = 1.0
+
+
+class SlowQueryLog:
+    """Threshold-gated JSONL appender for slow queries."""
+
+    def __init__(self, path: str, threshold_s: float | None = None):
+        self.path = path
+        self.threshold_s = (
+            DEFAULT_THRESHOLD_S if threshold_s is None else float(threshold_s)
+        )
+        self._lock = threading.Lock()
+
+    def record(self, wall_s: float, entry: dict) -> bool:
+        """Append one entry if ``wall_s`` crosses the threshold.
+
+        Returns whether the entry was written.  I/O errors propagate to
+        the caller (the broker swallows them — observability must never
+        fail a query).
+        """
+        if wall_s < self.threshold_s:
+            return False
+        line = json.dumps(
+            {"wall_s": round(float(wall_s), 6), **entry},
+            sort_keys=True,
+            default=str,
+        )
+        with self._lock:
+            with open(self.path, "a", encoding="utf-8") as handle:
+                handle.write(line + "\n")
+        return True

@@ -1,0 +1,323 @@
+"""Trace spans: ``with stage("solve"): ...`` instrumentation.
+
+A *span* is a plain dict — ``trace_id`` / ``span_id`` / ``parent_id``,
+stage name, epoch start, wall and CPU-thread seconds, and free-form
+``attrs`` (cache hit/miss, scenario count, solver status, partition
+id).  Plain dicts because spans must cross the solve farm's forkserver
+boundary inside done messages and land in JSON responses unchanged.
+
+Instrumented code calls :func:`stage`, which is a **no-op returning a
+shared null object** unless a :class:`TraceSession` has been activated
+on the current context (``contextvars``), so the disabled path costs
+one ContextVar read per call site.  Sessions are activated explicitly:
+
+* by the engine, when it roots its own trace (CLI / library use);
+* by the broker, on the pool thread (thread backend) — thread-pool
+  threads do **not** inherit the submitter's contextvars;
+* by the farm worker, parented to the broker's root span id carried in
+  the task payload, so worker-side spans re-parent correctly when the
+  broker ingests them into the :class:`TraceRing`.
+
+The ring is the bounded in-memory store behind ``GET /trace/<id>``:
+oldest trace evicted beyond capacity, with a condition variable so the
+HTTP layer can wait for a trace to complete — ``Future.set_result``
+wakes result waiters *before* running done-callbacks, so the broker's
+root span may land just after ``execute()`` returns.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import threading
+import time
+import uuid
+from collections import OrderedDict
+from contextlib import contextmanager
+from contextvars import ContextVar
+
+from .metrics import stage_histograms
+from .profile import stage_profile
+
+#: The active (session, parent_span_id, parent_stage) frame, or None.
+_CURRENT: ContextVar = ContextVar("repro_obs_frame", default=None)
+
+_span_counter = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh 32-hex-char trace id."""
+    return uuid.uuid4().hex
+
+
+def new_span_id() -> str:
+    """A fresh span id, unique across farm worker processes.
+
+    The pid is read per call, not at import: forkserver workers all
+    fork from one preloaded server process, so an import-time pid would
+    collide across every worker.
+    """
+    return f"{os.getpid():x}-{next(_span_counter):x}"
+
+
+class TraceSession:
+    """Span accumulator for one traced evaluation (one per query)."""
+
+    __slots__ = ("trace_id", "spans", "max_spans", "dropped", "profile")
+
+    def __init__(self, trace_id: str, max_spans: int = 2048, profile: bool = False):
+        self.trace_id = trace_id
+        self.spans: list[dict] = []
+        self.max_spans = max_spans
+        #: Spans discarded once ``max_spans`` was reached (a runaway
+        #: solve loop must not hold unbounded memory per query).
+        self.dropped = 0
+        #: Feed finished spans into the flat self-time profile
+        #: (``SPQConfig.profile_stages``).
+        self.profile = profile
+
+    def add(self, span: dict) -> None:
+        if len(self.spans) >= self.max_spans:
+            self.dropped += 1
+            return
+        self.spans.append(span)
+
+
+def current_session() -> TraceSession | None:
+    """The session active on this context, or None (tracing off)."""
+    frame = _CURRENT.get()
+    return frame[0] if frame is not None else None
+
+
+@contextmanager
+def activate(session: TraceSession, parent_id: str | None = None):
+    """Activate ``session`` on the current context.
+
+    Spans recorded inside nest under ``parent_id`` (the broker's root
+    span when crossing a thread or process boundary, None for a
+    self-rooted trace).
+    """
+    token = _CURRENT.set((session, parent_id, None))
+    try:
+        yield session
+    finally:
+        _CURRENT.reset(token)
+
+
+class _NullStage:
+    """The shared do-nothing stage returned when tracing is off."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullStage":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key, value) -> "_NullStage":
+        return self
+
+
+_NULL_STAGE = _NullStage()
+
+
+class _Stage:
+    """A live span under construction (returned by :func:`stage`)."""
+
+    __slots__ = (
+        "_frame", "name", "attrs", "span_id", "_token",
+        "_start_epoch", "_start_wall", "_start_cpu", "child_wall",
+    )
+
+    def __init__(self, frame, name: str, attrs: dict):
+        self._frame = frame
+        self.name = name
+        self.attrs = attrs
+        #: Wall time accumulated by direct children; self time is
+        #: ``wall - child_wall`` (feeds the flat profile).
+        self.child_wall = 0.0
+
+    def set(self, key: str, value) -> "_Stage":
+        """Attach one attribute; chainable."""
+        self.attrs[key] = value
+        return self
+
+    def __enter__(self) -> "_Stage":
+        self.span_id = new_span_id()
+        session = self._frame[0]
+        self._token = _CURRENT.set((session, self.span_id, self))
+        self._start_epoch = time.time()
+        self._start_cpu = time.thread_time()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        wall = time.perf_counter() - self._start_wall
+        cpu = time.thread_time() - self._start_cpu
+        _CURRENT.reset(self._token)
+        session, parent_id, parent_stage = self._frame
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        session.add(
+            {
+                "trace_id": session.trace_id,
+                "span_id": self.span_id,
+                "parent_id": parent_id,
+                "name": self.name,
+                "start": self._start_epoch,
+                "wall_s": wall,
+                "cpu_s": cpu,
+                "attrs": self.attrs,
+            }
+        )
+        if parent_stage is not None:
+            parent_stage.child_wall += wall
+        stage_histograms.observe(self.name, wall)
+        if session.profile:
+            stage_profile.add(self.name, max(0.0, wall - self.child_wall), wall)
+        return False
+
+
+def stage(name: str, **attrs):
+    """A context manager recording one span, or a no-op when untraced."""
+    frame = _CURRENT.get()
+    if frame is None:
+        return _NULL_STAGE
+    return _Stage(frame, name, attrs)
+
+
+def span_tree(
+    spans, trace_id: str | None = None, complete: bool = True, dropped: int = 0
+) -> dict:
+    """Nest flat spans into the tree document served on ``/trace``.
+
+    The root is the span with no parent (the broker's ``query`` span,
+    or the engine's ``execute`` for self-rooted traces).  Orphans —
+    spans whose parent was dropped at the session cap, or worker spans
+    that arrived before their root — attach under the root rather than
+    vanishing.
+    """
+    nodes: "OrderedDict[str, dict]" = OrderedDict()
+    for span in sorted(spans, key=lambda s: s.get("start", 0.0)):
+        node = dict(span)
+        node["children"] = []
+        nodes[node["span_id"]] = node
+    root = None
+    orphans = []
+    for node in nodes.values():
+        parent = nodes.get(node.get("parent_id"))
+        if parent is not None and parent is not node:
+            parent["children"].append(node)
+        elif node.get("parent_id") is None and root is None:
+            root = node
+        else:
+            orphans.append(node)
+    if root is None and orphans:
+        root = orphans.pop(0)
+    for node in orphans:
+        root["children"].append(node)
+    return {
+        "trace_id": trace_id,
+        "complete": complete,
+        "n_spans": len(nodes),
+        "dropped": dropped,
+        "root": root,
+    }
+
+
+class TraceRing:
+    """Bounded in-memory store of recent traces (oldest evicted)."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("trace ring capacity must be >= 1")
+        self.capacity = capacity
+        self._entries: "OrderedDict[str, dict]" = OrderedDict()
+        self._cond = threading.Condition()
+
+    def __len__(self) -> int:
+        with self._cond:
+            return len(self._entries)
+
+    def open(self, trace_id: str, **meta) -> None:
+        """Register a trace at admission (evicting the oldest if full)."""
+        with self._cond:
+            self._entries.pop(trace_id, None)
+            while len(self._entries) >= self.capacity:
+                self._entries.popitem(last=False)
+            self._entries[trace_id] = {
+                "spans": [],
+                "meta": dict(meta),
+                "complete": False,
+                "dropped": 0,
+            }
+
+    def add(self, trace_id: str, spans, dropped: int = 0) -> None:
+        """Ingest spans for an open trace (no-op once evicted)."""
+        if not spans and not dropped:
+            return
+        with self._cond:
+            entry = self._entries.get(trace_id)
+            if entry is None:
+                return
+            entry["spans"].extend(spans)
+            entry["dropped"] += dropped
+
+    def finish(self, trace_id: str, root_span: dict | None = None, **meta) -> None:
+        """Mark a trace complete (appending its root span) and wake waiters."""
+        with self._cond:
+            entry = self._entries.get(trace_id)
+            if entry is None:
+                return
+            if root_span is not None:
+                entry["spans"].append(root_span)
+            entry["meta"].update(meta)
+            entry["complete"] = True
+            self._cond.notify_all()
+
+    def discard(self, trace_id: str) -> None:
+        """Drop a trace whose evaluation never dispatched."""
+        with self._cond:
+            self._entries.pop(trace_id, None)
+
+    def get(self, trace_id: str, wait_s: float = 0.0) -> dict | None:
+        """Snapshot one trace, optionally waiting for it to complete.
+
+        Returns None for unknown/evicted ids.  An incomplete trace is
+        returned as-is once ``wait_s`` elapses — partial beats nothing.
+        """
+        deadline = time.monotonic() + wait_s
+        with self._cond:
+            while True:
+                entry = self._entries.get(trace_id)
+                if entry is None:
+                    return None
+                if entry["complete"]:
+                    break
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._cond.wait(remaining)
+            return {
+                "trace_id": trace_id,
+                "complete": entry["complete"],
+                "spans": list(entry["spans"]),
+                "meta": dict(entry["meta"]),
+                "dropped": entry["dropped"],
+            }
+
+    def tree(self, trace_id: str, wait_s: float = 0.0) -> dict | None:
+        """The span tree document for one trace, or None if unknown."""
+        entry = self.get(trace_id, wait_s=wait_s)
+        if entry is None:
+            return None
+        tree = span_tree(
+            entry["spans"],
+            trace_id,
+            complete=entry["complete"],
+            dropped=entry["dropped"],
+        )
+        if entry["meta"]:
+            tree["meta"] = entry["meta"]
+        return tree

@@ -57,6 +57,7 @@ from ..db.expressions import Attr, Compare, Const, attributes_of, evaluate
 from ..db.relation import Relation
 from ..errors import EvaluationError
 from ..mcdb.stochastic import StochasticModel
+from ..obs import stage
 from ..silp.model import (
     ChanceConstraint,
     ExpectationObjectiveIR,
@@ -150,27 +151,30 @@ def _run(
     ctx = EvaluationContext(problem, config, store=store)
 
     # --- partition (index-cached) ------------------------------------------------
-    k_requested = max(1, min(config.scale_n_partitions, problem.n_vars))
-    index = PartitionIndex(problem.relation)
-    index_key = partition_index_key(problem, config, k_requested)
-    cached = index.get(index_key)
-    if cached is not None and set(cached[1].per_attr) != set(
-        probed_attributes(problem)
-    ):
-        cached = None  # stale/foreign entry: never partition on wrong stats
-    index_hit = cached is not None
-    if cached is not None:
-        labels, pilot = cached
-    else:
-        pilot = pilot_statistics(problem, config, store=store)
-        labels = partition_labels(pilot, k_requested)
-        index.put(index_key, labels, pilot)
-    n_groups = int(labels.max()) + 1 if len(labels) else 0
-    groups = [np.nonzero(labels == g)[0] for g in range(n_groups)]
+    with stage("partition") as partition_span:
+        k_requested = max(1, min(config.scale_n_partitions, problem.n_vars))
+        index = PartitionIndex(problem.relation)
+        index_key = partition_index_key(problem, config, k_requested)
+        cached = index.get(index_key)
+        if cached is not None and set(cached[1].per_attr) != set(
+            probed_attributes(problem)
+        ):
+            cached = None  # stale/foreign entry: never partition on wrong stats
+        index_hit = cached is not None
+        if cached is not None:
+            labels, pilot = cached
+        else:
+            pilot = pilot_statistics(problem, config, store=store)
+            labels = partition_labels(pilot, k_requested)
+            index.put(index_key, labels, pilot)
+        n_groups = int(labels.max()) + 1 if len(labels) else 0
+        groups = [np.nonzero(labels == g)[0] for g in range(n_groups)]
+        partition_span.set("index_hit", index_hit)
+        partition_span.set("n_partitions", n_groups)
 
     # --- sketch -------------------------------------------------------------------
     sketch_watch = Stopwatch()
-    with sketch_watch:
+    with sketch_watch, stage("sketch", n_partitions=n_groups):
         sketch_result, rep_relation = _solve_sketch(
             problem, ctx, config, pilot, groups
         )
@@ -207,14 +211,15 @@ def _run(
 
     # --- allocation ----------------------------------------------------------------
     refined = [g for g in range(n_groups) if sketch_counts[g] > 0]
-    allocations = _allocate_constraints(
-        problem, rep_relation, sketch_counts, refined
-    )
+    with stage("allocate", n_refined=len(refined)):
+        allocations = _allocate_constraints(
+            problem, rep_relation, sketch_counts, refined
+        )
 
     # --- refine (fan-out) -----------------------------------------------------------
     refine_config = config.replace(n_workers=1, scale_threshold_rows=None)
     refine_watch = Stopwatch()
-    with refine_watch:
+    with refine_watch, stage("refine.fanout", n_refined=len(refined)):
         outcomes = _run_refines(
             problem, config, refine_config, store, groups, refined, allocations
         )
@@ -260,9 +265,18 @@ def _run(
     for g, outcome in zip(refined, outcomes):
         x[groups[g]] = outcome["multiplicities"]
     objective = ctx.mean_objective_value(x)
-    report = Validator(ctx).validate(x, claimed_objective=objective)
+    validate_watch = Stopwatch()
+    with validate_watch:
+        report = Validator(ctx).validate(x, claimed_objective=objective)
     meta = _meta(config, n_groups, refined, index_hit)
     meta["refine_probability_boost"] = allocations["p_boost"]
+    # Unified per-stage breakdown (same keys across BENCH_scale.json and
+    # BENCH_service.json): sketch / refine / validate.
+    meta["stage_seconds"] = {
+        "sketch": sketch_watch.elapsed,
+        "refine": refine_watch.elapsed,
+        "validate": validate_watch.elapsed,
+    }
     return PackageResult(
         package=Package(problem, x),
         feasible=report.feasible,
@@ -661,15 +675,19 @@ def _run_refines(
         by_group = {}
     for g in refined:
         if g not in by_group:
-            by_group[g] = _refine_partition(
-                problem.relation,
-                problem.model,
-                problem.objective,
-                problem.repeat,
-                problem.active_rows,
-                groups[g],
-                per_group[g],
-                refine_config,
-                store=store,
-            )
+            # Sequential refines trace per-partition; parallel refines run
+            # in pool children that do not carry the trace context (their
+            # wall time is covered by the parent ``refine.fanout`` span).
+            with stage("refine", partition=g):
+                by_group[g] = _refine_partition(
+                    problem.relation,
+                    problem.model,
+                    problem.objective,
+                    problem.repeat,
+                    problem.active_rows,
+                    groups[g],
+                    per_group[g],
+                    refine_config,
+                    store=store,
+                )
     return [by_group[g] for g in refined]

@@ -17,6 +17,8 @@ from __future__ import annotations
 
 import threading
 
+from ..obs.metrics import LockedCounters
+
 #: Lifetime-monotonic counter fields (farm-aggregated by summation, with
 #: departed workers' last snapshots absorbed into totals).
 COUNTER_FIELDS = (
@@ -34,11 +36,19 @@ GAUGE_FIELDS = ("resident_bytes", "resident_peak_bytes")
 
 
 class ScaleMetrics:
-    """Thread-safe counter/gauge registry for one process."""
+    """Thread-safe counter/gauge registry for one process.
+
+    Counters ride on :class:`repro.obs.metrics.LockedCounters` — the
+    shared atomic-increment helper — because these are updated from the
+    broker's pool threads concurrently, where a bare ``+=`` on instance
+    attributes loses updates (LOAD/ADD/STORE interleave).  The resident
+    gauges need a compare-against-peak under the same critical section,
+    so they keep a dedicated lock.
+    """
 
     def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters = {name: 0.0 for name in COUNTER_FIELDS}
+        self._counters = LockedCounters(COUNTER_FIELDS)
+        self._gauge_lock = threading.Lock()
         self._resident = 0
         self._resident_peak = 0
 
@@ -52,23 +62,25 @@ class ScaleMetrics:
         refine_seconds: float,
     ) -> None:
         """Record one completed stochastic SketchRefine evaluation."""
-        with self._lock:
-            self._counters["runs"] += 1
-            self._counters["partitions"] += int(n_partitions)
-            self._counters["refines"] += int(n_refines)
-            self._counters["sketch_seconds"] += float(sketch_seconds)
-            self._counters["refine_seconds"] += float(refine_seconds)
+        self._counters.add_many(
+            {
+                "runs": 1,
+                "partitions": int(n_partitions),
+                "refines": int(n_refines),
+                "sketch_seconds": float(sketch_seconds),
+                "refine_seconds": float(refine_seconds),
+            }
+        )
 
     def record_index_lookup(self, hit: bool) -> None:
         """Record one partition-index lookup outcome."""
-        with self._lock:
-            self._counters["index_hits" if hit else "index_misses"] += 1
+        self._counters.add("index_hits" if hit else "index_misses")
 
     # --- resident-byte gauges ------------------------------------------------
 
     def add_resident(self, delta: int) -> None:
         """Adjust the live ColumnStore resident-byte gauge by ``delta``."""
-        with self._lock:
+        with self._gauge_lock:
             self._resident = max(0, self._resident + int(delta))
             if self._resident > self._resident_peak:
                 self._resident_peak = self._resident
@@ -77,23 +89,23 @@ class ScaleMetrics:
 
     def snapshot(self) -> dict:
         """Point-in-time copy of every counter and gauge."""
-        with self._lock:
-            out = {
-                name: (
-                    int(value)
-                    if float(value).is_integer() and "seconds" not in name
-                    else float(value)
-                )
-                for name, value in self._counters.items()
-            }
+        out = {
+            name: (
+                int(value)
+                if float(value).is_integer() and "seconds" not in name
+                else float(value)
+            )
+            for name, value in self._counters.snapshot().items()
+        }
+        with self._gauge_lock:
             out["resident_bytes"] = self._resident
             out["resident_peak_bytes"] = self._resident_peak
         return out
 
     def reset(self) -> None:
         """Zero every counter and gauge (tests only)."""
-        with self._lock:
-            self._counters = {name: 0.0 for name in COUNTER_FIELDS}
+        self._counters.reset()
+        with self._gauge_lock:
             self._resident = 0
             self._resident_peak = 0
 

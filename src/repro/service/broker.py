@@ -48,8 +48,21 @@ from ..config import BACKEND_PROCESS, BACKEND_THREAD, DEFAULT_CONFIG, SPQConfig
 from ..core.engine import METHOD_SUMMARY_SEARCH, SPQEngine
 from ..db.catalog import Catalog
 from ..errors import SPQError
+from ..obs import (
+    SlowQueryLog,
+    TraceRing,
+    TraceSession,
+    activate,
+    merge_histogram_snapshots,
+    new_span_id,
+    new_trace_id,
+    stage_histograms,
+)
 from .farm import SolveFarm
 from .store import ScenarioStore
+
+#: Query-text prefix kept in slow-query log entries and trace metadata.
+_QUERY_SNIPPET_CHARS = 200
 
 
 class BrokerSaturatedError(SPQError):
@@ -152,6 +165,26 @@ class QueryBroker:
         self._failed = 0
         self._deduplicated = 0
         self._rejected = 0
+        #: Bounded store of recent traces behind ``GET /trace/<id>``
+        #: (None when tracing is disabled — the whole trace path is then
+        #: a no-op check per request).
+        self.trace_ring: TraceRing | None = (
+            TraceRing(self.config.trace_ring_size)
+            if self.config.trace_enabled
+            else None
+        )
+        self._slow_log: SlowQueryLog | None = (
+            SlowQueryLog(
+                self.config.slow_query_log, self.config.slow_query_threshold_s
+            )
+            if self.config.slow_query_log
+            else None
+        )
+        #: Per-submission trace state, keyed by the evaluation future
+        #: (dedup-attached callers share both future and trace).
+        self._trace_state: dict[Future, dict] = {}
+        if self._farm is not None and self.trace_ring is not None:
+            self._farm.span_sink = self.trace_ring.add
 
     # --- submission ---------------------------------------------------------
 
@@ -198,17 +231,30 @@ class QueryBroker:
                 )
             self._pending += 1
             self._submitted += 1
+            state = self._open_trace_locked(query, method, overrides)
+            trace = (
+                (state["trace_id"], state["root_id"], state["profile"])
+                if state is not None
+                else None
+            )
             try:
                 if self._farm is not None:
-                    future = self._farm.submit(query, method, overrides)
+                    future = self._farm.submit(query, method, overrides, trace)
                 else:
-                    future = self._pool.submit(self._run, query, method, overrides)
+                    future = self._pool.submit(
+                        self._run, query, method, overrides, trace
+                    )
             except BaseException:
                 # No future, no done-callback: give the admission slot
                 # back or the broker saturates permanently.
                 self._pending -= 1
                 self._submitted -= 1
+                if state is not None and self.trace_ring is not None:
+                    self.trace_ring.discard(state["trace_id"])
                 raise
+            if state is not None:
+                self._trace_state[future] = state
+                future.trace_id = state["trace_id"]
             if key is not None:
                 self._inflight[key] = future
         # Attached outside the lock: a future that failed fast runs its
@@ -216,6 +262,41 @@ class QueryBroker:
         # (non-reentrant) lock.
         future.add_done_callback(lambda f, key=key: self._retire(key, f))
         return future
+
+    def _open_trace_locked(self, query, method: str, overrides: dict) -> dict | None:
+        """Allocate ids + ring entry for one traced submission, or None.
+
+        The check is deliberately cheap when observability is off — one
+        attribute test per request, no allocations.
+        """
+        if self.trace_ring is None and self._slow_log is None:
+            return None
+        if not overrides.get("trace_enabled", True):
+            return None
+        snippet = (
+            query[:_QUERY_SNIPPET_CHARS].strip()
+            if isinstance(query, str)
+            else type(query).__name__
+        )
+        state = {
+            "trace_id": new_trace_id(),
+            "root_id": new_span_id(),
+            "profile": bool(
+                overrides.get("profile_stages", self.config.profile_stages)
+            ),
+            "start_epoch": time.time(),
+            "t0": time.perf_counter(),
+            "query": snippet,
+            "method": method,
+        }
+        if self.trace_ring is not None:
+            self.trace_ring.open(
+                state["trace_id"],
+                query=snippet,
+                method=method,
+                backend=self.backend,
+            )
+        return state
 
     def execute(
         self,
@@ -226,10 +307,23 @@ class QueryBroker:
         """Blocking :meth:`submit` — returns the PackageResult."""
         return self.submit(query, method=method, **overrides).result()
 
-    def _run(self, query, method: str, overrides: dict):
+    def _run(self, query, method: str, overrides: dict, trace=None):
         engine = self._sessions.get()
         try:
-            return engine.execute(query, method=method, **overrides)
+            if trace is None:
+                return engine.execute(query, method=method, **overrides)
+            # Pool threads do not inherit the submitter's contextvars:
+            # the session is activated here, parented to the broker's
+            # root span so ingested spans nest correctly.
+            session = TraceSession(trace[0], profile=bool(trace[2]))
+            try:
+                with activate(session, parent_id=trace[1]):
+                    return engine.execute(query, method=method, **overrides)
+            finally:
+                if self.trace_ring is not None:
+                    self.trace_ring.add(
+                        trace[0], session.spans, session.dropped
+                    )
         finally:
             self._sessions.put(engine)
 
@@ -242,6 +336,62 @@ class QueryBroker:
                 self._completed += 1
             if key is not None and self._inflight.get(key) is future:
                 del self._inflight[key]
+            state = self._trace_state.pop(future, None)
+        if state is not None:
+            try:
+                self._finish_trace(state, future)
+            except Exception:  # observability must never fail a query
+                pass
+
+    def _finish_trace(self, state: dict, future: Future) -> None:
+        """Close one trace: root span, histogram, ring, slow-query log."""
+        wall = time.perf_counter() - state["t0"]
+        if future.cancelled():
+            error = "cancelled"
+        else:
+            exception = future.exception()
+            error = type(exception).__name__ if exception is not None else None
+        attrs = {"method": state["method"], "backend": self.backend}
+        if error is not None:
+            attrs["error"] = error
+        root_span = {
+            "trace_id": state["trace_id"],
+            "span_id": state["root_id"],
+            "parent_id": None,
+            "name": "query",
+            "start": state["start_epoch"],
+            "wall_s": wall,
+            # Admission-to-retire time is not attributable to one
+            # thread's CPU — the evaluation ran elsewhere.
+            "cpu_s": 0.0,
+            "attrs": attrs,
+        }
+        stage_histograms.observe("query", wall)
+        if self.trace_ring is not None:
+            self.trace_ring.finish(state["trace_id"], root_span)
+        if self._slow_log is not None:
+            entry = {
+                "trace_id": state["trace_id"],
+                "query": state["query"],
+                "method": state["method"],
+                "backend": self.backend,
+                "error": error,
+                "stages": self._stage_breakdown(state["trace_id"]),
+            }
+            self._slow_log.record(wall, entry)
+
+    def _stage_breakdown(self, trace_id: str) -> dict:
+        """Per-stage wall seconds summed from one ring entry's spans."""
+        if self.trace_ring is None:
+            return {}
+        entry = self.trace_ring.get(trace_id)
+        if entry is None:
+            return {}
+        stages: dict[str, float] = {}
+        for span in entry["spans"]:
+            name = span.get("name", "?")
+            stages[name] = stages.get(name, 0.0) + float(span.get("wall_s", 0.0))
+        return {name: round(value, 6) for name, value in stages.items()}
 
     # --- introspection ------------------------------------------------------
 
@@ -262,6 +412,18 @@ class QueryBroker:
         from ..scale.metrics import scale_metrics
 
         return scale_metrics.snapshot()
+
+    def stage_histograms(self) -> dict:
+        """Per-stage latency histograms as actually served.
+
+        The local registry covers broker root spans and (on the thread
+        backend) every engine-side stage; the process backend merges in
+        the farm's per-worker aggregate.
+        """
+        snapshots = [stage_histograms.snapshot()]
+        if self._farm is not None:
+            snapshots.append(self._farm.stage_histograms())
+        return merge_histogram_snapshots(snapshots)
 
     def status(self) -> dict:
         """Point-in-time serving state (the ``/status`` payload)."""

@@ -18,7 +18,15 @@ by the broker's pool):
 
 ``GET /metrics``
     Prometheus text exposition of the same counters
-    (``repro_store_hits_total`` etc.).
+    (``repro_store_hits_total`` etc.) plus the per-stage latency
+    histogram family ``repro_stage_seconds``.
+
+``GET /trace/<trace_id>``
+    Span tree of one recent query (the bounded broker trace ring; 404
+    once evicted or when tracing is disabled).  ``POST /query`` accepts
+    an optional ``"trace": true`` field to inline the same document in
+    the response (under ``"trace"``), and always returns the
+    ``"trace_id"`` when tracing is enabled.
 
 Started from the CLI via ``repro serve`` or embedded via
 :class:`SPQService` (``port=0`` binds an ephemeral port for tests).
@@ -42,7 +50,13 @@ from ..errors import (
     SPQError,
     VGFunctionError,
 )
+from ..obs import histogram_exposition
 from .broker import BrokerSaturatedError, QueryBroker
+
+#: How long ``GET /trace/<id>`` and ``"trace": true`` wait for a trace's
+#: root span to land after its future resolves (done-callbacks run just
+#: after result waiters wake; this is a bound, not a typical latency).
+_TRACE_WAIT_S = 5.0
 
 #: Maximum accepted request body (guards the JSON parse, not the solve).
 MAX_BODY_BYTES = 4 * 1024 * 1024
@@ -99,71 +113,230 @@ def result_payload(result, wall_time_s: float) -> dict:
 
 
 def metrics_text(broker: QueryBroker) -> str:
-    """Prometheus text exposition of broker + store + farm counters."""
+    """Prometheus text exposition of broker + store + farm counters.
+
+    Every family carries ``# HELP`` and ``# TYPE`` lines, counter names
+    end in ``_total``, and per-stage latencies are exported as one
+    labeled histogram family (``repro_stage_seconds``); the tier-1
+    format test validates all of this with a strict text-format parser.
+    """
     status = broker.status()
     store = status.pop("store")
     scale = status.pop("scale")
     farm = status.pop("farm", None)
-    lines = []
+    lines: list[str] = []
 
-    def counter(name: str, value, kind: str = "counter") -> None:
+    def family(name: str, kind: str, help_text: str, value) -> None:
+        lines.append(f"# HELP {name} {help_text}")
         lines.append(f"# TYPE {name} {kind}")
         lines.append(f"{name} {value}")
 
-    counter("repro_store_hits_total", store["hits"])
-    counter("repro_store_misses_total", store["misses"])
-    counter("repro_store_generations_total", store["generations"])
-    counter("repro_store_generated_columns_total", store["generated_columns"])
-    counter("repro_store_evictions_total", store["evictions"])
-    counter("repro_store_spills_total", store["spills"])
-    counter("repro_store_adopted_total", store["adopted"])
-    counter("repro_store_bytes_resident", store["bytes_resident"], "gauge")
-    counter("repro_store_bytes_spilled", store["bytes_spilled"], "gauge")
-    counter("repro_store_entries", store["entries"], "gauge")
+    def labeled(name: str, kind: str, help_text: str, samples: list) -> None:
+        lines.append(f"# HELP {name} {help_text}")
+        lines.append(f"# TYPE {name} {kind}")
+        lines.extend(samples)
+
+    family(
+        "repro_store_hits_total", "counter",
+        "Scenario-store lookups served from a cached matrix.",
+        store["hits"],
+    )
+    family(
+        "repro_store_misses_total", "counter",
+        "Scenario-store lookups that required realization.",
+        store["misses"],
+    )
+    family(
+        "repro_store_generations_total", "counter",
+        "Scenario matrix (re)generations performed by the store.",
+        store["generations"],
+    )
+    family(
+        "repro_store_generated_columns_total", "counter",
+        "Scenario columns realized by the store.",
+        store["generated_columns"],
+    )
+    family(
+        "repro_store_evictions_total", "counter",
+        "Store entries evicted outright under the byte budget.",
+        store["evictions"],
+    )
+    family(
+        "repro_store_spills_total", "counter",
+        "Store entries spilled to memmap files under the byte budget.",
+        store["spills"],
+    )
+    family(
+        "repro_store_adopted_total", "counter",
+        "Matrices adopted from sibling workers via memmap handoff.",
+        store["adopted"],
+    )
+    family(
+        "repro_store_bytes_resident", "gauge",
+        "Bytes of scenario matrices resident in RAM.",
+        store["bytes_resident"],
+    )
+    family(
+        "repro_store_bytes_spilled", "gauge",
+        "Bytes of scenario matrices spilled to disk.",
+        store["bytes_spilled"],
+    )
+    family(
+        "repro_store_entries", "gauge",
+        "Distinct scenario matrices held by the store.",
+        store["entries"],
+    )
     # Out-of-core tier (repro.scale): stochastic SketchRefine activity
     # and the ColumnStore chunk caches' resident bytes.
-    counter("repro_scale_runs_total", scale["runs"])
-    counter("repro_scale_partitions", scale["partitions"])
-    counter("repro_scale_refines_total", scale["refines"])
-    counter("repro_scale_sketch_seconds", scale["sketch_seconds"])
-    counter("repro_scale_refine_seconds", scale["refine_seconds"])
-    counter("repro_scale_index_hits_total", scale["index_hits"])
-    counter("repro_scale_index_misses_total", scale["index_misses"])
-    counter("repro_scale_resident_bytes", scale["resident_bytes"], "gauge")
-    counter(
-        "repro_scale_resident_peak_bytes",
-        scale["resident_peak_bytes"],
-        "gauge",
+    family(
+        "repro_scale_runs_total", "counter",
+        "Completed stochastic SketchRefine evaluations.",
+        scale["runs"],
     )
-    counter("repro_broker_submitted_total", status["submitted"])
-    counter("repro_broker_completed_total", status["completed"])
-    counter("repro_broker_failed_total", status["failed"])
-    counter("repro_broker_deduplicated_total", status["deduplicated"])
-    counter("repro_broker_rejected_total", status["rejected_total"])
-    counter("repro_broker_pending", status["pending"], "gauge")
-    counter("repro_broker_pool_size", status["pool_size"], "gauge")
-    counter("repro_service_uptime_seconds", f"{status['uptime_s']:.3f}", "gauge")
+    family(
+        "repro_scale_partitions_total", "counter",
+        "Partitions processed across SketchRefine evaluations.",
+        scale["partitions"],
+    )
+    family(
+        "repro_scale_refines_total", "counter",
+        "Per-partition refine solves executed.",
+        scale["refines"],
+    )
+    family(
+        "repro_scale_sketch_seconds_total", "counter",
+        "Wall seconds spent in SketchRefine sketch solves.",
+        scale["sketch_seconds"],
+    )
+    family(
+        "repro_scale_refine_seconds_total", "counter",
+        "Wall seconds spent in SketchRefine refine solves.",
+        scale["refine_seconds"],
+    )
+    family(
+        "repro_scale_index_hits_total", "counter",
+        "Partition-index lookups answered from the persisted index.",
+        scale["index_hits"],
+    )
+    family(
+        "repro_scale_index_misses_total", "counter",
+        "Partition-index lookups that re-partitioned from pilot stats.",
+        scale["index_misses"],
+    )
+    family(
+        "repro_scale_resident_bytes", "gauge",
+        "Bytes resident across live ColumnStore chunk caches.",
+        scale["resident_bytes"],
+    )
+    family(
+        "repro_scale_resident_peak_bytes", "gauge",
+        "High-water mark of ColumnStore resident bytes.",
+        scale["resident_peak_bytes"],
+    )
+    family(
+        "repro_broker_submitted_total", "counter",
+        "Queries admitted by the broker.",
+        status["submitted"],
+    )
+    family(
+        "repro_broker_completed_total", "counter",
+        "Queries completed successfully.",
+        status["completed"],
+    )
+    family(
+        "repro_broker_failed_total", "counter",
+        "Queries that failed or were cancelled.",
+        status["failed"],
+    )
+    family(
+        "repro_broker_deduplicated_total", "counter",
+        "Submissions attached to an identical in-flight evaluation.",
+        status["deduplicated"],
+    )
+    family(
+        "repro_broker_rejected_total", "counter",
+        "Submissions rejected by admission control (saturated).",
+        status["rejected_total"],
+    )
+    family(
+        "repro_broker_pending", "gauge",
+        "Queries currently queued or running.",
+        status["pending"],
+    )
+    family(
+        "repro_broker_pool_size", "gauge",
+        "Configured evaluation concurrency.",
+        status["pool_size"],
+    )
+    family(
+        "repro_service_uptime_seconds", "gauge",
+        "Seconds since the broker started.",
+        f"{status['uptime_s']:.3f}",
+    )
     if farm is not None:
-        counter("repro_farm_workers_busy", farm["busy"], "gauge")
-        counter("repro_farm_workers_idle", farm["idle"], "gauge")
-        counter("repro_farm_queued", farm["queued"], "gauge")
-        counter("repro_farm_handoff_entries", farm["handoff_entries"], "gauge")
-        counter("repro_farm_recycled_total", farm["recycled_total"])
-        counter("repro_farm_crashed_total", farm["crashed_total"])
-        counter("repro_farm_retried_total", farm["retried_total"])
-        # Per-worker gauges: one labeled time series per live worker.
-        lines.append("# TYPE repro_farm_worker_busy gauge")
-        for worker in farm["workers"]:
-            busy = 1 if worker["state"] == "busy" else 0
-            lines.append(
-                f'repro_farm_worker_busy{{worker="{worker["id"]}"}} {busy}'
-            )
-        lines.append("# TYPE repro_farm_worker_tasks_total counter")
-        for worker in farm["workers"]:
-            lines.append(
+        family(
+            "repro_farm_workers_busy", "gauge",
+            "Farm workers currently evaluating a task.",
+            farm["busy"],
+        )
+        family(
+            "repro_farm_workers_idle", "gauge",
+            "Farm workers ready for a task.",
+            farm["idle"],
+        )
+        family(
+            "repro_farm_queued", "gauge",
+            "Tasks waiting for an idle farm worker.",
+            farm["queued"],
+        )
+        family(
+            "repro_farm_handoff_entries", "gauge",
+            "Distinct scenario matrices in the farm handoff registry.",
+            farm["handoff_entries"],
+        )
+        family(
+            "repro_farm_recycled_total", "counter",
+            "Workers retired and replaced after recycle_after tasks.",
+            farm["recycled_total"],
+        )
+        family(
+            "repro_farm_crashed_total", "counter",
+            "Worker processes that died unexpectedly.",
+            farm["crashed_total"],
+        )
+        family(
+            "repro_farm_retried_total", "counter",
+            "In-flight tasks requeued after a worker crash.",
+            farm["retried_total"],
+        )
+        # Per-worker series: one labeled sample per live worker.
+        labeled(
+            "repro_farm_worker_busy", "gauge",
+            "Whether a farm worker is evaluating a task (by worker id).",
+            [
+                f'repro_farm_worker_busy{{worker="{worker["id"]}"}}'
+                f' {1 if worker["state"] == "busy" else 0}'
+                for worker in farm["workers"]
+            ],
+        )
+        labeled(
+            "repro_farm_worker_tasks_total", "counter",
+            "Tasks completed by a farm worker (by worker id).",
+            [
                 f'repro_farm_worker_tasks_total{{worker="{worker["id"]}"}}'
                 f' {worker["tasks_completed"]}'
-            )
+                for worker in farm["workers"]
+            ],
+        )
+    # Per-stage latency histograms (trace spans observe into these even
+    # when the ring is disabled -- they only need an active session).
+    lines.extend(
+        histogram_exposition(
+            "repro_stage_seconds",
+            "Wall seconds per traced pipeline stage.",
+            broker.stage_histograms(),
+        )
+    )
     return "\n".join(lines) + "\n"
 
 
@@ -207,8 +380,28 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._respond(
                 200, metrics_text(self.server.broker), "text/plain; version=0.0.4"
             )
+        elif self.path.startswith("/trace/"):
+            self._get_trace(self.path[len("/trace/"):])
         else:
             self._error(404, "not-found", f"no route {self.path!r}")
+
+    def _get_trace(self, trace_id: str) -> None:
+        ring = self.server.broker.trace_ring
+        if ring is None:
+            self._error(
+                404, "tracing-disabled",
+                "tracing is disabled (config.trace_enabled = False)",
+            )
+            return
+        tree = ring.tree(trace_id, wait_s=_TRACE_WAIT_S)
+        if tree is None:
+            self._error(
+                404, "unknown-trace",
+                f"no trace {trace_id!r} (unknown id, or evicted from the"
+                f" ring of {ring.capacity})",
+            )
+            return
+        self._respond(200, tree)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
         if self.path != "/query":
@@ -242,11 +435,13 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 400, "bad-request", f"unknown override(s): {sorted(unknown)}"
             )
             return
+        want_trace = bool(request.get("trace", False))
         started = time.perf_counter()
         try:
-            result = self.server.broker.execute(
+            future = self.server.broker.submit(
                 request["query"], method=method, **overrides
             )
+            result = future.result()
         except BrokerSaturatedError as error:
             self._error(503, "saturated", str(error))
             return
@@ -261,6 +456,15 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         payload = result_payload(result, time.perf_counter() - started)
         payload["store"] = self.server.broker.store_stats()
+        trace_id = getattr(future, "trace_id", None)
+        ring = self.server.broker.trace_ring
+        if trace_id is not None and ring is not None:
+            payload["trace_id"] = trace_id
+            if want_trace:
+                # The root span lands in a done-callback, which may run
+                # a beat after future.result() wakes us: wait on the
+                # ring's condition, not just a snapshot.
+                payload["trace"] = ring.tree(trace_id, wait_s=_TRACE_WAIT_S)
         self._respond(200, payload)
 
 

@@ -50,6 +50,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..db.expressions import Expr, render
+from ..obs import stage
 
 #: Attribute used to cache a model's fingerprint on the instance (the
 #: hash covers the full relation content; compute it once per model).
@@ -282,6 +283,10 @@ class ScenarioStore:
         """
         if n_scenarios < 1:
             raise ValueError("n_scenarios must be >= 1")
+        with stage("scenario.realize", n_scenarios=int(n_scenarios)) as span:
+            return self._coefficient_matrix(key, n_scenarios, fill, span)
+
+    def _coefficient_matrix(self, key: tuple, n_scenarios: int, fill, span):
         if self._closed:
             return fill(0, n_scenarios)
         with self._cond:
@@ -292,10 +297,12 @@ class ScenarioStore:
                 if entry is not None and entry.width >= n_scenarios:
                     self._stats.hits += 1
                     self._entries.move_to_end(key)
+                    span.set("hit", True)
                     return entry.data[:, :n_scenarios]
                 if key not in self._growing:
                     self._growing.add(key)
                     self._stats.misses += 1
+                    span.set("hit", False)
                     start = 0 if entry is None else entry.width
                     break
                 # Another thread is realizing this key: wait for it, then
@@ -348,7 +355,7 @@ class ScenarioStore:
                 victims = self._evict_over_budget()
             self._cond.notify_all()
         if prefix_lost:
-            return self.coefficient_matrix(key, n_scenarios, fill)
+            return self._coefficient_matrix(key, n_scenarios, fill, span)
         if victims:
             self._spill_outside_lock(victims)
         return matrix[:, :n_scenarios]

@@ -1,0 +1,36 @@
+"""Slow-query JSONL log: threshold gating and record shape."""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs import SlowQueryLog
+from repro.obs.slowlog import DEFAULT_THRESHOLD_S
+
+
+def test_default_threshold():
+    log = SlowQueryLog("unused.jsonl")
+    assert log.threshold_s == DEFAULT_THRESHOLD_S
+
+
+def test_threshold_gates_appends(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    log = SlowQueryLog(str(path), threshold_s=0.5)
+    assert log.record(0.4, {"trace_id": "fast"}) is False
+    assert not path.exists()
+    assert log.record(0.5, {"trace_id": "slow", "stages": {"solve": 0.3}})
+    assert log.record(2.0, {"trace_id": "slower"})
+    lines = path.read_text().splitlines()
+    assert len(lines) == 2
+    first = json.loads(lines[0])
+    assert first["wall_s"] == 0.5
+    assert first["trace_id"] == "slow"
+    assert first["stages"] == {"solve": 0.3}
+
+
+def test_non_serializable_values_fall_back_to_str(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    log = SlowQueryLog(str(path), threshold_s=0.0)
+    assert log.record(1.0, {"error": ValueError("boom")})
+    entry = json.loads(path.read_text())
+    assert "boom" in entry["error"]

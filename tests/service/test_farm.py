@@ -314,7 +314,7 @@ def test_stale_done_after_requeue_still_frees_the_retry_worker():
     # is gone from _tasks when V's completion drains.
     settle: list = []
     blob = pickle.dumps((True, "result"))
-    farm._handle_message_locked(("done", 7, 2, blob, {}, {}, {}), settle)
+    farm._handle_message_locked(("done", 7, 2, blob, {}, {}, {}, {}, None), settle)
     assert settle == []  # nothing to settle twice
     assert retry_worker.task is None
     assert retry_worker.state == farm_module.STATE_IDLE
@@ -341,7 +341,7 @@ def test_stale_done_removes_requeued_task_from_pending():
 
     settle: list = []
     blob = pickle.dumps((True, "result"))
-    farm._handle_message_locked(("done", 7, 1, blob, {}, {}, {}), settle)
+    farm._handle_message_locked(("done", 7, 1, blob, {}, {}, {}, {}, None), settle)
     assert [(f, ok) for f, ok, _ in settle] == [(task.future, True)]
     assert not farm._pending
     assert not farm._tasks

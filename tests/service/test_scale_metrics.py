@@ -89,10 +89,10 @@ def test_metrics_exposition_includes_scale_series():
             text = response.read().decode()
         for name in (
             "repro_scale_runs_total",
-            "repro_scale_partitions",
+            "repro_scale_partitions_total",
             "repro_scale_refines_total",
-            "repro_scale_sketch_seconds",
-            "repro_scale_refine_seconds",
+            "repro_scale_sketch_seconds_total",
+            "repro_scale_refine_seconds_total",
             "repro_scale_index_hits_total",
             "repro_scale_index_misses_total",
             "repro_scale_resident_bytes",

@@ -501,3 +501,107 @@ def test_cli_store_directory_without_manifest_is_io_error(tmp_path, capsys):
                    " MINIMIZE SUM(a)",
     ])
     assert code == 4
+
+
+# --- observability: repro trace, --trace-out, --profile-stages ---------------
+
+
+STOCH_QUERY = (
+    "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+    " SUM(Value) >= 5 WITH PROBABILITY >= 0.8"
+    " MINIMIZE EXPECTED SUM(Value)"
+)
+
+FAST_FLAGS = [
+    "--validation-scenarios", "500",
+    "--initial-scenarios", "20",
+    "--max-scenarios", "60",
+    "--epsilon", "0.8",
+]
+
+
+def _run_traced(csv_path, tmp_path, *extra):
+    return main([
+        "run",
+        "--table", str(csv_path),
+        "--stochastic", "Value=gaussian(price, 1.0)",
+        "--query", STOCH_QUERY,
+        *FAST_FLAGS,
+        *extra,
+    ])
+
+
+def test_cli_trace_out_writes_span_tree(csv_path, tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.json"
+    code = _run_traced(csv_path, tmp_path, "--trace-out", str(trace_path))
+    captured = capsys.readouterr()
+    assert code == 0
+    assert f"trace written to {trace_path}" in captured.out
+    import json
+
+    doc = json.loads(trace_path.read_text())
+    assert doc["root"]["name"] == "execute"
+    names = {doc["root"]["name"]}
+    stack = list(doc["root"]["children"])
+    while stack:
+        node = stack.pop()
+        names.add(node["name"])
+        stack.extend(node["children"])
+    assert {"compile", "parse", "solve", "validate"} <= names
+
+
+def test_cli_profile_stages_prints_flat_profile(csv_path, tmp_path, capsys):
+    code = _run_traced(csv_path, tmp_path, "--profile-stages")
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "per-stage self time:" in captured.out
+    assert "solve" in captured.out
+
+
+def test_cli_trace_renders_waterfall_and_table(csv_path, tmp_path, capsys):
+    trace_path = tmp_path / "run.trace.json"
+    assert _run_traced(csv_path, tmp_path, "--trace-out", str(trace_path)) == 0
+    capsys.readouterr()
+
+    code = main(["trace", str(trace_path)])
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "execute" in captured.out
+    assert "ms" in captured.out          # the waterfall
+    assert "self(s)" in captured.out     # the top table
+
+
+def test_cli_trace_missing_file_is_io_error(capsys):
+    code = main(["trace", "/no/such/trace.json"])
+    assert code == 4
+    assert "error:" in capsys.readouterr().err
+
+
+def test_cli_trace_bad_json_is_parse_error(tmp_path, capsys):
+    bad = tmp_path / "bad.json"
+    bad.write_text("{not json")
+    code = main(["trace", str(bad)])
+    assert code == 2
+    assert "not valid JSON" in capsys.readouterr().err
+
+
+def test_cli_trace_non_trace_document_is_parse_error(tmp_path, capsys):
+    not_a_trace = tmp_path / "other.json"
+    not_a_trace.write_text('{"unrelated": true}')
+    code = main(["trace", str(not_a_trace)])
+    assert code == 2
+    assert "not a trace document" in capsys.readouterr().err
+
+
+def test_serve_parser_accepts_observability_flags():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args([
+        "serve", "--workload", "portfolio:Q1",
+        "--no-trace",
+        "--slow-query-log", "slow.jsonl",
+        "--slow-query-threshold", "2.5",
+    ])
+    assert args.no_trace is True
+    assert args.slow_query_log == "slow.jsonl"
+    assert args.slow_query_threshold == 2.5
