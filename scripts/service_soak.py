@@ -4,10 +4,16 @@
 Boots the HTTP serving layer on the process backend (solve farm) over
 the portfolio workload, then drives **32 concurrent clients** with a
 mixed load — repeated identical queries (store/dedup path), distinct
-seeds (parallel solves), a parse error (400 path), and status/metrics
-polls — and asserts:
+seeds (parallel solves), a parse error (400 path), status/metrics
+polls, and a mixed-deadline cohort (tight 5ms / loose 60s budgets,
+exercising the QoS admission + EDF + anytime path of docs/qos.md) —
+and asserts:
 
-* every response lands in its expected status class (200 / 400 / 503);
+* every response lands in its expected status class
+  (200 / 400 / 503 / 504);
+* every 200 query response states its ``deadline_met`` verdict and
+  ``gap`` (the anytime contract), and loose-deadline responses always
+  met their budget;
 * at least one solve succeeded per distinct-seed client group;
 * ``/metrics`` exposes the farm's per-worker gauges and no worker
   crashed;
@@ -103,18 +109,61 @@ def iter_spans(node):
         yield from iter_spans(child)
 
 
+def _assert_anytime_contract(body: dict) -> None:
+    """Every 200 query response states deadline_met and gap (docs/qos.md)."""
+    assert "deadline_met" in body and "gap" in body, body
+    assert isinstance(body["deadline_met"], bool), body
+
+
 def client(base: str, client_id: int, outcomes: list, lock: threading.Lock):
     """One of the 32 concurrent clients; records (client_id, kind, code)."""
-    kind = ("repeat", "seeded", "status", "bad")[client_id % 4]
+    kind = ("repeat", "seeded", "tight", "status", "loose", "bad")[
+        client_id % 6
+    ]
     try:
         if kind == "repeat":
-            code, _ = post_query(base, {"query": QUERY})
+            code, body = post_query(base, {"query": QUERY})
             expect = {200, 503}
+            if code == 200:
+                _assert_anytime_contract(body)
         elif kind == "seeded":
-            code, _ = post_query(
+            code, body = post_query(
                 base, {"query": QUERY, "overrides": {"seed": client_id}}
             )
             expect = {200, 503}
+            if code == 200:
+                _assert_anytime_contract(body)
+        elif kind == "tight":
+            # 5ms budget: either an anytime incumbent made it (200, met
+            # or missed), the queue drained the budget first (504), or
+            # admission was saturated (503) — never a crash or a hang.
+            code, body = post_query(
+                base,
+                {
+                    "query": QUERY,
+                    "deadline_ms": 5,
+                    "overrides": {"seed": 1_000 + client_id},
+                },
+            )
+            expect = {200, 503, 504}
+            if code == 200:
+                _assert_anytime_contract(body)
+            elif code == 504:
+                assert body["error"]["kind"] == "deadline-expired", body
+        elif kind == "loose":
+            # 60s budget: comfortably met at this scale.
+            code, body = post_query(
+                base,
+                {
+                    "query": QUERY,
+                    "deadline_ms": 60_000,
+                    "overrides": {"seed": 2_000 + client_id},
+                },
+            )
+            expect = {200, 503}
+            if code == 200:
+                _assert_anytime_contract(body)
+                assert body["deadline_met"] is True, body
         elif kind == "status":
             code, _ = get(base, "/status" if client_id % 8 == 2 else "/metrics")
             expect = {200}
@@ -178,8 +227,14 @@ def main() -> int:
         assert len(outcomes) == N_CLIENTS
         bad = [o for o in outcomes if not o[3]]
         assert not bad, f"unexpected status codes: {bad}"
-        solved = [o for o in outcomes if o[1] in ("repeat", "seeded") and o[2] == 200]
+        solved = [
+            o
+            for o in outcomes
+            if o[1] in ("repeat", "seeded", "tight", "loose") and o[2] == 200
+        ]
         assert solved, "no concurrent query was served"
+        loose_ok = [o for o in outcomes if o[1] == "loose" and o[2] == 200]
+        assert loose_ok, "no loose-deadline query was served"
 
         _, metrics = get(base, "/metrics")
         worker_gauges = re.findall(r'^repro_farm_worker_busy\{worker="\d+"\} \d$',
@@ -224,10 +279,27 @@ def main() -> int:
             "metrics missing the farm worker stage histogram"
         )
 
+        # The QoS metric families are exposed and consistent with the
+        # deadline cohort: every finished deadline carry got a verdict.
+        for family in (
+            "repro_deadline_met_total",
+            "repro_deadline_missed_total",
+            "repro_deadline_rejected_total",
+            "repro_deadline_expired_total",
+            "repro_query_gap",
+        ):
+            assert re.search(rf"^{family} ", metrics, re.M), (
+                f"metrics missing {family}"
+            )
+        met = int(re.search(r"^repro_deadline_met_total (\d+)$",
+                            metrics, re.M).group(1))
+        assert met >= len(loose_ok), (met, len(loose_ok))
+
         _, status_text = get(base, "/status")
         status = json.loads(status_text)
         assert status["backend"] == "process"
         assert status["farm"]["idle"] + status["farm"]["busy"] >= 1
+        assert status["deadline"]["met"] >= len(loose_ok)
 
         print(f"service soak: OK — {len(solved)} solves, "
               f"{len(outcomes)} clients, "

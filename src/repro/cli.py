@@ -210,6 +210,12 @@ def _vg_epilog() -> str:
         "  2  parse/compile/spec error (bad sPaQL, bad --stochastic/--vg)\n"
         "  3  solve/evaluation error or time limit exceeded\n"
         "  4  I/O error (missing or unreadable files)\n"
+        "\n"
+        "  --deadline-ms interacts with these anytime-style (docs/qos.md):\n"
+        "  a deadline that expires mid-solve still exits 0 when a validated\n"
+        "  incumbent exists — the summary then reports 'deadline missed' and\n"
+        "  the relative optimality gap; only a deadline with no incumbent at\n"
+        "  all exits 1.\n"
     )
 
 
@@ -247,6 +253,12 @@ def _add_config_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--initial-scenarios", type=int, default=100)
     parser.add_argument("--max-scenarios", type=int, default=1_000)
     parser.add_argument("--time-limit", type=float, default=600.0)
+    parser.add_argument("--deadline-ms", type=float, default=None,
+                        help="per-query latency budget in milliseconds:"
+                             " on expiry the best validated incumbent is"
+                             " returned with its relative optimality gap"
+                             " (anytime; see docs/qos.md). Exit code stays"
+                             " 0 when an incumbent exists.")
     parser.add_argument("--workers", type=int, default=1,
                         help="worker processes for scenario generation"
                              " (results are identical for any count)")
@@ -478,6 +490,7 @@ def _build_config(args, **extra) -> SPQConfig:
         n_initial_scenarios=args.initial_scenarios,
         max_scenarios=max(args.max_scenarios, args.initial_scenarios),
         time_limit=args.time_limit,
+        deadline_ms=getattr(args, "deadline_ms", None),
         n_workers=max(args.workers, 1),
         incremental_solves=not args.no_incremental,
         vg_overrides=tuple(getattr(args, "vg", []) or ()),

@@ -209,6 +209,26 @@ class SPQConfig:
 
     # --- evaluation budget ---------------------------------------------------
     time_limit: float = 3600.0
+    #: Per-query latency budget in milliseconds (QoS tier).  ``None``
+    #: leaves only ``time_limit`` in force.  When set, evaluation runs
+    #: *anytime*: on expiry the best validated incumbent found so far is
+    #: returned with a relative optimality gap (``PackageResult.anytime``)
+    #: instead of raising a timeout.  The serving layer rejects
+    #: already-expired work at admission and orders the solve farm's
+    #: pending queue earliest-deadline-first (see ``docs/qos.md``).
+    deadline_ms: float | None = None
+
+    def effective_time_limit(self) -> float:
+        """The per-evaluation wall budget in seconds.
+
+        The tighter of the batch ``time_limit`` and the per-query
+        ``deadline_ms``; evaluators build their :class:`Deadline` from
+        this so a QoS deadline and the paper's run budget share one
+        enforcement path.
+        """
+        if self.deadline_ms is None:
+            return self.time_limit
+        return min(self.time_limit, self.deadline_ms / 1000.0)
 
     def __post_init__(self) -> None:
         self.validate()
@@ -240,6 +260,13 @@ class SPQConfig:
             )
         if self.time_limit <= 0:
             raise EvaluationError("time_limit must be positive")
+        if self.deadline_ms is not None:
+            if isinstance(self.deadline_ms, bool) or not isinstance(
+                self.deadline_ms, (int, float)
+            ):
+                raise EvaluationError("deadline_ms must be a number or None")
+            if self.deadline_ms <= 0:
+                raise EvaluationError("deadline_ms must be positive or None")
         if self.n_workers < 1:
             raise EvaluationError("n_workers must be >= 1")
         if isinstance(self.vg_overrides, str):

@@ -15,6 +15,7 @@ query.  Registering new data invalidates the cache.
 from __future__ import annotations
 
 import threading
+import time
 from collections import OrderedDict
 
 from ..config import DEFAULT_CONFIG, SPQConfig
@@ -32,6 +33,7 @@ from ..silp.compile import compile_query
 from ..silp.model import StochasticPackageProblem
 from ..spaql.nodes import PackageQuery
 from ..spaql.parser import parse_query
+from .anytime import finalize_anytime
 from .deterministic import deterministic_evaluate
 from .naive import naive_evaluate
 from .package import PackageResult
@@ -179,8 +181,13 @@ class SPQEngine:
         method: str,
         effective: SPQConfig,
     ) -> PackageResult:
-        with stage("execute", method=method):
-            return self._dispatch(query, method, effective)
+        with stage("execute", method=method) as span:
+            started = time.perf_counter()
+            result = self._dispatch(query, method, effective)
+            finalize_anytime(result, effective, time.perf_counter() - started)
+            if result.anytime is not None and not result.anytime.deadline_met:
+                span.set("deadline_missed", True)
+            return result
 
     def _dispatch(
         self,

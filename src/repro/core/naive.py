@@ -35,7 +35,8 @@ def naive_evaluate(
     ctx = EvaluationContext(problem, config, store=store)
     validator = Validator(ctx)
     stats = RunStats(METHOD_NAIVE)
-    deadline = Deadline(config.time_limit)
+    # QoS deadline and batch time limit share one enforcement path.
+    deadline = Deadline(config.effective_time_limit())
     bounds = (
         compute_objective_bounds(ctx) if problem.objective is not None else None
     )
@@ -83,7 +84,8 @@ def naive_evaluate(
             report.epsilon_upper = eps
             record.epsilon_upper = eps
             candidate = _package_result(
-                ctx, x, report, stats, feasible=report.feasible, eps=eps
+                ctx, x, report, stats, feasible=report.feasible, eps=eps,
+                bounds=bounds,
             )
             best = _keep_best(ctx, best, candidate)
             if report.feasible:
@@ -101,6 +103,8 @@ def naive_evaluate(
     stats.total_time = deadline.elapsed
     if best is not None:
         best.stats = stats
+        if stats.timed_out:
+            best.meta["truncated_stages"] = ("solve",)
         best.message = (
             "naive failed to reach validation feasibility"
             f" (final M={stats.final_n_scenarios})"
@@ -120,7 +124,9 @@ def naive_evaluate(
     )
 
 
-def _package_result(ctx, x, report, stats, feasible: bool, eps) -> PackageResult:
+def _package_result(
+    ctx, x, report, stats, feasible: bool, eps, bounds=None
+) -> PackageResult:
     return PackageResult(
         package=Package(ctx.problem, x),
         feasible=feasible,
@@ -129,6 +135,7 @@ def _package_result(ctx, x, report, stats, feasible: bool, eps) -> PackageResult
         validation=report,
         stats=stats,
         epsilon_upper=eps,
+        meta={"bounds": bounds, "objective_sense": ctx.objective_sense},
     )
 
 

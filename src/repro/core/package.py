@@ -16,6 +16,7 @@ import numpy as np
 from ..db.relation import Relation
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .anytime import AnytimeResult
     from .stats import RunStats
     from .validator import ValidationReport
 
@@ -113,6 +114,9 @@ class PackageResult:
     epsilon_upper: Optional[float] = None
     message: str = ""
     meta: dict = field(default_factory=dict)
+    #: Deadline verdict + optimality gap, attached by the engine after
+    #: every dispatch (see :mod:`repro.core.anytime`).
+    anytime: Optional["AnytimeResult"] = None
 
     @property
     def succeeded(self) -> bool:
@@ -131,6 +135,17 @@ class PackageResult:
             lines.append(f"objective estimate: {self.objective:.6g}")
         if self.epsilon_upper is not None:
             lines.append(f"approximation bound 1+eps <= {1 + self.epsilon_upper:.4g}")
+        if self.anytime is not None and not self.anytime.deadline_met:
+            gap = (
+                "unknown"
+                if self.anytime.gap is None
+                else f"{self.anytime.gap:.4g}"
+            )
+            lines.append(
+                f"deadline missed ({self.anytime.elapsed_ms:.0f}ms"
+                f" > {self.anytime.deadline_ms:.0f}ms):"
+                f" best incumbent returned, relative gap {gap}"
+            )
         if self.stats is not None:
             lines.append(
                 f"iterations: {self.stats.n_iterations},"

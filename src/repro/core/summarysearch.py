@@ -47,13 +47,15 @@ def summary_search_evaluate(
     ctx = EvaluationContext(problem, config, store=store)
     validator = Validator(ctx)
     stats = RunStats(METHOD_SUMMARY_SEARCH)
-    deadline = Deadline(config.time_limit)
+    # The per-query QoS deadline and the batch time limit share one
+    # enforcement path; expiry returns the best incumbent (anytime).
+    deadline = Deadline(config.effective_time_limit())
 
     # --- Step 1: x(0) = Solve(SAA(Q0, M̂)) ------------------------------------
     q0_watch = Stopwatch()
     with q0_watch, stage("solve.q0"):
         q0_result = solve_unconstrained(
-            ctx, min(config.solver_time_limit, config.time_limit)
+            ctx, min(config.solver_time_limit, max(deadline.remaining(), 0.01))
         )
     stats.precompute_time = q0_watch.elapsed
     if not q0_result.has_solution:
@@ -151,6 +153,7 @@ def summary_search_evaluate(
                     "epsilon_effective": epsilon,
                     "relaxation_objective": relaxation_objective,
                     "bounds": bounds,
+                    "objective_sense": ctx.objective_sense,
                     "final_M": n_scenarios,
                     "final_Z": min(n_summaries, n_scenarios),
                     "incremental_solves": config.incremental_solves,
@@ -191,6 +194,11 @@ def summary_search_evaluate(
     stats.total_time = deadline.elapsed
     if best is not None:
         best.stats = stats
+        if stats.timed_out:
+            # Anytime return: the main loop was cut short by the
+            # deadline; the envelope (gap, deadline_met) is derived from
+            # this marker plus the candidate's ε certificate and bounds.
+            best.meta["truncated_stages"] = ("csa",)
         if not best.feasible:
             best.message = (
                 "summarysearch failed to reach validation feasibility"
@@ -204,6 +212,9 @@ def summary_search_evaluate(
         method=METHOD_SUMMARY_SEARCH,
         stats=stats,
         message="no solution found",
+        meta=(
+            {"truncated_stages": ("csa",)} if stats.timed_out else {}
+        ),
     )
 
 

@@ -65,7 +65,7 @@ from ..silp.model import (
     ProbabilityObjectiveIR,
     StochasticPackageProblem,
 )
-from ..utils.timing import Stopwatch
+from ..utils.timing import Deadline, Stopwatch
 from .metrics import scale_metrics
 from .partition import (
     PartitionIndex,
@@ -149,6 +149,9 @@ def _run(
     EvaluationContext, Validator,
 ):
     ctx = EvaluationContext(problem, config, store=store)
+    # QoS budget for the whole pipeline: each stage gets the remaining
+    # share (deadline_ms is consumed here, not re-applied per stage).
+    deadline = Deadline(config.effective_time_limit())
 
     # --- partition (index-cached) ------------------------------------------------
     with stage("partition") as partition_span:
@@ -176,7 +179,14 @@ def _run(
     sketch_watch = Stopwatch()
     with sketch_watch, stage("sketch", n_partitions=n_groups):
         sketch_result, rep_relation = _solve_sketch(
-            problem, ctx, config, pilot, groups
+            problem,
+            ctx,
+            config.replace(
+                deadline_ms=None,
+                time_limit=max(deadline.remaining(), 0.01),
+            ),
+            pilot,
+            groups,
         )
     stats.precompute_time = sketch_watch.elapsed
     stats.add(
@@ -217,7 +227,12 @@ def _run(
         )
 
     # --- refine (fan-out) -----------------------------------------------------------
-    refine_config = config.replace(n_workers=1, scale_threshold_rows=None)
+    refine_config = config.replace(
+        n_workers=1,
+        scale_threshold_rows=None,
+        deadline_ms=None,
+        time_limit=max(deadline.remaining(), 0.01),
+    )
     refine_watch = Stopwatch()
     with refine_watch, stage("refine.fanout", n_refined=len(refined)):
         outcomes = _run_refines(
@@ -270,6 +285,12 @@ def _run(
         report = Validator(ctx).validate(x, claimed_objective=objective)
     meta = _meta(config, n_groups, refined, index_hit)
     meta["refine_probability_boost"] = allocations["p_boost"]
+    if deadline.expired():
+        # The refines consumed the whole budget; the combined package is
+        # a best-effort incumbent (still validated out-of-sample above).
+        stats.timed_out = True
+        meta["truncated_stages"] = ("refine",)
+        meta["objective_sense"] = ctx.objective_sense
     # Unified per-stage breakdown (same keys across BENCH_scale.json and
     # BENCH_service.json): sketch / refine / validate.
     meta["stage_seconds"] = {
@@ -634,7 +655,7 @@ def _run_refines(
             # One shared deadline across all futures (not per-future):
             # a wedged worker pool must degrade to the sequential path
             # within the evaluation's own time budget, never hang.
-            deadline = time.monotonic() + config.time_limit
+            deadline = time.monotonic() + refine_config.time_limit
             for g, future in futures.items():
                 remaining = max(0.0, deadline - time.monotonic())
                 by_group[g] = future.result(timeout=remaining)[1]

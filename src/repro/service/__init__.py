@@ -14,11 +14,16 @@ Three tiers (see each module's docstring):
 * :class:`SPQService` — stdlib JSON-over-HTTP front-end
   (``POST /query``, ``GET /status``, ``GET /metrics``), exposed as the
   ``repro serve`` CLI subcommand.
+
+Per-query QoS (``deadline_ms`` admission, earliest-deadline-first
+scheduling, anytime truncation) lives in :mod:`repro.service.qos`; see
+``docs/qos.md`` for the end-to-end contract.
 """
 
 from .broker import BrokerSaturatedError, QueryBroker
 from .farm import SolveFarm, WorkerCrashError
 from .http import SPQService
+from .qos import DeadlineExpiredError, EDFQueue, TaskDeadline
 from .store import (
     ScenarioStore,
     StoreStats,
@@ -29,11 +34,14 @@ from .store import (
 
 __all__ = [
     "BrokerSaturatedError",
+    "DeadlineExpiredError",
+    "EDFQueue",
     "QueryBroker",
     "SPQService",
     "ScenarioStore",
     "SolveFarm",
     "StoreStats",
+    "TaskDeadline",
     "WorkerCrashError",
     "model_fingerprint",
     "relation_fingerprint",

@@ -47,7 +47,7 @@ from concurrent.futures import Future, ThreadPoolExecutor
 from ..config import BACKEND_PROCESS, BACKEND_THREAD, DEFAULT_CONFIG, SPQConfig
 from ..core.engine import METHOD_SUMMARY_SEARCH, SPQEngine
 from ..db.catalog import Catalog
-from ..errors import SPQError
+from ..errors import EvaluationError, SPQError
 from ..obs import (
     SlowQueryLog,
     TraceRing,
@@ -59,6 +59,7 @@ from ..obs import (
     stage_histograms,
 )
 from .farm import SolveFarm
+from .qos import DeadlineExpiredError, TaskDeadline
 from .store import ScenarioStore
 
 #: Query-text prefix kept in slow-query log entries and trace metadata.
@@ -165,6 +166,14 @@ class QueryBroker:
         self._failed = 0
         self._deduplicated = 0
         self._rejected = 0
+        # QoS counters: deadline verdicts of finished queries, admission
+        # rejections of dead-on-arrival budgets, queue-expired futures,
+        # and the last observed optimality gap (0.0 = exact).
+        self._deadline_met = 0
+        self._deadline_missed = 0
+        self._deadline_rejected = 0
+        self._deadline_expired = 0
+        self._last_gap = 0.0
         #: Bounded store of recent traces behind ``GET /trace/<id>``
         #: (None when tracing is disabled — the whole trace path is then
         #: a no-op check per request).
@@ -213,7 +222,15 @@ class QueryBroker:
         are already queued or running, and :class:`SPQError` after
         :meth:`close`.  An identical in-flight request (same text,
         method, overrides) shares the running evaluation's future.
+
+        A ``deadline_ms`` override is QoS admission: a non-positive
+        budget is rejected immediately with
+        :class:`~repro.service.qos.DeadlineExpiredError`, otherwise the
+        budget is pinned at admission (queue time counts against it),
+        orders the farm's pending queue earliest-deadline-first, and the
+        remainder is forwarded to the evaluator's anytime path.
         """
+        deadline = self._admit_deadline(overrides)
         key = self._dedup_key(query, method, overrides)
         with self._lock:
             if self._closed:
@@ -239,10 +256,12 @@ class QueryBroker:
             )
             try:
                 if self._farm is not None:
-                    future = self._farm.submit(query, method, overrides, trace)
+                    future = self._farm.submit(
+                        query, method, overrides, trace, deadline
+                    )
                 else:
                     future = self._pool.submit(
-                        self._run, query, method, overrides, trace
+                        self._run, query, method, overrides, trace, deadline
                     )
             except BaseException:
                 # No future, no done-callback: give the admission slot
@@ -262,6 +281,29 @@ class QueryBroker:
         # (non-reentrant) lock.
         future.add_done_callback(lambda f, key=key: self._retire(key, f))
         return future
+
+    def _admit_deadline(self, overrides: dict) -> TaskDeadline | None:
+        """Validate ``deadline_ms`` and pin it to an absolute instant.
+
+        Dead-on-arrival budgets (``<= 0``) are refused here, before a
+        pool slot is taken — solving work that cannot possibly meet its
+        SLO only steals capacity from work that still can.
+        """
+        deadline_ms = overrides.get("deadline_ms")
+        if deadline_ms is None:
+            return None
+        if isinstance(deadline_ms, bool) or not isinstance(
+            deadline_ms, (int, float)
+        ):
+            raise EvaluationError("deadline_ms must be a number or None")
+        if float(deadline_ms) <= 0:
+            with self._lock:
+                self._deadline_rejected += 1
+            raise DeadlineExpiredError(
+                f"deadline_ms={deadline_ms} is already expired; the"
+                " request was rejected at admission"
+            )
+        return TaskDeadline(float(deadline_ms))
 
     def _open_trace_locked(self, query, method: str, overrides: dict) -> dict | None:
         """Allocate ids + ring entry for one traced submission, or None.
@@ -307,7 +349,18 @@ class QueryBroker:
         """Blocking :meth:`submit` — returns the PackageResult."""
         return self.submit(query, method=method, **overrides).result()
 
-    def _run(self, query, method: str, overrides: dict, trace=None):
+    def _run(self, query, method: str, overrides: dict, trace=None, deadline=None):
+        if deadline is not None:
+            # Same discipline as the farm's dispatch: queue time counts
+            # against the budget, and only the remainder reaches the
+            # evaluator's anytime path.
+            if deadline.expired():
+                raise DeadlineExpiredError(
+                    f"deadline ({deadline.deadline_ms:.0f}ms) expired"
+                    " while the request was queued"
+                )
+            overrides = dict(overrides)
+            overrides["deadline_ms"] = max(deadline.remaining_ms(), 1.0)
         engine = self._sessions.get()
         try:
             if trace is None:
@@ -332,8 +385,20 @@ class QueryBroker:
             self._pending -= 1
             if future.cancelled() or future.exception() is not None:
                 self._failed += 1
+                if not future.cancelled() and isinstance(
+                    future.exception(), DeadlineExpiredError
+                ):
+                    self._deadline_expired += 1
             else:
                 self._completed += 1
+                anytime = getattr(future.result(), "anytime", None)
+                if anytime is not None:
+                    if anytime.deadline_met:
+                        self._deadline_met += 1
+                    else:
+                        self._deadline_missed += 1
+                    if anytime.gap is not None:
+                        self._last_gap = float(anytime.gap)
             if key is not None and self._inflight.get(key) is future:
                 del self._inflight[key]
             state = self._trace_state.pop(future, None)
@@ -354,6 +419,10 @@ class QueryBroker:
         attrs = {"method": state["method"], "backend": self.backend}
         if error is not None:
             attrs["error"] = error
+        else:
+            anytime = getattr(future.result(), "anytime", None)
+            if anytime is not None and not anytime.deadline_met:
+                attrs["deadline_missed"] = True
         root_span = {
             "trace_id": state["trace_id"],
             "span_id": state["root_id"],
@@ -444,6 +513,17 @@ class QueryBroker:
                 "rejected_total": self._rejected,
                 "uptime_s": time.time() - self.started_at,
                 "closed": self._closed,
+                # Per-query QoS verdicts (docs/qos.md): met/missed count
+                # finished queries by deadline outcome, rejected counts
+                # dead-on-arrival admissions, expired_queued counts
+                # budgets that drained in the queue.
+                "deadline": {
+                    "met": self._deadline_met,
+                    "missed": self._deadline_missed,
+                    "rejected": self._deadline_rejected,
+                    "expired_queued": self._deadline_expired,
+                    "last_gap": self._last_gap,
+                },
             }
         state["store"] = self.store_stats()
         state["scale"] = self.scale_stats()

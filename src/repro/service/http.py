@@ -6,12 +6,18 @@ by the broker's pool):
 
 ``POST /query``
     Request body: ``{"query": "<sPaQL>", "method": "summarysearch",
-    "overrides": {"seed": 7, ...}}`` (``method`` and ``overrides`` are
-    optional; overrides are :class:`repro.config.SPQConfig` fields).
-    Response: ``{"feasible": ..., "objective": ..., "package": {...},
+    "overrides": {"seed": 7, ...}, "deadline_ms": 250}`` (``method``,
+    ``overrides``, and ``deadline_ms`` are optional; overrides are
+    :class:`repro.config.SPQConfig` fields).  Response:
+    ``{"feasible": ..., "objective": ..., "package": {...},
+    "deadline_met": ..., "gap": ..., "anytime": {...},
     "wall_time_s": ..., "store": {...}}``.  Errors map to status codes:
-    400 (bad request / parse / compile), 409 (solve/evaluation failure),
-    503 (broker saturated), 500 (unexpected).
+    400 (bad request / parse / compile / invalid override value), 409
+    (solve failure),
+    503 (broker saturated), 504 (deadline expired before any incumbent
+    existed — see docs/qos.md), 500 (unexpected).  A deadline that
+    expires mid-solve is NOT an error: the response is a 200 carrying
+    the best incumbent with ``deadline_met: false`` and its ``gap``.
 
 ``GET /status``
     Broker pool state, lifetime counters, uptime, store statistics.
@@ -45,6 +51,7 @@ import numpy as np
 from ..config import SPQConfig
 from ..errors import (
     CompileError,
+    EvaluationError,
     ParseError,
     SchemaError,
     SPQError,
@@ -52,6 +59,7 @@ from ..errors import (
 )
 from ..obs import histogram_exposition
 from .broker import BrokerSaturatedError, QueryBroker
+from .qos import DeadlineExpiredError
 
 #: How long ``GET /trace/<id>`` and ``"trace": true`` wait for a trace's
 #: root span to land after its future resolves (done-callbacks run just
@@ -86,7 +94,15 @@ def result_payload(result, wall_time_s: float) -> dict:
         "message": result.message,
         "wall_time_s": wall_time_s,
         "package": None,
+        # QoS contract (docs/qos.md): every response states its deadline
+        # verdict and optimality gap, deadline or not.
+        "deadline_met": True,
+        "gap": 0.0 if result.succeeded else None,
     }
+    if result.anytime is not None:
+        payload["deadline_met"] = bool(result.anytime.deadline_met)
+        payload["gap"] = _json_value(result.anytime.gap)
+        payload["anytime"] = result.anytime.as_dict()
     if result.stats is not None:
         payload["stats"] = {
             "n_iterations": result.stats.n_iterations,
@@ -257,6 +273,32 @@ def metrics_text(broker: QueryBroker) -> str:
         "repro_broker_rejected_total", "counter",
         "Submissions rejected by admission control (saturated).",
         status["rejected_total"],
+    )
+    deadline = status["deadline"]
+    family(
+        "repro_deadline_met_total", "counter",
+        "Finished queries that met their latency deadline (or had none).",
+        deadline["met"],
+    )
+    family(
+        "repro_deadline_missed_total", "counter",
+        "Finished queries that returned a truncated anytime incumbent.",
+        deadline["missed"],
+    )
+    family(
+        "repro_deadline_rejected_total", "counter",
+        "Submissions rejected at admission with a dead-on-arrival budget.",
+        deadline["rejected"],
+    )
+    family(
+        "repro_deadline_expired_total", "counter",
+        "Queued queries whose deadline drained before a worker was free.",
+        deadline["expired_queued"],
+    )
+    family(
+        "repro_query_gap", "gauge",
+        "Relative optimality gap of the last finished query (0 = exact).",
+        deadline["last_gap"],
     )
     family(
         "repro_broker_pending", "gauge",
@@ -435,6 +477,10 @@ class _ServiceHandler(BaseHTTPRequestHandler):
                 400, "bad-request", f"unknown override(s): {sorted(unknown)}"
             )
             return
+        if request.get("deadline_ms") is not None:
+            # Top-level deadline_ms is sugar for the override (and wins
+            # over a duplicate inside "overrides").
+            overrides = {**overrides, "deadline_ms": request["deadline_ms"]}
         want_trace = bool(request.get("trace", False))
         started = time.perf_counter()
         try:
@@ -447,6 +493,14 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             return
         except (ParseError, CompileError, SchemaError, VGFunctionError) as error:
             self._error(400, "parse", str(error))
+            return
+        except DeadlineExpiredError as error:
+            self._error(504, "deadline-expired", str(error))
+            return
+        except EvaluationError as error:
+            # Bad client-supplied config values (e.g. a non-numeric
+            # deadline_ms) are malformed requests, not solve failures.
+            self._error(400, "bad-request", str(error))
             return
         except SPQError as error:
             self._error(409, "solve", str(error))

@@ -23,6 +23,7 @@ import time
 import numpy as np
 from scipy.optimize import linprog
 
+from .model import SENSE_MAX
 from .result import (
     MILPResult,
     STATUS_FEASIBLE,
@@ -36,19 +37,35 @@ from .result import (
 #: as integral.
 _INT_TOL = 1e-6
 
+#: Floor for per-node LP time limits: HiGHS treats tiny/zero limits as
+#: an instant give-up, which would turn "almost out of budget" into "no
+#: node ever solves".
+_MIN_LP_BUDGET = 0.01
 
-def _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub):
-    """LP relaxation with current variable box; returns (status, x, obj)."""
+
+def _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
+    """LP relaxation with current variable box; returns (status, x, obj).
+
+    ``time_limit`` clamps the single HiGHS LP solve so one expensive
+    node can never overshoot the caller's deadline; hitting it reports
+    ``"limit"`` (distinct from a numerical ``"error"``).
+    """
     bounds = np.column_stack([var_lb, var_ub])
+    options = None
+    if time_limit is not None:
+        options = {"time_limit": max(float(time_limit), _MIN_LP_BUDGET)}
     res = linprog(
         c,
         A_ub=a_ub,
         b_ub=b_ub,
         bounds=bounds,
         method="highs",
+        options=options,
     )
     if res.status == 0:
         return "optimal", res.x, float(res.fun)
+    if res.status == 1:
+        return "limit", None, np.inf
     if res.status == 2:
         return "infeasible", None, np.inf
     if res.status == 3:
@@ -79,33 +96,61 @@ def solve_with_branch_bound(
     time_limit: float | None = None,
     mip_gap: float = 1e-6,
     max_nodes: int = 200_000,
+    clock=None,
 ) -> MILPResult:
-    """Solve the builder's model by branch and bound."""
+    """Solve the builder's model by branch and bound.
+
+    The solver is *anytime*: when ``time_limit`` expires (or the node
+    budget runs out) it returns the best incumbent found so far as
+    ``STATUS_FEASIBLE`` with ``gap`` set to the relative distance between
+    the incumbent and the best open LP bound (``meta["best_bound"]``, in
+    the caller's sense).  The deadline is enforced *inside* nodes too:
+    every LP relaxation is clamped to the remaining budget, so a single
+    expensive node cannot overshoot it.  ``clock`` (default
+    ``time.perf_counter``) is injectable for deterministic tests.
+    """
+    clock = time.perf_counter if clock is None else clock
     c, matrix, row_lb, row_ub, var_lb, var_ub, integrality = builder.to_arrays()
     a_ub, b_ub = _to_inequality_form(matrix, row_lb, row_ub)
-    started = time.perf_counter()
+    started = clock()
     deadline = None if time_limit is None else started + float(time_limit)
+
+    def remaining():
+        return None if deadline is None else deadline - clock()
+
     # A feasible warm-start hint is a true MIP start: it seeds the
     # incumbent (so best-bound pruning kicks in from the first node) and
     # is the fallback answer when the root relaxation fails numerically.
     hint = builder.validated_warm_start()
 
-    status, x0, bound0 = _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub)
+    status, x0, bound0 = _solve_relaxation(
+        c, a_ub, b_ub, var_lb, var_ub, time_limit=remaining()
+    )
     if status == "infeasible":
-        return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started))
+        return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started, clock))
     if status == "unbounded":
-        return MILPResult(status=STATUS_UNBOUNDED, solve_time=_since(started))
-    if status == "error":
+        return MILPResult(status=STATUS_UNBOUNDED, solve_time=_since(started, clock))
+    if status in ("error", "limit"):
         if hint is not None:
             x = _snap(hint, integrality)
             return MILPResult(
                 status=STATUS_FEASIBLE,
                 x=x,
                 objective=builder.objective_value(x),
-                solve_time=_since(started),
-                message="LP relaxation failed; warm-start incumbent returned",
+                solve_time=_since(started, clock),
+                message=(
+                    "root LP hit the deadline; warm-start incumbent returned"
+                    if status == "limit"
+                    else "LP relaxation failed; warm-start incumbent returned"
+                ),
             )
-        return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started),
+        if status == "limit":
+            return MILPResult(
+                status=STATUS_TIME_LIMIT,
+                solve_time=_since(started, clock),
+                message="root LP hit the deadline before any incumbent",
+            )
+        return MILPResult(status=STATUS_INFEASIBLE, solve_time=_since(started, clock),
                           message="LP relaxation failed")
 
     incumbent_x: np.ndarray | None = None
@@ -117,14 +162,20 @@ def solve_with_branch_bound(
     # Heap of (lp_bound, tiebreak, var_lb, var_ub, lp_x).
     heap = [(bound0, next(counter), var_lb.copy(), var_ub.copy(), x0)]
     n_nodes = 0
+    stopped: str | None = None  # "nodes" | "deadline" when cut short
+    # Best-first order makes the just-popped bound the global best bound
+    # over all open nodes — exactly the dual side of the anytime gap.
+    best_bound = bound0
 
     while heap:
         bound, _, lb, ub, x = heapq.heappop(heap)
+        if n_nodes + 1 > max_nodes:
+            stopped, best_bound = "nodes", bound
+            break
+        if deadline is not None and clock() > deadline:
+            stopped, best_bound = "deadline", bound
+            break
         n_nodes += 1
-        if n_nodes > max_nodes:
-            break
-        if deadline is not None and time.perf_counter() > deadline:
-            break
         if incumbent_x is not None and bound >= incumbent_obj - _gap_slack(
             incumbent_obj, mip_gap
         ):
@@ -149,9 +200,12 @@ def solve_with_branch_bound(
             if new_lb[frac_index] > new_ub[frac_index]:
                 continue
             child_status, child_x, child_bound = _solve_relaxation(
-                c, a_ub, b_ub, new_lb, new_ub
+                c, a_ub, b_ub, new_lb, new_ub, time_limit=remaining()
             )
             if child_status != "optimal":
+                # "limit" children are dropped, not retried: their LP hit
+                # the remaining budget, so the outer deadline check stops
+                # the search on the next pop anyway.
                 continue
             if incumbent_x is not None and child_bound >= incumbent_obj - _gap_slack(
                 incumbent_obj, mip_gap
@@ -161,28 +215,45 @@ def solve_with_branch_bound(
                 heap, (child_bound, next(counter), new_lb, new_ub, child_x)
             )
 
-    elapsed = _since(started)
+    elapsed = _since(started, clock)
     if incumbent_x is None:
-        if n_nodes > max_nodes or (deadline is not None and time.perf_counter() > deadline):
+        if stopped is not None:
             return MILPResult(
-                status=STATUS_TIME_LIMIT, solve_time=elapsed, n_nodes=n_nodes
+                status=STATUS_TIME_LIMIT, solve_time=elapsed, n_nodes=n_nodes,
+                message=f"stopped on {stopped} before any incumbent",
             )
         return MILPResult(
             status=STATUS_INFEASIBLE, solve_time=elapsed, n_nodes=n_nodes
         )
-    exhausted = not heap
-    status_out = STATUS_OPTIMAL if exhausted else STATUS_FEASIBLE
+    objective = builder.objective_value(incumbent_x)
+    sign = -1.0 if builder.sense == SENSE_MAX else 1.0
+    if stopped is None:
+        # Search space exhausted: the incumbent is proven optimal (to
+        # mip_gap), so the anytime gap is zero by construction.
+        return MILPResult(
+            status=STATUS_OPTIMAL,
+            x=incumbent_x,
+            objective=objective,
+            solve_time=elapsed,
+            n_nodes=n_nodes,
+            gap=0.0,
+            meta={"best_bound": objective},
+        )
+    gap = max(0.0, (incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj)))
     return MILPResult(
-        status=status_out,
+        status=STATUS_FEASIBLE,
         x=incumbent_x,
-        objective=builder.objective_value(incumbent_x),
+        objective=objective,
         solve_time=elapsed,
         n_nodes=n_nodes,
+        gap=gap,
+        meta={"best_bound": sign * best_bound, "stopped": stopped},
+        message=f"stopped on {stopped}: incumbent within {gap:.4g} of the best bound",
     )
 
 
-def _since(started: float) -> float:
-    return time.perf_counter() - started
+def _since(started: float, clock=time.perf_counter) -> float:
+    return clock() - started
 
 
 def _gap_slack(incumbent_obj: float, mip_gap: float) -> float:

@@ -56,17 +56,21 @@ class Deadline:
     :class:`TimeLimitExceeded` once the budget is exhausted, which the
     evaluation loops translate into "return best solution found so far"
     (mirroring the paper's treatment of CPLEX time-outs).
+
+    ``clock`` is injectable (monotonic-seconds callable) so the QoS test
+    tier can drive expiry deterministically.
     """
 
-    def __init__(self, seconds: float) -> None:
+    def __init__(self, seconds: float, clock=None) -> None:
         if seconds <= 0:
             raise ValueError("deadline must be positive")
         self.budget = float(seconds)
-        self._start = time.perf_counter()
+        self._clock = clock if clock is not None else time.perf_counter
+        self._start = self._clock()
 
     @property
     def elapsed(self) -> float:
-        return time.perf_counter() - self._start
+        return self._clock() - self._start
 
     def remaining(self) -> float:
         """Seconds left in the budget (never negative)."""

@@ -1,0 +1,260 @@
+"""Anytime envelope: deadline verdicts, gap contract, engine attachment."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import SPQConfig, SPQEngine
+from repro.core.anytime import AnytimeResult, finalize_anytime, relative_gap
+from repro.core.approx import ObjectiveBounds
+from repro.core.package import PackageResult
+from repro.core.stats import RunStats
+from repro.utils.timing import Deadline
+
+QUERY = (
+    "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 3 AND"
+    " SUM(Value) >= 6 WITH PROBABILITY >= 0.8 MINIMIZE EXPECTED SUM(Value)"
+)
+
+
+@pytest.fixture
+def engine(items_catalog, fast_config):
+    return SPQEngine(catalog=items_catalog, config=fast_config)
+
+
+# --- relative_gap ----------------------------------------------------------
+
+
+def test_relative_gap_symmetric_and_clamped():
+    assert relative_gap(10.0, 10.0) == 0.0
+    assert relative_gap(10.0, 12.0) == pytest.approx(0.2)
+    assert relative_gap(-10.0, -12.0) == pytest.approx(0.2)
+    # Denominator clamps at 1 around zero objectives.
+    assert relative_gap(0.0, 0.5) == pytest.approx(0.5)
+    assert relative_gap(0.1, 0.4) == pytest.approx(0.3)
+
+
+# --- effective_time_limit / config validation ------------------------------
+
+
+def test_effective_time_limit_takes_min():
+    config = SPQConfig(time_limit=10.0, deadline_ms=2_000.0)
+    assert config.effective_time_limit() == pytest.approx(2.0)
+    assert SPQConfig(time_limit=10.0).effective_time_limit() == 10.0
+    wide = SPQConfig(time_limit=1.0, deadline_ms=3_600_000.0)
+    assert wide.effective_time_limit() == 1.0
+
+
+def test_deadline_ms_validation():
+    from repro.errors import EvaluationError
+
+    with pytest.raises(EvaluationError, match="deadline_ms must be positive"):
+        SPQConfig(deadline_ms=0)
+    with pytest.raises(EvaluationError, match="deadline_ms must be positive"):
+        SPQConfig(deadline_ms=-5.0)
+    with pytest.raises(EvaluationError, match="deadline_ms must be a number"):
+        SPQConfig(deadline_ms="soon")
+    with pytest.raises(EvaluationError, match="deadline_ms must be a number"):
+        SPQConfig(deadline_ms=True)
+
+
+# --- Deadline fake clock ---------------------------------------------------
+
+
+def test_deadline_injectable_clock():
+    now = [0.0]
+    deadline = Deadline(5.0, clock=lambda: now[0])
+    assert not deadline.expired()
+    assert deadline.remaining() == pytest.approx(5.0)
+    now[0] = 4.0
+    assert deadline.remaining() == pytest.approx(1.0)
+    now[0] = 5.5
+    assert deadline.expired()
+    assert deadline.elapsed == pytest.approx(5.5)
+
+
+# --- finalize_anytime ------------------------------------------------------
+
+
+def _result(**kw) -> PackageResult:
+    defaults = dict(
+        package=None, feasible=False, objective=None, method="summarysearch"
+    )
+    defaults.update(kw)
+    return PackageResult(**defaults)
+
+
+def test_finalize_without_deadline_reports_met():
+    result = _result()
+    finalize_anytime(result, SPQConfig(), elapsed_s=0.5)
+    assert result.anytime is not None
+    assert result.anytime.deadline_met
+    assert result.anytime.deadline_ms is None
+    assert result.anytime.gap is None  # no package at all
+
+
+def test_finalize_gap_zero_on_untruncated_package(chance_problem):
+    from repro.core.package import Package
+
+    stats = RunStats("summarysearch")
+    result = _result(
+        package=Package(chance_problem, np.zeros(5)),
+        feasible=True,
+        objective=1.0,
+        stats=stats,
+    )
+    finalize_anytime(result, SPQConfig(deadline_ms=10_000.0), elapsed_s=0.01)
+    assert result.anytime.deadline_met
+    assert result.anytime.gap == 0.0
+
+
+def test_finalize_truncated_prefers_epsilon_certificate(chance_problem):
+    from repro.core.package import Package
+
+    stats = RunStats("summarysearch")
+    stats.timed_out = True
+    result = _result(
+        package=Package(chance_problem, np.zeros(5)),
+        feasible=True,
+        objective=10.0,
+        stats=stats,
+        epsilon_upper=0.25,
+        meta={"truncated_stages": ("csa",)},
+    )
+    finalize_anytime(result, SPQConfig(deadline_ms=1.0), elapsed_s=5.0)
+    assert not result.anytime.deadline_met
+    assert result.anytime.gap == pytest.approx(0.25)
+    assert result.anytime.stages_truncated == ("csa",)
+
+
+def test_finalize_truncated_falls_back_to_bounds(chance_problem):
+    from repro.core.package import Package
+    from repro.silp.model import SENSE_MIN
+
+    stats = RunStats("summarysearch")
+    stats.timed_out = True
+    bounds = ObjectiveBounds(lower=8.0, upper=20.0)
+    result = _result(
+        package=Package(chance_problem, np.zeros(5)),
+        feasible=True,
+        objective=10.0,
+        stats=stats,
+        meta={"bounds": bounds, "objective_sense": SENSE_MIN},
+    )
+    finalize_anytime(result, SPQConfig(deadline_ms=1.0), elapsed_s=5.0)
+    # Minimization: distance from the incumbent (10) to the lower edge (8).
+    assert result.anytime.gap == pytest.approx(relative_gap(10.0, 8.0))
+    assert result.anytime.best_bound == pytest.approx(8.0)
+
+
+def test_finalize_is_idempotent():
+    result = _result()
+    envelope = AnytimeResult(
+        deadline_ms=1.0, deadline_met=False, elapsed_ms=2.0, gap=0.5
+    )
+    result.anytime = envelope
+    finalize_anytime(result, SPQConfig(), elapsed_s=0.0)
+    assert result.anytime is envelope
+
+
+def test_as_dict_is_json_ready():
+    envelope = AnytimeResult(
+        deadline_ms=100.0,
+        deadline_met=False,
+        elapsed_ms=123.456789,
+        gap=np.float64(0.25),
+        incumbent_objective=np.float64(10.0),
+        best_bound=8.0,
+        stages_truncated=("csa",),
+    )
+    doc = envelope.as_dict()
+    assert doc["deadline_met"] is False
+    assert isinstance(doc["gap"], float)
+    assert isinstance(doc["incumbent_objective"], float)
+    assert doc["stages_truncated"] == ["csa"]
+    import json
+
+    json.dumps(doc)
+
+
+# --- engine attachment -----------------------------------------------------
+
+
+def test_engine_always_attaches_envelope(engine):
+    result = engine.execute(QUERY)
+    assert result.anytime is not None
+    assert result.anytime.deadline_met
+    assert result.anytime.gap == 0.0
+    assert result.anytime.elapsed_ms > 0
+
+
+def test_ample_deadline_is_bit_identical_to_no_deadline(engine):
+    exact = engine.execute(QUERY, seed=7)
+    generous = engine.execute(QUERY, seed=7, deadline_ms=3_600_000.0)
+    assert generous.anytime.deadline_met
+    assert generous.anytime.gap == 0.0
+    assert np.array_equal(
+        exact.package.multiplicities, generous.package.multiplicities
+    )
+    assert generous.objective == exact.objective
+
+
+def test_tight_deadline_returns_incumbent_with_gap():
+    # An unattainably small epsilon with unbounded quality rounds forces
+    # SummarySearch to refine until the clock, not the success criterion,
+    # stops it — the anytime path must then surface the best incumbent.
+    from repro import Catalog
+    from repro.workloads import get_query
+
+    spec = get_query("portfolio", "Q1")
+    relation, model = spec.build_dataset(40, seed=7)
+    catalog = Catalog()
+    catalog.register(relation, model)
+    config = SPQConfig(
+        n_validation_scenarios=1_000,
+        n_initial_scenarios=24,
+        scenario_increment=24,
+        max_scenarios=1_000_000,
+        n_expectation_scenarios=400,
+        epsilon=1e-9,
+        max_quality_rounds=None,
+        seed=3,
+        deadline_ms=1_200.0,
+    )
+    engine = SPQEngine(catalog=catalog, config=config)
+    result = engine.execute(spec.spaql)
+    assert result.anytime is not None
+    assert not result.anytime.deadline_met
+    assert result.package is not None
+    assert result.feasible  # the incumbent validated out-of-sample
+    assert result.anytime.gap is not None and np.isfinite(result.anytime.gap)
+    assert result.anytime.stages_truncated == ("csa",)
+    assert result.stats.timed_out
+    # The deadline-missed line surfaces in the human summary too.
+    assert "deadline missed" in result.summary()
+
+
+def test_naive_tight_deadline_marks_truncation(items_catalog):
+    config = SPQConfig(
+        n_validation_scenarios=400,
+        n_initial_scenarios=16,
+        scenario_increment=16,
+        max_scenarios=1_000_000,
+        n_expectation_scenarios=200,
+        epsilon=0.5,
+        seed=3,
+        deadline_ms=150.0,
+    )
+    engine = SPQEngine(catalog=items_catalog, config=config)
+    # An infeasible-by-construction query loops adding scenarios until
+    # the deadline; naive must stop and report truncation, not hang.
+    impossible = (
+        "SELECT PACKAGE(*) FROM items SUCH THAT COUNT(*) <= 1 AND"
+        " SUM(Value) >= 50 WITH PROBABILITY >= 0.99"
+        " MINIMIZE EXPECTED SUM(Value)"
+    )
+    result = engine.execute(impossible, method="naive")
+    assert result.anytime is not None
+    assert not result.anytime.deadline_met
+    assert result.stats.timed_out

@@ -53,9 +53,9 @@ def _gate_broker(broker: QueryBroker) -> threading.Event:
     gate = threading.Event()
     original = broker._run
 
-    def gated(query, method, overrides, trace=None):
+    def gated(query, method, overrides, *args):
         gate.wait(30)
-        return original(query, method, overrides, trace)
+        return original(query, method, overrides, *args)
 
     broker._run = gated
     return gate

@@ -149,9 +149,9 @@ def test_saturation_is_counted_and_exposed_as_rejected_total():
     gate = threading.Event()
     original = broker._run
 
-    def gated(query, method, overrides, trace=None):
+    def gated(query, method, overrides, *args):
         gate.wait(60)
-        return original(query, method, overrides, trace)
+        return original(query, method, overrides, *args)
 
     broker._run = gated
     svc = SPQService(broker, port=0, own_broker=True).start_background()

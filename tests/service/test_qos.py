@@ -1,0 +1,363 @@
+"""QoS tier: EDF ordering, deadline expiry races, admission, HTTP 504.
+
+Every scheduling assertion runs on an injected fake clock — no sleeps,
+no wall-clock flakiness.  The HTTP tests at the bottom exercise the
+full ``deadline_ms`` round trip against a live socket.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import Catalog, Relation, SPQConfig
+from repro.errors import EvaluationError
+from repro.mcdb import GaussianNoiseVG, StochasticModel
+from repro.service import (
+    DeadlineExpiredError,
+    EDFQueue,
+    QueryBroker,
+    SPQService,
+    TaskDeadline,
+)
+
+QUERY = """
+SELECT PACKAGE(*) FROM items SUCH THAT
+    COUNT(*) <= 3 AND
+    SUM(Value) >= 6 WITH PROBABILITY >= 0.8
+MINIMIZE EXPECTED SUM(Value)
+"""
+
+
+class FakeClock:
+    def __init__(self, now: float = 0.0):
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
+# --- TaskDeadline ----------------------------------------------------------
+
+
+def test_task_deadline_pins_absolute_expiry():
+    clock = FakeClock(100.0)
+    deadline = TaskDeadline(250.0, clock=clock)
+    assert deadline.expires_at == pytest.approx(100.25)
+    assert deadline.remaining_ms() == pytest.approx(250.0)
+    assert not deadline.expired()
+    clock.now = 100.2
+    assert deadline.remaining_ms() == pytest.approx(50.0)
+    clock.now = 100.25
+    assert deadline.expired()  # boundary counts as expired
+    clock.now = 101.0
+    assert deadline.remaining_ms() == pytest.approx(-750.0)
+
+
+def test_queue_time_counts_against_budget():
+    # A query admitted with 50ms that waits 60ms is dead on dispatch even
+    # though no solving happened — the absolute pin makes this automatic.
+    clock = FakeClock(0.0)
+    deadline = TaskDeadline(50.0, clock=clock)
+    clock.now = 0.06
+    assert deadline.expired()
+
+
+# --- EDFQueue --------------------------------------------------------------
+
+
+def test_edf_orders_by_expiry_not_arrival():
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
+    queue.push("loose", TaskDeadline(5_000.0, clock=clock))
+    queue.push("tight", TaskDeadline(100.0, clock=clock))
+    queue.push("medium", TaskDeadline(1_000.0, clock=clock))
+    assert queue.items() == ["tight", "medium", "loose"]
+    assert [queue.pop() for _ in range(3)] == ["tight", "medium", "loose"]
+    assert not queue
+
+
+def test_deadline_less_work_keeps_fifo_behind_deadlined():
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
+    queue.push("a")
+    queue.push("b")
+    queue.push("urgent", TaskDeadline(10.0, clock=clock))
+    queue.push("c")
+    assert [queue.pop() for _ in range(4)] == ["urgent", "a", "b", "c"]
+
+
+def test_front_push_outranks_every_deadline():
+    # Crash-retry discipline: the victim already waited a full solve, so
+    # it overtakes even a tighter deadline that arrived meanwhile.
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
+    queue.push("tight", TaskDeadline(1.0, clock=clock))
+    queue.push("retried-1", front=True)
+    queue.push("retried-2", front=True)
+    # Later front pushes go first (decreasing seq at -inf expiry): the
+    # most recent crash victim is closest to having been running.
+    assert queue.pop() == "retried-2"
+    assert queue.pop() == "retried-1"
+    assert queue.pop() == "tight"
+
+
+def test_edf_tie_breaks_fifo_and_remove_by_identity():
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
+    first = {"id": 1}
+    twin = {"id": 1}  # equal by value, distinct by identity
+    queue.push(first, TaskDeadline(100.0, clock=clock))
+    queue.push(twin, TaskDeadline(100.0, clock=clock))
+    queue.remove(twin)
+    assert len(queue) == 1
+    assert queue.pop() is first
+    with pytest.raises(ValueError):
+        queue.remove(twin)
+
+
+def test_edf_clear_returns_items_for_settlement():
+    queue = EDFQueue()
+    queue.push("x")
+    queue.push("y")
+    assert sorted(queue.clear()) == ["x", "y"]
+    assert len(queue) == 0
+    with pytest.raises(IndexError):
+        queue.pop()
+
+
+def test_expiry_race_item_queued_then_clock_advances():
+    # The queue itself never drops items — expiry is the dispatcher's
+    # call (farm checks at pop time) — but EDF rank is frozen at push, so
+    # an expired item surfaces first and is rejected promptly, not last.
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
+    dead = TaskDeadline(10.0, clock=clock)
+    queue.push("doomed", dead)
+    queue.push("fine", TaskDeadline(10_000.0, clock=clock))
+    clock.now = 5.0  # way past 10ms
+    assert dead.expired()
+    assert queue.pop() == "doomed"
+
+
+# --- broker admission ------------------------------------------------------
+
+
+@pytest.fixture
+def catalog() -> Catalog:
+    relation = Relation("items", {"price": [5.0, 8.0, 3.0, 6.0, 4.0]})
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 1.0)})
+    out = Catalog()
+    out.register(relation, model)
+    return out
+
+
+@pytest.fixture
+def config() -> SPQConfig:
+    return SPQConfig(
+        n_validation_scenarios=500,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=60,
+        epsilon=0.8,
+        seed=11,
+    )
+
+
+def test_broker_rejects_expired_budget_at_admission(catalog, config):
+    with QueryBroker(catalog, config=config, pool_size=1) as broker:
+        with pytest.raises(DeadlineExpiredError, match="rejected at admission"):
+            broker.submit(QUERY, deadline_ms=0)
+        with pytest.raises(DeadlineExpiredError):
+            broker.submit(QUERY, deadline_ms=-10.0)
+        with pytest.raises(EvaluationError, match="must be a number"):
+            broker.submit(QUERY, deadline_ms="soon")
+        status = broker.status()
+        assert status["deadline"]["rejected"] == 2
+        assert status["submitted"] == 0  # rejected before accounting
+
+
+def test_broker_counts_deadline_verdicts(catalog, config):
+    with QueryBroker(catalog, config=config, pool_size=1) as broker:
+        broker.execute(QUERY)  # no deadline: counts as met
+        broker.execute(QUERY, deadline_ms=3_600_000.0)  # ample: met
+        status = broker.status()
+    assert status["deadline"]["met"] == 2
+    assert status["deadline"]["missed"] == 0
+    assert status["deadline"]["last_gap"] == 0.0
+
+
+def test_broker_result_carries_anytime_envelope(catalog, config):
+    with QueryBroker(catalog, config=config, pool_size=1) as broker:
+        result = broker.execute(QUERY, deadline_ms=3_600_000.0)
+    assert result.anytime is not None
+    assert result.anytime.deadline_met
+    assert result.anytime.gap == 0.0
+
+
+def test_queued_expiry_fails_future_with_504_error(catalog, config):
+    # Hold the only worker hostage, queue a 1ms query behind it: by the
+    # time the slot frees, the budget is gone and the future must fail
+    # with DeadlineExpiredError (not run the solve).
+    with QueryBroker(catalog, config=config, pool_size=1) as broker:
+        gate = threading.Event()
+        original = broker._run
+
+        def gated(query, method, overrides, *args):
+            gate.wait(60)
+            return original(query, method, overrides, *args)
+
+        broker._run = gated
+        blocker = broker.submit(QUERY)
+        doomed = broker.submit(QUERY, seed=77, deadline_ms=1.0)
+        import time
+
+        time.sleep(0.05)  # let the 1ms budget drain while queued
+        gate.set()
+        assert blocker.result(timeout=120) is not None
+        with pytest.raises(DeadlineExpiredError, match="expired"):
+            doomed.result(timeout=120)
+        status = broker.status()
+    assert status["failed"] == 1
+
+
+# --- HTTP round trip -------------------------------------------------------
+
+
+@pytest.fixture
+def service(catalog, config):
+    broker = QueryBroker(catalog, config=config, pool_size=2)
+    svc = SPQService(broker, port=0, own_broker=True).start_background()
+    try:
+        yield svc
+    finally:
+        svc.shutdown()
+
+
+def _post(service, payload: dict):
+    host, port = service.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get(service, path: str):
+    host, port = service.address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=30
+    ) as response:
+        body = response.read()
+        if response.headers.get("Content-Type", "").startswith(
+            "application/json"
+        ):
+            return response.status, json.loads(body)
+        return response.status, body.decode()
+
+
+def test_http_every_response_states_deadline_verdict(service):
+    status, body = _post(service, {"query": QUERY})
+    assert status == 200
+    assert body["deadline_met"] is True
+    assert body["gap"] == 0.0
+
+
+def test_http_ample_deadline_roundtrip(service):
+    status, body = _post(service, {"query": QUERY, "deadline_ms": 3_600_000})
+    assert status == 200
+    assert body["deadline_met"] is True
+    assert body["gap"] == 0.0
+    assert body["anytime"]["deadline_ms"] is not None
+    assert body["anytime"]["elapsed_ms"] > 0
+
+
+def test_http_expired_deadline_maps_to_504(service):
+    request_payload = {"query": QUERY, "deadline_ms": 0}
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(service, request_payload)
+    assert excinfo.value.code == 504
+    body = json.loads(excinfo.value.read())
+    assert body["error"]["kind"] == "deadline-expired"
+
+
+def test_http_bad_deadline_type_maps_to_400(service):
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post(service, {"query": QUERY, "deadline_ms": "soon"})
+    assert excinfo.value.code == 400
+
+
+def test_http_tight_deadline_returns_200_with_incumbent_and_gap():
+    """Acceptance: deadline < exact solve time → 200, feasible incumbent,
+    finite gap, on a warm engine."""
+    from repro.workloads import get_query
+
+    spec = get_query("portfolio", "Q1")
+    relation, model = spec.build_dataset(40, seed=7)
+    catalog = Catalog()
+    catalog.register(relation, model)
+    config = SPQConfig(
+        n_validation_scenarios=1_000,
+        n_initial_scenarios=24,
+        scenario_increment=24,
+        max_scenarios=1_000_000,
+        n_expectation_scenarios=400,
+        seed=3,
+    )
+    broker = QueryBroker(catalog, config=config, pool_size=1)
+    svc = SPQService(broker, port=0, own_broker=True).start_background()
+    try:
+        # Warm the engine/store with a cheap exact run first.
+        status, _ = _post(
+            svc,
+            {"query": spec.spaql, "overrides": {"epsilon": 0.9,
+                                                "max_scenarios": 48}},
+        )
+        assert status == 200
+        # An unattainable epsilon forces refinement until the deadline.
+        status, body = _post(
+            svc,
+            {
+                "query": spec.spaql,
+                "deadline_ms": 1_200,
+                "overrides": {"epsilon": 1e-9, "max_quality_rounds": None},
+            },
+        )
+        assert status == 200
+        assert body["feasible"] is True  # validator-feasible incumbent
+        assert body["deadline_met"] is False
+        assert body["gap"] is not None and body["gap"] >= 0.0
+        assert body["anytime"]["stages_truncated"] == ["csa"]
+        # The verdict lands on the broker's QoS counters too.
+        _, metrics = _get(svc, "/metrics")
+        lines = metrics.splitlines()
+        assert "repro_deadline_missed_total 1" in lines
+    finally:
+        svc.shutdown()
+
+
+def test_http_metrics_expose_deadline_families(service):
+    _post(service, {"query": QUERY, "deadline_ms": 3_600_000})
+    with pytest.raises(urllib.error.HTTPError):
+        _post(service, {"query": QUERY, "deadline_ms": -1})
+    status, text = _get(service, "/metrics")
+    assert status == 200
+    metrics = {
+        line.split()[0]: line.split()[1]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    assert int(metrics["repro_deadline_met_total"]) >= 1
+    assert int(metrics["repro_deadline_rejected_total"]) == 1
+    assert "repro_deadline_missed_total" in metrics
+    assert "repro_deadline_expired_total" in metrics
+    assert float(metrics["repro_query_gap"]) == 0.0
+    # /status mirrors the same counters.
+    _, status_body = _get(service, "/status")
+    assert status_body["deadline"]["rejected"] == 1

@@ -1,0 +1,171 @@
+"""Regression tests: the deadline must bind *inside* a node, not only
+between nodes.
+
+The historical bug: the solve loop checked the clock only when popping
+the next node, so a single slow LP relaxation could blow arbitrarily far
+past the budget. The fix clamps every per-node LP call to the remaining
+budget (floored at ``_MIN_LP_BUDGET``) so scipy itself stops the node.
+These tests patch ``_solve_relaxation`` to observe the limits that the
+solver actually requests and to simulate a node slower than the budget.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+import repro.solver.branch_bound as bb
+from repro.solver import (
+    STATUS_FEASIBLE,
+    STATUS_OPTIMAL,
+    STATUS_TIME_LIMIT,
+    solve_with_branch_bound,
+)
+from repro.solver.model import MILPBuilder
+
+
+def knapsack(values, weights, capacity, ub=3) -> MILPBuilder:
+    builder = MILPBuilder()
+    idx = builder.add_variables("x", len(values), lb=0.0, ub=ub)
+    builder.add_constraint(idx, np.asarray(weights, dtype=float), ub=capacity)
+    builder.set_objective(idx, np.asarray(values, dtype=float), "maximize")
+    return builder
+
+
+VALUES = [9.0, 7.0, 5.0, 4.0, 3.0, 2.0, 8.0]
+WEIGHTS = [3.0, 2.0, 4.0, 1.0, 5.0, 2.0, 3.0]
+
+
+def test_every_lp_call_is_clamped_to_remaining_budget(monkeypatch):
+    """With a finite budget, each LP call carries a finite, non-increasing
+    time limit — never the unclamped default."""
+    seen: list[float] = []
+    original = bb._solve_relaxation
+
+    def spying(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
+        assert time_limit is not None, "per-node LP ran without a budget"
+        seen.append(float(time_limit))
+        return original(c, a_ub, b_ub, var_lb, var_ub, time_limit=time_limit)
+
+    monkeypatch.setattr(bb, "_solve_relaxation", spying)
+    result = solve_with_branch_bound(
+        knapsack(VALUES, WEIGHTS, 10.0), time_limit=30.0
+    )
+    assert result.status == STATUS_OPTIMAL
+    assert seen, "no LP relaxations observed"
+    assert all(np.isfinite(t) for t in seen)
+    assert all(t <= 30.0 + 1e-9 for t in seen)
+    # Budgets shrink as wall time elapses (within a small scheduling
+    # tolerance) — the clamp tracks the *remaining* budget, not the total.
+    assert all(b <= a + 1e-6 for a, b in zip(seen, seen[1:]))
+    # The floor keeps scipy from receiving a zero/negative limit.
+    assert all(t >= bb._MIN_LP_BUDGET - 1e-12 for t in seen)
+
+
+def test_unbudgeted_solve_passes_no_lp_limit(monkeypatch):
+    seen: list[object] = []
+    original = bb._solve_relaxation
+
+    def spying(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
+        seen.append(time_limit)
+        return original(c, a_ub, b_ub, var_lb, var_ub, time_limit=time_limit)
+
+    monkeypatch.setattr(bb, "_solve_relaxation", spying)
+    result = solve_with_branch_bound(knapsack(VALUES, WEIGHTS, 10.0))
+    assert result.status == STATUS_OPTIMAL
+    assert seen and all(t is None for t in seen)
+
+
+def _slow_node_clock_and_patch(monkeypatch, slow_after: int, overrun: float):
+    """Patch _solve_relaxation so that the ``slow_after``-th LP call burns
+    ``overrun`` fake seconds and reports scipy's time-limit status."""
+    state = {"now": 0.0, "calls": 0}
+    original = bb._solve_relaxation
+
+    def slow(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
+        state["calls"] += 1
+        if state["calls"] == slow_after:
+            # The node is slower than its clamp: scipy gives up at the
+            # limit and the wall clock shows the full clamped budget.
+            state["now"] += (time_limit or 0.0) + overrun
+            return "limit", None, np.inf
+        state["now"] += 0.001
+        return original(c, a_ub, b_ub, var_lb, var_ub)
+
+    monkeypatch.setattr(bb, "_solve_relaxation", slow)
+    return lambda: state["now"]
+
+
+def test_slow_node_mid_search_returns_incumbent(monkeypatch):
+    """A node that exhausts the whole remaining budget must not hang the
+    search: the solver stops right after it and returns the incumbent
+    found so far with a finite gap."""
+    clock = _slow_node_clock_and_patch(monkeypatch, slow_after=4, overrun=0.0)
+    result = solve_with_branch_bound(
+        knapsack(VALUES, WEIGHTS, 10.0), time_limit=1.0, clock=clock
+    )
+    # Three fast LPs (root + two children) ran before the slow node, so
+    # an integral incumbent may or may not exist yet — but either way the
+    # solve must have stopped at the deadline, not continued searching.
+    assert result.status in (STATUS_FEASIBLE, STATUS_TIME_LIMIT)
+    assert result.meta.get("stopped") == "deadline" or result.x is None
+    if result.x is not None:
+        assert knapsack(VALUES, WEIGHTS, 10.0).check_feasible(result.x)
+        assert result.gap is not None and result.gap >= 0.0
+        assert np.isfinite(result.meta["best_bound"])
+
+
+def test_slow_root_with_warm_start_falls_back_to_hint(monkeypatch):
+    """If the root LP itself times out but a validated warm start exists,
+    the solver reports the hint as a feasible incumbent instead of
+    failing with no solution."""
+    builder = knapsack(VALUES, WEIGHTS, 10.0)
+    hint = np.zeros(len(VALUES))
+    hint[3] = 1.0  # weight 1 <= 10: feasible
+    builder.set_warm_start(hint)
+
+    clock = _slow_node_clock_and_patch(monkeypatch, slow_after=1, overrun=0.0)
+    result = solve_with_branch_bound(builder, time_limit=0.5, clock=clock)
+    assert result.status == STATUS_FEASIBLE
+    assert result.x is not None
+    assert np.array_equal(result.x, hint)
+
+
+def test_slow_root_without_hint_reports_time_limit(monkeypatch):
+    clock = _slow_node_clock_and_patch(monkeypatch, slow_after=1, overrun=0.0)
+    result = solve_with_branch_bound(
+        knapsack(VALUES, WEIGHTS, 10.0), time_limit=0.5, clock=clock
+    )
+    assert result.status == STATUS_TIME_LIMIT
+    assert result.x is None
+
+
+def test_expired_budget_overrun_does_not_loop(monkeypatch):
+    """Even when the slow node overruns *past* the deadline (scipy's
+    limit enforcement is approximate), the outer loop notices on the next
+    pop and stops — bounded by one node, not by the queue size."""
+    calls = {"n": 0}
+    original = bb._solve_relaxation
+    state = {"now": 0.0}
+
+    def slow_everything(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
+        calls["n"] += 1
+        state["now"] += 10.0  # every LP blows far past the 1s budget
+        return original(c, a_ub, b_ub, var_lb, var_ub)
+
+    monkeypatch.setattr(bb, "_solve_relaxation", slow_everything)
+    result = solve_with_branch_bound(
+        knapsack(VALUES, WEIGHTS, 10.0),
+        time_limit=1.0,
+        clock=lambda: state["now"],
+    )
+    # Root LP (1 call) + at most one node expansion (2 child LPs).
+    assert calls["n"] <= 3
+    assert result.status in (STATUS_FEASIBLE, STATUS_TIME_LIMIT)
+    if result.status == STATUS_FEASIBLE:
+        assert result.meta.get("stopped") == "deadline"
+        assert pytest.approx(result.gap, abs=1e-9) == max(
+            0.0,
+            (result.meta["best_bound"] - result.objective)
+            / max(1.0, abs(result.objective)),
+        )

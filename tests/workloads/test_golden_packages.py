@@ -63,3 +63,35 @@ def test_golden_package(workload, query, scale):
     got = {int(k): int(v) for k, v in result.package.key_multiplicities().items()}
     assert got == multiplicities
     assert result.objective == pytest.approx(objective, rel=1e-9)
+
+
+@pytest.mark.parametrize(
+    "workload,query,scale",
+    [("portfolio", "Q1", 60), ("galaxy", "Q1", 300)],
+    ids=lambda v: str(v),
+)
+def test_golden_package_survives_ample_deadline(workload, query, scale):
+    """The anytime path with a far-away deadline is the exact path.
+
+    Pinning this alongside the deadline-free goldens guarantees the QoS
+    plumbing (Deadline threading, anytime envelope, truncation checks)
+    is a pure pass-through when the budget never binds: same tuple ids,
+    same multiplicities, same objective, gap 0.
+    """
+    objective, multiplicities = GOLDEN[(workload, query, scale)]
+    spec = get_query(workload, query)
+    relation, model = spec.build_dataset(scale, seed=DATA_SEED)
+    catalog = Catalog()
+    catalog.register(relation, model)
+    engine = SPQEngine(
+        catalog=catalog,
+        config=SPQConfig(**CONFIG, deadline_ms=3_600_000.0),
+    )
+    result = engine.execute(spec.spaql)
+    assert result.feasible
+    got = {int(k): int(v) for k, v in result.package.key_multiplicities().items()}
+    assert got == multiplicities
+    assert result.objective == pytest.approx(objective, rel=1e-9)
+    assert result.anytime is not None
+    assert result.anytime.deadline_met
+    assert result.anytime.gap == 0.0
