@@ -1,0 +1,199 @@
+"""Live-data bench: delta-scoped re-validation on an out-of-core relation.
+
+Builds a disk-backed portfolio relation (1M tuples at full scale, small
+under ``REPRO_SMOKE=1``), runs the stochastic SketchRefine driver cold,
+applies a *localized* delta — a contiguous slab of rows inside one
+partition, the shape of a real-world price feed touching one book —
+and re-solves.  The acceptance properties (docs/live_data.md):
+
+* the repair solve reuses **≥ 90% of the untouched partitions'**
+  recorded sub-packages (the delta-equivalence machinery actually
+  kicked in — no silent cold re-solve);
+* the partition index is spliced, never rebuilt from scratch;
+* the repaired package is validator-feasible;
+* at full scale, repair beats the cold solve on wall time ("a 1k-tuple
+  delta re-validates in seconds, not a from-scratch solve").
+
+A uniformly random delta would dirty nearly every partition and reuse
+nothing — that regime is still *correct* (it degrades to cold) but it
+is not what this bench measures.  Results land in ``BENCH_delta.json``
+at the repo root; the schema is identical in smoke and full runs::
+
+    REPRO_SMOKE=1 PYTHONPATH=src:benchmarks python -m pytest benchmarks/bench_delta.py
+"""
+
+import json
+import os
+import time
+
+import numpy as np
+
+from repro.db.catalog import Catalog
+from repro.db.delta import RelationDelta, lineage
+from repro.datasets.portfolio import PortfolioParams, build_portfolio_store
+from repro.scale.driver import scale_sketch_refine_evaluate
+from repro.scale.partition import PartitionIndex, partition_index_key
+from repro.scale.refinecache import refine_cache
+from repro.silp.compile import compile_query
+from repro.workloads import get_query
+
+from conftest import bench_config
+
+_SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+#: Tuples = 2x stocks (two sell horizons per stock).
+N_STOCKS = 5_000 if _SMOKE else 500_000
+DELTA_ROWS = 100 if _SMOKE else 1_000
+RESIDENT_BUDGET = 64 * 1024**2 if _SMOKE else 256 * 1024**2
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+BENCH_DELTA_PATH = os.path.join(REPO_ROOT, "BENCH_delta.json")
+
+
+def _delta_config():
+    return bench_config(
+        n_validation_scenarios=2_000,
+        n_initial_scenarios=20,
+        scenario_increment=20,
+        max_scenarios=60,
+        epsilon=0.5,
+        solver_time_limit=15.0 if _SMOKE else 60.0,
+        time_limit=300.0 if _SMOKE else 1_800.0,
+        scale_n_partitions=8 if _SMOKE else 32,
+        scale_pilot_scenarios=16,
+    )
+
+
+def _localized_delta(problem, config, store) -> RelationDelta:
+    """Perturb a slab of rows inside one *quiet* partition.
+
+    Reads the labels and pilot stats the cold run just recorded and
+    picks the partition the sketch left out of the refine set (the one
+    farthest from any refined partition's signature).  Dirty rows get
+    fresh pilot draws and are re-assigned nearest-centroid during the
+    index splice, so a slab from a quiet, distant partition stays out
+    of the hot partitions — the delta shape this bench measures.
+    """
+    from repro.scale.refinecache import query_digest
+    from repro.service.store import model_fingerprint
+
+    k = max(1, min(config.scale_n_partitions, problem.n_vars))
+    cached = PartitionIndex(problem.relation).get(
+        partition_index_key(problem, config, k)
+    )
+    assert cached is not None, "cold run must have recorded the index entry"
+    labels, pilot = cached
+    artifact = refine_cache.get(
+        model_fingerprint(problem.model), query_digest(problem, config)
+    )
+    assert artifact is not None, "cold run must have recorded its artifact"
+    refined = set(artifact.multiplicities)
+    n_groups = int(labels.max()) + 1
+    counts = np.bincount(labels, minlength=n_groups)
+    centroid_mean = np.array(
+        [pilot.mean[labels == g].mean() for g in range(n_groups)]
+    )
+    centroid_std = np.array(
+        [pilot.std[labels == g].mean() for g in range(n_groups)]
+    )
+
+    def distance_to_refined(g: int) -> float:
+        return min(
+            (centroid_mean[g] - centroid_mean[r]) ** 2
+            + (centroid_std[g] - centroid_std[r]) ** 2
+            for r in refined
+        )
+
+    quiet = [
+        g
+        for g in range(n_groups)
+        if g not in refined and counts[g] >= DELTA_ROWS
+    ]
+    if quiet:
+        target = max(quiet, key=distance_to_refined)
+    else:  # every big partition is hot: fall back to the largest one
+        target = int(counts.argmax())
+    rows = np.nonzero(labels == target)[0][:DELTA_ROWS]
+    assert len(rows) == DELTA_ROWS, "partition smaller than the delta slab"
+    keys = np.asarray(store.column("id"))[rows]
+    prices = np.asarray(store.column("price"))[rows]
+    return RelationDelta(
+        updates={
+            int(key): {"price": round(float(price) * 1.02, 2)}
+            for key, price in zip(keys, prices)
+        }
+    )
+
+
+def test_localized_delta_reuses_untouched_partitions(tmp_path_factory):
+    PartitionIndex.clear_memory()
+    refine_cache.clear()
+    lineage.clear()
+    spec = get_query("portfolio", "Q1")
+    config = _delta_config()
+    base = tmp_path_factory.mktemp("delta-bench")
+    store, model = build_portfolio_store(
+        PortfolioParams(n_stocks=N_STOCKS, seed=17),
+        base / "portfolio",
+        resident_budget=RESIDENT_BUDGET,
+    )
+    catalog = Catalog()
+    catalog.register(store, model)
+
+    record = {
+        "smoke": _SMOKE,
+        "n_tuples": store.n_rows,
+        "delta_rows": DELTA_ROWS,
+        "n_partitions": config.scale_n_partitions,
+    }
+    try:
+        problem = compile_query(spec.spaql, catalog)
+        started = time.perf_counter()
+        cold = scale_sketch_refine_evaluate(problem, config)
+        cold_seconds = time.perf_counter() - started
+        record["cold_seconds"] = round(cold_seconds, 3)
+        record["cold_feasible"] = bool(cold.succeeded)
+        assert cold.succeeded, cold.message
+
+        delta = _localized_delta(problem, config, store)
+        started = time.perf_counter()
+        summary = catalog.apply_delta("stock_investments", delta)
+        apply_seconds = time.perf_counter() - started
+        record["apply_seconds"] = round(apply_seconds, 3)
+        record["dirty_rows"] = summary["dirty_rows"]
+
+        problem = compile_query(spec.spaql, catalog)
+        started = time.perf_counter()
+        repaired = scale_sketch_refine_evaluate(problem, config)
+        repair_seconds = time.perf_counter() - started
+        record["repair_seconds"] = round(repair_seconds, 3)
+        record["repair_feasible"] = bool(repaired.succeeded)
+        repair_meta = repaired.meta.get("delta_repair") or {}
+        record["delta_repair"] = repair_meta
+        record["index_delta_refreshed"] = repaired.meta.get(
+            "partition_index_delta_refreshed"
+        )
+        assert repaired.succeeded, repaired.message
+        assert repaired.meta.get("partition_index_delta_refreshed") is True
+        assert repair_meta, "repair solve never found the recorded artifact"
+
+        # The ≥90% anchor: of the refined partitions the delta did NOT
+        # touch, at least 90% must come back verbatim from the artifact.
+        reused = repair_meta["partitions_reused"]
+        refined = reused + repair_meta["partitions_refined"]
+        untouched = refined - repair_meta["partitions_dirty"]
+        record["untouched_partitions"] = untouched
+        record["untouched_reuse_ratio"] = (
+            round(reused / untouched, 3) if untouched else None
+        )
+        assert untouched > 0, "delta dirtied every refined partition"
+        assert reused / untouched >= 0.9, record
+        if not _SMOKE:
+            # Full scale: repairing after a 1k-tuple delta must beat a
+            # from-scratch solve outright.
+            assert repair_seconds < cold_seconds, record
+    finally:
+        store.close()
+        with open(BENCH_DELTA_PATH, "w") as handle:
+            json.dump(record, handle, indent=2)
+            handle.write("\n")

@@ -22,6 +22,11 @@ and asserts:
   broker's root span;
 * the ``repro_stage_seconds`` histogram's ``stage="query"`` count
   equals the number of completed queries;
+* a **mutator cohort** POSTs ``/update`` deltas concurrently with the
+  query cohorts (docs/live_data.md): no crashes, every applied delta is
+  counted in ``repro_delta_applied_total``, and no query ever answers
+  against a catalog version older than the one it was submitted after
+  (the stale-fingerprint check);
 * the server shuts down cleanly.
 
 Budgeted well under the CI job's 2-minute window.  Also runnable
@@ -84,9 +89,11 @@ def wait_for_listen_line(process, timeout: float = 90.0) -> str:
     raise SystemExit("timed out waiting for the server to start")
 
 
-def post_query(base: str, payload: dict, timeout: float = 120.0):
+def post_query(
+    base: str, payload: dict, timeout: float = 120.0, path: str = "/query"
+):
     request = urllib.request.Request(
-        f"{base}/query",
+        f"{base}{path}",
         data=json.dumps(payload).encode(),
         headers={"Content-Type": "application/json"},
     )
@@ -117,9 +124,10 @@ def _assert_anytime_contract(body: dict) -> None:
 
 def client(base: str, client_id: int, outcomes: list, lock: threading.Lock):
     """One of the 32 concurrent clients; records (client_id, kind, code)."""
-    kind = ("repeat", "seeded", "tight", "status", "loose", "bad")[
-        client_id % 6
-    ]
+    kind = (
+        "repeat", "seeded", "tight", "status",
+        "loose", "bad", "mutator", "versioned",
+    )[client_id % 8]
     try:
         if kind == "repeat":
             code, body = post_query(base, {"query": QUERY})
@@ -165,8 +173,42 @@ def client(base: str, client_id: int, outcomes: list, lock: threading.Lock):
                 _assert_anytime_contract(body)
                 assert body["deadline_met"] is True, body
         elif kind == "status":
-            code, _ = get(base, "/status" if client_id % 8 == 2 else "/metrics")
+            code, _ = get(base, "/status" if client_id % 16 == 3 else "/metrics")
             expect = {200}
+        elif kind == "mutator":
+            # A live price tick racing the query cohorts.  200 (applied)
+            # or 503 (broker closing) — never a crash, never a 500.
+            code, body = post_query(
+                base,
+                {
+                    "table": "stock_investments",
+                    "delta": {
+                        "updates": [
+                            [client_id, {"price": 20.0 + client_id}]
+                        ]
+                    },
+                },
+                path="/update",
+            )
+            expect = {200, 503}
+            if code == 200:
+                assert body["status"] == "ok", body
+                assert body["dirty_rows"] == 1, body
+        elif kind == "versioned":
+            # Stale-fingerprint check: an answer must never be labeled
+            # with a catalog version older than one observed *before*
+            # the query was submitted.
+            _, status_text = get(base, "/status")
+            version_before = json.loads(status_text)["catalog_version"]
+            code, body = post_query(
+                base, {"query": QUERY, "overrides": {"seed": 3_000 + client_id}}
+            )
+            expect = {200, 503}
+            if code == 200:
+                _assert_anytime_contract(body)
+                assert body["catalog_version"] >= version_before, (
+                    body["catalog_version"], version_before,
+                )
         else:
             code, body = post_query(base, {"query": "SELEC nonsense"})
             expect = {400}
@@ -230,7 +272,8 @@ def main() -> int:
         solved = [
             o
             for o in outcomes
-            if o[1] in ("repeat", "seeded", "tight", "loose") and o[2] == 200
+            if o[1] in ("repeat", "seeded", "tight", "loose", "versioned")
+            and o[2] == 200
         ]
         assert solved, "no concurrent query was served"
         loose_ok = [o for o in outcomes if o[1] == "loose" and o[2] == 200]
@@ -295,11 +338,23 @@ def main() -> int:
                             metrics, re.M).group(1))
         assert met >= len(loose_ok), (met, len(loose_ok))
 
+        # Every applied delta is accounted for, and the farm survived
+        # concurrent mutation (no crashes asserted above).
+        applied = [o for o in outcomes if o[1] == "mutator" and o[2] == 200]
+        assert applied, "no mutator update was applied"
+        delta_total = re.search(r"^repro_delta_applied_total (\d+)$",
+                                metrics, re.M)
+        assert delta_total and int(delta_total.group(1)) == len(applied), (
+            delta_total and delta_total.group(1), len(applied),
+        )
+
         _, status_text = get(base, "/status")
         status = json.loads(status_text)
         assert status["backend"] == "process"
         assert status["farm"]["idle"] + status["farm"]["busy"] >= 1
         assert status["deadline"]["met"] >= len(loose_ok)
+        assert status["deltas_applied"] == len(applied)
+        assert status["catalog_version"] >= len(applied)
 
         print(f"service soak: OK — {len(solved)} solves, "
               f"{len(outcomes)} clients, "

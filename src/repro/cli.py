@@ -309,6 +309,13 @@ def build_parser() -> argparse.ArgumentParser:
                      choices=["summarysearch", "naive", "deterministic",
                               "sketchrefine"])
     _add_config_arguments(run)
+    run.add_argument("--apply-delta", metavar="FILE", action="append",
+                     default=[],
+                     help="apply a relation delta before evaluating: FILE is"
+                          ' a JSON document {"table": "<name>", "delta":'
+                          ' {"inserts": [...], "updates": [[key, {col:'
+                          ' value}], ...], "deletes": [...]}} (repeatable;'
+                          " applied in order — see docs/live_data.md)")
     run.add_argument("--output", help="write the package relation as CSV")
     run.add_argument("--profile-stages", action="store_true",
                      help="aggregate per-stage self times across the run and"
@@ -502,6 +509,23 @@ def _build_config(args, **extra) -> SPQConfig:
 # --- subcommands -----------------------------------------------------------
 
 
+def _apply_delta_file(catalog: Catalog, path: str) -> dict:
+    """Apply one ``--apply-delta`` JSON document to the catalog."""
+    from .db.delta import RelationDelta
+
+    with open(path, encoding="utf-8") as handle:
+        document = json.load(handle)
+    if not isinstance(document, dict) or not isinstance(
+        document.get("table"), str
+    ):
+        raise SPQError(
+            f"--apply-delta {path}: expected a JSON object with"
+            ' "table" and "delta" members'
+        )
+    delta = RelationDelta.from_payload(document.get("delta") or {})
+    return catalog.apply_delta(document["table"], delta)
+
+
 def cmd_run(args) -> int:
     """``repro run``: evaluate one query and print the package."""
     from .service.store import ScenarioStore
@@ -525,6 +549,14 @@ def cmd_run(args) -> int:
             )
         query = specs[0].spaql
         print(f"query ({specs[0].qualified_name}):\n{query}\n")
+    for path in args.apply_delta:
+        summary = _apply_delta_file(catalog, path)
+        print(
+            f"delta applied to {summary['table']!r}:"
+            f" {summary['dirty_rows']} dirty row(s),"
+            f" {summary['n_rows']} rows,"
+            f" catalog version {summary['catalog_version']}"
+        )
     # Single-query runs share realizations within the evaluation (e.g.
     # across SAA/CSA iterations) through the same store the serving
     # layer uses; closed on exit so spill files never leak.

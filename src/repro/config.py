@@ -174,6 +174,13 @@ class SPQConfig:
     #: it).  Explicit ``method="sketchrefine"`` requests always use the
     #: driver regardless.
     scale_threshold_rows: int | None = None
+    #: Delta-scoped repair: after a relation delta, the scale driver may
+    #: splice the partition index (re-labeling only dirty rows) and reuse
+    #: clean partitions' refined sub-packages from the previous solve of
+    #: the same query, re-refining only dirty partitions and re-validating
+    #: the combined package out-of-sample (see ``docs/live_data.md``).
+    #: Disabling forces every post-delta solve down the cold path.
+    scale_delta_reuse: bool = True
 
     # --- observability (repro.obs) ------------------------------------------
     #: Record trace spans for every evaluation (parse/compile/solve/

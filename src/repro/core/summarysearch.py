@@ -37,12 +37,21 @@ METHOD_SUMMARY_SEARCH = "summarysearch"
 
 
 def summary_search_evaluate(
-    problem: StochasticPackageProblem, config: SPQConfig, store=None
+    problem: StochasticPackageProblem,
+    config: SPQConfig,
+    store=None,
+    warm_x: np.ndarray | None = None,
 ) -> PackageResult:
     """Evaluate a stochastic package query with SummarySearch.
 
     ``store`` optionally routes scenario realization through a shared
     :class:`repro.service.ScenarioStore` (bit-identical results).
+
+    ``warm_x`` optionally seeds the CSA loop's starting incumbent (a
+    previous package aligned to this problem's variables, e.g. the
+    pre-delta sub-package in a repair solve); it flows into the first
+    formulation's MIP start through ``core/warmstart.py``.  Ignored when
+    its length does not match the problem.
     """
     ctx = EvaluationContext(problem, config, store=store)
     validator = Validator(ctx)
@@ -73,6 +82,9 @@ def summary_search_evaluate(
             ),
         )
     x0 = np.round(q0_result.x[: problem.n_vars]).astype(np.int64)
+    start_x = x0
+    if warm_x is not None and len(warm_x) == problem.n_vars:
+        start_x = np.asarray(warm_x, dtype=np.int64)
 
     # --- bounds and ε (Section 5.4) --------------------------------------------
     bounds = (
@@ -113,7 +125,7 @@ def summary_search_evaluate(
                 ctx,
                 validator,
                 bounds,
-                x0,
+                start_x,
                 n_scenarios,
                 min(n_summaries, n_scenarios),
                 epsilon,

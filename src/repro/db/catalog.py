@@ -93,6 +93,64 @@ class Catalog:
     def __len__(self) -> int:
         return len(self._tables)
 
+    def apply_delta(self, name: str, delta) -> dict:
+        """Apply a :class:`~repro.db.delta.RelationDelta` to a table.
+
+        The relation is mutated (ColumnStore) or replaced (in-memory),
+        the stochastic model — if any — is rebound against the new rows
+        via each VG's ``unbound_copy``, the version counter bumps (which
+        invalidates every sharing session's compile cache), and the
+        fingerprint chain is extended in the process-wide
+        :data:`repro.db.delta.lineage` registry so fingerprint-keyed
+        caches can be reused delta-scoped instead of cold-missing.
+
+        Returns a JSON-ready summary (old/new fingerprint, dirty rows,
+        catalog version) — the ``POST /update`` response body.
+        """
+        from ..service.store import model_fingerprint, relation_fingerprint
+        from .delta import lineage
+
+        relation, model = self._entry(name)
+        parent_fp = (
+            model_fingerprint(model)
+            if model is not None
+            else relation_fingerprint(relation)
+        )
+        new_relation, application = relation.apply_delta(delta)
+        new_model = None
+        if model is not None:
+            from ..mcdb.stochastic import StochasticModel
+
+            new_model = StochasticModel(
+                new_relation,
+                {
+                    attr: model.vg(attr).unbound_copy()
+                    for attr in model.attribute_names
+                },
+            )
+        child_fp = (
+            model_fingerprint(new_model)
+            if new_model is not None
+            else relation_fingerprint(new_relation)
+        )
+        self.register(new_relation, new_model, name=name)
+        record = lineage.record_delta(
+            parent_fp,
+            child_fp,
+            application,
+            catalog_version=self.version,
+            table=self._norm(name),
+        )
+        return {
+            "table": self._norm(name),
+            "catalog_version": self.version,
+            "fingerprint": child_fp,
+            "parent_fingerprint": parent_fp,
+            "n_rows": new_relation.n_rows,
+            **application.as_dict(),
+            "lineage_recorded": record is not None,
+        }
+
     def drop(self, name: str) -> None:
         """Remove a registered table."""
         key = self._norm(name)

@@ -148,6 +148,27 @@ class Relation:
         """The first ``n`` rows."""
         return self.take(np.arange(min(n, self._n_rows)))
 
+    # --- live data ------------------------------------------------------------
+
+    def apply_delta(self, inserts=None, updates=None, deletes=None):
+        """Apply one mutation batch; returns ``(relation, application)``.
+
+        ``inserts`` is a sequence of row dicts appended at the end,
+        ``updates`` maps key values to ``{column: new_value}``, and
+        ``deletes`` is a sequence of key values.  This relation is
+        untouched; the returned :class:`~repro.db.delta.DeltaApplication`
+        records the dirty row positions used for delta-scoped cache
+        invalidation (see ``docs/live_data.md``).
+        """
+        from .delta import RelationDelta, apply_delta_to_relation
+
+        delta = (
+            inserts
+            if isinstance(inserts, RelationDelta)
+            else RelationDelta(inserts, updates, deletes)
+        )
+        return apply_delta_to_relation(self, delta)
+
     # --- out-of-core bridge ---------------------------------------------------
 
     def to_disk(self, path, chunk_rows: int | None = None):

@@ -22,22 +22,30 @@ SketchRefine as future work).  This package supplies the missing layers:
   out-of-sample validation of the combined package through
   :mod:`repro.core.validator`;
 * :mod:`repro.scale.metrics` — process-wide ``repro_scale_*`` counters
-  surfaced on the serving layer's ``/status`` and ``/metrics``.
+  surfaced on the serving layer's ``/status`` and ``/metrics``;
+* :mod:`repro.scale.refinecache` — per-query solve artifacts enabling
+  delta-scoped repair: after a relation delta, clean partitions reuse
+  their refined sub-packages and only dirty partitions re-solve (see
+  ``docs/live_data.md``).
 """
 
 from .columnar import ColumnStore, ColumnStoreWriter, open_store, write_store
 from .driver import METHOD_SKETCH_REFINE, scale_sketch_refine_evaluate
 from .metrics import scale_metrics
 from .partition import PartitionIndex, partition_labels, pilot_statistics
+from .refinecache import RefineCache, SolveArtifact, refine_cache
 
 __all__ = [
     "ColumnStore",
     "ColumnStoreWriter",
     "METHOD_SKETCH_REFINE",
     "PartitionIndex",
+    "RefineCache",
+    "SolveArtifact",
     "open_store",
     "partition_labels",
     "pilot_statistics",
+    "refine_cache",
     "scale_metrics",
     "scale_sketch_refine_evaluate",
     "write_store",

@@ -274,7 +274,11 @@ class ColumnStore:
 
     Implements the read side of the ``Relation`` protocol; derivation
     methods return ordinary in-memory relations (:meth:`take`,
-    :meth:`filter`) — the store itself is immutable.  Instances are
+    :meth:`filter`).  The store is immutable-by-convention: the one
+    sanctioned mutation is :meth:`apply_delta`, which rewrites column
+    files through atomic replaces (pre-delta readers keep a consistent
+    snapshot) and reports the dirty rows for delta-scoped cache
+    invalidation.  Instances are
     picklable (only the path and budget cross process boundaries; caches
     and memmaps are per-process), so catalogs holding stores work across
     the solve farm's forkserver boundary.
@@ -569,6 +573,193 @@ class ColumnStore:
 
     def to_text(self, limit: int = 10) -> str:
         return self.head(limit).to_text(limit=limit)
+
+    # --- live data ------------------------------------------------------------
+
+    def apply_delta(self, inserts=None, updates=None, deletes=None):
+        """Apply one mutation batch in place; returns ``(self, application)``.
+
+        Every touched column file is rewritten through a temp file and
+        ``os.replace``, and the manifest is republished last — readers
+        holding pre-delta memmaps keep a consistent pre-delta snapshot
+        (the old inodes stay alive until their maps close), while fresh
+        opens and this store's own reloaded state see the post-delta
+        rows.  Inserts append rows; updates rewrite values in place;
+        deletes compact the column (dirtying every position at or past
+        the first deleted row — see ``docs/live_data.md``).  Type
+        widening (e.g. a float into an int column) is not supported and
+        raises :class:`SchemaError` before anything is written.
+        """
+        from ..db.delta import (
+            DeltaApplication,
+            RelationDelta,
+            dirty_positions,
+            normalize_inserts,
+        )
+
+        delta = (
+            inserts
+            if isinstance(inserts, RelationDelta)
+            else RelationDelta(inserts, updates, deletes)
+        )
+        key_arr = self.key_values()
+        n_before = self._n_rows
+        upd_pos = self.positions_for_keys(delta.updates.keys())
+        del_pos = self.positions_for_keys(delta.deletes)
+        for changes in delta.updates.values():
+            if self.key in changes:
+                raise SchemaError(
+                    f"cannot update key column {self.key!r};"
+                    " delete and re-insert"
+                )
+            for col in changes:
+                self._require(col)
+        keep = np.ones(n_before, dtype=bool)
+        keep[del_pos] = False
+        insert_rows = normalize_inserts(
+            delta,
+            key=self.key,
+            column_names=self.column_names,
+            key_values=key_arr,
+            keep=keep,
+            relation_name=self.name,
+        )
+        # Validate every value before touching any file, so a bad delta
+        # leaves the store untouched.
+        encoded_updates: dict[str, dict[int, object]] = {}
+        for (key_value, changes), pos in zip(delta.updates.items(), upd_pos):
+            for col, value in changes.items():
+                encoded_updates.setdefault(col, {})[int(pos)] = (
+                    self._encode_value(self._meta[col], value, col)
+                )
+        encoded_inserts = {
+            name: [
+                self._encode_value(meta, row[name], name)
+                for row in insert_rows
+            ]
+            for name, meta in self._meta.items()
+        }
+
+        self.close()  # drop cached chunks and this process's memmaps
+        for name, meta in self._meta.items():
+            self._rewrite_column(
+                name,
+                meta,
+                encoded_updates.get(name),
+                keep if len(del_pos) else None,
+                encoded_inserts[name],
+            )
+        n_after = n_before - len(del_pos) + len(insert_rows)
+        self._n_rows = n_after
+        self._publish_manifest()
+        for meta in self._meta.values():
+            if meta["kind"] == "text":
+                meta["vocab_array"] = np.array(meta["vocab"], dtype=object)
+        dirty, shifted_from, _ = dirty_positions(
+            n_before, upd_pos, del_pos, len(insert_rows)
+        )
+        application = DeltaApplication(
+            digest=delta.digest(),
+            n_rows_before=n_before,
+            n_rows_after=n_after,
+            dirty=dirty,
+            shifted_from=shifted_from,
+        )
+        return self, application
+
+    def _encode_value(self, meta: dict, value, col: str):
+        """Encode one scalar for ``col``'s storage kind (extends vocab)."""
+        kind = meta["kind"]
+        if kind == "text":
+            text = str(value)
+            vocab = meta["vocab"]
+            index = meta.get("_vocab_index")
+            if index is None:
+                index = {v: i for i, v in enumerate(vocab)}
+                meta["_vocab_index"] = index
+            code = index.get(text)
+            if code is None:
+                code = len(vocab)
+                vocab.append(text)
+                index[text] = code
+            return np.int32(code)
+        if kind == "int":
+            coerced = np.asarray(value)
+            if np.issubdtype(coerced.dtype, np.integer) or (
+                np.issubdtype(coerced.dtype, np.floating)
+                and float(coerced) == int(coerced)
+            ):
+                return np.int64(value)
+            raise SchemaError(
+                f"cannot assign {value!r} to integer column {col!r}"
+                " (type widening is not supported by deltas)"
+            )
+        if kind == "bool":
+            return np.int8(bool(value))
+        return np.float64(value)
+
+    def _rewrite_column(
+        self, name, meta, updates, keep, appended
+    ) -> None:
+        """Rewrite one column file (temp file + atomic replace)."""
+        storage_dtype, _ = _KINDS[meta["kind"]]
+        path = os.path.join(self.path, meta["file"])
+        if self._n_rows:
+            raw = np.fromfile(path, dtype=storage_dtype, count=self._n_rows)
+        else:
+            raw = np.empty(0, dtype=storage_dtype)
+        if updates:
+            positions = np.fromiter(updates, dtype=np.int64, count=len(updates))
+            raw[positions] = np.asarray(
+                list(updates.values()), dtype=storage_dtype
+            )
+        if keep is not None:
+            raw = raw[keep]
+        if appended:
+            raw = np.concatenate(
+                [raw, np.asarray(appended, dtype=storage_dtype)]
+            )
+        tmp = path + ".delta"
+        raw.astype(storage_dtype, copy=False).tofile(tmp)
+        os.replace(tmp, path)
+
+    def _publish_manifest(self) -> None:
+        """Atomically rewrite the manifest from the in-memory schema."""
+        manifest = {
+            "format": _FORMAT,
+            "name": self.name,
+            "key": self.key,
+            "n_rows": self._n_rows,
+            "chunk_rows": self.chunk_rows,
+            "columns": [],
+        }
+        for col_name, meta in self._meta.items():
+            entry = {
+                "name": col_name, "kind": meta["kind"], "file": meta["file"],
+            }
+            if meta["kind"] == "text":
+                entry["vocab"] = list(meta["vocab"])
+            manifest["columns"].append(entry)
+        manifest_path = os.path.join(self.path, _MANIFEST)
+        tmp = manifest_path + ".delta"
+        with open(tmp, "w") as handle:
+            json.dump(manifest, handle)
+        os.replace(tmp, manifest_path)
+
+    def refresh(self) -> "ColumnStore":
+        """Re-read the manifest after an external in-place mutation.
+
+        Farm workers call this when a delta broadcast names a store they
+        hold open: cached chunks and memmaps are dropped and the new
+        row count/vocabularies are adopted without re-constructing the
+        object (the catalog keeps its reference).
+        """
+        name = self.name
+        budget = self.resident_budget
+        self.close()
+        self.__init__(self.path, resident_budget=budget)
+        self.name = name
+        return self
 
     # --- teardown -------------------------------------------------------------
 

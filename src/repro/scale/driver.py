@@ -70,11 +70,13 @@ from .metrics import scale_metrics
 from .partition import (
     PartitionIndex,
     PilotStats,
+    delta_refresh_index,
     partition_index_key,
     partition_labels,
     pilot_statistics,
     probed_attributes,
 )
+from .refinecache import SolveArtifact, query_digest, refine_cache
 
 METHOD_SKETCH_REFINE = "sketchrefine"
 
@@ -153,7 +155,7 @@ def _run(
     # share (deadline_ms is consumed here, not re-applied per stage).
     deadline = Deadline(config.effective_time_limit())
 
-    # --- partition (index-cached) ------------------------------------------------
+    # --- partition (index-cached, delta-refreshed) --------------------------------
     with stage("partition") as partition_span:
         k_requested = max(1, min(config.scale_n_partitions, problem.n_vars))
         index = PartitionIndex(problem.relation)
@@ -164,15 +166,31 @@ def _run(
         ):
             cached = None  # stale/foreign entry: never partition on wrong stats
         index_hit = cached is not None
+        index_refreshed = False
+        n_dirty_active = 0
         if cached is not None:
             labels, pilot = cached
         else:
-            pilot = pilot_statistics(problem, config, store=store)
-            labels = partition_labels(pilot, k_requested)
-            index.put(index_key, labels, pilot)
+            refreshed = (
+                delta_refresh_index(
+                    problem, config, k_requested, index, index_key, store
+                )
+                if config.scale_delta_reuse
+                else None
+            )
+            if refreshed is not None:
+                labels, pilot, n_dirty_active = refreshed
+                index_refreshed = True
+            else:
+                pilot = pilot_statistics(problem, config, store=store)
+                labels = partition_labels(pilot, k_requested)
+                index.put(
+                    index_key, labels, pilot, active_rows=problem.active_rows
+                )
         n_groups = int(labels.max()) + 1 if len(labels) else 0
         groups = [np.nonzero(labels == g)[0] for g in range(n_groups)]
         partition_span.set("index_hit", index_hit)
+        partition_span.set("index_delta_refreshed", index_refreshed)
         partition_span.set("n_partitions", n_groups)
 
     # --- sketch -------------------------------------------------------------------
@@ -226,6 +244,28 @@ def _run(
             problem, rep_relation, sketch_counts, refined
         )
 
+    # --- delta-scoped reuse (previous run's refined sub-packages) -----------------
+    from ..service.store import model_fingerprint
+
+    fp = model_fingerprint(problem.model)
+    qdigest = query_digest(problem, config)
+    base_rows = np.asarray(problem.active_rows)
+    group_rows = [base_rows[g] for g in groups]
+    reused: dict[int, dict] = {}
+    warm: dict[int, np.ndarray] = {}
+    repair_attempted = False
+    n_dirty_partitions = 0
+    if config.scale_delta_reuse:
+        repair = refine_cache.lookup_repair(
+            fp, qdigest, problem.relation.n_rows
+        )
+        if repair is not None:
+            repair_attempted = True
+            reused, warm, n_dirty_partitions = _plan_reuse(
+                problem, repair, group_rows, refined
+            )
+            scale_metrics.record_delta_repair(n_dirty_partitions, len(reused))
+
     # --- refine (fan-out) -----------------------------------------------------------
     refine_config = config.replace(
         n_workers=1,
@@ -236,7 +276,15 @@ def _run(
     refine_watch = Stopwatch()
     with refine_watch, stage("refine.fanout", n_refined=len(refined)):
         outcomes = _run_refines(
-            problem, config, refine_config, store, groups, refined, allocations
+            problem,
+            config,
+            refine_config,
+            store,
+            groups,
+            refined,
+            allocations,
+            reused=reused,
+            warm=warm,
         )
     for i, (g, outcome) in enumerate(zip(refined, outcomes), start=2):
         stats.add(
@@ -283,8 +331,53 @@ def _run(
     validate_watch = Stopwatch()
     with validate_watch:
         report = Validator(ctx).validate(x, claimed_objective=objective)
+    if not report.feasible and (reused or warm):
+        # Reused sub-packages solved against the *previous* run's
+        # allocation shares; when the combined package fails the
+        # original constraints out-of-sample, the repair is discarded
+        # and the solve re-runs cold — reuse is an optimization, never
+        # a correctness dependency (the validator always has the last
+        # word).
+        scale_metrics.record_delta_repair_fallback()
+        return _run(
+            problem,
+            config.replace(scale_delta_reuse=False),
+            store,
+            stats,
+            IterationRecord,
+            PackageResult,
+            EvaluationContext,
+            Validator,
+        )
     meta = _meta(config, n_groups, refined, index_hit)
     meta["refine_probability_boost"] = allocations["p_boost"]
+    meta["partition_index_delta_refreshed"] = index_refreshed
+    if repair_attempted:
+        meta["delta_repair"] = {
+            "partitions_reused": len(reused),
+            "partitions_refined": len(refined) - len(reused),
+            "partitions_dirty": n_dirty_partitions,
+            "reuse_ratio": (
+                len(reused) / len(refined) if refined else 1.0
+            ),
+            "dirty_rows": int(n_dirty_active),
+        }
+    if report.feasible:
+        key_values = np.asarray(problem.relation.column(problem.relation.key))
+        refine_cache.record(
+            SolveArtifact(
+                fingerprint=fp,
+                query_digest=qdigest,
+                group_rows=[
+                    np.asarray(rows, dtype=np.int64) for rows in group_rows
+                ],
+                multiplicities={
+                    g: np.asarray(outcome["multiplicities"], dtype=np.int64)
+                    for g, outcome in zip(refined, outcomes)
+                },
+                group_keys={g: key_values[group_rows[g]] for g in refined},
+            )
+        )
     if deadline.expired():
         # The refines consumed the whole budget; the combined package is
         # a best-effort incumbent (still validated out-of-sample above).
@@ -321,6 +414,73 @@ def _meta(config, n_groups: int, refined: list, index_hit: bool) -> dict:
         "pilot_scenarios": config.scale_pilot_scenarios,
         "partition_index_hit": index_hit,
     }
+
+
+def _plan_reuse(
+    problem, repair, group_rows, refined
+) -> tuple[dict[int, dict], dict[int, np.ndarray], int]:
+    """Decide, per refined partition, reuse / warm-start / cold refine.
+
+    A partition's previous sub-package is reused verbatim iff its member
+    base positions are bit-identical to a previously-refined group's
+    *and* no member is dirty w.r.t. the artifact's fingerprint.  Every
+    other refined partition gets a warm-start vector aligned by key
+    value from the previous package's counts (empty hints are omitted).
+    Returns ``(reused outcomes, warm hints, n dirty partitions)``.
+    """
+    artifact, dirty_mask = repair
+    prev_mult: dict[bytes, np.ndarray] = {}
+    for gi, mult in artifact.multiplicities.items():
+        if gi < len(artifact.group_rows):
+            token = np.asarray(
+                artifact.group_rows[gi], dtype=np.int64
+            ).tobytes()
+            prev_mult[token] = np.asarray(mult, dtype=np.int64)
+    prev_key_mult: dict = {}
+    for gi, mult in artifact.multiplicities.items():
+        keys_g = artifact.group_keys.get(gi)
+        if keys_g is None:
+            continue
+        for key_value, m in zip(
+            np.asarray(keys_g).tolist(), np.asarray(mult).tolist()
+        ):
+            if m:
+                prev_key_mult[key_value] = int(m)
+    reused: dict[int, dict] = {}
+    warm: dict[int, np.ndarray] = {}
+    n_dirty = 0
+    pending: list[tuple[int, np.ndarray]] = []
+    for g in refined:
+        rows = np.asarray(group_rows[g], dtype=np.int64)
+        dirty = bool(np.any(dirty_mask[rows]))
+        if dirty:
+            n_dirty += 1
+        if not dirty and rows.tobytes() in prev_mult:
+            reused[g] = {
+                "multiplicities": prev_mult[rows.tobytes()],
+                "feasible": True,
+                "objective": None,
+                "message": "",
+                "status": "reused",
+                "final_m": 0,
+                "solve_time": 0.0,
+                "validate_time": 0.0,
+            }
+        else:
+            pending.append((g, rows))
+    if pending and prev_key_mult:
+        key_values = np.asarray(problem.relation.column(problem.relation.key))
+        for g, rows in pending:
+            hint = np.array(
+                [
+                    prev_key_mult.get(key_value, 0)
+                    for key_value in key_values[rows].tolist()
+                ],
+                dtype=np.int64,
+            )
+            if hint.any():
+                warm[g] = hint
+    return reused, warm, n_dirty
 
 
 # --- sketch construction -------------------------------------------------------
@@ -500,7 +660,7 @@ def _allocate_constraints(problem, rep_relation, counts, refined) -> dict:
 
 def _refine_partition(
     relation, model, objective, repeat, active_rows, rows, constraints,
-    config, store=None,
+    config, store=None, warm_x=None,
 ) -> dict:
     """Solve one partition's SummarySearch instance; returns a lean dict.
 
@@ -529,7 +689,9 @@ def _refine_partition(
         constraints=list(constraints),
         repeat=repeat,
     )
-    result = summary_search_evaluate(sub_problem, config, store=store)
+    result = summary_search_evaluate(
+        sub_problem, config, store=store, warm_x=warm_x
+    )
     run_stats = result.stats
     # Allocation is conservative (proportional shares + union-bound
     # probability boost), so a partition that cannot certify its share
@@ -605,21 +767,30 @@ def _refine_worker_task(g: int) -> tuple[int, dict]:
         state["allocations"][g],
         state["config"],
         store=None,
+        warm_x=state["warm"].get(g),
     )
     return g, outcome
 
 
 def _run_refines(
-    problem, config, refine_config, store, groups, refined, allocations
+    problem, config, refine_config, store, groups, refined, allocations,
+    reused=None, warm=None,
 ) -> list[dict]:
     """Refine every participating partition, fanned out when configured.
 
     Each refine is self-contained, so parallel execution is bit-identical
     to sequential for any worker count; pool failures degrade to the
     sequential path with a warning, never a behaviour change.
+
+    ``reused`` supplies pre-decided outcomes for partitions whose
+    previous sub-package is reused verbatim (no solve runs for them);
+    ``warm`` supplies per-partition warm-start vectors for the rest.
     """
     per_group = allocations["per_group"]
-    if config.n_workers > 1 and len(refined) > 1:
+    reused = reused or {}
+    warm = warm or {}
+    pending = [g for g in refined if g not in reused]
+    if config.n_workers > 1 and len(pending) > 1:
         # Refine workers come from the forkserver context, like the
         # solve farm's: the driver runs inside multithreaded serving
         # processes (broker thread pools, HTTP handlers), where forking
@@ -638,19 +809,20 @@ def _run_refines(
             "groups": groups,
             "allocations": per_group,
             "config": refine_config,
+            "warm": warm,
         }
         pool = None
-        by_group: dict[int, dict] = {}
+        by_group: dict[int, dict] = dict(reused)
         futures: dict[int, object] = {}
         try:
             pool = ProcessPoolExecutor(
-                max_workers=min(config.n_workers, len(refined)),
+                max_workers=min(config.n_workers, len(pending)),
                 mp_context=farm_context(),
                 initializer=_init_refine_worker,
                 initargs=(state,),
             )
             futures = {
-                g: pool.submit(_refine_worker_task, g) for g in refined
+                g: pool.submit(_refine_worker_task, g) for g in pending
             }
             # One shared deadline across all futures (not per-future):
             # a wedged worker pool must degrade to the sequential path
@@ -693,7 +865,7 @@ def _run_refines(
                 stacklevel=2,
             )
     else:
-        by_group = {}
+        by_group = dict(reused)
     for g in refined:
         if g not in by_group:
             # Sequential refines trace per-partition; parallel refines run
@@ -710,5 +882,6 @@ def _run_refines(
                     per_group[g],
                     refine_config,
                     store=store,
+                    warm_x=warm.get(g),
                 )
     return [by_group[g] for g in refined]

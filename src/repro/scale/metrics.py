@@ -29,6 +29,12 @@ COUNTER_FIELDS = (
     "refine_seconds",
     "index_hits",
     "index_misses",
+    "deltas_applied",
+    "delta_rows_dirty",
+    "delta_partitions_dirty",
+    "delta_partitions_reused",
+    "delta_index_refreshes",
+    "delta_repair_fallbacks",
 )
 
 #: Point-in-time gauges (farm-aggregated over live workers only).
@@ -75,6 +81,31 @@ class ScaleMetrics:
     def record_index_lookup(self, hit: bool) -> None:
         """Record one partition-index lookup outcome."""
         self._counters.add("index_hits" if hit else "index_misses")
+
+    def record_delta_applied(self, n_dirty_rows: int) -> None:
+        """Record one applied relation delta."""
+        self._counters.add_many(
+            {"deltas_applied": 1, "delta_rows_dirty": int(n_dirty_rows)}
+        )
+
+    def record_delta_repair(
+        self, n_dirty_partitions: int, n_reused_partitions: int
+    ) -> None:
+        """Record one delta-scoped repair solve's partition reuse."""
+        self._counters.add_many(
+            {
+                "delta_partitions_dirty": int(n_dirty_partitions),
+                "delta_partitions_reused": int(n_reused_partitions),
+            }
+        )
+
+    def record_delta_index_refresh(self) -> None:
+        """Record one delta-scoped partition-index refresh (splice)."""
+        self._counters.add("delta_index_refreshes")
+
+    def record_delta_repair_fallback(self) -> None:
+        """Record one repair solve that failed validation and re-ran cold."""
+        self._counters.add("delta_repair_fallbacks")
 
     # --- resident-byte gauges ------------------------------------------------
 

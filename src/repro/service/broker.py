@@ -192,18 +192,30 @@ class QueryBroker:
         #: Per-submission trace state, keyed by the evaluation future
         #: (dedup-attached callers share both future and trace).
         self._trace_state: dict[Future, dict] = {}
+        #: Lifetime delta counter (mirrors repro_delta_applied_total).
+        self._deltas_applied = 0
         if self._farm is not None and self.trace_ring is not None:
             self._farm.span_sink = self.trace_ring.add
 
     # --- submission ---------------------------------------------------------
 
-    @staticmethod
-    def _dedup_key(query, method: str, overrides: dict) -> tuple | None:
-        """Hashable identity of a request, or None when not dedupable."""
+    def _dedup_key(self, query, method: str, overrides: dict) -> tuple | None:
+        """Hashable identity of a request, or None when not dedupable.
+
+        The catalog version is part of the identity: a query submitted
+        after :meth:`apply_update` must never attach to a pre-delta
+        in-flight evaluation — that would serve a stale answer under a
+        fresh submission.
+        """
         if not isinstance(query, str):
             return None  # compiled objects dedup by identity only
         try:
-            key = (query.strip(), method, tuple(sorted(overrides.items())))
+            key = (
+                query.strip(),
+                method,
+                tuple(sorted(overrides.items())),
+                self.catalog.version,
+            )
             hash(key)  # unhashable override values -> not dedupable
             return key
         except TypeError:
@@ -349,6 +361,79 @@ class QueryBroker:
         """Blocking :meth:`submit` — returns the PackageResult."""
         return self.submit(query, method=method, **overrides).result()
 
+    # --- live data ----------------------------------------------------------
+
+    def apply_update(self, table: str, delta) -> dict:
+        """Apply a relation delta to ``table`` through the serving layer.
+
+        ``delta`` is a :class:`~repro.db.delta.RelationDelta` or its
+        JSON payload (the ``POST /update`` body).  The catalog applies
+        it under its own mutation lock (catalog version bumps, the
+        fingerprint lineage is extended), stale scenario matrices are
+        pruned from the shared store (thread backend) or the delta is
+        broadcast to farm workers, who adopt it before their next task
+        (process backend).  In-flight queries are not interrupted: they
+        finish against their pre-delta snapshot and report the catalog
+        version they solved under in ``result.meta``.
+
+        Returns the JSON-ready summary from
+        :meth:`~repro.db.catalog.Catalog.apply_delta`.
+        """
+        from ..db.delta import RelationDelta, lineage
+        from ..scale.metrics import scale_metrics
+
+        if not isinstance(delta, RelationDelta):
+            delta = RelationDelta.from_payload(delta)
+        with self._lock:
+            if self._closed:
+                raise SPQError("broker is closed")
+        t0 = time.perf_counter()
+        start_epoch = time.time()
+        summary = self.catalog.apply_delta(table, delta)
+        scale_metrics.record_delta_applied(summary["dirty_rows"])
+        stale = lineage.superseded()
+        if self.store is not None:
+            summary["store_entries_pruned"] = self.store.prune_fingerprints(
+                stale
+            )
+        if self._farm is not None:
+            record = lineage.parent_record(summary["fingerprint"])
+            self._farm.broadcast_delta(table, delta.to_payload(), record)
+        with self._lock:
+            self._deltas_applied += 1
+        self._trace_delta(summary, start_epoch, time.perf_counter() - t0)
+        return summary
+
+    def _trace_delta(self, summary: dict, start_epoch: float, wall: float) -> None:
+        """Record one applied delta as a trace-ring entry and histogram."""
+        stage_histograms.observe("delta", wall)
+        if self.trace_ring is None:
+            return
+        trace_id = new_trace_id()
+        self.trace_ring.open(
+            trace_id,
+            query=f"UPDATE {summary['table']}",
+            method="delta",
+            backend=self.backend,
+        )
+        self.trace_ring.finish(
+            trace_id,
+            {
+                "trace_id": trace_id,
+                "span_id": new_span_id(),
+                "parent_id": None,
+                "name": "delta",
+                "start": start_epoch,
+                "wall_s": wall,
+                "cpu_s": 0.0,
+                "attrs": {
+                    "table": summary["table"],
+                    "catalog_version": summary["catalog_version"],
+                    "dirty_rows": summary["dirty_rows"],
+                },
+            },
+        )
+
     def _run(self, query, method: str, overrides: dict, trace=None, deadline=None):
         if deadline is not None:
             # Same discipline as the farm's dispatch: queue time counts
@@ -362,16 +447,25 @@ class QueryBroker:
             overrides = dict(overrides)
             overrides["deadline_ms"] = max(deadline.remaining_ms(), 1.0)
         engine = self._sessions.get()
+        # Pinned before the solve: a delta landing mid-evaluation must
+        # not relabel a pre-delta answer as post-delta (the soak test's
+        # staleness check relies on this being the compile-time version).
+        version = self.catalog.version
         try:
             if trace is None:
-                return engine.execute(query, method=method, **overrides)
+                return self._stamp_version(
+                    engine.execute(query, method=method, **overrides), version
+                )
             # Pool threads do not inherit the submitter's contextvars:
             # the session is activated here, parented to the broker's
             # root span so ingested spans nest correctly.
             session = TraceSession(trace[0], profile=bool(trace[2]))
             try:
                 with activate(session, parent_id=trace[1]):
-                    return engine.execute(query, method=method, **overrides)
+                    return self._stamp_version(
+                        engine.execute(query, method=method, **overrides),
+                        version,
+                    )
             finally:
                 if self.trace_ring is not None:
                     self.trace_ring.add(
@@ -379,6 +473,14 @@ class QueryBroker:
                     )
         finally:
             self._sessions.put(engine)
+
+    @staticmethod
+    def _stamp_version(result, version: int):
+        """Attach the catalog version an evaluation ran under."""
+        meta = getattr(result, "meta", None)
+        if isinstance(meta, dict):
+            meta.setdefault("catalog_version", version)
+        return result
 
     def _retire(self, key: tuple | None, future: Future) -> None:
         with self._lock:
@@ -476,11 +578,19 @@ class QueryBroker:
         """Out-of-core tier (``repro.scale``) counters as actually
         served: this process's registry on the thread backend, the
         aggregate over worker processes on the process backend."""
-        if self._farm is not None:
-            return self._farm.scale_stats()
         from ..scale.metrics import scale_metrics
 
-        return scale_metrics.snapshot()
+        local = scale_metrics.snapshot()
+        if self._farm is None:
+            return local
+        # Worker processes do the solving, but deltas are applied (and
+        # counted) broker-side before being broadcast: merge the local
+        # registry into the farm aggregate.  Solve-side counters are
+        # zero locally on this backend, so summing never double-counts.
+        merged = self._farm.scale_stats()
+        for name, value in local.items():
+            merged[name] = merged.get(name, 0) + value
+        return merged
 
     def stage_histograms(self) -> dict:
         """Per-stage latency histograms as actually served.
@@ -508,6 +618,8 @@ class QueryBroker:
                 "failed": self._failed,
                 "deduplicated": self._deduplicated,
                 "rejected": self._rejected,
+                "deltas_applied": self._deltas_applied,
+                "catalog_version": self.catalog.version,
                 # Saturation events, under the name monitoring dashboards
                 # expect (mirrors repro_broker_rejected_total on /metrics).
                 "rejected_total": self._rejected,

@@ -19,6 +19,16 @@ by the broker's pool):
     expires mid-solve is NOT an error: the response is a 200 carrying
     the best incumbent with ``deadline_met: false`` and its ``gap``.
 
+``POST /update``
+    Live-data mutation (docs/live_data.md).  Request body:
+    ``{"table": "<name>", "delta": {"inserts": [...], "updates":
+    [[key, {col: value}], ...], "deletes": [key, ...]}}``.  Applies the
+    delta through :meth:`QueryBroker.apply_update` — catalog version
+    bumps, the fingerprint lineage is extended, stale scenario matrices
+    are pruned/broadcast — and returns the application summary
+    (``catalog_version``, old/new fingerprint, ``dirty_rows``).  Errors:
+    400 (malformed delta), 404 (unknown table), 503 (broker closed).
+
 ``GET /status``
     Broker pool state, lifetime counters, uptime, store statistics.
 
@@ -103,6 +113,12 @@ def result_payload(result, wall_time_s: float) -> dict:
         payload["deadline_met"] = bool(result.anytime.deadline_met)
         payload["gap"] = _json_value(result.anytime.gap)
         payload["anytime"] = result.anytime.as_dict()
+    meta = getattr(result, "meta", None)
+    if isinstance(meta, dict) and "catalog_version" in meta:
+        # The catalog version the evaluation compiled against — clients
+        # (and the soak harness) use it to detect stale answers after
+        # a POST /update.
+        payload["catalog_version"] = _json_value(meta["catalog_version"])
     if result.stats is not None:
         payload["stats"] = {
             "n_iterations": result.stats.n_iterations,
@@ -238,6 +254,43 @@ def metrics_text(broker: QueryBroker) -> str:
         "repro_scale_index_misses_total", "counter",
         "Partition-index lookups that re-partitioned from pilot stats.",
         scale["index_misses"],
+    )
+    # Live-data tier (docs/live_data.md): applied deltas and the
+    # delta-scoped invalidation/reuse they triggered.
+    family(
+        "repro_delta_applied_total", "counter",
+        "Relation deltas applied through the catalog.",
+        scale["deltas_applied"],
+    )
+    family(
+        "repro_delta_rows_dirty_total", "counter",
+        "Rows dirtied by applied relation deltas.",
+        scale["delta_rows_dirty"],
+    )
+    family(
+        "repro_delta_partitions_dirty_total", "counter",
+        "Partitions re-refined by delta-repair solves.",
+        scale["delta_partitions_dirty"],
+    )
+    family(
+        "repro_delta_partitions_reused_total", "counter",
+        "Untouched partitions whose sub-packages were reused verbatim.",
+        scale["delta_partitions_reused"],
+    )
+    family(
+        "repro_delta_index_refreshes_total", "counter",
+        "Partition-index entries spliced from a pre-delta ancestor.",
+        scale["delta_index_refreshes"],
+    )
+    family(
+        "repro_delta_repair_fallbacks_total", "counter",
+        "Delta-repair solves that failed validation and re-ran cold.",
+        scale["delta_repair_fallbacks"],
+    )
+    family(
+        "repro_store_stale_dropped_total", "counter",
+        "Scenario-store descriptors refused or pruned as pre-delta stale.",
+        store["stale_dropped"],
     )
     family(
         "repro_scale_resident_bytes", "gauge",
@@ -446,7 +499,7 @@ class _ServiceHandler(BaseHTTPRequestHandler):
         self._respond(200, tree)
 
     def do_POST(self) -> None:  # noqa: N802 - stdlib casing
-        if self.path != "/query":
+        if self.path not in ("/query", "/update"):
             self._error(404, "not-found", f"no route {self.path!r}")
             return
         try:
@@ -460,6 +513,9 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             request = json.loads(self.rfile.read(length))
         except (ValueError, UnicodeDecodeError) as error:
             self._error(400, "bad-request", f"invalid JSON: {error}")
+            return
+        if self.path == "/update":
+            self._post_update(request)
             return
         if not isinstance(request, dict) or not isinstance(
             request.get("query"), str
@@ -509,6 +565,40 @@ class _ServiceHandler(BaseHTTPRequestHandler):
             self._error(500, "internal", f"{type(error).__name__}: {error}")
             return
         payload = result_payload(result, time.perf_counter() - started)
+        self._finish_query(payload, future, want_trace)
+
+    def _post_update(self, request) -> None:
+        """``POST /update`` — apply one relation delta (docs/live_data.md)."""
+        if not isinstance(request, dict) or not isinstance(
+            request.get("table"), str
+        ):
+            self._error(
+                400, "bad-request",
+                'expected {"table": "<name>", "delta": {...}}',
+            )
+            return
+        delta = request.get("delta")
+        if not isinstance(delta, dict):
+            self._error(400, "bad-request", '"delta" must be an object')
+            return
+        try:
+            summary = self.server.broker.apply_update(request["table"], delta)
+        except SchemaError as error:
+            message = str(error)
+            if "unknown table" in message:
+                self._error(404, "unknown-table", message)
+            else:
+                self._error(400, "bad-delta", message)
+            return
+        except SPQError as error:
+            self._error(503, "unavailable", str(error))
+            return
+        except Exception as error:  # noqa: BLE001 - surface as JSON 500
+            self._error(500, "internal", f"{type(error).__name__}: {error}")
+            return
+        self._respond(200, {"status": "ok", **summary})
+
+    def _finish_query(self, payload: dict, future, want_trace: bool) -> None:
         payload["store"] = self.server.broker.store_stats()
         trace_id = getattr(future, "trace_id", None)
         ring = self.server.broker.trace_ring

@@ -70,9 +70,13 @@ class EDFQueue:
     Entries are ranked by ``(expires_at, seq)``; items without a deadline
     rank as ``+inf`` expiry, so among themselves they keep submission
     order behind every deadlined item.  ``push(..., front=True)``
-    re-queues a crash-retried task ahead of every current entry (the
-    farm's head-of-line retry discipline) by giving it a sequence number
-    below the current minimum at equal rank.
+    re-queues a crash-retried task *in deadline order*: it keeps the
+    task's own expiry rank and only takes a sequence number below the
+    current minimum, so a retried deadlined task goes ahead of
+    equal-deadline entries and a retried deadline-less task goes to the
+    head of the FIFO tail — never ahead of tighter-deadline work (that
+    would violate EDF; an undeadlined retry must not starve an urgent
+    deadlined query).
 
     A plain list with linear min-scans: the pending queue is bounded by
     the broker's ``max_pending`` (tens, not millions), where O(n) scans
@@ -93,12 +97,16 @@ class EDFQueue:
 
     def push(self, item, deadline: "TaskDeadline | None" = None,
              front: bool = False) -> None:
-        """Enqueue ``item``; ``front`` jumps the line at equal expiry."""
+        """Enqueue ``item``; ``front`` jumps the line at equal expiry only."""
         expires = float("inf") if deadline is None else deadline.expires_at
         if front:
+            # Retry discipline: keep the task's own expiry rank.  The
+            # below-minimum sequence number puts it ahead of every entry
+            # with an *equal* deadline (and, for deadline-less retries,
+            # at the head of the +inf FIFO tail) — but an earlier
+            # deadline still wins, preserving EDF.
             self._front_seq -= 1
             seq = self._front_seq
-            expires = float("-inf")
         else:
             self._seq += 1
             seq = self._seq

@@ -177,6 +177,7 @@ class StoreStats:
     evictions: int = 0
     spills: int = 0
     adopted: int = 0
+    stale_dropped: int = 0
     bytes_resident: int = 0
     bytes_spilled: int = 0
     entries: int = 0
@@ -190,6 +191,7 @@ class StoreStats:
             "evictions": self.evictions,
             "spills": self.spills,
             "adopted": self.adopted,
+            "stale_dropped": self.stale_dropped,
             "bytes_resident": self.bytes_resident,
             "bytes_spilled": self.bytes_spilled,
             "entries": self.entries,
@@ -493,7 +495,11 @@ class ScenarioStore:
                 }
         return descriptors
 
-    def adopt(self, descriptors: dict[tuple, dict]) -> int:
+    def adopt(
+        self,
+        descriptors: dict[tuple, dict],
+        stale_fingerprints: "set[str] | None" = None,
+    ) -> int:
         """Install matrices exported by another store's :meth:`handoff`.
 
         Each descriptor's file is opened as a *read-only* memmap and its
@@ -503,9 +509,31 @@ class ScenarioStore:
         correctness dependency).  Keys already present (or being
         generated) are left alone.  Returns the number of entries
         adopted.
+
+        Descriptors are checked against the fingerprint lineage before
+        installation: an entry keyed on a model fingerprint that a delta
+        has since superseded is *dropped*, not installed.  Without this,
+        a handoff raced against ``apply_delta`` could serve pre-delta
+        scenarios for a post-delta query whose generator happened to
+        collide on the remaining key fields.  Pass ``stale_fingerprints``
+        to override the default (the process-wide
+        :data:`repro.db.delta.lineage` registry's superseded set).
         """
+        if stale_fingerprints is None:
+            from ..db.delta import lineage
+
+            stale_fingerprints = lineage.superseded()
         adopted = 0
         for key, descriptor in descriptors.items():
+            if (
+                stale_fingerprints
+                and isinstance(key, tuple)
+                and key
+                and key[0] in stale_fingerprints
+            ):
+                with self._cond:
+                    self._stats.stale_dropped += 1
+                continue
             with self._cond:
                 if self._closed:
                     break
@@ -571,6 +599,33 @@ class ScenarioStore:
             except OSError:
                 pass
 
+    def prune_fingerprints(self, fingerprints: "set[str]") -> int:
+        """Drop entries whose model fingerprint is in ``fingerprints``.
+
+        Called after a delta supersedes a fingerprint so already-resident
+        pre-delta matrices can't be served to queries that (incorrectly)
+        reuse the old fingerprint, and so their memory is reclaimed
+        promptly — post-delta queries key on the new fingerprint and
+        would never hit them anyway.  Returns the number dropped
+        (counted under ``stale_dropped``).
+        """
+        if not fingerprints:
+            return 0
+        dropped = 0
+        with self._cond:
+            victims = [
+                key
+                for key in self._entries
+                if isinstance(key, tuple) and key and key[0] in fingerprints
+            ]
+            for key in victims:
+                self._release_entry(self._entries.pop(key))
+                self._stats.stale_dropped += 1
+                dropped += 1
+            if victims:
+                self._cond.notify_all()
+        return dropped
+
     def clear(self) -> None:
         """Drop every entry, releasing memmap handles and spill files.
 
@@ -627,6 +682,7 @@ class ScenarioStore:
                 evictions=self._stats.evictions,
                 spills=self._stats.spills,
                 adopted=self._stats.adopted,
+                stale_dropped=self._stats.stale_dropped,
                 bytes_resident=self._resident_bytes(),
                 bytes_spilled=sum(
                     e.nbytes for e in self._entries.values() if e.spilled

@@ -92,16 +92,22 @@ def solve_with_highs(
         )
     if res.status == _SCIPY_LIMIT:
         if hint is not None:
-            return _hint_result(builder, hint, integrality, elapsed, res)
+            return _hint_result(builder, c, hint, integrality, elapsed, res)
         return MILPResult(
-            status=STATUS_TIME_LIMIT, solve_time=elapsed, message=str(res.message)
+            status=STATUS_TIME_LIMIT,
+            solve_time=elapsed,
+            message=str(res.message),
+            meta=_bound_meta(builder, res, stopped="limit"),
         )
     # Remaining statuses are solver errors (infeasible/unbounded returned
     # above); a feasible hint still salvages an incumbent.
     if hint is not None:
-        return _hint_result(builder, hint, integrality, elapsed, res)
+        return _hint_result(builder, c, hint, integrality, elapsed, res)
     return MILPResult(
-        status=STATUS_ERROR, solve_time=elapsed, message=str(res.message)
+        status=STATUS_ERROR,
+        solve_time=elapsed,
+        message=str(res.message),
+        meta=_bound_meta(builder, res),
     )
 
 
@@ -132,7 +138,35 @@ def _gap_for(c, x, res) -> float | None:
     return abs(value - float(bound)) / max(1.0, abs(value))
 
 
-def _hint_result(builder, hint, integrality, elapsed, res) -> MILPResult:
+def _dual_bound(res) -> float | None:
+    """HiGHS's dual (best) bound on the minimized objective, if finite."""
+    bound = getattr(res, "mip_dual_bound", None)
+    if bound is None or not np.isfinite(bound):
+        return None
+    return float(bound)
+
+
+def _bound_meta(builder, res, stopped: str | None = None) -> dict:
+    """``meta`` for a limit/error outcome: the caller-sense best bound.
+
+    Matches the branch-and-bound backend's convention
+    (``meta["best_bound"]``) so :mod:`repro.core.anytime` can report a
+    sound objective-bound gap even when HiGHS stopped with no incumbent
+    and no warm-start hint was available.
+    """
+    bound = _dual_bound(res)
+    if bound is None:
+        return {}
+    from .model import SENSE_MAX
+
+    sign = -1.0 if builder.sense == SENSE_MAX else 1.0
+    meta = {"best_bound": sign * bound}
+    if stopped is not None:
+        meta["stopped"] = stopped
+    return meta
+
+
+def _hint_result(builder, c, hint, integrality, elapsed, res) -> MILPResult:
     """Fall back to the feasible warm-start hint as the incumbent."""
     x = _round_integers(hint, integrality)
     return MILPResult(
@@ -140,7 +174,9 @@ def _hint_result(builder, hint, integrality, elapsed, res) -> MILPResult:
         x=x,
         objective=builder.objective_value(x),
         solve_time=elapsed,
+        gap=_gap_for(c, x, res),
         message=f"warm-start incumbent returned ({res.message})",
+        meta=_bound_meta(builder, res, stopped="limit"),
     )
 
 

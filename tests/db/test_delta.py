@@ -1,0 +1,259 @@
+"""Relation deltas: validation, dirty-row scoping, fingerprint lineage.
+
+Unit tier for :mod:`repro.db.delta` — the mutation records underneath
+``Catalog.apply_delta`` and every delta-scoped cache reuse decision
+(docs/live_data.md).  The dirty-row rule is load-bearing: scenario draws
+are positional and sequential, so which positions a delta dirties
+decides which cached artifacts stay bit-identical.
+"""
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Relation
+from repro.db.delta import (
+    DeltaApplication,
+    FingerprintLineage,
+    RelationDelta,
+    dirty_positions,
+    lineage,
+)
+from repro.errors import SchemaError
+from repro.mcdb import GaussianNoiseVG, StochasticModel
+from repro.service.store import model_fingerprint, relation_fingerprint
+
+
+@pytest.fixture(autouse=True)
+def _clean_lineage():
+    lineage.clear()
+    yield
+    lineage.clear()
+
+
+def make_relation(n=6):
+    return Relation(
+        "items",
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "price": np.arange(n, dtype=np.float64) + 1.0,
+            "cost": np.full(n, 2.0),
+        },
+        key="id",
+    )
+
+
+# --- RelationDelta validation ----------------------------------------------
+
+
+def test_empty_delta_rejected():
+    with pytest.raises(SchemaError, match="empty delta"):
+        RelationDelta()
+
+
+def test_update_and_delete_same_key_rejected():
+    with pytest.raises(SchemaError, match="both updated and deleted"):
+        RelationDelta(updates={3: {"price": 1.0}}, deletes=[3])
+
+
+def test_payload_roundtrip_preserves_digest():
+    delta = RelationDelta(
+        inserts=[{"id": 10, "price": 9.0, "cost": 1.0}],
+        updates={2: {"price": 4.5}},
+        deletes=[5],
+    )
+    clone = RelationDelta.from_payload(delta.to_payload())
+    assert clone.digest() == delta.digest()
+    assert clone.updates == {2: {"price": 4.5}}
+    assert clone.deletes == [5]
+
+
+def test_malformed_update_pairs_rejected():
+    with pytest.raises(SchemaError, match="pairs"):
+        RelationDelta.from_payload({"updates": [[1, {"price": 2.0}, "extra"]]})
+
+
+def test_apply_update_unknown_column_rejected():
+    relation = make_relation()
+    with pytest.raises(SchemaError, match="no column"):
+        relation.apply_delta(updates={0: {"nope": 1.0}})
+
+
+def test_apply_update_key_column_rejected():
+    relation = make_relation()
+    with pytest.raises(SchemaError, match="key column"):
+        relation.apply_delta(updates={0: {"id": 99}})
+
+
+def test_insert_duplicate_key_rejected():
+    relation = make_relation()
+    with pytest.raises(SchemaError, match="already exists"):
+        relation.apply_delta(
+            inserts=[{"id": 0, "price": 1.0, "cost": 1.0}]
+        )
+
+
+def test_insert_missing_column_rejected():
+    relation = make_relation()
+    with pytest.raises(SchemaError, match="missing columns"):
+        relation.apply_delta(inserts=[{"id": 50, "price": 1.0}])
+
+
+def test_int_column_rejects_fractional_value():
+    relation = Relation(
+        "ints", {"id": [0, 1], "n": np.array([1, 2], dtype=np.int64)}
+    )
+    with pytest.raises(SchemaError, match="integer column"):
+        relation.apply_delta(updates={0: {"n": 1.5}})
+
+
+# --- dirty-row scoping ------------------------------------------------------
+
+
+def test_update_dirties_only_its_position():
+    relation = make_relation()
+    new, application = relation.apply_delta(updates={3: {"price": 99.0}})
+    assert new.n_rows == 6
+    assert application.dirty.tolist() == [3]
+    assert application.shifted_from is None
+    assert new.column("price")[3] == 99.0
+    # Untouched positions are bit-identical.
+    np.testing.assert_array_equal(
+        np.delete(new.column("price"), 3),
+        np.delete(relation.column("price"), 3),
+    )
+
+
+def test_insert_dirties_only_appended_positions():
+    relation = make_relation()
+    new, application = relation.apply_delta(
+        inserts=[{"id": 100, "price": 1.0, "cost": 1.0}]
+    )
+    assert new.n_rows == 7
+    assert application.dirty.tolist() == [6]
+    assert application.shifted_from is None
+
+
+def test_delete_dirties_every_shifted_position():
+    relation = make_relation()
+    new, application = relation.apply_delta(deletes=[2])
+    assert new.n_rows == 5
+    assert application.shifted_from == 2
+    assert application.dirty.tolist() == [2, 3, 4]
+    # The prefix keeps position and content.
+    np.testing.assert_array_equal(
+        new.column("price")[:2], relation.column("price")[:2]
+    )
+
+
+def test_auto_assigned_insert_keys_skip_survivors():
+    relation = make_relation()
+    new, _ = relation.apply_delta(
+        inserts=[{"price": 1.0, "cost": 1.0}, {"price": 2.0, "cost": 1.0}]
+    )
+    assert new.column("id")[-2:].tolist() == [6, 7]
+
+
+def test_dirty_positions_update_below_delete_point():
+    dirty, shifted, n_after = dirty_positions(
+        10, np.array([1, 7]), np.array([5]), 2
+    )
+    # Position 7's update is absorbed by the shift; position 1 survives.
+    assert shifted == 5
+    assert n_after == 11
+    assert dirty.tolist() == [1] + list(range(5, 11))
+
+
+# --- fingerprint lineage ----------------------------------------------------
+
+
+def _application(parent_rows, child_rows, dirty, shifted=None, digest="d"):
+    return DeltaApplication(
+        digest=digest,
+        n_rows_before=parent_rows,
+        n_rows_after=child_rows,
+        dirty=np.asarray(dirty, dtype=np.int64),
+        shifted_from=shifted,
+    )
+
+
+def test_lineage_chain_and_ancestors():
+    reg = FingerprintLineage()
+    reg.record_delta("a", "b", _application(10, 10, [3]))
+    reg.record_delta("b", "c", _application(10, 11, [10]))
+    assert reg.ancestor_fingerprints("c") == ["b", "a"]
+    assert reg.ancestors("c") == [("b", 10), ("a", 10)]
+    assert reg.ancestor_fingerprints("a") == []
+
+
+def test_lineage_dirty_mask_unions_steps():
+    reg = FingerprintLineage()
+    reg.record_delta("a", "b", _application(10, 10, [3]))
+    reg.record_delta("b", "c", _application(10, 10, [7]))
+    mask = reg.dirty_mask("a", "c", 10)
+    assert mask is not None
+    assert np.flatnonzero(mask).tolist() == [3, 7]
+    # One-step mask does not include the other step's rows.
+    one = reg.dirty_mask("b", "c", 10)
+    assert np.flatnonzero(one).tolist() == [7]
+    assert reg.dirty_mask("zzz", "c", 10) is None
+
+
+def test_lineage_dirty_mask_delete_floods_tail():
+    reg = FingerprintLineage()
+    reg.record_delta("a", "b", _application(10, 9, [4, 5, 6, 7, 8], shifted=4))
+    mask = reg.dirty_mask("a", "b", 9)
+    assert np.flatnonzero(mask).tolist() == [4, 5, 6, 7, 8]
+
+
+def test_lineage_superseded_and_is_stale():
+    reg = FingerprintLineage()
+    reg.record_delta("a", "b", _application(5, 5, [0]))
+    assert reg.superseded() == {"a"}
+    assert reg.is_stale("a")
+    assert not reg.is_stale("b")
+
+
+# --- catalog integration ----------------------------------------------------
+
+
+def test_catalog_apply_delta_records_lineage_and_bumps_version():
+    catalog = Catalog()
+    relation = make_relation()
+    model = StochasticModel(relation, {"Value": GaussianNoiseVG("price", 0.5)})
+    catalog.register(relation, model)
+    parent_fp = model_fingerprint(model)
+    v0 = catalog.version
+
+    summary = catalog.apply_delta(
+        "items", RelationDelta(updates={1: {"price": 50.0}})
+    )
+    assert summary["table"] == "items"
+    assert summary["catalog_version"] == v0 + 1
+    assert summary["parent_fingerprint"] == parent_fp
+    assert summary["dirty_rows"] == 1
+    assert summary["lineage_recorded"]
+    assert catalog.relation("items").column("price")[1] == 50.0
+    # The chain is queryable under the new fingerprint.
+    assert lineage.ancestor_fingerprints(summary["fingerprint"]) == [parent_fp]
+    # Content-addressing: rebuilding the same content from scratch gives
+    # the same fingerprint — the delta-equivalence anchor.
+    rebuilt = catalog.relation("items")
+    rebuilt_model = StochasticModel(
+        rebuilt, {"Value": GaussianNoiseVG("price", 0.5)}
+    )
+    assert model_fingerprint(rebuilt_model) == summary["fingerprint"]
+
+
+def test_catalog_apply_delta_without_model_uses_relation_fingerprint():
+    catalog = Catalog()
+    relation = make_relation()
+    catalog.register(relation)
+    summary = catalog.apply_delta("items", RelationDelta(deletes=[0]))
+    assert summary["parent_fingerprint"] == relation_fingerprint(relation)
+    assert summary["n_rows"] == 5
+    assert summary["shifted_from"] == 0
+
+
+def test_catalog_apply_delta_unknown_table():
+    with pytest.raises(SchemaError, match="unknown table"):
+        Catalog().apply_delta("ghost", RelationDelta(deletes=[1]))

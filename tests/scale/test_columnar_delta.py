@@ -1,0 +1,115 @@
+"""ColumnStore mutation: in-place deltas, atomic rewrites, refresh.
+
+The disk-backed path of the live-data tier (docs/live_data.md).  The
+anchor property throughout: applying a delta to a ColumnStore must be
+*bit-identical* to applying the same delta to the equivalent in-memory
+relation — same columns, same dirty rows, same content fingerprint —
+because every fingerprint-keyed cache is shared between representations.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro import Relation
+from repro.db.delta import RelationDelta
+from repro.errors import SchemaError
+from repro.scale import open_store
+from repro.service.store import relation_fingerprint
+
+
+@pytest.fixture
+def relation() -> Relation:
+    rng = np.random.default_rng(11)
+    n = 300
+    return Relation(
+        "goods",
+        {
+            "id": np.arange(n, dtype=np.int64),
+            "price": np.round(rng.uniform(1, 50, n), 2),
+            "qty": rng.integers(0, 9, n),
+            "sector": np.array([f"S{i % 5}" for i in range(n)], dtype=object),
+        },
+        key="id",
+    )
+
+
+DELTA = RelationDelta(
+    inserts=[{"id": 900, "price": 3.25, "qty": 2, "sector": "S9"}],
+    updates={7: {"price": 42.0, "qty": 1}, 120: {"sector": "S0"}},
+    deletes=[250, 299],
+)
+
+
+def test_columnstore_delta_matches_in_memory_application(relation, tmp_path):
+    store = relation.to_disk(tmp_path / "g", chunk_rows=64)
+    mem_after, mem_app = relation.apply_delta(DELTA)
+    same_store, disk_app = store.apply_delta(DELTA)
+    assert same_store is store  # in-place mutation
+    assert store.n_rows == mem_after.n_rows
+    for name in mem_after.column_names:
+        np.testing.assert_array_equal(store.column(name), mem_after.column(name))
+    # Identical application records: dirty set, shift point, digest.
+    np.testing.assert_array_equal(disk_app.dirty, mem_app.dirty)
+    assert disk_app.shifted_from == mem_app.shifted_from
+    assert disk_app.digest == mem_app.digest
+    # And the fingerprint — the key every shared cache hangs off.
+    assert relation_fingerprint(store) == relation_fingerprint(mem_after)
+    store.close()
+
+
+def test_columnstore_delta_extends_text_vocabulary(relation, tmp_path):
+    store = relation.to_disk(tmp_path / "g", chunk_rows=64)
+    store.apply_delta(RelationDelta(updates={3: {"sector": "BRAND-NEW"}}))
+    assert store.column("sector")[3] == "BRAND-NEW"
+    # A fresh open sees the republished manifest (vocab included).
+    reopened = open_store(tmp_path / "g")
+    assert reopened.column("sector")[3] == "BRAND-NEW"
+    reopened.close()
+    store.close()
+
+
+def test_columnstore_bad_delta_leaves_files_untouched(relation, tmp_path):
+    store = relation.to_disk(tmp_path / "g", chunk_rows=64)
+    fp_before = relation_fingerprint(store)
+    mtimes = {
+        name: os.path.getmtime(os.path.join(store.path, meta["file"]))
+        for name, meta in store._meta.items()
+    }
+    with pytest.raises(SchemaError, match="integer column"):
+        store.apply_delta(RelationDelta(updates={0: {"qty": 1.5}}))
+    for name, meta in store._meta.items():
+        path = os.path.join(store.path, meta["file"])
+        assert os.path.getmtime(path) == mtimes[name]
+    assert relation_fingerprint(store) == fp_before
+    store.close()
+
+
+def test_refresh_adopts_external_mutation(relation, tmp_path):
+    writer_view = relation.to_disk(tmp_path / "g", chunk_rows=64)
+    reader_view = open_store(tmp_path / "g")
+    assert reader_view.n_rows == 300
+    writer_view.apply_delta(RelationDelta(deletes=[0]))
+    # The reader's cached state predates the delta until refresh.
+    reader_view.refresh()
+    assert reader_view.n_rows == 299
+    assert reader_view.column("id")[0] == 1
+    assert relation_fingerprint(reader_view) == relation_fingerprint(writer_view)
+    reader_view.close()
+    writer_view.close()
+
+
+def test_delete_everything_then_reinsert(relation, tmp_path):
+    small = relation.take(np.arange(3))
+    store = small.to_disk(tmp_path / "tiny", chunk_rows=2)
+    store.apply_delta(RelationDelta(deletes=[0, 1, 2]))
+    assert store.n_rows == 0
+    store.apply_delta(
+        RelationDelta(inserts=[{"id": 5, "price": 1.0, "qty": 1, "sector": "S1"}])
+    )
+    assert store.n_rows == 1
+    assert store.column("id").tolist() == [5]
+    store.close()

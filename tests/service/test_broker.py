@@ -8,6 +8,7 @@ import numpy as np
 import pytest
 
 from repro import Catalog, Relation, SPQConfig
+from repro.db.delta import RelationDelta
 from repro.errors import SPQError
 from repro.mcdb import GaussianNoiseVG, StochasticModel
 from repro.service import BrokerSaturatedError, QueryBroker, ScenarioStore
@@ -163,3 +164,77 @@ def test_injected_store_survives_broker_close(catalog, config):
         broker.execute(QUERY)
     assert not store.closed
     store.close()
+
+# --- live updates (docs/live_data.md) ----------------------------------------
+
+
+def test_apply_update_changes_answers_and_stamps_versions(catalog, config):
+    with QueryBroker(catalog, config=config, pool_size=2) as broker:
+        first = broker.execute(QUERY)
+        v0 = catalog.version
+        summary = broker.apply_update(
+            "items", {"updates": [[0, {"price": 50.0}]]}
+        )
+        assert summary["catalog_version"] == v0 + 1
+        assert summary["dirty_rows"] == 1
+        # Thread backend prunes pre-delta store entries synchronously.
+        assert summary["store_entries_pruned"] >= 0
+        second = broker.execute(QUERY)
+        status = broker.status()
+    # Every answer is labeled with the catalog version it solved against.
+    assert first.meta["catalog_version"] == v0
+    assert second.meta["catalog_version"] == v0 + 1
+    assert status["deltas_applied"] == 1
+    assert status["catalog_version"] == v0 + 1
+
+
+def test_apply_update_equivalent_to_rebuilt_catalog(config):
+    def fresh():
+        relation = Relation("items", {"price": [5.0, 8.0, 3.0, 6.0, 4.0]})
+        model = StochasticModel(
+            relation, {"Value": GaussianNoiseVG("price", 1.0)}
+        )
+        out = Catalog()
+        out.register(relation, model)
+        return out
+
+    mutated = fresh()
+    with QueryBroker(mutated, config=config, pool_size=1) as broker:
+        broker.apply_update("items", {"updates": [[2, {"price": 7.5}]]})
+        via_delta = broker.execute(QUERY)
+
+    rebuilt = fresh()
+    rebuilt.apply_delta("items", RelationDelta(updates={2: {"price": 7.5}}))
+    with QueryBroker(rebuilt, config=config, pool_size=1) as broker:
+        via_rebuild = broker.execute(QUERY)
+
+    assert np.array_equal(
+        via_delta.package.multiplicities, via_rebuild.package.multiplicities
+    )
+    assert via_delta.objective == via_rebuild.objective
+
+
+def test_apply_update_invalidates_inflight_dedup(catalog, config):
+    with QueryBroker(catalog, config=config, pool_size=1) as broker:
+        gate = _gate_broker(broker)
+        before = broker.submit(QUERY)
+        broker.apply_update("items", {"updates": [[1, {"price": 1.0}]]})
+        # A post-delta submission must not attach to the pre-delta
+        # in-flight future: it would return a stale answer.
+        after = broker.submit(QUERY)
+        assert after is not before
+        gate.set()
+        assert before.result(timeout=120) is not None
+        assert after.result(timeout=120) is not None
+    assert broker.status()["deduplicated"] == 0
+
+
+def test_apply_update_rejects_unknown_table_and_closed_broker(
+    catalog, config
+):
+    broker = QueryBroker(catalog, config=config, pool_size=1)
+    with pytest.raises(SPQError, match="unknown table"):
+        broker.apply_update("ghost", {"deletes": [0]})
+    broker.close()
+    with pytest.raises(SPQError, match="closed"):
+        broker.apply_update("items", {"deletes": [0]})

@@ -404,3 +404,41 @@ def test_farm_close_is_idempotent_and_rejects_new_work():
         broker.submit(QUERY)
     # The shared spill directory (handoff memmaps) is removed.
     assert not os.path.exists(spill_dir)
+
+
+def test_delta_broadcast_reaches_workers_and_matches_rebuild():
+    from repro.db.delta import RelationDelta
+
+    catalog = _catalog()
+    with QueryBroker(
+        catalog, config=_config(), pool_size=2, backend="process"
+    ) as broker:
+        first = broker.execute(QUERY)
+        v0 = first.meta["catalog_version"]
+        summary = broker.apply_update(
+            "items", {"updates": [[0, {"price": 50.0}]]}
+        )
+        assert summary["catalog_version"] == v0 + 1
+        # Both submissions land after the broadcast; whichever worker
+        # picks them up must have adopted the delta first.
+        second = broker.execute(QUERY)
+        third = broker.execute(QUERY, seed=12)
+        assert second.meta["catalog_version"] == v0 + 1
+        assert third.meta["catalog_version"] == v0 + 1
+        assert broker.status()["deltas_applied"] == 1
+
+    # Ground truth: the same delta applied directly to a fresh catalog,
+    # solved on the thread backend — the farm's post-delta answer must
+    # be bit-identical (content-addressed scenario draws).
+    truth_catalog = _catalog()
+    truth_catalog.apply_delta(
+        "items", RelationDelta(updates={0: {"price": 50.0}})
+    )
+    with QueryBroker(
+        truth_catalog, config=_config(), pool_size=1, backend="thread"
+    ) as broker:
+        truth = broker.execute(QUERY)
+    assert np.array_equal(
+        second.package.multiplicities, truth.package.multiplicities
+    )
+    assert second.objective == truth.objective

@@ -216,3 +216,100 @@ def test_error_mapping(service):
         _post(service, {"query": QUERY, "overrides": {"bogus_knob": 1}})
     code, body = _status_of(excinfo.value)
     assert code == 400
+
+
+# --- POST /update (docs/live_data.md) ----------------------------------------
+
+
+def _post_update(service, payload: dict):
+    request = urllib.request.Request(
+        _url(service, "/update"),
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=30) as response:
+        return response.status, json.loads(response.read())
+
+
+def _delta_counters(service) -> dict:
+    _, text = _get(service, "/metrics")
+    samples = {
+        line.split()[0]: line.split()[1]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    return {
+        name: int(samples.get(name, 0))
+        for name in ("repro_delta_applied_total", "repro_delta_rows_dirty_total")
+    }
+
+
+def test_update_roundtrip_and_version_labeling(service):
+    status, before = _post(service, {"query": QUERY})
+    assert status == 200
+    v0 = before["catalog_version"]
+    counters_before = _delta_counters(service)
+
+    status, summary = _post_update(
+        service,
+        {"table": "items", "delta": {"updates": [[0, {"price": 50.0}]]}},
+    )
+    assert status == 200
+    assert summary["status"] == "ok"
+    assert summary["dirty_rows"] == 1
+    assert summary["catalog_version"] == v0 + 1
+
+    # A post-delta query answers against the new version (never a stale
+    # cache hit from before the update).
+    status, after = _post(service, {"query": QUERY})
+    assert status == 200
+    assert after["catalog_version"] == v0 + 1
+
+    # Counters are process-global: assert the delta, not the absolute value.
+    counters_after = _delta_counters(service)
+    applied = "repro_delta_applied_total"
+    dirty = "repro_delta_rows_dirty_total"
+    assert counters_after[applied] == counters_before[applied] + 1
+    assert counters_after[dirty] == counters_before[dirty] + 1
+
+    status, text = _get(service, "/metrics")
+    metrics = {
+        line.split()[0]: line.split()[1]
+        for line in text.splitlines()
+        if line and not line.startswith("#")
+    }
+    assert "repro_delta_partitions_dirty_total" in metrics
+    assert "repro_store_stale_dropped_total" in metrics
+
+
+def test_update_error_mapping(service):
+    # Unknown table → 404.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_update(service, {"table": "ghost", "delta": {"deletes": [0]}})
+    code, body = _status_of(excinfo.value)
+    assert code == 404
+    assert body["error"]["kind"] == "unknown-table"
+
+    # Missing/ill-typed delta body → 400 bad-request.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_update(service, {"table": "items"})
+    code, body = _status_of(excinfo.value)
+    assert code == 400
+    assert body["error"]["kind"] == "bad-request"
+
+    # Structurally valid JSON that is not a valid delta → 400 bad-delta.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_update(service, {"table": "items", "delta": {}})
+    code, body = _status_of(excinfo.value)
+    assert code == 400
+    assert body["error"]["kind"] == "bad-delta"
+
+    # Updating the key column is a delta-validation error, not a crash.
+    with pytest.raises(urllib.error.HTTPError) as excinfo:
+        _post_update(
+            service,
+            {"table": "items", "delta": {"updates": [[0, {"id": 9}]]}},
+        )
+    code, body = _status_of(excinfo.value)
+    assert code == 400
+    assert body["error"]["kind"] == "bad-delta"

@@ -91,19 +91,47 @@ def test_deadline_less_work_keeps_fifo_behind_deadlined():
     assert [queue.pop() for _ in range(4)] == ["urgent", "a", "b", "c"]
 
 
-def test_front_push_outranks_every_deadline():
-    # Crash-retry discipline: the victim already waited a full solve, so
-    # it overtakes even a tighter deadline that arrived meanwhile.
+def test_front_push_keeps_deadline_order():
+    # Crash-retry regression (the pre-fix queue ranked every front push
+    # at -inf expiry, so a deadline-LESS retry starved deadlined work):
+    # a retried task keeps its own expiry rank — an undeadlined retry
+    # goes to the head of the FIFO tail, never ahead of a tight deadline.
     clock = FakeClock(0.0)
     queue = EDFQueue()
+    queue.push("plain-1")
     queue.push("tight", TaskDeadline(1.0, clock=clock))
+    queue.push("retried", front=True)  # crash victim with no deadline
+    assert queue.pop() == "tight"
+    assert queue.pop() == "retried"  # head of the FIFO tail
+    assert queue.pop() == "plain-1"
+
+
+def test_front_push_outranks_equal_deadlines_only():
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
+    queue.push("tighter", TaskDeadline(50.0, clock=clock))
+    queue.push("peer", TaskDeadline(100.0, clock=clock))
+    retried = "retried"
+    queue.push(retried, TaskDeadline(100.0, clock=clock), front=True)
+    # The retry overtakes its equal-deadline peer (it already waited a
+    # full solve) but an earlier deadline still wins — EDF holds.
+    assert queue.items() == ["tighter", "retried", "peer"]
+    assert [queue.pop() for _ in range(3)] == ["tighter", "retried", "peer"]
+
+
+def test_deadline_less_retry_does_not_starve_late_deadlines():
+    # Even a deadline that ARRIVES after the retry was requeued must
+    # still dispatch first (the old -inf rank made retries unpassable).
+    clock = FakeClock(0.0)
+    queue = EDFQueue()
     queue.push("retried-1", front=True)
     queue.push("retried-2", front=True)
-    # Later front pushes go first (decreasing seq at -inf expiry): the
-    # most recent crash victim is closest to having been running.
+    queue.push("urgent", TaskDeadline(10.0, clock=clock))
+    assert queue.pop() == "urgent"
+    # Among deadline-less retries, the most recent front push is
+    # closest to having been running and goes first.
     assert queue.pop() == "retried-2"
     assert queue.pop() == "retried-1"
-    assert queue.pop() == "tight"
 
 
 def test_edf_tie_breaks_fifo_and_remove_by_identity():

@@ -472,3 +472,76 @@ def test_evicting_budget_is_bit_identical_to_unlimited():
         reference.package.multiplicities, constrained.package.multiplicities
     )
     assert reference.objective == constrained.objective
+
+
+# --- delta staleness (docs/live_data.md) ------------------------------------
+
+
+def test_adopt_drops_descriptors_with_stale_fingerprints(tmp_path):
+    exporter = ScenarioStore(spill_dir=str(tmp_path))
+    exporter.coefficient_matrix(("old-fp", "expr"), 3, fill_for(1))
+    exporter.coefficient_matrix(("new-fp", "expr"), 3, fill_for(2))
+    descriptors = exporter.handoff()
+
+    adopter = ScenarioStore()
+    assert adopter.adopt(descriptors, stale_fingerprints={"old-fp"}) == 1
+    calls = []
+    adopter.coefficient_matrix(("new-fp", "expr"), 3, fill_for(2, calls))
+    assert calls == []  # fresh entry adopted
+    adopter.coefficient_matrix(("old-fp", "expr"), 3, fill_for(1, calls))
+    assert calls == [(0, 3)]  # stale entry refused, regenerated
+    assert adopter.stats().stale_dropped == 1
+    adopter.close()
+    exporter.close()
+
+
+def test_adopt_consults_lineage_registry_by_default(tmp_path):
+    from repro.db.delta import DeltaApplication, lineage
+
+    exporter = ScenarioStore(spill_dir=str(tmp_path))
+    exporter.coefficient_matrix(("pre-delta", "e"), 3, fill_for(1))
+    descriptors = exporter.handoff()
+    lineage.clear()
+    try:
+        lineage.record_delta(
+            "pre-delta",
+            "post-delta",
+            DeltaApplication(
+                digest="d", n_rows_before=8, n_rows_after=8,
+                dirty=np.array([0]), shifted_from=None,
+            ),
+        )
+        adopter = ScenarioStore()
+        assert adopter.adopt(descriptors) == 0
+        assert adopter.stats().stale_dropped == 1
+        adopter.close()
+    finally:
+        lineage.clear()
+    exporter.close()
+
+
+def test_prune_fingerprints_drops_matching_entries():
+    store = ScenarioStore()
+    store.coefficient_matrix(("fp-a", "e1"), 3, fill_for(1))
+    store.coefficient_matrix(("fp-a", "e2"), 3, fill_for(2))
+    store.coefficient_matrix(("fp-b", "e1"), 3, fill_for(3))
+    assert store.prune_fingerprints({"fp-a"}) == 2
+    assert store.stats().entries == 1
+    assert store.stats().stale_dropped == 2
+    calls = []
+    store.coefficient_matrix(("fp-b", "e1"), 3, fill_for(3, calls))
+    assert calls == []  # untouched fingerprint survives
+    store.coefficient_matrix(("fp-a", "e1"), 3, fill_for(1, calls))
+    assert calls == [(0, 3)]  # pruned entry regenerates
+    assert store.prune_fingerprints({"zzz"}) == 0
+    assert store.prune_fingerprints(set()) == 0
+    store.close()
+
+
+def test_prune_fingerprints_releases_spill_files(tmp_path):
+    store = ScenarioStore(budget_bytes=64, spill_dir=str(tmp_path))
+    store.coefficient_matrix(("fp", "e"), 4, fill_for(1))
+    store.coefficient_matrix(("fp2", "e"), 4, fill_for(2))  # spills fp
+    assert store.prune_fingerprints({"fp", "fp2"}) == 2
+    store.close()
+    assert not list(tmp_path.iterdir())

@@ -1,0 +1,83 @@
+"""HiGHS backend: best-bound surfacing on limit/error outcomes.
+
+Regression suite for the anytime-gap bug where a solve stopped by its
+limit with *no* incumbent and *no* warm-start hint returned an empty
+``meta`` — ``repro.core.anytime`` then had no ``best_bound`` to derive
+an optimality gap from.  ``scipy.optimize.milp`` is stubbed so every
+status path is reachable deterministically.
+"""
+
+import numpy as np
+import pytest
+
+import repro.solver.highs as highs_module
+from repro.solver.highs import solve_with_highs
+from repro.solver.result import STATUS_ERROR, STATUS_FEASIBLE, STATUS_TIME_LIMIT
+from repro.solver.model import MILPBuilder
+
+
+class FakeRes:
+    def __init__(self, status, x=None, mip_dual_bound=None, mip_gap=None):
+        self.status = status
+        self.x = x
+        self.mip_dual_bound = mip_dual_bound
+        self.mip_gap = mip_gap
+        self.message = "stubbed outcome"
+
+
+def _builder(sense="minimize"):
+    builder = MILPBuilder()
+    idx = builder.add_variables("x", 2, lb=0.0, ub=3.0)
+    builder.add_constraint(idx, [1.0, 1.0], ub=4.0)
+    builder.set_objective(idx, [2.0, 5.0], sense)
+    return builder
+
+
+def _stub(monkeypatch, res):
+    monkeypatch.setattr(highs_module, "milp", lambda *a, **k: res)
+
+
+def test_limit_no_incumbent_no_hint_surfaces_dual_bound(monkeypatch):
+    _stub(monkeypatch, FakeRes(highs_module._SCIPY_LIMIT, mip_dual_bound=7.5))
+    result = solve_with_highs(_builder())
+    assert result.status == STATUS_TIME_LIMIT
+    assert result.x is None
+    assert result.meta["best_bound"] == pytest.approx(7.5)
+    assert result.meta["stopped"] == "limit"
+
+
+def test_limit_bound_sign_flips_for_maximization(monkeypatch):
+    # HiGHS minimizes the negated objective for maximize problems, so
+    # its dual bound must be negated back into the caller's sense.
+    _stub(monkeypatch, FakeRes(highs_module._SCIPY_LIMIT, mip_dual_bound=-22.0))
+    result = solve_with_highs(_builder("maximize"))
+    assert result.status == STATUS_TIME_LIMIT
+    assert result.meta["best_bound"] == pytest.approx(22.0)
+
+
+def test_error_status_without_hint_surfaces_dual_bound(monkeypatch):
+    _stub(monkeypatch, FakeRes(99, mip_dual_bound=3.0))
+    result = solve_with_highs(_builder())
+    assert result.status == STATUS_ERROR
+    assert result.meta["best_bound"] == pytest.approx(3.0)
+
+
+def test_hint_fallback_carries_dual_bound(monkeypatch):
+    _stub(monkeypatch, FakeRes(highs_module._SCIPY_LIMIT, mip_dual_bound=2.0))
+    builder = _builder()
+    builder.set_warm_start(np.array([1.0, 0.0]))
+    result = solve_with_highs(builder)
+    assert result.status == STATUS_FEASIBLE
+    assert result.objective == pytest.approx(2.0)
+    assert result.meta["best_bound"] == pytest.approx(2.0)
+    assert result.meta["stopped"] == "limit"
+
+
+def test_nonfinite_dual_bound_is_omitted(monkeypatch):
+    _stub(
+        monkeypatch,
+        FakeRes(highs_module._SCIPY_LIMIT, mip_dual_bound=-np.inf),
+    )
+    result = solve_with_highs(_builder())
+    assert result.status == STATUS_TIME_LIMIT
+    assert "best_bound" not in result.meta
