@@ -37,7 +37,7 @@ from repro.scale.refinecache import refine_cache
 from repro.silp.compile import compile_query
 from repro.workloads import get_query
 
-from conftest import bench_config
+from conftest import bench_config, stamp_record
 
 _SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
@@ -195,5 +195,5 @@ def test_localized_delta_reuses_untouched_partitions(tmp_path_factory):
     finally:
         store.close()
         with open(BENCH_DELTA_PATH, "w") as handle:
-            json.dump(record, handle, indent=2)
+            json.dump(stamp_record(record), handle, indent=2)
             handle.write("\n")

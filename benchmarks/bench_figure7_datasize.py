@@ -25,7 +25,7 @@ import pytest
 from repro.core.engine import SPQEngine
 from repro.workloads import get_query
 
-from conftest import bench_config, cached_catalog
+from conftest import bench_config, cached_catalog, stamp_record
 
 N_SWEEP = (400, 800, 1600)
 FIXED_M = 56
@@ -113,7 +113,7 @@ def test_scale_out_of_core_speedup(tmp_path_factory):
         # assertion is exactly when the recorded timings matter most
         # (and CI uploads this file as an artifact either way).
         with open(BENCH_SCALE_PATH, "w") as handle:
-            json.dump(record, handle, indent=2)
+            json.dump(stamp_record(record), handle, indent=2)
             handle.write("\n")
 
 

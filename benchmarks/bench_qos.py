@@ -30,7 +30,7 @@ import numpy as np
 from repro.service import DeadlineExpiredError, QueryBroker
 from repro.workloads import get_query
 
-from conftest import bench_config, cached_catalog
+from conftest import bench_config, cached_catalog, stamp_record
 
 _SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
@@ -126,6 +126,13 @@ def test_mixed_deadline_latency_percentiles(benchmark):
                     },
                 }
             record["broker_deadline_counters"] = broker.status()["deadline"]
+            # Per-stage wall seconds over the whole mixed run (sum across
+            # histogram buckets) — the breakdown bench_compare.py uses to
+            # attribute a latency regression to a stage.
+            record["stage_seconds"] = {
+                name: round(hist.get("sum", 0.0), 6)
+                for name, hist in sorted(broker.stage_histograms().items())
+            }
         return record
 
     benchmark.pedantic(run_cohorts, rounds=1, iterations=1)
@@ -154,7 +161,7 @@ def test_mixed_deadline_latency_percentiles(benchmark):
         data = {}
     if not isinstance(data, dict) or "benchmarks" not in data:
         data = {"benchmarks": {}}
-    data["benchmarks"]["mixed_deadline_percentiles"] = record
+    data["benchmarks"]["mixed_deadline_percentiles"] = stamp_record(record)
     with open(BENCH_RESULTS_PATH, "w") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")

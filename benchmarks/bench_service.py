@@ -30,7 +30,7 @@ import numpy as np
 from repro.service import QueryBroker, ScenarioStore
 from repro.workloads import get_query
 
-from conftest import bench_config, cached_catalog
+from conftest import bench_config, cached_catalog, stamp_record
 
 SCALE = 1500
 ROUNDS = 3
@@ -56,7 +56,7 @@ def _update_bench_record(name: str, record: dict) -> None:
     if not isinstance(data, dict) or "benchmarks" not in data:
         legacy = data.get("benchmark") if isinstance(data, dict) else None
         data = {"benchmarks": {legacy: data} if legacy else {}}
-    data["benchmarks"][name] = record
+    data["benchmarks"][name] = stamp_record(record)
     with open(BENCH_RESULTS_PATH, "w") as handle:
         json.dump(data, handle, indent=2)
         handle.write("\n")

@@ -9,6 +9,12 @@ M / Z / N — and each benchmark attaches feasibility/quality outcomes as
 
 from __future__ import annotations
 
+import os
+import platform
+import socket
+import subprocess
+import time
+
 import pytest
 
 from repro import SPQConfig
@@ -33,6 +39,41 @@ def bench_config(**overrides) -> SPQConfig:
     )
     defaults.update(overrides)
     return SPQConfig(**defaults)
+
+
+def _git_commit() -> str | None:
+    """Short commit hash of the working tree, or None outside git."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            capture_output=True, text=True, timeout=10,
+            cwd=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        )
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return out.stdout.strip() or None if out.returncode == 0 else None
+
+
+def bench_metadata() -> dict:
+    """Provenance stamp for one BENCH_*.json record.
+
+    Attached under ``"meta"`` by :func:`stamp_record` so every committed
+    baseline says what produced it; ``scripts/bench_compare.py`` skips
+    the stamp when diffing (identity is not a metric).
+    """
+    return {
+        "commit": _git_commit(),
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "host": socket.gethostname(),
+        "n_cpus": os.cpu_count(),
+        "py_version": platform.python_version(),
+    }
+
+
+def stamp_record(record: dict) -> dict:
+    """Attach (or refresh) the provenance stamp on one bench record."""
+    record["meta"] = bench_metadata()
+    return record
 
 
 _dataset_cache: dict = {}

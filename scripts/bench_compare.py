@@ -1,0 +1,277 @@
+#!/usr/bin/env python
+"""Continuous benchmark regression gate over ``BENCH_*.json`` records.
+
+Compares a *current* set of benchmark result files against a committed
+*baseline* set, metric by metric, and exits nonzero when any tracked
+metric regresses past its tolerance band::
+
+    python scripts/bench_compare.py                       # self-compare (sanity)
+    python scripts/bench_compare.py --baseline bench_baseline --current .
+    python scripts/bench_compare.py --self-test           # gate sanity check
+
+Only metrics whose *name* marks them as performance-relevant are
+compared; everything else in the records (objectives, feasibility
+flags, configuration, ``meta`` stamps) is informational:
+
+* **lower-is-better** — names containing/ending in ``seconds``, ``_s``,
+  ``_ms``, ``ns_per_span``, ``wall``, ``p50``/``p99``/``max_ms``,
+  ``overhead_pct``: a regression is ``current > baseline * (1 + band)
+  + slack``.
+* **higher-is-better** — ``qps``, ``speedup``, ``reuse_ratio``: a
+  regression is ``current < baseline * (1 - band) - slack``.
+
+Bands are deliberately wide (benchmarks run on shared CI machines) and
+widest for per-stage breakdowns, which attribute rather than gate.  An
+absolute slack floor per unit keeps sub-millisecond jitter from ever
+tripping the gate.  Metrics present only on one side are reported but
+never fail the gate — records grow fields across PRs by design.
+
+Exit codes: 0 no regression, 1 regression(s) found, 2 usage/IO error.
+Stdlib only — runs before any dependency install.
+"""
+
+from __future__ import annotations
+
+import argparse
+import glob
+import json
+import os
+import sys
+
+#: Default relative tolerance band (fraction of the baseline value).
+DEFAULT_BAND = 0.50
+
+#: Wider bands for metrics known to be noisy, keyed by substring of the
+#: metric path (first match wins, most specific first).
+BAND_OVERRIDES = (
+    ("stage_seconds", 3.00),   # per-stage attribution, not a gate
+    ("overhead_pct", 3.00),    # ratio of two tiny numbers
+    ("ns_per_span", 2.00),     # nanosecond microbenchmark
+    ("p99", 1.00),             # tail latency needs headroom
+    ("max_ms", 1.00),
+)
+
+#: Absolute slack added on top of the relative band, by unit inferred
+#: from the metric name — keeps near-zero baselines from making any
+#: jitter a "regression".
+SLACK_SECONDS = 0.25
+SLACK_MS = 250.0
+SLACK_NS = 500.0
+
+#: Name fragments marking a metric where *smaller* is better.
+LOWER_IS_BETTER = (
+    "seconds", "wall_s", "_min_s", "warm_query_s", "p50_ms", "p99_ms",
+    "max_ms", "ns_per_span", "overhead_pct", "apply_seconds",
+)
+#: Name fragments marking a metric where *larger* is better.
+HIGHER_IS_BETTER = ("qps", "speedup", "reuse_ratio")
+
+#: Subtrees that are identity stamps, never metrics.
+SKIP_KEYS = {"meta", "commit", "timestamp", "host", "n_cpus", "py_version"}
+
+
+def _leaf_name(path: str) -> str:
+    return path.rsplit(".", 1)[-1]
+
+
+def classify(path: str) -> str | None:
+    """``"lower"``, ``"higher"``, or None (not a tracked metric)."""
+    name = _leaf_name(path).lower()
+    for fragment in HIGHER_IS_BETTER:
+        if fragment in name:
+            return "higher"
+    for fragment in LOWER_IS_BETTER:
+        if fragment in name or name.endswith("_s"):
+            return "lower"
+    if name.endswith("_s") or name.endswith("_ms"):
+        return "lower"
+    return None
+
+
+def band_for(path: str, override: float | None) -> float:
+    if override is not None:
+        return override
+    for fragment, band in BAND_OVERRIDES:
+        if fragment in path:
+            return band
+    return DEFAULT_BAND
+
+
+def slack_for(path: str) -> float:
+    name = _leaf_name(path).lower()
+    if name.endswith("_ms") or "p50_ms" in name or "p99_ms" in name:
+        return SLACK_MS
+    if "ns_per" in name:
+        return SLACK_NS
+    if "pct" in name or "ratio" in name or "speedup" in name or "qps" in name:
+        return 0.05
+    return SLACK_SECONDS
+
+
+def flatten(node, prefix: str = "", out: dict | None = None) -> dict:
+    """``{"a.b.c": value}`` for every numeric leaf, skipping stamps."""
+    if out is None:
+        out = {}
+    if isinstance(node, dict):
+        for key, value in node.items():
+            if key in SKIP_KEYS:
+                continue
+            flatten(value, f"{prefix}.{key}" if prefix else str(key), out)
+    elif isinstance(node, list):
+        for i, value in enumerate(node):
+            flatten(value, f"{prefix}[{i}]", out)
+    elif isinstance(node, bool):
+        pass  # feasibility flags are correctness, not performance
+    elif isinstance(node, (int, float)):
+        out[prefix] = float(node)
+    return out
+
+
+def compare_documents(
+    baseline: dict, current: dict, tolerance: float | None = None
+) -> tuple[list[str], list[str]]:
+    """Return ``(regressions, notes)`` comparing two benchmark records."""
+    base = flatten(baseline)
+    cur = flatten(current)
+    regressions: list[str] = []
+    notes: list[str] = []
+    for path in sorted(set(base) | set(cur)):
+        direction = classify(path)
+        if direction is None:
+            continue
+        if path not in base:
+            notes.append(f"new metric {path} = {cur[path]:g} (no baseline)")
+            continue
+        if path not in cur:
+            notes.append(f"metric {path} absent from current run")
+            continue
+        b, c = base[path], cur[path]
+        band = band_for(path, tolerance)
+        slack = slack_for(path)
+        if direction == "lower":
+            limit = b * (1.0 + band) + slack
+            if c > limit:
+                regressions.append(
+                    f"{path}: {b:g} -> {c:g}"
+                    f" (limit {limit:g}, band {band:.0%} + {slack:g})"
+                )
+        else:
+            limit = b * (1.0 - band) - slack
+            if c < limit:
+                regressions.append(
+                    f"{path}: {b:g} -> {c:g}"
+                    f" (floor {limit:g}, band {band:.0%} - {slack:g})"
+                )
+    return regressions, notes
+
+
+def compare_dirs(
+    baseline_dir: str, current_dir: str, tolerance: float | None = None
+) -> int:
+    """Compare every ``BENCH_*.json`` present in *both* directories."""
+    baseline_files = {
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(baseline_dir, "BENCH_*.json"))
+    }
+    current_files = {
+        os.path.basename(p)
+        for p in glob.glob(os.path.join(current_dir, "BENCH_*.json"))
+    }
+    shared = sorted(baseline_files & current_files)
+    if not shared:
+        print(
+            f"bench_compare: no BENCH_*.json present in both"
+            f" {baseline_dir!r} and {current_dir!r}",
+            file=sys.stderr,
+        )
+        return 2
+    failed = False
+    for name in shared:
+        try:
+            with open(os.path.join(baseline_dir, name)) as handle:
+                baseline = json.load(handle)
+            with open(os.path.join(current_dir, name)) as handle:
+                current = json.load(handle)
+        except (OSError, json.JSONDecodeError) as error:
+            print(f"bench_compare: {name}: {error}", file=sys.stderr)
+            return 2
+        regressions, notes = compare_documents(baseline, current, tolerance)
+        n_tracked = len(
+            [p for p in flatten(baseline) if classify(p) is not None]
+        )
+        print(f"{name}: {n_tracked} tracked metric(s)")
+        for note in notes:
+            print(f"  note: {note}")
+        for regression in regressions:
+            print(f"  REGRESSION {regression}")
+        if regressions:
+            failed = True
+    skipped = sorted(current_files - baseline_files)
+    for name in skipped:
+        print(f"{name}: no committed baseline, skipped")
+    if failed:
+        print("bench_compare: FAIL (regression past tolerance band)")
+        return 1
+    print("bench_compare: OK (all tracked metrics within tolerance)")
+    return 0
+
+
+def self_test() -> int:
+    """The gate must trip on a synthetic 2x latency regression."""
+    baseline = {
+        "benchmarks": {
+            "warm": {"warm_min_s": 2.0, "speedup": 1.5, "objective": 9.1},
+            "qos": {"tight": {"p50_ms": 900.0}},
+        }
+    }
+    doubled = {
+        "benchmarks": {
+            "warm": {"warm_min_s": 4.0, "speedup": 1.5, "objective": 9.1},
+            "qos": {"tight": {"p50_ms": 1800.0}},
+        }
+    }
+    regressions, _ = compare_documents(baseline, doubled)
+    if not regressions:
+        print("bench_compare --self-test: FAIL (2x regression not caught)")
+        return 1
+    clean, _ = compare_documents(baseline, baseline)
+    if clean:
+        print("bench_compare --self-test: FAIL (self-compare regressed)")
+        return 1
+    print(
+        f"bench_compare --self-test: OK"
+        f" ({len(regressions)} regression(s) caught, self-compare clean)"
+    )
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff BENCH_*.json benchmark records against a baseline."
+    )
+    parser.add_argument(
+        "--baseline", default=".", metavar="DIR",
+        help="directory holding the committed baseline BENCH_*.json"
+             " (default: repo root)",
+    )
+    parser.add_argument(
+        "--current", default=".", metavar="DIR",
+        help="directory holding the freshly produced BENCH_*.json"
+             " (default: repo root — self-compare)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=None, metavar="FRAC",
+        help="override every relative tolerance band, e.g. 0.25",
+    )
+    parser.add_argument(
+        "--self-test", action="store_true",
+        help="verify the gate trips on a synthetic 2x latency regression",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return compare_dirs(args.baseline, args.current, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -13,7 +13,11 @@ runnable without pytest.  Three checks:
   bound is established structurally, like the benchmark does);
 * **the spans are right** — the traced query yields a span tree rooted
   at ``execute`` with parse/solve/validate stages, and the ``repro
-  trace`` renderers accept it.
+  trace`` renderers accept it;
+* **convergence events flow (and only when traced)** — the traced run
+  records CSA/solver convergence events that the ``--convergence``
+  renderer accepts, while the untraced run leaves the event channel
+  completely dark (``emit()`` is one ContextVar read returning False).
 
 Runs in seconds under ``REPRO_SMOKE=1`` (smaller dataset)::
 
@@ -116,6 +120,23 @@ def main() -> int:
     waterfall = format_waterfall(root)
     table = format_top_table(aggregate_self_times(root))
     assert "execute" in waterfall and "stage" in table
+
+    # Convergence events rode the same session: this SummarySearch run
+    # must have emitted at least one csa.round record, and the
+    # --convergence renderer must accept the document.
+    from repro.obs import emit, epsilon_events, format_convergence
+
+    assert traced.events, "traced query recorded no convergence events"
+    assert epsilon_events(traced.events), traced.events
+    doc["events"] = list(traced.events)
+    doc["events_dropped"] = traced.events_dropped
+    rendered = format_convergence(doc)
+    assert "epsilon trajectory" in rendered, rendered
+
+    # Disabled path stays dark: with no session, emit() refuses without
+    # allocating, preserving the <0.1% disabled-overhead bound.
+    assert current_session() is None
+    assert emit("smoke.event", t=0.0, value=1) is False
 
     print(
         f"trace smoke: OK — disabled {disabled_cost * 1e9:.0f}ns/span,"

@@ -369,6 +369,11 @@ def build_parser() -> argparse.ArgumentParser:
                        metavar="SECONDS",
                        help="wall-time threshold for --slow-query-log"
                             " (default: 1.0)")
+    serve.add_argument("--slow-query-log-max-bytes", default=None,
+                       metavar="BYTES",
+                       help="rotate the slow-query log to <path>.1 once an"
+                            " append would push it past this size, e.g. 16M"
+                            " (default: never rotate)")
     _add_config_arguments(serve)
     serve.set_defaults(handler=cmd_serve)
 
@@ -390,6 +395,10 @@ def build_parser() -> argparse.ArgumentParser:
     trace.add_argument("--max-spans", type=int, default=60, metavar="N",
                        help="waterfall row budget before truncation"
                             " (default: 60)")
+    trace.add_argument("--convergence", action="store_true",
+                       help="render the trace's convergence event streams"
+                            " (solver gap-over-time, CSA epsilon trajectory,"
+                            " refine outcomes) instead of the waterfall")
     trace.set_defaults(handler=cmd_trace)
     return parser
 
@@ -633,6 +642,11 @@ def cmd_serve(args) -> int:
             if args.slow_query_threshold is not None
             else {}
         ),
+        **(
+            {"slow_query_log_max_bytes": parse_bytes(args.slow_query_log_max_bytes)}
+            if args.slow_query_log_max_bytes
+            else {}
+        ),
     )
     catalog = _build_catalog(args, config)
     broker = QueryBroker(catalog, config=config)
@@ -677,6 +691,11 @@ def cmd_trace(args) -> int:
         # JSONDecodeError is a ValueError, not an OSError: wrap it so the
         # exit-code contract reports a parse failure, not a solve one.
         raise SPQError(f"{source}: not valid JSON: {error}") from error
+    if getattr(args, "convergence", False):
+        from .obs import format_convergence
+
+        print(format_convergence(doc, width=max(args.width, 8)))
+        return EXIT_OK
     try:
         trace_id, root = trace_document(doc)
     except ValueError as error:

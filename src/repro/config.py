@@ -202,6 +202,9 @@ class SPQConfig:
     slow_query_threshold_s: float | None = None
     #: Path of the slow-query JSONL log; ``None`` disables it.
     slow_query_log: str | None = None
+    #: Rotate the slow-query log (copy-truncate to ``<path>.1``) once an
+    #: append would push it past this many bytes; ``None`` never rotates.
+    slow_query_log_max_bytes: int | None = None
 
     # --- solving -----------------------------------------------------------
     solver: str = SOLVER_HIGHS
@@ -315,6 +318,12 @@ class SPQConfig:
             raise EvaluationError("trace_ring_size must be >= 1")
         if self.slow_query_threshold_s is not None and self.slow_query_threshold_s < 0:
             raise EvaluationError("slow_query_threshold_s must be >= 0 or None")
+        if self.slow_query_log_max_bytes is not None and (
+            self.slow_query_log_max_bytes < 1
+        ):
+            raise EvaluationError(
+                "slow_query_log_max_bytes must be >= 1 or None"
+            )
 
     def replace(self, **changes) -> "SPQConfig":
         """Return a copy of this config with ``changes`` applied."""

@@ -49,6 +49,11 @@ class AnytimeResult:
     incumbent_objective: float | None = None
     best_bound: float | None = None
     stages_truncated: tuple = field(default_factory=tuple)
+    #: Per-query resource accounting
+    #: (:class:`repro.obs.resources.QueryResourceProbe`), attached by
+    #: the engine after finalization; None for evaluators invoked
+    #: outside the engine.
+    resources: dict | None = None
 
     def as_dict(self) -> dict:
         """JSON-ready document (HTTP payload, trace attachments)."""
@@ -66,6 +71,7 @@ class AnytimeResult:
                 None if self.best_bound is None else float(self.best_bound)
             ),
             "stages_truncated": list(self.stages_truncated),
+            "resources": self.resources,
         }
 
 
@@ -83,10 +89,11 @@ def _truncation_gap(result) -> tuple[float | None, float | None]:
     """(gap, best_bound) for a truncated result with an incumbent.
 
     Prefers the ε certificate already computed during validation (it
-    *is* a relative incumbent-to-bound distance, Propositions 2–5);
-    falls back to the objective-bound interval recorded in the result
-    meta; a feasibility-only query (no objective) has gap 0 by
-    definition once its incumbent validated.
+    *is* a relative incumbent-to-bound distance, Propositions 2–5),
+    then a truncated MILP solve's own gap certificate
+    (``meta["solver_gap"]``), then the objective-bound interval recorded
+    in the result meta; a feasibility-only query (no objective) has gap
+    0 by definition once its incumbent validated.
     """
     if result.objective is None:
         return (0.0 if result.feasible else None), None
@@ -100,6 +107,15 @@ def _truncation_gap(result) -> tuple[float | None, float | None]:
     eps = result.epsilon_upper
     if eps is not None and np.isfinite(eps):
         return max(0.0, float(eps)), bound
+    solver_gap = result.meta.get("solver_gap")
+    if solver_gap is not None and np.isfinite(solver_gap):
+        # A truncated MILP solve certified its own incumbent-to-bound
+        # distance (branch and bound's anytime gap); reuse it verbatim
+        # so the envelope matches the solver's final convergence event.
+        solver_bound = result.meta.get("solver_best_bound")
+        if solver_bound is not None and np.isfinite(solver_bound):
+            bound = float(solver_bound)
+        return max(0.0, float(solver_gap)), bound
     if bound is not None:
         return relative_gap(result.objective, bound), bound
     return None, None

@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..obs import stage
+from ..obs.events import KIND_CSA_ROUND, emit
 from ..silp.canonical import flip_chance_constraint
 from ..silp.model import SENSE_MAX, SENSE_MIN
 from ..solver.model import MILPBuilder
@@ -232,6 +233,16 @@ def csa_solve(
             validate_time=validate_watch.elapsed,
         )
         iterations.append(record)
+        # ε-trajectory stream: one record per validate/guess/solve round
+        # (no-op unless a trace session is active).
+        emit(
+            KIND_CSA_ROUND,
+            q=q,
+            epsilon_upper=None if eps_q is None else float(eps_q),
+            feasible=bool(report.feasible),
+            objective=None if report.objective is None else float(report.objective),
+            claimed=None if claimed is None else float(claimed),
+        )
 
         candidate = CSASolveResult(
             x=x.copy(),

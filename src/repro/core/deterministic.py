@@ -13,7 +13,7 @@ import numpy as np
 from ..config import SPQConfig
 from ..errors import EvaluationError
 from ..silp.model import StochasticPackageProblem
-from ..solver.result import MILPResult
+from ..solver.result import MILPResult, STATUS_TIME_LIMIT
 from ..utils.timing import Stopwatch
 from .context import EvaluationContext
 from .package import Package, PackageResult
@@ -32,6 +32,12 @@ def solve_unconstrained(ctx: EvaluationContext, time_limit: float) -> MILPResult
     (its conservative claim at α = 0 is zero).
     """
     builder, _ = ctx.build_base_milp()
+    # The empty package is the canonical anytime seed: when it is
+    # feasible (pure upper-bound constraints), a deadline truncation is
+    # guaranteed to return an incumbent with a certified gap instead of
+    # a bare timeout.  The hint is validated at solve time, so queries
+    # with covering (>=) constraints simply ignore it.
+    builder.set_warm_start(np.zeros(builder.n_variables))
     return builder.solve(
         backend=ctx.config.solver,
         time_limit=time_limit,
@@ -56,7 +62,12 @@ def deterministic_evaluate(
     stats = RunStats(METHOD_DETERMINISTIC)
     watch = Stopwatch()
     with watch:
-        result = solve_unconstrained(ctx, config.solver_time_limit)
+        # The QoS deadline and the batch budget share one clamp, so a
+        # branch-and-bound truncation surfaces as an anytime incumbent
+        # with a certified gap instead of silently reporting gap 0.
+        result = solve_unconstrained(
+            ctx, min(config.solver_time_limit, config.effective_time_limit())
+        )
     stats.add(
         IterationRecord(
             method=METHOD_DETERMINISTIC,
@@ -69,6 +80,11 @@ def deterministic_evaluate(
         )
     )
     stats.total_time = watch.elapsed
+    truncated = result.status == STATUS_TIME_LIMIT or result.meta.get(
+        "stopped"
+    ) in ("deadline", "nodes")
+    if truncated:
+        stats.timed_out = True
     if not result.has_solution:
         return PackageResult(
             package=None,
@@ -81,6 +97,16 @@ def deterministic_evaluate(
     x = np.round(result.x[: problem.n_vars]).astype(np.int64)
     objective = ctx.mean_objective_value(x)
     report = ValidationReport(feasible=True, items=[], objective=objective)
+    meta = {}
+    if truncated:
+        # Carry the solver's own anytime certificate into the envelope:
+        # finalize_anytime prefers it, so the AnytimeResult gap equals
+        # the gap of the final solver convergence event bit-for-bit.
+        meta = {
+            "truncated_stages": ("solve",),
+            "solver_gap": result.gap,
+            "solver_best_bound": result.meta.get("best_bound"),
+        }
     return PackageResult(
         package=Package(problem, x),
         feasible=True,
@@ -88,4 +114,5 @@ def deterministic_evaluate(
         method=METHOD_DETERMINISTIC,
         validation=report,
         stats=stats,
+        meta=meta,
     )

@@ -22,6 +22,7 @@ from ..config import DEFAULT_CONFIG, SPQConfig
 from ..db.catalog import Catalog
 from ..errors import EvaluationError
 from ..obs import (
+    QueryResourceProbe,
     TraceSession,
     activate,
     current_session,
@@ -174,6 +175,10 @@ class SPQEngine:
                 return self._execute_traced(query, method, effective)
         finally:
             self.last_trace = span_tree(own.spans, own.trace_id, dropped=own.dropped)
+            self.last_trace["events"] = list(own.events)
+            self.last_trace["events_dropped"] = own.events_dropped
+            if own.resources:
+                self.last_trace["resources"] = dict(own.resources)
 
     def _execute_traced(
         self,
@@ -182,9 +187,14 @@ class SPQEngine:
         effective: SPQConfig,
     ) -> PackageResult:
         with stage("execute", method=method) as span:
+            probe = QueryResourceProbe(store=self.store)
             started = time.perf_counter()
             result = self._dispatch(query, method, effective)
             finalize_anytime(result, effective, time.perf_counter() - started)
+            usage = probe.finish(session=current_session())
+            if result.anytime is not None:
+                result.anytime.resources = usage
+            span.set("resources", usage)
             if result.anytime is not None and not result.anytime.deadline_met:
                 span.set("deadline_missed", True)
             return result

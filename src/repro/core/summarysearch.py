@@ -19,6 +19,7 @@ import numpy as np
 
 from ..config import SPQConfig
 from ..obs import stage
+from ..obs.events import KIND_CSA_ROUND, emit
 from ..silp.model import (
     ExpectationObjectiveIR,
     SENSE_MAX,
@@ -148,6 +149,17 @@ def summary_search_evaluate(
             alphas=result.iterations[-1].alphas if result.iterations else (),
         )
         stats.add(record)
+        # Outer ε-trajectory record: one per (M, Z) escalation, closing
+        # the round that csa_solve's per-q records opened.
+        emit(
+            KIND_CSA_ROUND,
+            iteration=iteration,
+            M=n_scenarios,
+            Z=min(n_summaries, n_scenarios),
+            epsilon_upper=record.epsilon_upper,
+            feasible=bool(result.feasible),
+            objective=result.objective,
+        )
 
         if result.x is not None:
             candidate = PackageResult(

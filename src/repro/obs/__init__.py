@@ -1,6 +1,6 @@
 """Observability for the query pipeline (``repro.obs``).
 
-Three cooperating pieces, all dependency-free and cheap when unused:
+Five cooperating pieces, all dependency-free and cheap when unused:
 
 * :mod:`repro.obs.trace` — lightweight trace spans recorded through
   ``with stage("solve"):`` context managers woven through the engine,
@@ -13,6 +13,13 @@ Three cooperating pieces, all dependency-free and cheap when unused:
 * :mod:`repro.obs.profile` — flat per-stage self-time aggregation
   (``SPQConfig.profile_stages``) plus the waterfall / top-N renderers
   behind the ``repro trace`` CLI.
+* :mod:`repro.obs.events` — trace-scoped convergence event streams
+  (branch-and-bound gap-over-time, CSA ε-trajectory, refine outcomes)
+  rendered by ``repro trace --convergence``.
+* :mod:`repro.obs.resources` — per-query resource accounting (CPU,
+  peak-RSS delta, scenario bytes, LP solves, chunk-cache hit ratio)
+  attached to root spans and ``AnytimeResult`` envelopes and exported
+  as ``repro_resource_*`` metric families.
 
 Trace context propagates across the solve farm's forkserver boundary
 the same way store-stats snapshots do: the broker ships
@@ -20,6 +27,17 @@ the same way store-stats snapshots do: the broker ships
 spans under that parent, and ships them back with the done message.
 """
 
+from .events import (
+    KIND_CSA_ROUND,
+    KIND_REFINE_OUTCOME,
+    KIND_SOLVER_NODE,
+    emit,
+    epsilon_events,
+    events_enabled,
+    format_convergence,
+    refine_events,
+    solver_events,
+)
 from .metrics import (
     DEFAULT_BUCKETS,
     LockedCounters,
@@ -36,6 +54,13 @@ from .profile import (
     stage_profile,
     trace_document,
 )
+from .resources import (
+    QueryResourceProbe,
+    RESOURCE_COUNTER_FIELDS,
+    charge,
+    merge_resource_snapshots,
+    resource_counters,
+)
 from .slowlog import SlowQueryLog
 from .trace import (
     TraceRing,
@@ -50,7 +75,12 @@ from .trace import (
 
 __all__ = [
     "DEFAULT_BUCKETS",
+    "KIND_CSA_ROUND",
+    "KIND_REFINE_OUTCOME",
+    "KIND_SOLVER_NODE",
     "LockedCounters",
+    "QueryResourceProbe",
+    "RESOURCE_COUNTER_FIELDS",
     "SlowQueryLog",
     "StageHistograms",
     "StageProfile",
@@ -58,13 +88,22 @@ __all__ = [
     "TraceSession",
     "activate",
     "aggregate_self_times",
+    "charge",
     "current_session",
+    "emit",
+    "epsilon_events",
+    "events_enabled",
+    "format_convergence",
     "format_top_table",
     "format_waterfall",
     "histogram_exposition",
     "merge_histogram_snapshots",
+    "merge_resource_snapshots",
     "new_span_id",
     "new_trace_id",
+    "refine_events",
+    "resource_counters",
+    "solver_events",
     "span_tree",
     "stage",
     "stage_histograms",

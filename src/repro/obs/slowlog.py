@@ -9,12 +9,19 @@ wall-time breakdown summed from the trace's spans.
 
 Appends are serialized under one lock; the file is opened per record —
 slow queries are rare by definition, and an always-open handle would
-complicate log rotation.
+complicate log rotation.  When ``max_bytes`` is set
+(``SPQConfig.slow_query_log_max_bytes``), a write that would push the
+file past the cap first rotates it: the current contents move to
+``<path>.1`` (replacing any previous rotation) and the live file
+restarts empty, bounding disk use to roughly two generations.  Because
+no handle stays open between records, an atomic rename gives the
+copy-truncate effect without the copy.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import threading
 
 #: Threshold applied when a log path is configured without one.
@@ -24,12 +31,30 @@ DEFAULT_THRESHOLD_S = 1.0
 class SlowQueryLog:
     """Threshold-gated JSONL appender for slow queries."""
 
-    def __init__(self, path: str, threshold_s: float | None = None):
+    def __init__(
+        self,
+        path: str,
+        threshold_s: float | None = None,
+        max_bytes: int | None = None,
+    ):
         self.path = path
         self.threshold_s = (
             DEFAULT_THRESHOLD_S if threshold_s is None else float(threshold_s)
         )
+        #: Rotation cap; None disables rotation (unbounded log).
+        self.max_bytes = None if max_bytes is None else int(max_bytes)
         self._lock = threading.Lock()
+
+    def _rotate_locked(self, incoming: int) -> None:
+        """Move the live file aside if ``incoming`` bytes would overflow it."""
+        if self.max_bytes is None:
+            return
+        try:
+            size = os.path.getsize(self.path)
+        except OSError:  # no file yet — nothing to rotate
+            return
+        if size and size + incoming > self.max_bytes:
+            os.replace(self.path, self.path + ".1")
 
     def record(self, wall_s: float, entry: dict) -> bool:
         """Append one entry if ``wall_s`` crosses the threshold.
@@ -45,7 +70,9 @@ class SlowQueryLog:
             sort_keys=True,
             default=str,
         )
+        data = line + "\n"
         with self._lock:
+            self._rotate_locked(len(data.encode("utf-8")))
             with open(self.path, "a", encoding="utf-8") as handle:
-                handle.write(line + "\n")
+                handle.write(data)
         return True

@@ -63,9 +63,18 @@ def new_span_id() -> str:
 class TraceSession:
     """Span accumulator for one traced evaluation (one per query)."""
 
-    __slots__ = ("trace_id", "spans", "max_spans", "dropped", "profile")
+    __slots__ = (
+        "trace_id", "spans", "max_spans", "dropped", "profile",
+        "events", "max_events", "events_dropped", "resources",
+    )
 
-    def __init__(self, trace_id: str, max_spans: int = 2048, profile: bool = False):
+    def __init__(
+        self,
+        trace_id: str,
+        max_spans: int = 2048,
+        profile: bool = False,
+        max_events: int = 4096,
+    ):
         self.trace_id = trace_id
         self.spans: list[dict] = []
         self.max_spans = max_spans
@@ -75,12 +84,43 @@ class TraceSession:
         #: Feed finished spans into the flat self-time profile
         #: (``SPQConfig.profile_stages``).
         self.profile = profile
+        #: Convergence events (:mod:`repro.obs.events`), bounded like
+        #: spans: a per-node solver stream must not hold unbounded
+        #: memory per query.
+        self.events: list[dict] = []
+        self.max_events = max_events
+        self.events_dropped = 0
+        #: Trace-scoped resource charges (:func:`repro.obs.resources.charge`).
+        self.resources: dict[str, float] = {}
 
     def add(self, span: dict) -> None:
         if len(self.spans) >= self.max_spans:
             self.dropped += 1
             return
         self.spans.append(span)
+
+    def add_event(self, event: dict) -> None:
+        if len(self.events) >= self.max_events:
+            self.events_dropped += 1
+            return
+        self.events.append(event)
+
+    def charge(self, name: str, amount: float = 1.0) -> None:
+        # Single-query accumulator: touched from the one thread (or
+        # worker process) evaluating this query, so a plain dict += is
+        # safe here where the process-wide registries need locks.
+        self.resources[name] = self.resources.get(name, 0.0) + amount
+
+    def payload(self) -> tuple:
+        """The done-message tuple shipped across the farm boundary.
+
+        Mirrored by :meth:`TraceRing.add`'s signature, so the broker can
+        install ``trace_ring.add`` directly as the farm's span sink.
+        """
+        return (
+            self.trace_id, self.spans, self.dropped,
+            self.events, self.events_dropped, self.resources,
+        )
 
 
 def current_session() -> TraceSession | None:
@@ -251,11 +291,26 @@ class TraceRing:
                 "meta": dict(meta),
                 "complete": False,
                 "dropped": 0,
+                "events": [],
+                "events_dropped": 0,
+                "resources": {},
             }
 
-    def add(self, trace_id: str, spans, dropped: int = 0) -> None:
-        """Ingest spans for an open trace (no-op once evicted)."""
-        if not spans and not dropped:
+    def add(
+        self,
+        trace_id: str,
+        spans,
+        dropped: int = 0,
+        events=None,
+        events_dropped: int = 0,
+        resources=None,
+    ) -> None:
+        """Ingest one session's payload for an open trace (no-op once
+        evicted).  The signature matches :meth:`TraceSession.payload`."""
+        if (
+            not spans and not dropped and not events
+            and not events_dropped and not resources
+        ):
             return
         with self._cond:
             entry = self._entries.get(trace_id)
@@ -263,6 +318,14 @@ class TraceRing:
                 return
             entry["spans"].extend(spans)
             entry["dropped"] += dropped
+            if events:
+                entry["events"].extend(events)
+            entry["events_dropped"] += events_dropped
+            if resources:
+                for name, amount in resources.items():
+                    entry["resources"][name] = (
+                        entry["resources"].get(name, 0.0) + amount
+                    )
 
     def finish(self, trace_id: str, root_span: dict | None = None, **meta) -> None:
         """Mark a trace complete (appending its root span) and wake waiters."""
@@ -305,6 +368,9 @@ class TraceRing:
                 "spans": list(entry["spans"]),
                 "meta": dict(entry["meta"]),
                 "dropped": entry["dropped"],
+                "events": list(entry.get("events", ())),
+                "events_dropped": entry.get("events_dropped", 0),
+                "resources": dict(entry.get("resources", ())),
             }
 
     def tree(self, trace_id: str, wait_s: float = 0.0) -> dict | None:
@@ -318,6 +384,10 @@ class TraceRing:
             complete=entry["complete"],
             dropped=entry["dropped"],
         )
+        tree["events"] = entry["events"]
+        tree["events_dropped"] = entry["events_dropped"]
+        if entry["resources"]:
+            tree["resources"] = entry["resources"]
         if entry["meta"]:
             tree["meta"] = entry["meta"]
         return tree

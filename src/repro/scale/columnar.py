@@ -400,7 +400,9 @@ class ColumnStore:
             cached = self._cache.get(key)
             if cached is not None:
                 self._cache.move_to_end(key)
+                scale_metrics.record_chunk_lookup(hit=True)
                 return cached
+        scale_metrics.record_chunk_lookup(hit=False)
         meta = self._require(name)
         start, stop = self.chunk_bounds(chunk)
         data = self._decode(meta, self._memmap(name)[start:stop])

@@ -58,6 +58,7 @@ from ..db.relation import Relation
 from ..errors import EvaluationError
 from ..mcdb.stochastic import StochasticModel
 from ..obs import stage
+from ..obs.events import KIND_REFINE_OUTCOME, emit
 from ..silp.model import (
     ChanceConstraint,
     ExpectationObjectiveIR,
@@ -298,6 +299,18 @@ def _run(
                 feasible=outcome["feasible"],
                 objective=outcome["objective"],
             )
+        )
+        # Refine-outcome stream: emitted here (the driver's context)
+        # rather than inside _refine_partition, because parallel refines
+        # run in pool children that do not carry the trace context.
+        emit(
+            KIND_REFINE_OUTCOME,
+            partition=int(g),
+            status=outcome["status"],
+            feasible=bool(outcome["feasible"]),
+            final_m=outcome["final_m"],
+            solve_time=outcome["solve_time"],
+            validate_time=outcome["validate_time"],
         )
     scale_metrics.record_run(
         n_groups, len(refined), sketch_watch.elapsed, refine_watch.elapsed

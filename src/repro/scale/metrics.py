@@ -29,6 +29,8 @@ COUNTER_FIELDS = (
     "refine_seconds",
     "index_hits",
     "index_misses",
+    "chunk_hits",
+    "chunk_misses",
     "deltas_applied",
     "delta_rows_dirty",
     "delta_partitions_dirty",
@@ -81,6 +83,10 @@ class ScaleMetrics:
     def record_index_lookup(self, hit: bool) -> None:
         """Record one partition-index lookup outcome."""
         self._counters.add("index_hits" if hit else "index_misses")
+
+    def record_chunk_lookup(self, hit: bool) -> None:
+        """Record one ColumnStore chunk-cache lookup outcome."""
+        self._counters.add("chunk_hits" if hit else "chunk_misses")
 
     def record_delta_applied(self, n_dirty_rows: int) -> None:
         """Record one applied relation delta."""

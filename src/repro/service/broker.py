@@ -56,6 +56,7 @@ from ..obs import (
     merge_histogram_snapshots,
     new_span_id,
     new_trace_id,
+    resource_counters,
     stage_histograms,
 )
 from .farm import SolveFarm
@@ -184,7 +185,9 @@ class QueryBroker:
         )
         self._slow_log: SlowQueryLog | None = (
             SlowQueryLog(
-                self.config.slow_query_log, self.config.slow_query_threshold_s
+                self.config.slow_query_log,
+                self.config.slow_query_threshold_s,
+                max_bytes=self.config.slow_query_log_max_bytes,
             )
             if self.config.slow_query_log
             else None
@@ -468,9 +471,10 @@ class QueryBroker:
                     )
             finally:
                 if self.trace_ring is not None:
-                    self.trace_ring.add(
-                        trace[0], session.spans, session.dropped
-                    )
+                    # payload() mirrors TraceRing.add's signature: spans,
+                    # dropped count, convergence events, and per-query
+                    # resource charges land in one call.
+                    self.trace_ring.add(*session.payload())
         finally:
             self._sessions.put(engine)
 
@@ -525,6 +529,10 @@ class QueryBroker:
             anytime = getattr(future.result(), "anytime", None)
             if anytime is not None and not anytime.deadline_met:
                 attrs["deadline_missed"] = True
+            if anytime is not None and anytime.resources:
+                # The per-query resource envelope rides the root span so
+                # GET /trace/<id> shows cost next to latency.
+                attrs["resources"] = anytime.resources
         root_span = {
             "trace_id": state["trace_id"],
             "span_id": state["root_id"],
@@ -592,6 +600,23 @@ class QueryBroker:
             merged[name] = merged.get(name, 0) + value
         return merged
 
+    def resource_stats(self) -> dict:
+        """Per-query resource accounting counters as actually served.
+
+        The local registry covers broker-side accounting and (on the
+        thread backend) every evaluation; the process backend reports
+        the farm's per-worker aggregate merged with the local registry
+        (solve-side counters are zero locally there, so summing never
+        double-counts).
+        """
+        local = resource_counters.snapshot()
+        if self._farm is None:
+            return local
+        merged = self._farm.resource_stats()
+        for name, value in local.items():
+            merged[name] = merged.get(name, 0) + value
+        return merged
+
     def stage_histograms(self) -> dict:
         """Per-stage latency histograms as actually served.
 
@@ -639,6 +664,7 @@ class QueryBroker:
             }
         state["store"] = self.store_stats()
         state["scale"] = self.scale_stats()
+        state["resources"] = self.resource_stats()
         if self._farm is not None:
             state["farm"] = self._farm.status()
         return state

@@ -52,12 +52,14 @@ from __future__ import annotations
 
 import dataclasses
 import json
+import platform
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 
 import numpy as np
 
+from .. import __version__
 from ..config import SPQConfig
 from ..errors import (
     CompileError,
@@ -155,6 +157,7 @@ def metrics_text(broker: QueryBroker) -> str:
     status = broker.status()
     store = status.pop("store")
     scale = status.pop("scale")
+    resources = status.pop("resources")
     farm = status.pop("farm", None)
     lines: list[str] = []
 
@@ -168,6 +171,16 @@ def metrics_text(broker: QueryBroker) -> str:
         lines.append(f"# TYPE {name} {kind}")
         lines.extend(samples)
 
+    # Standard build-info gauge: constant 1, identity in the labels, so
+    # dashboards can join every other family against version/runtime.
+    labeled(
+        "repro_build_info", "gauge",
+        "Build and runtime identity of this service (constant 1).",
+        [
+            f'repro_build_info{{version="{__version__}",'
+            f'python="{platform.python_version()}"}} 1'
+        ],
+    )
     family(
         "repro_store_hits_total", "counter",
         "Scenario-store lookups served from a cached matrix.",
@@ -202,6 +215,16 @@ def metrics_text(broker: QueryBroker) -> str:
         "repro_store_adopted_total", "counter",
         "Matrices adopted from sibling workers via memmap handoff.",
         store["adopted"],
+    )
+    family(
+        "repro_store_bytes_realized_total", "counter",
+        "Scenario-matrix bytes newly realized (generated) by the store.",
+        store["bytes_realized"],
+    )
+    family(
+        "repro_store_bytes_reused_total", "counter",
+        "Scenario-matrix bytes served from cache instead of regenerated.",
+        store["bytes_reused"],
     )
     family(
         "repro_store_bytes_resident", "gauge",
@@ -254,6 +277,33 @@ def metrics_text(broker: QueryBroker) -> str:
         "repro_scale_index_misses_total", "counter",
         "Partition-index lookups that re-partitioned from pilot stats.",
         scale["index_misses"],
+    )
+    family(
+        "repro_scale_chunk_hits_total", "counter",
+        "ColumnStore chunk-cache lookups served from resident chunks.",
+        scale["chunk_hits"],
+    )
+    family(
+        "repro_scale_chunk_misses_total", "counter",
+        "ColumnStore chunk-cache lookups that decoded from disk.",
+        scale["chunk_misses"],
+    )
+    # Per-query resource accounting (docs/observability.md): lifetime
+    # totals across evaluations, farm-aggregated on the process backend.
+    family(
+        "repro_resource_queries_total", "counter",
+        "Queries with a completed resource-accounting envelope.",
+        resources.get("queries_accounted", 0),
+    )
+    family(
+        "repro_resource_cpu_seconds_total", "counter",
+        "Solver-thread CPU seconds consumed by accounted queries.",
+        resources.get("query_cpu_seconds", 0.0),
+    )
+    family(
+        "repro_resource_lp_solves_total", "counter",
+        "LP relaxation solves executed across all evaluations.",
+        resources.get("lp_solves", 0),
     )
     # Live-data tier (docs/live_data.md): applied deltas and the
     # delta-scoped invalidation/reuse they triggered.

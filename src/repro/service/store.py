@@ -181,6 +181,11 @@ class StoreStats:
     bytes_resident: int = 0
     bytes_spilled: int = 0
     entries: int = 0
+    #: Lifetime bytes of freshly generated scenario columns vs. bytes
+    #: served straight from cached matrices — the realized/reused split
+    #: of the per-query resource accounting.
+    bytes_realized: int = 0
+    bytes_reused: int = 0
 
     def as_dict(self) -> dict:
         return {
@@ -195,6 +200,8 @@ class StoreStats:
             "bytes_resident": self.bytes_resident,
             "bytes_spilled": self.bytes_spilled,
             "entries": self.entries,
+            "bytes_realized": self.bytes_realized,
+            "bytes_reused": self.bytes_reused,
         }
 
 
@@ -298,6 +305,9 @@ class ScenarioStore:
                 entry = self._entries.get(key)
                 if entry is not None and entry.width >= n_scenarios:
                     self._stats.hits += 1
+                    self._stats.bytes_reused += (
+                        entry.data.shape[0] * n_scenarios * entry.data.itemsize
+                    )
                     self._entries.move_to_end(key)
                     span.set("hit", True)
                     return entry.data[:, :n_scenarios]
@@ -352,6 +362,7 @@ class ScenarioStore:
                     del self._entries[key]
                 self._stats.generations += 1
                 self._stats.generated_columns += new_columns.shape[1]
+                self._stats.bytes_realized += int(new_columns.nbytes)
                 if not self._closed:
                     self._entries[key] = _Entry(key=key, data=matrix)
                 victims = self._evict_over_budget()
@@ -688,6 +699,8 @@ class ScenarioStore:
                     e.nbytes for e in self._entries.values() if e.spilled
                 ),
                 entries=len(self._entries),
+                bytes_realized=self._stats.bytes_realized,
+                bytes_reused=self._stats.bytes_reused,
             )
         return snapshot
 

@@ -19,10 +19,13 @@ from __future__ import annotations
 import heapq
 import itertools
 import time
+from contextvars import ContextVar
 
 import numpy as np
 from scipy.optimize import linprog
 
+from ..obs.events import KIND_SOLVER_NODE, emit, events_enabled
+from ..obs.resources import charge
 from .model import SENSE_MAX
 from .result import (
     MILPResult,
@@ -41,6 +44,13 @@ _INT_TOL = 1e-6
 #: an instant give-up, which would turn "almost out of budget" into "no
 #: node ever solves".
 _MIN_LP_BUDGET = 0.01
+
+#: Simplex iterations accumulated by ``_solve_relaxation`` calls within
+#: the current solve (reset at every ``solve_with_branch_bound`` entry).
+#: A ContextVar rather than a return-tuple extension keeps the
+#: ``_solve_relaxation`` signature stable for the deadline/fake-clock
+#: test doubles that wrap it.
+_LP_ITERS: ContextVar = ContextVar("repro_bb_lp_iters", default=0)
 
 
 def _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
@@ -62,6 +72,8 @@ def _solve_relaxation(c, a_ub, b_ub, var_lb, var_ub, time_limit=None):
         method="highs",
         options=options,
     )
+    charge("lp_solves")
+    _LP_ITERS.set(_LP_ITERS.get() + int(getattr(res, "nit", 0) or 0))
     if res.status == 0:
         return "optimal", res.x, float(res.fun)
     if res.status == 1:
@@ -114,6 +126,8 @@ def solve_with_branch_bound(
     a_ub, b_ub = _to_inequality_form(matrix, row_lb, row_ub)
     started = clock()
     deadline = None if time_limit is None else started + float(time_limit)
+    _LP_ITERS.set(0)
+    sign = -1.0 if builder.sense == SENSE_MAX else 1.0
 
     def remaining():
         return None if deadline is None else deadline - clock()
@@ -167,6 +181,45 @@ def solve_with_branch_bound(
     # over all open nodes — exactly the dual side of the anytime gap.
     best_bound = bound0
 
+    # Convergence stream (repro.obs.events): one record per expanded
+    # node / new incumbent, in the caller's objective sense.  Non-final
+    # records are suppressed when the gap would wobble upward (the
+    # ``max(1, |incumbent|)`` denominator can shrink across incumbent
+    # improvements), so the emitted gap series is non-increasing and
+    # the terminal ``final=True`` record carries exactly the gap the
+    # MILPResult returns.  All of this is dark unless a trace session
+    # is active.
+    emit_events = events_enabled()
+    last_emitted_gap = np.inf
+
+    def current_gap(bound):
+        if incumbent_x is None or not np.isfinite(bound):
+            return None
+        return max(
+            0.0, (incumbent_obj - bound) / max(1.0, abs(incumbent_obj))
+        )
+
+    def emit_node(bound, gap, final=False):
+        nonlocal last_emitted_gap
+        if not emit_events:
+            return
+        if gap is not None:
+            if not final and gap > last_emitted_gap:
+                return
+            last_emitted_gap = min(last_emitted_gap, gap)
+        emit(
+            KIND_SOLVER_NODE,
+            t=_since(started, clock),
+            incumbent=None if incumbent_x is None else sign * incumbent_obj,
+            best_bound=None if bound is None or not np.isfinite(bound) else sign * bound,
+            gap=gap,
+            nodes=n_nodes,
+            lp_iters=_LP_ITERS.get(),
+            final=final,
+        )
+
+    emit_node(bound0, current_gap(bound0))
+
     while heap:
         bound, _, lb, ub, x = heapq.heappop(heap)
         if n_nodes + 1 > max_nodes:
@@ -176,6 +229,7 @@ def solve_with_branch_bound(
             stopped, best_bound = "deadline", bound
             break
         n_nodes += 1
+        emit_node(bound, current_gap(bound))
         if incumbent_x is not None and bound >= incumbent_obj - _gap_slack(
             incumbent_obj, mip_gap
         ):
@@ -188,6 +242,7 @@ def solve_with_branch_bound(
             if obj < incumbent_obj:
                 incumbent_obj = obj
                 incumbent_x = candidate
+                emit_node(bound, current_gap(bound))
             continue
         value = x[frac_index]
         for branch in ("down", "up"):
@@ -218,6 +273,7 @@ def solve_with_branch_bound(
     elapsed = _since(started, clock)
     if incumbent_x is None:
         if stopped is not None:
+            emit_node(best_bound, None, final=True)
             return MILPResult(
                 status=STATUS_TIME_LIMIT, solve_time=elapsed, n_nodes=n_nodes,
                 message=f"stopped on {stopped} before any incumbent",
@@ -226,10 +282,10 @@ def solve_with_branch_bound(
             status=STATUS_INFEASIBLE, solve_time=elapsed, n_nodes=n_nodes
         )
     objective = builder.objective_value(incumbent_x)
-    sign = -1.0 if builder.sense == SENSE_MAX else 1.0
     if stopped is None:
         # Search space exhausted: the incumbent is proven optimal (to
         # mip_gap), so the anytime gap is zero by construction.
+        emit_node(incumbent_obj, 0.0, final=True)
         return MILPResult(
             status=STATUS_OPTIMAL,
             x=incumbent_x,
@@ -240,6 +296,7 @@ def solve_with_branch_bound(
             meta={"best_bound": objective},
         )
     gap = max(0.0, (incumbent_obj - best_bound) / max(1.0, abs(incumbent_obj)))
+    emit_node(best_bound, gap, final=True)
     return MILPResult(
         status=STATUS_FEASIBLE,
         x=incumbent_x,

@@ -16,6 +16,7 @@ import time
 import numpy as np
 from scipy.optimize import Bounds, LinearConstraint, milp
 
+from ..obs.resources import charge
 from .result import (
     MILPResult,
     STATUS_FEASIBLE,
@@ -56,6 +57,7 @@ def solve_with_highs(
         options=options,
     )
     elapsed = time.perf_counter() - started
+    charge("lp_solves")
     if res.status == _SCIPY_OPTIMAL:
         # "Optimal" includes gap-terminated solves (mip_rel_gap > 0), so
         # the incumbent can still trail a good warm-start hint.

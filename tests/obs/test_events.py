@@ -1,0 +1,112 @@
+"""Convergence event streams: emit gating, caps, filters, rendering."""
+
+from __future__ import annotations
+
+from repro.obs import (
+    KIND_CSA_ROUND,
+    KIND_REFINE_OUTCOME,
+    KIND_SOLVER_NODE,
+    TraceSession,
+    activate,
+    emit,
+    epsilon_events,
+    events_enabled,
+    format_convergence,
+    new_trace_id,
+    refine_events,
+    solver_events,
+)
+
+
+def test_emit_is_a_refusal_without_a_session():
+    assert events_enabled() is False
+    assert emit(KIND_SOLVER_NODE, t=0.1, gap=0.5) is False
+
+
+def test_emit_records_on_the_active_session():
+    session = TraceSession(new_trace_id())
+    with activate(session):
+        assert events_enabled() is True
+        assert emit(KIND_SOLVER_NODE, t=0.25, gap=0.5, nodes=3) is True
+        assert emit(KIND_CSA_ROUND, iteration=1, epsilon_upper=0.4) is True
+    assert len(session.events) == 2
+    node = session.events[0]
+    assert node["kind"] == KIND_SOLVER_NODE
+    assert node["t"] == 0.25
+    assert node["gap"] == 0.5
+    assert node["nodes"] == 3
+    assert "ts" in node
+    # t is optional: the CSA record carries none.
+    assert "t" not in session.events[1]
+
+
+def test_event_cap_counts_overflow_instead_of_growing():
+    session = TraceSession(new_trace_id(), max_events=3)
+    with activate(session):
+        for n in range(10):
+            emit(KIND_SOLVER_NODE, t=float(n), gap=1.0 / (n + 1))
+    assert len(session.events) == 3
+    assert session.events_dropped == 7
+    # The cap keeps the oldest events (the head of the trajectory).
+    assert [e["t"] for e in session.events] == [0.0, 1.0, 2.0]
+
+
+def test_filters_partition_by_kind():
+    events = [
+        {"kind": KIND_SOLVER_NODE, "gap": 0.5},
+        {"kind": KIND_CSA_ROUND, "iteration": 1},
+        {"kind": KIND_SOLVER_NODE, "gap": 0.1},
+        {"kind": KIND_REFINE_OUTCOME, "partition": 4, "status": "ok"},
+        {"kind": "someone.else", "x": 1},
+    ]
+    assert [e["gap"] for e in solver_events(events)] == [0.5, 0.1]
+    assert [e["iteration"] for e in epsilon_events(events)] == [1]
+    assert [e["partition"] for e in refine_events(events)] == [4]
+    # Filters accept None/empty without blowing up.
+    assert solver_events(None) == []
+    assert epsilon_events([]) == []
+
+
+def test_format_convergence_renders_all_three_sections():
+    document = {
+        "events": [
+            {
+                "kind": KIND_SOLVER_NODE, "t": 0.01, "gap": 0.8,
+                "incumbent": 12.0, "best_bound": 2.4, "nodes": 1,
+                "lp_iters": 4,
+            },
+            {
+                "kind": KIND_SOLVER_NODE, "t": 0.05, "gap": 0.2,
+                "incumbent": 10.0, "best_bound": 8.0, "nodes": 7,
+                "lp_iters": 30, "final": True,
+            },
+            {
+                "kind": KIND_CSA_ROUND, "iteration": 1, "q": 16,
+                "epsilon_upper": 0.4, "feasible": True, "objective": 10.0,
+            },
+            {
+                "kind": KIND_REFINE_OUTCOME, "partition": 0,
+                "status": "validated", "final_m": 24,
+                "solve_time": 0.2, "validate_time": 0.05,
+            },
+        ],
+        "events_dropped": 2,
+    }
+    rendered = format_convergence(document)
+    assert "solver convergence (gap over time):" in rendered
+    assert "CSA epsilon trajectory:" in rendered
+    assert "refine outcomes (1 partitions): validated=1" in rendered
+    assert "(2 events dropped at the session cap)" in rendered
+    # The final solver record carries the terminal marker, and the
+    # larger gap draws the longer bar.
+    solver_lines = [l for l in rendered.splitlines() if "inc=" in l]
+    assert solver_lines[0].count("#") > solver_lines[1].count("#")
+    assert solver_lines[1].rstrip().endswith("*")
+
+
+def test_format_convergence_empty_document():
+    assert format_convergence({}) == "no convergence events recorded"
+    assert (
+        format_convergence({"events": [], "events_dropped": 0})
+        == "no convergence events recorded"
+    )

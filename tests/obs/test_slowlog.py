@@ -34,3 +34,51 @@ def test_non_serializable_values_fall_back_to_str(tmp_path):
     assert log.record(1.0, {"error": ValueError("boom")})
     entry = json.loads(path.read_text())
     assert "boom" in entry["error"]
+
+
+def test_rotation_caps_disk_use_to_two_generations(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    rotated = tmp_path / "slow.jsonl.1"
+    one_line = len(
+        json.dumps({"wall_s": 1.0, "trace_id": "t000"}).encode()
+    ) + 1
+    # Cap fits exactly two records: the third append must rotate.
+    log = SlowQueryLog(str(path), threshold_s=0.0, max_bytes=2 * one_line)
+    for n in range(3):
+        assert log.record(1.0, {"trace_id": f"t{n:03d}"})
+
+    live = path.read_text().splitlines()
+    old = rotated.read_text().splitlines()
+    assert [json.loads(line)["trace_id"] for line in old] == ["t000", "t001"]
+    assert [json.loads(line)["trace_id"] for line in live] == ["t002"]
+    # Neither generation exceeds the cap.
+    assert path.stat().st_size <= 2 * one_line
+    assert rotated.stat().st_size <= 2 * one_line
+
+    # The next rotation replaces the previous .1 — never a .2.
+    for n in range(3, 5):
+        assert log.record(1.0, {"trace_id": f"t{n:03d}"})
+    old = rotated.read_text().splitlines()
+    assert [json.loads(line)["trace_id"] for line in old] == ["t002", "t003"]
+    assert not (tmp_path / "slow.jsonl.2").exists()
+
+
+def test_no_rotation_without_max_bytes(tmp_path):
+    path = tmp_path / "slow.jsonl"
+    log = SlowQueryLog(str(path), threshold_s=0.0)
+    for n in range(50):
+        assert log.record(1.0, {"trace_id": f"t{n:03d}"})
+    assert len(path.read_text().splitlines()) == 50
+    assert not (tmp_path / "slow.jsonl.1").exists()
+
+
+def test_oversized_single_record_still_lands(tmp_path):
+    """A record bigger than the cap rotates whatever exists, then writes."""
+    path = tmp_path / "slow.jsonl"
+    log = SlowQueryLog(str(path), threshold_s=0.0, max_bytes=64)
+    assert log.record(1.0, {"trace_id": "small"})
+    assert log.record(1.0, {"trace_id": "x" * 200})
+    assert json.loads(path.read_text())["trace_id"] == "x" * 200
+    assert json.loads((tmp_path / "slow.jsonl.1").read_text())[
+        "trace_id"
+    ] == "small"

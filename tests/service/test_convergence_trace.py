@@ -1,0 +1,134 @@
+"""Acceptance: a deadline-truncated branch-and-bound query's trace
+carries a monotone non-increasing gap event series whose final record
+equals the ``AnytimeResult`` gap — on both service backends.
+
+The workload is a deterministic, strongly-correlated 0/1 knapsack that
+branch and bound cannot finish within the budget (near-tied values make
+bound pruning useless), so the solve reliably truncates on the deadline
+and returns the anytime incumbent with its certified gap.  The solver's
+per-node convergence events ride the trace session across the farm
+boundary and surface on ``GET /trace/<id>``.
+"""
+
+from __future__ import annotations
+
+import json
+import urllib.request
+from contextlib import contextmanager
+
+import numpy as np
+import pytest
+
+from repro import Catalog, Relation, SPQConfig
+from repro.service import QueryBroker, SPQService
+
+BACKENDS = ("thread", "process")
+
+N_ITEMS = 150
+DEADLINE_MS = 800.0
+
+
+def _knapsack_catalog() -> tuple[Catalog, float]:
+    rng = np.random.default_rng(5)
+    weight = rng.integers(5, 50, size=N_ITEMS).astype(float)
+    # Near-perfect value/weight correlation: every subset swap moves the
+    # objective by at most ~0.05, so the LP bound never separates from
+    # the incumbent and the search tree stays open far past any
+    # sub-second budget.
+    gain = weight + rng.uniform(0.0, 0.05, size=N_ITEMS)
+    capacity = float(weight.sum()) - 2.0 * float(weight.mean())
+    catalog = Catalog()
+    catalog.register(Relation("inv", {"weight": weight, "gain": gain}))
+    return catalog, capacity
+
+
+@contextmanager
+def _service(backend: str):
+    catalog, capacity = _knapsack_catalog()
+    config = SPQConfig(seed=11, solver="branch-bound", service_backend=backend)
+    broker = QueryBroker(catalog, config=config, pool_size=1)
+    svc = SPQService(broker, port=0, own_broker=True).start_background()
+    try:
+        yield svc, capacity
+    finally:
+        svc.shutdown()
+
+
+def _post(service, payload: dict):
+    host, port = service.address
+    request = urllib.request.Request(
+        f"http://{host}:{port}/query",
+        data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"},
+    )
+    with urllib.request.urlopen(request, timeout=120) as response:
+        return response.status, json.loads(response.read())
+
+
+def _get_json(service, path: str):
+    host, port = service.address
+    with urllib.request.urlopen(
+        f"http://{host}:{port}{path}", timeout=60
+    ) as response:
+        return response.status, json.loads(response.read())
+
+
+def _query(capacity: float) -> str:
+    return (
+        "SELECT PACKAGE(*) FROM inv REPEAT 0 SUCH THAT"
+        f" SUM(weight) <= {capacity:.1f} MAXIMIZE SUM(gain)"
+    )
+
+
+@pytest.mark.parametrize("backend", BACKENDS)
+def test_truncated_bb_trace_gap_series_matches_envelope(backend):
+    with _service(backend) as (service, capacity):
+        # Warm-up: pay worker spawn / compile outside the timed query
+        # (capacity 0 solves at the root).
+        status, _ = _post(service, {"query": _query(0.0)})
+        assert status == 200
+
+        status, body = _post(
+            service, {"query": _query(capacity), "deadline_ms": DEADLINE_MS}
+        )
+        assert status == 200
+        # The deadline truncated the solve mid-search: an anytime
+        # incumbent with a certified gap, not a bare timeout.
+        assert body["deadline_met"] is False
+        assert body["feasible"] is True
+        assert body["anytime"]["stages_truncated"] == ["solve"]
+        envelope_gap = body["gap"]
+        assert envelope_gap is not None and envelope_gap > 0.0
+
+        status, tree = _get_json(service, f"/trace/{body['trace_id']}")
+        assert status == 200
+        series = [
+            e for e in tree["events"] if e["kind"] == "solver.node"
+        ]
+        assert len(series) >= 2, tree["events"]
+
+        # Monotone non-increasing gap over the whole emitted series.
+        gaps = [e["gap"] for e in series if e["gap"] is not None]
+        assert gaps, series
+        assert all(a >= b for a, b in zip(gaps, gaps[1:])), gaps
+
+        # Exactly one terminal record, last in the series, and its gap
+        # is the envelope gap (carried bit-for-bit through
+        # meta["solver_gap"] into finalize_anytime).
+        finals = [e for e in series if e.get("final")]
+        assert len(finals) == 1 and series[-1] is finals[0]
+        assert finals[0]["gap"] == envelope_gap
+
+        # Best-bound consistency on the terminal record: the envelope's
+        # bound is the solver's, in the caller's objective sense.
+        assert finals[0]["best_bound"] == body["anytime"]["best_bound"]
+
+        # The event t-axis is the solver's own clock: non-negative,
+        # non-decreasing, and within the deadline's order of magnitude.
+        ts = [e["t"] for e in series]
+        assert all(t >= 0.0 for t in ts)
+        assert all(a <= b + 1e-9 for a, b in zip(ts, ts[1:]))
+
+        # Resource accounting rode the same payload: the LP solves that
+        # produced this series are charged to the query's trace.
+        assert tree["resources"]["lp_solves"] >= len(series) - 1

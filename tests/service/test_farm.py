@@ -314,7 +314,7 @@ def test_stale_done_after_requeue_still_frees_the_retry_worker():
     # is gone from _tasks when V's completion drains.
     settle: list = []
     blob = pickle.dumps((True, "result"))
-    farm._handle_message_locked(("done", 7, 2, blob, {}, {}, {}, {}, None), settle)
+    farm._handle_message_locked(("done", 7, 2, blob, {}, {}, {}, {}, {}, None), settle)
     assert settle == []  # nothing to settle twice
     assert retry_worker.task is None
     assert retry_worker.state == farm_module.STATE_IDLE
@@ -341,7 +341,7 @@ def test_stale_done_removes_requeued_task_from_pending():
 
     settle: list = []
     blob = pickle.dumps((True, "result"))
-    farm._handle_message_locked(("done", 7, 1, blob, {}, {}, {}, {}, None), settle)
+    farm._handle_message_locked(("done", 7, 1, blob, {}, {}, {}, {}, {}, None), settle)
     assert [(f, ok) for f, ok, _ in settle] == [(task.future, True)]
     assert not farm._pending
     assert not farm._tasks
@@ -442,3 +442,92 @@ def test_delta_broadcast_reaches_workers_and_matches_rebuild():
         second.package.multiplicities, truth.package.multiplicities
     )
     assert second.objective == truth.objective
+
+
+def test_aggregation_invariants_survive_worker_recycling():
+    # Lifetime-monotonic invariant: resource counters and stage
+    # histograms merged across the farm never regress when workers are
+    # recycled — each departing generation's last snapshot is absorbed
+    # into farm totals rather than dropped with the process.
+    catalog = _catalog()
+    with QueryBroker(
+        catalog,
+        config=_config(),
+        pool_size=1,
+        backend="process",
+        recycle_after=1,
+    ) as broker:
+        base_res = broker.resource_stats()
+        base_hist = broker.stage_histograms()
+        last_res, last_hist = base_res, base_hist
+        for n in range(1, 4):
+            assert broker.execute(QUERY, seed=n).feasible
+            res = broker.resource_stats()
+            hist = broker.stage_histograms()
+            # Exactly one query accounted per execute, whichever worker
+            # generation served it.
+            assert (
+                res["queries_accounted"]
+                == base_res["queries_accounted"] + n
+            )
+            assert res["lp_solves"] > last_res["lp_solves"]
+            assert res["query_cpu_seconds"] >= last_res["query_cpu_seconds"]
+            # Every stage seen so far keeps its observations: merged
+            # histograms are cumulative across worker generations.
+            for stage, snap in last_hist.items():
+                assert hist[stage]["count"] >= snap["count"], stage
+                assert hist[stage]["sum"] >= snap["sum"] - 1e-9, stage
+            base_queries = base_hist.get("query", {"count": 0})["count"]
+            assert hist["query"]["count"] == base_queries + n
+            last_res, last_hist = res, hist
+        # The pool really did turn over while the counters accumulated.
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            if broker.status()["farm"]["recycled_total"] >= 2:
+                break
+            time.sleep(0.05)
+        assert broker.status()["farm"]["recycled_total"] >= 2
+
+
+def test_aggregation_invariants_survive_a_worker_crash():
+    # Kill an idle worker that already served queries: the reaper
+    # absorbs its last snapshots into farm totals, so lifetime counters
+    # and histogram observations survive the process exactly.
+    catalog = _catalog()
+    with QueryBroker(
+        catalog, config=_config(), pool_size=1, backend="process"
+    ) as broker:
+        for seed in range(2):
+            assert broker.execute(QUERY, seed=seed).feasible
+        before_res = broker.resource_stats()
+        before_hist = broker.stage_histograms()
+        # Let the worker's result-queue feeder thread go fully quiescent
+        # before the kill: SIGKILL between its send() and the shared
+        # write-lock release would wedge the queue for every later
+        # writer (the documented mp.Queue abrupt-death hazard — the busy
+        # kills above never write results, so they are outside it).
+        time.sleep(0.5)
+        victim = broker.status()["farm"]["workers"][0]
+        os.kill(victim["pid"], signal.SIGKILL)
+        deadline = time.time() + 30
+        while time.time() < deadline:
+            farm = broker.status()["farm"]
+            if farm["crashed_total"] >= 1 and farm["idle"] + farm["busy"] >= 1:
+                break
+            time.sleep(0.05)
+        assert broker.status()["farm"]["crashed_total"] >= 1
+        after_res = broker.resource_stats()
+        after_hist = broker.stage_histograms()
+        # Nothing was in flight, so the totals are preserved bit-exactly:
+        # the dead worker's contribution moved from its live snapshot
+        # into the absorbed totals.
+        assert after_res == before_res
+        for stage, snap in before_hist.items():
+            assert after_hist[stage]["count"] == snap["count"], stage
+        # The replacement worker keeps counting from there.
+        assert broker.execute(QUERY, seed=9).feasible
+        final_res = broker.resource_stats()
+        assert (
+            final_res["queries_accounted"]
+            == before_res["queries_accounted"] + 1
+        )

@@ -152,6 +152,28 @@ def test_metrics_exposition_is_strictly_valid(backend):
     assert types["repro_scale_sketch_seconds_total"] == "counter"
     assert types["repro_scale_refine_seconds_total"] == "counter"
     assert types["repro_store_bytes_resident"] == "gauge"
+    # Resource accounting and scenario-byte families.
+    assert types["repro_resource_queries_total"] == "counter"
+    assert types["repro_resource_cpu_seconds_total"] == "counter"
+    assert types["repro_resource_lp_solves_total"] == "counter"
+    assert types["repro_store_bytes_realized_total"] == "counter"
+    assert types["repro_store_bytes_reused_total"] == "counter"
+    assert types["repro_scale_chunk_hits_total"] == "counter"
+    assert types["repro_scale_chunk_misses_total"] == "counter"
+
+    # The standard build-info gauge: constant 1 with identity labels.
+    assert types["repro_build_info"] == "gauge"
+    build_samples = [s for s in samples if s[0] == "repro_build_info"]
+    assert len(build_samples) == 1
+    _, labels, value = build_samples[0]
+    assert float(value) == 1.0
+    assert 'version="' in labels and 'python="' in labels, labels
+
+    # A completed query must have been accounted: the resource counters
+    # are live on both backends (farm-aggregated on "process").
+    by_name = {s[0]: s[2] for s in samples}
+    assert float(by_name["repro_resource_queries_total"]) >= 1
+    assert float(by_name["repro_resource_cpu_seconds_total"]) > 0.0
 
 
 @pytest.mark.parametrize("backend", ("thread", "process"))
